@@ -1,0 +1,77 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/dlb"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/hwmodel"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+// newBenchNode builds a fresh 16-CPU node for live-library benches.
+func newBenchNode(b *testing.B) *dlb.Node {
+	b.Helper()
+	return dlb.NewNode("bench", 16)
+}
+
+// nodeInit registers a process with the whole node.
+func nodeInit(n *dlb.Node, args string) (*dlb.Process, error) {
+	return dlb.Init(n, 0, n.AllCPUs(), args)
+}
+
+// maskPair is a two-rank placement on one node.
+type maskPair struct{ a, b cpuset.CPUSet }
+
+// compactMaskPair places each rank on its own socket.
+func compactMaskPair() maskPair {
+	m := hwmodel.MN3()
+	return maskPair{a: m.SocketMask(0), b: m.SocketMask(1)}
+}
+
+// interleavedMaskPair scatters each rank across both sockets
+// (even/odd CPUs): the placement the socket-aware plugin avoids.
+func interleavedMaskPair() maskPair {
+	var even, odd cpuset.CPUSet
+	for c := 0; c < 16; c++ {
+		if c%2 == 0 {
+			even.Set(c)
+		} else {
+			odd.Set(c)
+		}
+	}
+	return maskPair{a: even, b: odd}
+}
+
+// runPinnedPair runs two single-rank NEST instances concurrently on
+// one node with explicit masks and returns the later completion time.
+func runPinnedPair(p maskPair) (float64, error) {
+	eng := sim.NewEngine()
+	m := hwmodel.MN3()
+	reg := shmem.NewRegistry()
+	sys := core.NewSystem(reg.Open("node0", m.NodeMask(), 0))
+	demand := apps.NewDemandTable(m)
+	spec := apps.NEST()
+	spec.InitSeconds = 0
+	var last float64
+	for _, mask := range []cpuset.CPUSet{p.a, p.b} {
+		pl := []apps.Placement{{Node: "node0", Sys: sys, PID: reg.AllocPID(), InitialMask: mask}}
+		inst, err := apps.NewInstance(spec, apps.Config{Ranks: 1, Threads: 8}, 300, "nest", eng, demand, nil, pl)
+		if err != nil {
+			return 0, err
+		}
+		inst.OnComplete = func(end float64) {
+			if end > last {
+				last = end
+			}
+		}
+		if err := inst.Start(); err != nil {
+			return 0, err
+		}
+	}
+	eng.Run()
+	return last, nil
+}

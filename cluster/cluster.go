@@ -1,0 +1,135 @@
+// Package cluster is the public simulation API: it exposes the
+// DROM-enabled SLURM cluster simulator used to reproduce the paper's
+// evaluation (§6). Users describe jobs (application model +
+// configuration + submit time), pick a scheduling policy, and get the
+// paper's system metrics back: total run time, per-job response times,
+// averages, and optionally per-thread traces.
+package cluster
+
+import (
+	"repro/internal/apps"
+	"repro/internal/djsb"
+	"repro/internal/hwmodel"
+	"repro/internal/metrics"
+	"repro/internal/slurm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config is an application configuration (MPI ranks × threads/rank).
+type Config = apps.Config
+
+// AppSpec is a calibrated application performance model.
+type AppSpec = apps.Spec
+
+// Application model constructors (Table 1 applications).
+var (
+	// NEST returns the NEST neuro-simulator model.
+	NEST = apps.NEST
+	// CoreNeuron returns the CoreNeuron simulator model.
+	CoreNeuron = apps.CoreNeuron
+	// Pils returns the compute-bound synthetic analytics model.
+	Pils = apps.Pils
+	// STREAM returns the memory-bandwidth benchmark model.
+	STREAM = apps.STREAM
+)
+
+// Table1 returns the paper's configurations for an application name
+// ("nest", "coreneuron", "pils", "stream").
+func Table1(app string) []Config { return apps.Table1(app) }
+
+// Job is one submission: name, model, configuration, node count,
+// priority and malleability.
+type Job = slurm.Job
+
+// Policy selects the scheduling behaviour.
+type Policy = slurm.Policy
+
+// Scheduling policies.
+const (
+	// Serial is the baseline: exclusive nodes, jobs wait in queue.
+	Serial = slurm.PolicySerial
+	// DROM co-allocates jobs by repartitioning CPUs through DROM.
+	DROM = slurm.PolicyDROM
+	// Oversubscribe co-allocates with overlapping masks (the
+	// related-work baseline DROM beats).
+	Oversubscribe = slurm.PolicyOversubscribe
+	// Preempt checkpoints and requeues lower-priority jobs (the other
+	// §6.2 baseline, with checkpoint/restart costs).
+	Preempt = slurm.PolicyPreempt
+)
+
+// Submission schedules a job at a virtual time.
+type Submission = workload.Submission
+
+// Scenario is a workload description.
+type Scenario = workload.Scenario
+
+// Result is one scenario execution: records and optional traces.
+type Result = workload.Result
+
+// JobRecord is one job's lifecycle (submit/start/end).
+type JobRecord = metrics.JobRecord
+
+// Workload aggregates job records (total run time, average response).
+type Workload = metrics.Workload
+
+// Tracer records per-thread execution segments.
+type Tracer = trace.Tracer
+
+// Machine describes a node type (sockets, cores, frequency, memory
+// bandwidth). The zero value in a Scenario selects MN3.
+type Machine = hwmodel.Machine
+
+// MN3 returns the MareNostrum III node model of the paper (2 sockets ×
+// 8 cores at 2.6 GHz).
+func MN3() Machine { return hwmodel.MN3() }
+
+// Run executes a scenario under the given policy on a 2-socket,
+// 16-core-per-node MN3-like cluster.
+func Run(s Scenario, p Policy) Result { return workload.Run(s, p) }
+
+// Compare runs a scenario under Serial and DROM.
+func Compare(s Scenario) (serial, drom Result) { return workload.Compare(s) }
+
+// Repeated aggregates n jittered runs (mean totals, coefficient of
+// variation), matching the paper's ≥3-run measurement methodology.
+type Repeated = workload.Repeated
+
+// RunN executes the scenario n times with seeds 1..n and the given
+// relative jitter, returning aggregate statistics.
+func RunN(s Scenario, p Policy, n int, jitterFrac float64) (Repeated, error) {
+	return workload.RunN(s, p, n, jitterFrac)
+}
+
+// UC1 builds the paper's in-situ analytics scenario (§6.1): a
+// simulation ("nest" or "coreneuron") submitted at t=0 and an
+// analytics job ("pils" or "stream") at t=300.
+func UC1(sim string, simCfg Config, ana string, anaCfg Config, traced bool) Scenario {
+	return workload.UC1(sim, simCfg, ana, anaCfg, traced)
+}
+
+// UC2 builds the paper's high-priority job scenario (§6.2).
+func UC2(traced bool) Scenario { return workload.UC2(traced) }
+
+// Gain returns the relative improvement of b over a: (a-b)/a.
+func Gain(a, b float64) float64 { return metrics.Gain(a, b) }
+
+// DJSBParams configures a randomized DJSB-style job stream (after the
+// Dynamic Job Scheduling Benchmark the paper cites as [26]).
+type DJSBParams = djsb.Params
+
+// DJSBReport summarizes a stream run (makespan, response, slowdown).
+type DJSBReport = djsb.Report
+
+// DJSBMix is one entry of the application mixture.
+type DJSBMix = djsb.AppMix
+
+// GenerateDJSB builds a reproducible randomized scenario.
+func GenerateDJSB(p DJSBParams) (Scenario, error) { return djsb.Generate(p) }
+
+// RunDJSB generates and runs a stream under a policy.
+func RunDJSB(p DJSBParams, pol Policy) (DJSBReport, error) { return djsb.Run(p, pol) }
+
+// SummarizeDJSB computes the stream report from any finished result.
+func SummarizeDJSB(res Result) DJSBReport { return djsb.Summarize(res) }

@@ -1,0 +1,34 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/cluster"
+)
+
+// Example runs the paper's use case 2 under both policies and prints
+// the headline comparison.
+func Example() {
+	serial, drom := cluster.Compare(cluster.UC2(false))
+	if serial.Err != nil || drom.Err != nil {
+		panic("scenario failed")
+	}
+	gain := cluster.Gain(serial.Records.TotalRunTime(), drom.Records.TotalRunTime())
+	fmt.Printf("DROM improves UC2 total run time: %v\n", gain > 0)
+	gain = cluster.Gain(serial.Records.AvgResponseTime(), drom.Records.AvgResponseTime())
+	fmt.Printf("DROM improves UC2 average response: %v\n", gain > 0)
+	// Output:
+	// DROM improves UC2 total run time: true
+	// DROM improves UC2 average response: true
+}
+
+// ExampleRunDJSB evaluates scheduling policies on a randomized job
+// stream.
+func ExampleRunDJSB() {
+	p := cluster.DJSBParams{Seed: 1, Jobs: 10, MeanInterarrival: 150, Nodes: 2}
+	serial, _ := cluster.RunDJSB(p, cluster.Serial)
+	drom, _ := cluster.RunDJSB(p, cluster.DROM)
+	fmt.Printf("DROM beats Serial on makespan: %v\n", drom.Makespan < serial.Makespan)
+	// Output:
+	// DROM beats Serial on makespan: true
+}

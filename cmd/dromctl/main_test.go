@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestScriptedSession(t *testing.T) {
+	if err := run(2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 24); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, 16); err == nil {
+		t.Error("zero processes should fail")
+	}
+	if err := run(4, 2); err == nil {
+		t.Error("fewer CPUs than processes should fail")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestRunEachArtifact executes every artifact generator end to end
+// (output goes to stdout; correctness of the numbers is asserted in
+// internal/workload — here we guard the CLI wiring).
+func TestRunEachArtifact(t *testing.T) {
+	ids := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			t.Errorf("run(%q): %v", id, err)
+		}
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	if err := run("zzz"); err != nil {
+		t.Fatalf("unknown id should be a no-op, got %v", err)
+	}
+}
+
+func TestExportTracesToTempDir(t *testing.T) {
+	outDir = t.TempDir()
+	defer func() { outDir = "" }()
+	if err := run("fig5"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateAllClaimsPass(t *testing.T) {
+	claims, err := evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 12 {
+		t.Fatalf("only %d claims evaluated", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: measured %.2f%s (paper: %s)",
+				c.ID, c.Measured, c.Unit, c.Paper)
+		}
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	claims := []claim{
+		{ID: "a", Source: "§1", Text: "t", Paper: "p", Measured: 1.5, Unit: "%", Pass: true},
+		{ID: "b", Source: "§2", Text: "u", Paper: "q", Measured: 2.5, Unit: "s", Pass: false},
+	}
+	out := render(claims)
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1/2 claims reproduced") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}

@@ -1,0 +1,133 @@
+// Command slurmsim runs the paper's workload scenarios on the
+// simulated DROM-enabled SLURM cluster and prints the system metrics
+// (and optionally the Paraver-like trace timelines).
+//
+// Examples:
+//
+//	slurmsim -scenario uc1 -sim nest -simconf 1 -ana pils -anaconf 2
+//	slurmsim -scenario uc1 -policy serial -sim coreneuron -ana stream
+//	slurmsim -scenario uc2 -trace -metric cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cluster"
+	"repro/internal/djsb"
+)
+
+func main() {
+	scenario := flag.String("scenario", "uc1", "uc1 (in-situ analytics) or uc2 (high-priority job)")
+	policy := flag.String("policy", "both", "serial, drom, oversubscribe, or both")
+	simName := flag.String("sim", "nest", "uc1 simulator: nest or coreneuron")
+	simConf := flag.Int("simconf", 1, "uc1 simulator configuration (Table 1)")
+	anaName := flag.String("ana", "pils", "uc1 analytics: pils or stream")
+	anaConf := flag.Int("anaconf", 2, "uc1 analytics configuration (Table 1)")
+	traced := flag.Bool("trace", false, "record and print the trace timeline")
+	metric := flag.String("metric", "util", "timeline metric: util, cycles, or ipc")
+	width := flag.Int("width", 100, "timeline width in characters")
+	seed := flag.Int64("seed", 1, "djsb: random seed")
+	jobs := flag.Int("jobs", 20, "djsb: number of jobs")
+	interarrival := flag.Float64("interarrival", 150, "djsb: mean inter-arrival time (s)")
+	nodes := flag.Int("nodes", 2, "djsb: cluster size")
+	flag.Parse()
+
+	if *scenario == "djsb" {
+		if err := runDJSB(*seed, *jobs, *interarrival, *nodes, *policy); err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc, err := buildScenario(*scenario, *simName, *simConf, *anaName, *anaConf, *traced)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, p := range policies {
+		res := cluster.Run(sc, p)
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: %s under %s: %v\n", sc.Name, p, res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s under %s ===\n", sc.Name, p)
+		fmt.Print(res.Records.String())
+		if *traced && res.Tracer != nil {
+			fmt.Println(res.Tracer.RenderTimeline("", *width, *metric))
+		}
+		fmt.Println()
+	}
+}
+
+// runDJSB generates a randomized DJSB-style stream and compares the
+// requested policies on it.
+func runDJSB(seed int64, jobs int, interarrival float64, nodes int, policy string) error {
+	policies, err := parsePolicies(policy)
+	if err != nil {
+		return err
+	}
+	p := djsb.Params{Seed: seed, Jobs: jobs, MeanInterarrival: interarrival, Nodes: nodes}
+	fmt.Printf("=== DJSB stream: seed=%d jobs=%d mean-interarrival=%.0fs nodes=%d ===\n",
+		seed, jobs, interarrival, nodes)
+	for _, pol := range policies {
+		rep, err := djsb.Run(p, pol)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+func buildScenario(name, simName string, simConf int, anaName string, anaConf int, traced bool) (cluster.Scenario, error) {
+	switch name {
+	case "uc2":
+		return cluster.UC2(traced), nil
+	case "uc1":
+		simCfgs := cluster.Table1(simName)
+		if simCfgs == nil {
+			return cluster.Scenario{}, fmt.Errorf("unknown simulator %q", simName)
+		}
+		if simConf < 1 || simConf > len(simCfgs) {
+			return cluster.Scenario{}, fmt.Errorf("%s has configurations 1..%d", simName, len(simCfgs))
+		}
+		anaCfgs := cluster.Table1(anaName)
+		if anaCfgs == nil {
+			return cluster.Scenario{}, fmt.Errorf("unknown analytics %q", anaName)
+		}
+		if anaConf < 1 || anaConf > len(anaCfgs) {
+			return cluster.Scenario{}, fmt.Errorf("%s has configurations 1..%d", anaName, len(anaCfgs))
+		}
+		return cluster.UC1(simName, simCfgs[simConf-1], anaName, anaCfgs[anaConf-1], traced), nil
+	default:
+		return cluster.Scenario{}, fmt.Errorf("unknown scenario %q (uc1 or uc2)", name)
+	}
+}
+
+func parsePolicies(p string) ([]cluster.Policy, error) {
+	switch p {
+	case "serial":
+		return []cluster.Policy{cluster.Serial}, nil
+	case "drom":
+		return []cluster.Policy{cluster.DROM}, nil
+	case "oversubscribe":
+		return []cluster.Policy{cluster.Oversubscribe}, nil
+	case "preempt":
+		return []cluster.Policy{cluster.Preempt}, nil
+	case "both":
+		return []cluster.Policy{cluster.Serial, cluster.DROM}, nil
+	case "all":
+		return []cluster.Policy{cluster.Serial, cluster.DROM, cluster.Oversubscribe, cluster.Preempt}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", p)
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestBuildScenario(t *testing.T) {
+	if _, err := buildScenario("uc1", "nest", 1, "pils", 2, false); err != nil {
+		t.Errorf("uc1: %v", err)
+	}
+	if _, err := buildScenario("uc2", "", 0, "", 0, true); err != nil {
+		t.Errorf("uc2: %v", err)
+	}
+	bad := []struct {
+		name, sim string
+		simConf   int
+		ana       string
+		anaConf   int
+	}{
+		{"nope", "nest", 1, "pils", 1},
+		{"uc1", "bogus", 1, "pils", 1},
+		{"uc1", "nest", 9, "pils", 1},
+		{"uc1", "nest", 1, "bogus", 1},
+		{"uc1", "nest", 1, "pils", 9},
+	}
+	for _, tc := range bad {
+		if _, err := buildScenario(tc.name, tc.sim, tc.simConf, tc.ana, tc.anaConf, false); err == nil {
+			t.Errorf("buildScenario(%+v) should fail", tc)
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	for _, p := range []string{"serial", "drom", "oversubscribe", "preempt", "both", "all"} {
+		got, err := parsePolicies(p)
+		if err != nil || len(got) == 0 {
+			t.Errorf("parsePolicies(%q) = %v, %v", p, got, err)
+		}
+	}
+	if _, err := parsePolicies("bogus"); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}
+
+func TestRunDJSBSmoke(t *testing.T) {
+	if err := runDJSB(1, 6, 200, 2, "both"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDJSB(1, 6, 200, 2, "bogus"); err == nil {
+		t.Fatal("bogus policy should fail")
+	}
+}

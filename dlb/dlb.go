@@ -1,0 +1,168 @@
+// Package dlb is the public application-side API of the DLB library
+// reproduction: what a process links against to become malleable
+// (§3.1, §4.4 and Listing 1 of the paper). A process initializes
+// against its node's DLB system, polls DROM at its safe points (or
+// runs in async mode), and reacts to mask changes through callbacks.
+//
+// The typical manual integration mirrors Listing 1:
+//
+//	node := dlb.NewNode("node0", 16)
+//	p, _ := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+//	defer p.Finalize()
+//	for i := 0; i < iters; i++ {
+//		if n, mask, ok, _ := p.PollDROM(); ok {
+//			adjustResources(n, mask)
+//		}
+//		parallelWork()
+//	}
+//
+// Administrators (resource managers, tools) use the companion package
+// repro/drom to change masks from the outside.
+package dlb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+	"repro/internal/dlbcore"
+	"repro/internal/shmem"
+)
+
+// CPUSet is the process-mask type of the whole API: a bitset of
+// virtual CPUs, the analogue of cpu_set_t.
+type CPUSet = cpuset.CPUSet
+
+// NewCPUSet returns a set containing the given CPUs.
+func NewCPUSet(cpus ...int) CPUSet { return cpuset.New(cpus...) }
+
+// CPURange returns the set {lo..hi}.
+func CPURange(lo, hi int) CPUSet { return cpuset.Range(lo, hi) }
+
+// ParseCPUSet parses a Linux cpulist string such as "0-7,16".
+func ParseCPUSet(s string) (CPUSet, error) { return cpuset.Parse(s) }
+
+// PID identifies a virtual process within a node.
+type PID = shmem.PID
+
+// Node is one node's DLB environment: the shared-memory segment every
+// process and administrator of the node attaches to.
+type Node struct {
+	name string
+	reg  *shmem.Registry
+	sys  *core.System
+}
+
+// NewNode creates a node with ncpus CPUs (an isolated shared-memory
+// namespace).
+func NewNode(name string, ncpus int) *Node {
+	if ncpus < 1 || ncpus > cpuset.MaxCPUs {
+		panic(fmt.Sprintf("dlb: invalid cpu count %d", ncpus))
+	}
+	reg := shmem.NewRegistry()
+	seg := reg.Open(name, cpuset.Range(0, ncpus-1), 0)
+	return &Node{name: name, reg: reg, sys: core.NewSystem(seg)}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// AllCPUs returns the node's full CPU set.
+func (n *Node) AllCPUs() CPUSet { return n.sys.NodeCPUs() }
+
+// AllocPID returns a fresh virtual PID on this node.
+func (n *Node) AllocPID() PID { return n.reg.AllocPID() }
+
+// Internal exposes the underlying DROM system for the repro/drom
+// administrator package and for tests. Applications do not need it.
+func (n *Node) Internal() *core.System { return n.sys }
+
+// Process is an application's DLB handle (DLB_Init..DLB_Finalize).
+type Process struct {
+	ctx *dlbcore.Context
+	pid PID
+}
+
+// Init registers the calling "process" with the node's DLB system.
+// pid <= 0 allocates a fresh virtual PID. args is a DLB_ARGS-style
+// option string, e.g. "--drom", "--drom --lewi", "--drom --mode=async".
+// If a resource manager pre-initialized this PID via DROM_PreInit, the
+// reserved mask overrides the supplied one.
+func Init(n *Node, pid PID, mask CPUSet, args string) (*Process, error) {
+	opts, err := dlbcore.ParseArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if pid <= 0 {
+		pid = n.AllocPID()
+	}
+	ctx, code := dlbcore.Init(n.sys, pid, mask, opts)
+	if code.IsError() {
+		return nil, code
+	}
+	return &Process{ctx: ctx, pid: pid}, nil
+}
+
+// PID returns the process's virtual PID.
+func (p *Process) PID() PID { return p.pid }
+
+// Mask returns the process's current CPU mask.
+func (p *Process) Mask() CPUSet { return p.ctx.Mask() }
+
+// NumCPUs returns the current mask size.
+func (p *Process) NumCPUs() int { return p.ctx.NumCPUs() }
+
+// PollDROM is DLB_PollDROM (Listing 1): it applies a pending mask
+// change if one exists. ok reports whether an update was applied; on
+// ok the new CPU count and mask are returned and callbacks have fired.
+func (p *Process) PollDROM() (ncpus int, mask CPUSet, ok bool, err error) {
+	n, m, code := p.ctx.PollDROM()
+	switch code {
+	case derr.Success:
+		return n, m, true, nil
+	case derr.NoUpdate:
+		return 0, CPUSet{}, false, nil
+	default:
+		return 0, CPUSet{}, false, code.Err()
+	}
+}
+
+// OnResize registers callbacks fired whenever the process's resources
+// change (the programming-model integration surface of §4).
+func (p *Process) OnResize(setNumThreads func(int), setMask func(CPUSet)) {
+	p.ctx.SetCallbacks(dlbcore.Callbacks{
+		SetNumThreads:  setNumThreads,
+		SetProcessMask: setMask,
+	})
+}
+
+// IntoBlockingCall marks the process blocked (the PMPI pre-hook):
+// with LeWI enabled its CPUs are lent to the node pool. Returns the
+// mask kept.
+func (p *Process) IntoBlockingCall() CPUSet { return p.ctx.IntoBlockingCall() }
+
+// OutOfBlockingCall reclaims the process's CPUs after a blocking call.
+func (p *Process) OutOfBlockingCall() CPUSet { return p.ctx.OutOfBlockingCall() }
+
+// Borrow asks LeWI for idle CPUs; returns what was acquired.
+func (p *Process) Borrow() CPUSet { return p.ctx.Borrow() }
+
+// RequestResize posts an evolving-application request for n CPUs (the
+// PMIx-style model of §2: the application, not the manager, asks).
+// The resource manager may grant it via a normal DROM mask change.
+func (p *Process) RequestResize(n int) error { return p.ctx.RequestResize(n).Err() }
+
+// Lend voluntarily lends CPUs to the node pool.
+func (p *Process) Lend(mask CPUSet) { p.ctx.Lend(mask) }
+
+// Finalize unregisters the process (DLB_Finalize).
+func (p *Process) Finalize() error {
+	return p.ctx.Finalize().Err()
+}
+
+// Context exposes the underlying DLB context for the programming-model
+// integration packages (internal/omprt, internal/ompss,
+// internal/mpisim) and for tests. Applications normally do not need
+// it.
+func (p *Process) Context() *dlbcore.Context { return p.ctx }

@@ -1,0 +1,151 @@
+package dlb_test
+
+import (
+	"testing"
+
+	"repro/dlb"
+	"repro/drom"
+)
+
+func TestListing1Flow(t *testing.T) {
+	// The manual integration of §4.4 / Listing 1.
+	node := dlb.NewNode("node0", 16)
+	p, err := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Finalize()
+
+	if p.NumCPUs() != 16 {
+		t.Fatalf("initial cpus = %d", p.NumCPUs())
+	}
+	// No update pending.
+	if _, _, ok, err := p.PollDROM(); ok || err != nil {
+		t.Fatalf("clean poll = ok=%v err=%v", ok, err)
+	}
+
+	// An administrator shrinks the process.
+	admin, err := drom.Attach(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Detach()
+	if err := admin.SetProcessMask(p.PID(), dlb.CPURange(0, 7), drom.None); err != nil {
+		t.Fatal(err)
+	}
+
+	n, mask, ok, err := p.PollDROM()
+	if err != nil || !ok || n != 8 {
+		t.Fatalf("poll after set: n=%d ok=%v err=%v", n, ok, err)
+	}
+	if !mask.Equal(dlb.CPURange(0, 7)) {
+		t.Fatalf("mask = %v", mask)
+	}
+}
+
+func TestInitValidatesArgs(t *testing.T) {
+	node := dlb.NewNode("node0", 8)
+	if _, err := dlb.Init(node, 0, node.AllCPUs(), "--no-such-flag"); err == nil {
+		t.Fatal("bad args should fail")
+	}
+}
+
+func TestOnResizeCallbacks(t *testing.T) {
+	node := dlb.NewNode("node0", 8)
+	p, err := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Finalize()
+	var gotN int
+	var gotMask dlb.CPUSet
+	p.OnResize(func(n int) { gotN = n }, func(m dlb.CPUSet) { gotMask = m })
+
+	admin, _ := drom.Attach(node)
+	admin.SetProcessMask(p.PID(), dlb.NewCPUSet(0, 2, 4), drom.None)
+	p.PollDROM()
+	if gotN != 3 || !gotMask.Equal(dlb.NewCPUSet(0, 2, 4)) {
+		t.Fatalf("callbacks got %d / %v", gotN, gotMask)
+	}
+}
+
+func TestLewiThroughPublicAPI(t *testing.T) {
+	node := dlb.NewNode("node0", 8)
+	p1, err := dlb.Init(node, 0, dlb.CPURange(0, 3), "--drom --lewi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Finalize()
+	p2, err := dlb.Init(node, 0, dlb.CPURange(4, 7), "--drom --lewi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Finalize()
+
+	kept := p1.IntoBlockingCall()
+	if kept.Count() != 1 {
+		t.Fatalf("kept = %v", kept)
+	}
+	got := p2.Borrow()
+	if got.Count() != 3 {
+		t.Fatalf("borrowed = %v", got)
+	}
+	p1.OutOfBlockingCall()
+	// p2 returns the CPUs at its next poll.
+	if _, _, ok, _ := p2.PollDROM(); !ok {
+		t.Fatal("reclaim not observed at poll")
+	}
+	if p2.NumCPUs() != 4 {
+		t.Fatalf("p2 cpus after reclaim = %d", p2.NumCPUs())
+	}
+}
+
+func TestParseCPUSet(t *testing.T) {
+	m, err := dlb.ParseCPUSet("0-3,8")
+	if err != nil || m.Count() != 5 {
+		t.Fatalf("ParseCPUSet = %v, %v", m, err)
+	}
+	if _, err := dlb.ParseCPUSet("zzz"); err == nil {
+		t.Fatal("bad cpulist should fail")
+	}
+}
+
+func TestRequestResizeAndStats(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	p, _ := dlb.Init(node, 0, dlb.CPURange(0, 7), "--drom")
+	defer p.Finalize()
+	admin, _ := drom.Attach(node)
+
+	// The application asks for more CPUs (evolving model); the manager
+	// grants via a normal mask change.
+	if err := p.RequestResize(12); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.SetProcessMask(p.PID(), dlb.CPURange(0, 11), drom.None); err != nil {
+		t.Fatal(err)
+	}
+	p.PollDROM()
+	if p.NumCPUs() != 12 {
+		t.Fatalf("cpus = %d", p.NumCPUs())
+	}
+
+	// The manager consults the run-time statistics.
+	st, err := admin.Stats(p.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Polls < 1 || st.MaskChanges != 1 || st.CPUsGained != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFinalizeTwice(t *testing.T) {
+	node := dlb.NewNode("node0", 4)
+	p, _ := dlb.Init(node, 0, node.AllCPUs(), "")
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finalize(); err == nil {
+		t.Fatal("second Finalize should fail")
+	}
+}

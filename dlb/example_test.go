@@ -1,0 +1,50 @@
+package dlb_test
+
+import (
+	"fmt"
+
+	"repro/dlb"
+	"repro/drom"
+)
+
+// Example reproduces Listing 1 of the paper: an iterative application
+// polling DROM at its safe points while an administrator changes its
+// CPUs.
+func Example() {
+	node := dlb.NewNode("node0", 16)
+
+	// DLB_Init with DROM support.
+	proc, _ := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	defer proc.Finalize()
+
+	// The resource manager shrinks the process to one socket.
+	admin, _ := drom.Attach(node)
+	admin.SetProcessMask(proc.PID(), dlb.CPURange(0, 7), drom.None)
+
+	// Main loop: DLB_PollDROM before the parallel region.
+	for i := 0; i < 2; i++ {
+		if ncpus, mask, ok, _ := proc.PollDROM(); ok {
+			fmt.Printf("iteration %d: adapted to %d CPUs (%s)\n", i, ncpus, mask)
+		}
+	}
+	// Output:
+	// iteration 0: adapted to 8 CPUs (0-7)
+}
+
+// ExampleProcess_IntoBlockingCall shows LeWI lending CPUs while a
+// process blocks, and a peer borrowing them.
+func ExampleProcess_IntoBlockingCall() {
+	node := dlb.NewNode("node0", 8)
+	p1, _ := dlb.Init(node, 0, dlb.CPURange(0, 3), "--drom --lewi")
+	defer p1.Finalize()
+	p2, _ := dlb.Init(node, 0, dlb.CPURange(4, 7), "--drom --lewi")
+	defer p2.Finalize()
+
+	kept := p1.IntoBlockingCall() // entering MPI: lend all but one
+	fmt.Printf("blocked process keeps %s\n", kept)
+	got := p2.Borrow()
+	fmt.Printf("peer borrows %d CPUs -> %d total\n", got.Count(), p2.NumCPUs())
+	// Output:
+	// blocked process keeps 0
+	// peer borrows 3 CPUs -> 7 total
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "DROM: Enabling
+// Efficient and Effortless Malleability for Resource Managers"
+// (D'Amico, Garcia-Gasulla, López, Jokanovic, Sirvent, Corbalan —
+// ICPP 2018).
+//
+// The public API lives in three subpackages:
+//
+//   - repro/dlb     — the application-side DLB library (DLB_Init,
+//     DLB_PollDROM, LeWI lend/borrow, callbacks)
+//   - repro/drom    — the administrator-side DROM interface (§3.2:
+//     Attach, GetPidList, Get/SetProcessMask, PreInit, PostFinalize)
+//   - repro/cluster — the DROM-enabled SLURM cluster simulator used to
+//     regenerate the paper's evaluation
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the evaluation section; cmd/figures prints them.
+package repro

@@ -1,0 +1,171 @@
+package drom_test
+
+import (
+	"testing"
+
+	"repro/dlb"
+	"repro/drom"
+)
+
+func TestAdminLifecycle(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	admin, err := drom.Attach(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids, err := admin.PIDList()
+	if err != nil || len(pids) != 0 {
+		t.Fatalf("PIDList on empty node = %v, %v", pids, err)
+	}
+	if err := admin.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.PIDList(); err == nil {
+		t.Fatal("PIDList after Detach should fail")
+	}
+}
+
+func TestSetGetProcessMask(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	p, _ := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	defer p.Finalize()
+	admin, _ := drom.Attach(node)
+
+	m, err := admin.ProcessMask(p.PID(), drom.None)
+	if err != nil || m.Count() != 16 {
+		t.Fatalf("ProcessMask = %v, %v", m, err)
+	}
+	if err := admin.SetProcessMask(p.PID(), dlb.CPURange(4, 7), drom.None); err != nil {
+		t.Fatal(err)
+	}
+	p.PollDROM()
+	m, _ = admin.ProcessMask(p.PID(), drom.None)
+	if !m.Equal(dlb.CPURange(4, 7)) {
+		t.Fatalf("mask after set+poll = %v", m)
+	}
+}
+
+func TestStealSemantics(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	p1, _ := dlb.Init(node, 0, dlb.CPURange(0, 15), "--drom")
+	defer p1.Finalize()
+	admin, _ := drom.Attach(node)
+
+	// PreInit without Steal fails on conflict.
+	newPID := node.AllocPID()
+	if err := admin.PreInit(newPID, dlb.CPURange(8, 15), drom.None); err == nil {
+		t.Fatal("conflicting PreInit without Steal should fail")
+	}
+	// With Steal it shrinks the victim.
+	if err := admin.PreInit(newPID, dlb.CPURange(8, 15), drom.Steal); err != nil {
+		t.Fatal(err)
+	}
+	p1.PollDROM()
+	if p1.NumCPUs() != 8 {
+		t.Fatalf("victim cpus = %d", p1.NumCPUs())
+	}
+	// The child inherits the reservation.
+	p2, err := dlb.Init(node, newPID, node.AllCPUs(), "--drom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Mask().Equal(dlb.CPURange(8, 15)) {
+		t.Fatalf("child mask = %v", p2.Mask())
+	}
+	p2.Finalize()
+
+	// PostFinalize with ReturnStolen gives the CPUs back.
+	if err := admin.PostFinalize(newPID, drom.ReturnStolen); err == nil {
+		// Child already finalized itself: PostFinalize may report the
+		// missing process; both behaviours are acceptable per §3.2
+		// ("may have cleaned the shared memory ... always recommended").
+		_ = err
+	}
+}
+
+func TestPostFinalizeReturnsCPUs(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	p1, _ := dlb.Init(node, 0, dlb.CPURange(0, 15), "--drom")
+	defer p1.Finalize()
+	admin, _ := drom.Attach(node)
+
+	newPID := node.AllocPID()
+	admin.PreInit(newPID, dlb.CPURange(8, 15), drom.Steal)
+	p1.PollDROM() // victim shrinks
+
+	// Simulate the child's lifetime without it self-finalizing (the
+	// resource manager cleans up, the normal SLURM flow).
+	if err := admin.PostFinalize(newPID, drom.ReturnStolen); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := p1.PollDROM(); !ok {
+		t.Fatal("victim should see the returned CPUs")
+	}
+	if p1.NumCPUs() != 16 {
+		t.Fatalf("victim cpus after return = %d", p1.NumCPUs())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	admin, _ := drom.Attach(node)
+	// Operations on unknown PIDs fail with errors.
+	if _, err := admin.ProcessMask(99, drom.None); err == nil {
+		t.Error("ProcessMask unknown pid should fail")
+	}
+	if err := admin.SetProcessMask(99, dlb.CPURange(0, 3), drom.None); err == nil {
+		t.Error("SetProcessMask unknown pid should fail")
+	}
+	if err := admin.PostFinalize(99, drom.None); err == nil {
+		t.Error("PostFinalize unknown pid should fail")
+	}
+	if _, err := admin.Stats(99); err == nil {
+		t.Error("Stats unknown pid should fail")
+	}
+	// Invalid masks.
+	p, _ := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	defer p.Finalize()
+	if err := admin.SetProcessMask(p.PID(), dlb.CPUSet{}, drom.None); err == nil {
+		t.Error("empty mask should fail")
+	}
+	if err := admin.PreInit(node.AllocPID(), dlb.CPUSet{}, drom.None); err == nil {
+		t.Error("empty PreInit mask should fail")
+	}
+	// Detached admin.
+	admin.Detach()
+	if err := admin.SetProcessMask(p.PID(), dlb.CPURange(0, 3), drom.None); err == nil {
+		t.Error("detached admin should fail")
+	}
+	if _, err := admin.ResizeRequests(); err == nil {
+		t.Error("detached ResizeRequests should fail")
+	}
+}
+
+func TestEvolvingRequestsPublic(t *testing.T) {
+	node := dlb.NewNode("node0", 16)
+	p, _ := dlb.Init(node, 0, dlb.CPURange(0, 3), "--drom")
+	defer p.Finalize()
+	admin, _ := drom.Attach(node)
+	if err := p.RequestResize(8); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := admin.ResizeRequests()
+	if err != nil || len(reqs) != 1 || reqs[0].Want != 8 || reqs[0].Current != 4 {
+		t.Fatalf("requests = %+v err=%v", reqs, err)
+	}
+}
+
+func TestSyncFlagAgainstAsyncProcess(t *testing.T) {
+	node := dlb.NewNode("node0", 8)
+	p, _ := dlb.Init(node, 0, node.AllCPUs(), "--drom --mode=async")
+	defer p.Finalize()
+	admin, _ := drom.Attach(node)
+	// The async helper applies the mask, so the synchronous set
+	// completes without an explicit poll.
+	if err := admin.SetProcessMask(p.PID(), dlb.CPURange(0, 3), drom.Sync); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCPUs() != 4 {
+		t.Fatalf("cpus = %d", p.NumCPUs())
+	}
+}

@@ -1,0 +1,43 @@
+// In-situ analytics (use case 1, §6.1): a NEST neuro-simulation holds
+// two nodes while a Pils analytics job arrives mid-run. Under the
+// Serial policy the analytics waits for the simulation to finish;
+// under DROM it starts immediately on CPUs taken from the simulation
+// and returns them when done. The example prints the paper's system
+// metrics for both scenarios.
+package main
+
+import (
+	"fmt"
+
+	"repro/cluster"
+)
+
+func main() {
+	simCfg := cluster.Config{Ranks: 2, Threads: 16} // NEST Conf. 1
+	anaCfg := cluster.Config{Ranks: 2, Threads: 1}  // Pils Conf. 2
+	sc := cluster.UC1("nest", simCfg, "pils", anaCfg, false)
+
+	serial, drom := cluster.Compare(sc)
+	if serial.Err != nil || drom.Err != nil {
+		panic(fmt.Sprint(serial.Err, drom.Err))
+	}
+
+	for _, res := range []cluster.Result{serial, drom} {
+		fmt.Printf("--- %s scenario ---\n", res.Policy)
+		for _, j := range res.Records.Jobs {
+			fmt.Printf("  %-6s submit=%7.1fs wait=%7.1fs run=%7.1fs response=%7.1fs\n",
+				j.Name, j.Submit, j.WaitTime(), j.RunTime(), j.ResponseTime())
+		}
+		fmt.Printf("  total run time %.1f s, avg response %.1f s\n\n",
+			res.Records.TotalRunTime(), res.Records.AvgResponseTime())
+	}
+
+	fmt.Printf("DROM vs Serial: total run time %+.1f%%, avg response %+.1f%%\n",
+		-100*cluster.Gain(serial.Records.TotalRunTime(), drom.Records.TotalRunTime()),
+		-100*cluster.Gain(serial.Records.AvgResponseTime(), drom.Records.AvgResponseTime()))
+	ps, _ := serial.Records.Job("pils")
+	pd, _ := drom.Records.Job("pils")
+	fmt.Printf("analytics response: %.1f s -> %.1f s (%+.1f%%; paper: up to -96%%)\n",
+		ps.ResponseTime(), pd.ResponseTime(),
+		-100*cluster.Gain(ps.ResponseTime(), pd.ResponseTime()))
+}

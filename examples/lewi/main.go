@@ -1,0 +1,57 @@
+// LeWI (Lend-When-Idle, §3.1): the original DLB module. Two processes
+// share a node; when one blocks in a communication phase it lends its
+// CPUs, the other borrows them to speed up its compute phase, and
+// returns them when the owner reclaims. This is the intra-node load
+// balancing DROM builds on.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/dlb"
+)
+
+func main() {
+	node := dlb.NewNode("node0", 8)
+
+	p1, err := dlb.Init(node, 0, dlb.CPURange(0, 3), "--drom --lewi")
+	if err != nil {
+		panic(err)
+	}
+	defer p1.Finalize()
+	p2, err := dlb.Init(node, 0, dlb.CPURange(4, 7), "--drom --lewi")
+	if err != nil {
+		panic(err)
+	}
+	defer p2.Finalize()
+	fmt.Printf("p1 owns %s, p2 owns %s\n", p1.Mask(), p2.Mask())
+
+	done := make(chan struct{})
+	// p1 alternates compute and blocking (MPI-like) phases.
+	go func() {
+		defer close(done)
+		for phase := 0; phase < 3; phase++ {
+			kept := p1.IntoBlockingCall()
+			fmt.Printf("[p1] blocking in MPI, lent CPUs, kept %s\n", kept)
+			time.Sleep(60 * time.Millisecond) // waiting for a message
+			mask := p1.OutOfBlockingCall()
+			fmt.Printf("[p1] unblocked, reclaimed -> %s\n", mask)
+			time.Sleep(40 * time.Millisecond) // computing
+		}
+	}()
+
+	// p2 greedily borrows whatever is idle before each compute phase.
+	for i := 0; i < 8; i++ {
+		if got := p2.Borrow(); !got.IsEmpty() {
+			fmt.Printf("[p2] borrowed %s -> now %d CPUs\n", got, p2.NumCPUs())
+		}
+		time.Sleep(25 * time.Millisecond) // computing with current CPUs
+		// Honor reclaims at the task boundary.
+		if _, _, ok, _ := p2.PollDROM(); ok {
+			fmt.Printf("[p2] returned reclaimed CPUs -> %d CPUs (%s)\n", p2.NumCPUs(), p2.Mask())
+		}
+	}
+	<-done
+	fmt.Printf("final: p1=%s p2=%s\n", p1.Mask(), p2.Mask())
+}

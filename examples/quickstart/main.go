@@ -1,0 +1,85 @@
+// Quickstart: the Listing-1 manual integration (§4.4) against a live
+// administrator. An iterative application polls DROM at the top of its
+// loop; an administrator (playing the resource manager) shrinks and
+// then re-expands the process while it runs. The application adapts
+// its worker count at the next safe point, exactly as a DROM-enabled
+// OpenMP application would at its next parallel construct.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/dlb"
+	"repro/drom"
+)
+
+func main() {
+	node := dlb.NewNode("node0", 16)
+
+	// DLB_Init with DROM support (Listing 1).
+	proc, err := dlb.Init(node, 0, node.AllCPUs(), "--drom")
+	if err != nil {
+		panic(err)
+	}
+	defer proc.Finalize()
+	fmt.Printf("application started with %d CPUs (%s)\n", proc.NumCPUs(), proc.Mask())
+
+	// The administrator process: after a few iterations it takes half
+	// the CPUs away, later it gives them back.
+	admin, err := drom.Attach(node)
+	if err != nil {
+		panic(err)
+	}
+	defer admin.Detach()
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		fmt.Println("[admin] shrinking the application to CPUs 0-7")
+		if err := admin.SetProcessMask(proc.PID(), dlb.CPURange(0, 7), drom.None); err != nil {
+			panic(err)
+		}
+		time.Sleep(200 * time.Millisecond)
+		fmt.Println("[admin] returning the full node")
+		if err := admin.SetProcessMask(proc.PID(), dlb.CPURange(0, 15), drom.None); err != nil {
+			panic(err)
+		}
+	}()
+
+	// Main loop: poll DROM, adjust the number of workers, run a
+	// parallel phase.
+	workers := proc.NumCPUs()
+	for i := 0; i < 10; i++ {
+		if ncpus, mask, ok, err := proc.PollDROM(); err != nil {
+			panic(err)
+		} else if ok {
+			workers = ncpus
+			fmt.Printf("iter %2d: DROM update applied -> %d workers on %s\n", i, ncpus, mask)
+		}
+		parallelPhase(i, workers)
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("done; final mask %s\n", proc.Mask())
+}
+
+// parallelPhase fans work out to the current worker count.
+func parallelPhase(iter, workers int) {
+	var wg sync.WaitGroup
+	var sum int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := int64(0)
+			for k := 0; k < 100000; k++ {
+				local += int64(k ^ w)
+			}
+			mu.Lock()
+			sum += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("iter %2d: computed with %2d workers (checksum %d)\n", iter, workers, sum%997)
+}

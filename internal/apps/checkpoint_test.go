@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpuset"
+)
+
+// TestStopResumePreservesProgress: a checkpointed instance resumes
+// from its iteration count and the total work is conserved.
+func TestStopResumePreservesProgress(t *testing.T) {
+	b := newBed()
+	spec := Pils()
+	spec.InitSeconds = 0
+	spec.CommSeconds = 0
+	cfg := Config{Ranks: 2, Threads: 16}
+	inst, _ := NewInstance(spec, cfg, 300, "p", b.eng, b.demand, nil, b.placements(cfg))
+	var end float64
+	inst.OnComplete = func(e float64) { end = e }
+	inst.Start()
+
+	// Run ~100 iterations (1 s each), then checkpoint.
+	b.eng.RunUntil(100.5)
+	inst.Stop()
+	if !inst.Stopped() {
+		t.Fatal("not stopped")
+	}
+	done := inst.ItersDone()
+	if done < 95 || done > 105 {
+		t.Fatalf("iters at checkpoint = %d", done)
+	}
+	// Shared memory is clean during the suspension.
+	for _, n := range []string{"node0", "node1"} {
+		if b.sys[n].Segment().NumProcs() != 0 {
+			t.Fatalf("%s has leftover registrations", n)
+		}
+	}
+	// The engine drains with no pending instance events.
+	b.eng.Run()
+	if inst.Completed() {
+		t.Fatal("stopped instance completed by itself")
+	}
+
+	// Resume 500 s later with a restart cost of 30 s.
+	b.eng.RunUntil(600)
+	if err := inst.Resume(b.placements(cfg), 30); err != nil {
+		t.Fatal(err)
+	}
+	b.eng.Run()
+	if !inst.Completed() {
+		t.Fatal("resumed instance did not complete")
+	}
+	// Remaining 300-done iterations at ~1 s, plus the restart cost.
+	want := 600 + 30 + float64(300-done)
+	if math.Abs(end-want) > 3 {
+		t.Errorf("end = %v, want ~%v", end, want)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	b := newBed()
+	cfg := Config{Ranks: 2, Threads: 16}
+	inst, _ := NewInstance(Pils(), cfg, 10, "p", b.eng, b.demand, nil, b.placements(cfg))
+	inst.OnComplete = func(float64) {}
+	// Resume before Stop fails.
+	if err := inst.Resume(b.placements(cfg), 0); err == nil {
+		t.Error("Resume on running instance should fail")
+	}
+	inst.Start()
+	b.eng.RunUntil(2)
+	inst.Stop()
+	// Wrong placement count fails.
+	if err := inst.Resume(b.placements(Config{Ranks: 4, Threads: 8}), 0); err == nil {
+		t.Error("Resume with wrong placements should fail")
+	}
+}
+
+func TestStopIsIdempotentAndSafe(t *testing.T) {
+	b := newBed()
+	cfg := Config{Ranks: 2, Threads: 16}
+	inst, _ := NewInstance(Pils(), cfg, 10, "p", b.eng, b.demand, nil, b.placements(cfg))
+	inst.Stop() // before start: no-op
+	inst.OnComplete = func(float64) {}
+	inst.Start()
+	b.eng.RunUntil(2)
+	inst.Stop()
+	inst.Stop() // twice: no-op
+	b.eng.Run()
+	if inst.Completed() {
+		t.Fatal("should stay checkpointed")
+	}
+}
+
+// TestResumeOnDifferentCPUs: the resumed instance can land on another
+// part of the node (the masks are whatever the manager reserved).
+func TestResumeOnDifferentCPUs(t *testing.T) {
+	b := newBed()
+	spec := Pils()
+	spec.InitSeconds = 0
+	cfg := Config{Ranks: 2, Threads: 8}
+	pl := []Placement{
+		{Node: "node0", Sys: b.sys["node0"], PID: b.reg.AllocPID(), InitialMask: cpuset.Range(0, 7)},
+		{Node: "node1", Sys: b.sys["node1"], PID: b.reg.AllocPID(), InitialMask: cpuset.Range(0, 7)},
+	}
+	inst, _ := NewInstance(spec, cfg, 50, "p", b.eng, b.demand, nil, pl)
+	inst.OnComplete = func(float64) {}
+	inst.Start()
+	b.eng.RunUntil(5)
+	inst.Stop()
+	pl2 := []Placement{
+		{Node: "node0", Sys: b.sys["node0"], PID: b.reg.AllocPID(), InitialMask: cpuset.Range(8, 15)},
+		{Node: "node1", Sys: b.sys["node1"], PID: b.reg.AllocPID(), InitialMask: cpuset.Range(8, 15)},
+	}
+	if err := inst.Resume(pl2, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.eng.Run()
+	if !inst.Completed() {
+		t.Fatal("did not complete after relocation")
+	}
+	if !inst.RankMask(0).Equal(cpuset.Range(8, 15)) {
+		t.Errorf("relocated mask = %v", inst.RankMask(0))
+	}
+}

@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"repro/internal/hwmodel"
+	"repro/internal/shmem"
+)
+
+// usage is one rank's resource pressure on a node.
+type usage struct {
+	bwGBs   float64
+	threads int
+}
+
+// DemandTable tracks the memory-bandwidth demand and active thread
+// count of every rank on every node, and derives the two contention
+// factors of the performance model: the bandwidth slowdown (shared
+// memory bus) and the CPU share (oversubscription, for the related-
+// work baseline where co-allocated jobs overlap instead of shrinking).
+// The workload engine owns one table per cluster; instances update
+// their entries whenever their masks change.
+type DemandTable struct {
+	machine hwmodel.Machine
+	nodes   map[string]map[shmem.PID]usage
+}
+
+// NewDemandTable creates a table for nodes of the given machine type.
+func NewDemandTable(m hwmodel.Machine) *DemandTable {
+	return &DemandTable{
+		machine: m,
+		nodes:   make(map[string]map[shmem.PID]usage),
+	}
+}
+
+// SetUsage records the demand of pid on node. Zero values remove it.
+func (d *DemandTable) SetUsage(node string, pid shmem.PID, threads int, bwGBs float64) {
+	m := d.nodes[node]
+	if m == nil {
+		if bwGBs == 0 && threads == 0 {
+			return
+		}
+		m = make(map[shmem.PID]usage)
+		d.nodes[node] = m
+	}
+	if bwGBs == 0 && threads == 0 {
+		delete(m, pid)
+		return
+	}
+	m[pid] = usage{bwGBs: bwGBs, threads: threads}
+}
+
+// Set records only the bandwidth demand of pid on node (GB/s),
+// preserving any recorded thread count.
+func (d *DemandTable) Set(node string, pid shmem.PID, gbs float64) {
+	threads := 0
+	if u, ok := d.nodes[node][pid]; ok {
+		threads = u.threads
+	}
+	d.SetUsage(node, pid, threads, gbs)
+}
+
+// Remove drops pid from node.
+func (d *DemandTable) Remove(node string, pid shmem.PID) { d.SetUsage(node, pid, 0, 0) }
+
+// Total returns the summed bandwidth demand on node (GB/s).
+func (d *DemandTable) Total(node string) float64 {
+	var sum float64
+	for _, v := range d.nodes[node] {
+		sum += v.bwGBs
+	}
+	return sum
+}
+
+// Threads returns the summed active thread count on node.
+func (d *DemandTable) Threads(node string) int {
+	var sum int
+	for _, v := range d.nodes[node] {
+		sum += v.threads
+	}
+	return sum
+}
+
+// Slowdown returns the bandwidth oversubscription factor of node.
+func (d *DemandTable) Slowdown(node string) float64 {
+	return hwmodel.BWSlowdown(d.Total(node), d.machine.MemBWGBs)
+}
+
+// CPUShare returns the average fraction of a CPU each active thread on
+// node receives: 1 when threads <= cores, cores/threads when the node
+// is oversubscribed. This models the time-sharing penalty of
+// co-allocation *without* DROM shrinking (the [14]/[26] baseline the
+// paper argues against).
+func (d *DemandTable) CPUShare(node string) float64 {
+	t := d.Threads(node)
+	cores := d.machine.CoresPerNode()
+	if t <= cores {
+		return 1
+	}
+	return float64(cores) / float64(t)
+}
+
+// Machine returns the node model.
+func (d *DemandTable) Machine() hwmodel.Machine { return d.machine }

@@ -1,0 +1,298 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Placement describes where one rank of a job runs: the node, the
+// node's DROM system, the rank's virtual PID, and the initial mask it
+// registers with (which a DROM PreInit reservation may override).
+type Placement struct {
+	Node        string
+	Sys         *core.System
+	PID         shmem.PID
+	InitialMask cpuset.CPUSet
+}
+
+// Instance is a job execution: the application model advancing on the
+// discrete-event engine, polling DROM at every iteration boundary
+// (the application's DLB_PollDROM safe points).
+type Instance struct {
+	Spec    Spec
+	Cfg     Config
+	Iters   int
+	JobName string
+
+	eng    *sim.Engine
+	demand *DemandTable
+	tracer *trace.Tracer
+
+	// OnComplete fires at job end with the completion time.
+	OnComplete func(end float64)
+	// Jitter, when non-nil, perturbs iteration durations by up to
+	// ±JitterFrac, modeling real-machine variability.
+	Jitter     *rand.Rand
+	JitterFrac float64
+	// FinalizeExternally leaves the DROM registrations in place at job
+	// end so the resource manager's post_term / DROM_PostFinalize can
+	// clean them up (and return stolen CPUs). When false, the instance
+	// unregisters its ranks itself (plain DLB_Finalize).
+	FinalizeExternally bool
+
+	ranks     []*rankRun
+	itersDone int
+	started   bool
+	completed bool
+	stopped   bool
+	startTime float64
+	nextEvent sim.EventID
+	haveEvent bool
+}
+
+// rankRun is the live state of one rank.
+type rankRun struct {
+	p      Placement
+	chunks int
+	mask   cpuset.CPUSet
+}
+
+// activeThreads returns the threads the rank actually exploits.
+func (r *rankRun) activeThreads(spec Spec) int {
+	n := r.mask.Count()
+	if spec.Class == Simulator && n > r.chunks {
+		// Static partition: threads beyond the partition are useless.
+		return r.chunks
+	}
+	return n
+}
+
+// NewInstance builds a job execution. iters <= 0 uses the spec's
+// default. placements must have Cfg.Ranks entries.
+func NewInstance(spec Spec, cfg Config, iters int, jobName string,
+	eng *sim.Engine, demand *DemandTable, tracer *trace.Tracer,
+	placements []Placement) (*Instance, error) {
+	if len(placements) != cfg.Ranks {
+		return nil, fmt.Errorf("apps: %d placements for %d ranks", len(placements), cfg.Ranks)
+	}
+	if iters <= 0 {
+		iters = spec.DefaultIters
+	}
+	inst := &Instance{
+		Spec: spec, Cfg: cfg, Iters: iters, JobName: jobName,
+		eng: eng, demand: demand, tracer: tracer,
+	}
+	for _, p := range placements {
+		inst.ranks = append(inst.ranks, &rankRun{p: p, chunks: cfg.Threads})
+	}
+	return inst, nil
+}
+
+// Start registers the ranks with DROM and begins execution at the
+// current virtual time. Registration inherits any PreInit reservation
+// made by the resource manager.
+func (inst *Instance) Start() error {
+	if inst.started {
+		return fmt.Errorf("apps: instance %s already started", inst.JobName)
+	}
+	inst.started = true
+	inst.startTime = inst.eng.Now()
+	for _, r := range inst.ranks {
+		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
+		if code.IsError() {
+			return fmt.Errorf("apps: register rank of %s: %w", inst.JobName, code)
+		}
+		r.mask = got
+		n := r.activeThreads(inst.Spec)
+		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+	}
+	// Initialization phase (serial, possibly memory-bound).
+	initDur := 0.0
+	for _, r := range inst.ranks {
+		d := inst.Spec.InitTime(inst.demand.Slowdown(r.p.Node))
+		if d > initDur {
+			initDur = d
+		}
+	}
+	inst.schedule(initDur, inst.iterate)
+	return nil
+}
+
+// schedule books the instance's next event, remembering it so Stop can
+// cancel it.
+func (inst *Instance) schedule(delay float64, fn func()) {
+	inst.nextEvent = inst.eng.After(delay, fn)
+	inst.haveEvent = true
+}
+
+// Stop checkpoints the instance: the pending event is cancelled, the
+// ranks unregister and release their demand, and the completed
+// iteration count is preserved. Used by preemption-style resource
+// managers (the baseline the paper argues against); a later Resume
+// continues from the checkpoint.
+func (inst *Instance) Stop() {
+	if !inst.started || inst.completed || inst.stopped {
+		return
+	}
+	inst.stopped = true
+	if inst.haveEvent {
+		inst.eng.Cancel(inst.nextEvent)
+		inst.haveEvent = false
+	}
+	for _, r := range inst.ranks {
+		inst.demand.Remove(r.p.Node, r.p.PID)
+		r.p.Sys.Unregister(r.p.PID)
+	}
+}
+
+// Resume restarts a stopped instance with fresh placements (possibly
+// on different CPUs), paying restartCost seconds before iterations
+// continue from the checkpointed progress.
+func (inst *Instance) Resume(placements []Placement, restartCost float64) error {
+	if !inst.stopped {
+		return fmt.Errorf("apps: Resume on a non-stopped instance %s", inst.JobName)
+	}
+	if len(placements) != len(inst.ranks) {
+		return fmt.Errorf("apps: Resume with %d placements for %d ranks", len(placements), len(inst.ranks))
+	}
+	inst.stopped = false
+	for i, r := range inst.ranks {
+		r.p = placements[i]
+		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
+		if code.IsError() {
+			return fmt.Errorf("apps: re-register rank of %s: %w", inst.JobName, code)
+		}
+		r.mask = got
+		n := r.activeThreads(inst.Spec)
+		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+	}
+	if restartCost < 0 {
+		restartCost = 0
+	}
+	inst.schedule(restartCost, inst.iterate)
+	return nil
+}
+
+// Stopped reports whether the instance is checkpoint-stopped.
+func (inst *Instance) Stopped() bool { return inst.stopped }
+
+// StartTime returns when the instance started.
+func (inst *Instance) StartTime() float64 { return inst.startTime }
+
+// ItersDone returns the completed iteration count.
+func (inst *Instance) ItersDone() int { return inst.itersDone }
+
+// Completed reports whether the job finished.
+func (inst *Instance) Completed() bool { return inst.completed }
+
+// RankMask returns the current mask of rank i (for tests/tools).
+func (inst *Instance) RankMask(i int) cpuset.CPUSet { return inst.ranks[i].mask }
+
+// iterate runs one lockstep iteration of all ranks.
+func (inst *Instance) iterate() {
+	if inst.completed || inst.stopped {
+		return
+	}
+	inst.haveEvent = false
+	// Malleability point: every rank polls DROM (DLB_PollDROM).
+	for _, r := range inst.ranks {
+		if m, code := r.p.Sys.Poll(r.p.PID); code == derr.Success {
+			r.mask = m
+			n := r.activeThreads(inst.Spec)
+			inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+		}
+	}
+	// Iteration duration: the slowest rank plus MPI sync.
+	var iterDur float64
+	envs := make([]RankEnv, len(inst.ranks))
+	for i, r := range inst.ranks {
+		env := RankEnv{
+			Threads:      r.activeThreads(inst.Spec),
+			Chunks:       r.chunks,
+			BWSlowdown:   inst.demand.Slowdown(r.p.Node),
+			CPUShare:     inst.demand.CPUShare(r.p.Node),
+			SpansSockets: inst.demand.Machine().Spans(r.mask),
+			Machine:      inst.demand.Machine(),
+		}
+		envs[i] = env
+		if d := inst.Spec.IterTime(env); d > iterDur {
+			iterDur = d
+		}
+	}
+	iterDur += inst.Spec.CommSeconds
+	if inst.Jitter != nil && inst.JitterFrac > 0 {
+		iterDur *= 1 + inst.JitterFrac*(2*inst.Jitter.Float64()-1)
+	}
+	if inst.tracer != nil {
+		inst.recordTrace(iterDur, envs)
+	}
+	inst.itersDone++
+	if inst.itersDone >= inst.Iters {
+		inst.schedule(iterDur, inst.finish)
+		return
+	}
+	inst.schedule(iterDur, inst.iterate)
+}
+
+// recordTrace emits per-thread segments for the current iteration.
+func (inst *Instance) recordTrace(iterDur float64, envs []RankEnv) {
+	t0 := inst.eng.Now()
+	t1 := t0 + iterDur
+	for i, r := range inst.ranks {
+		env := envs[i]
+		cpus := r.mask.List()
+		ipc := inst.Spec.EffIPC(env)
+		cpus1e3 := inst.demand.Machine().CyclesPerMicrosecond()
+		rows := r.chunks
+		if len(cpus) > rows {
+			rows = len(cpus)
+		}
+		for th := 0; th < rows; th++ {
+			if th >= env.Threads || th >= len(cpus) {
+				inst.tracer.Add(trace.Segment{
+					Job: inst.JobName, Rank: i, Thread: th, CPU: -1,
+					T0: t0, T1: t1, State: trace.Removed,
+				})
+				continue
+			}
+			busy := inst.Spec.ThreadBusyFraction(th, env)
+			mid := t0 + iterDur*busy
+			inst.tracer.Add(trace.Segment{
+				Job: inst.JobName, Rank: i, Thread: th, CPU: cpus[th],
+				T0: t0, T1: mid, State: trace.Run,
+				IPC: ipc, CyclesPerUs: cpus1e3,
+			})
+			if mid < t1 {
+				inst.tracer.Add(trace.Segment{
+					Job: inst.JobName, Rank: i, Thread: th, CPU: cpus[th],
+					T0: mid, T1: t1, State: trace.Idle,
+				})
+			}
+		}
+	}
+}
+
+// finish unregisters the ranks and fires OnComplete.
+func (inst *Instance) finish() {
+	if inst.completed || inst.stopped {
+		return
+	}
+	inst.completed = true
+	inst.haveEvent = false
+	for _, r := range inst.ranks {
+		inst.demand.Remove(r.p.Node, r.p.PID)
+		if !inst.FinalizeExternally {
+			r.p.Sys.Unregister(r.p.PID)
+		}
+	}
+	if inst.OnComplete != nil {
+		inst.OnComplete(inst.eng.Now())
+	}
+}

@@ -1,0 +1,392 @@
+// Package core implements DROM — Dynamic Resource Ownership Management
+// — the paper's primary contribution (§3). DROM is the communication
+// channel between an administrator process (a resource manager such as
+// SLURM, or a user tool) and the processes registered with DLB on a
+// node. Administrators re-assign the CPUs of running processes; the
+// processes observe the new masks at their next malleability point
+// (DLB_PollDROM) or asynchronously via a helper thread.
+//
+// The package mirrors the C interface of §3.2:
+//
+//	DROM_Attach          -> System.Attach
+//	DROM_Detach          -> Admin.Detach
+//	DROM_GetPidList      -> Admin.PIDList
+//	DROM_GetProcessMask  -> Admin.ProcessMask
+//	DROM_SetProcessMask  -> Admin.SetProcessMask
+//	DROM_PreInit         -> Admin.PreInit
+//	DROM_PostFinalize    -> Admin.PostFinalize
+//
+// plus the process-side entry points used by the DLB framework
+// (Register, Poll, Unregister).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+	"repro/internal/shmem"
+)
+
+// Flags mirrors dlb_drom_flags_t: options modifying the behaviour of
+// the DROM calls.
+type Flags uint32
+
+const (
+	// FlagNone requests default behaviour.
+	FlagNone Flags = 0
+	// FlagSync makes SetProcessMask/PreInit wait until the target
+	// process has applied the new mask (DLB_SYNC_QUERY).
+	FlagSync Flags = 1 << iota
+	// FlagSteal allows taking CPUs that other processes currently use,
+	// shrinking the victims (DLB_STEAL_CPUS).
+	FlagSteal
+	// FlagReturnStolen makes PostFinalize give stolen CPUs back to
+	// their original owners (DLB_RETURN_STOLEN).
+	FlagReturnStolen
+)
+
+// Has reports whether all bits of q are set in f.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+// DefaultSyncTimeout bounds synchronous operations when the caller
+// does not override System.SyncTimeout.
+const DefaultSyncTimeout = 2 * time.Second
+
+// System is the DROM view over one node's shared memory segment. All
+// administrators and processes of a node share one System (or,
+// equivalently, open Systems backed by the same segment).
+type System struct {
+	seg *shmem.Segment
+	// SyncTimeout bounds FlagSync waits. Zero means DefaultSyncTimeout.
+	SyncTimeout time.Duration
+}
+
+// NewSystem wraps a shared memory segment with the DROM protocol.
+func NewSystem(seg *shmem.Segment) *System {
+	return &System{seg: seg}
+}
+
+// Segment exposes the underlying shared memory, mainly for the DLB
+// framework and tests.
+func (s *System) Segment() *shmem.Segment { return s.seg }
+
+// NodeCPUs returns the CPU set of the node this System manages.
+func (s *System) NodeCPUs() cpuset.CPUSet { return s.seg.NodeCPUs() }
+
+// ---------------------------------------------------------------------
+// Administrator side
+// ---------------------------------------------------------------------
+
+// Admin is an attached administrator handle (DROM_Attach). An Admin is
+// not itself a managed process: it holds no CPUs.
+type Admin struct {
+	sys      *System
+	attached bool
+}
+
+// Attach connects an administrator to the DROM system (DROM_Attach).
+func (s *System) Attach() (*Admin, derr.Code) {
+	if s.seg == nil {
+		return nil, derr.ErrNoShmem
+	}
+	return &Admin{sys: s, attached: true}, derr.Success
+}
+
+// Detach disconnects the administrator (DROM_Detach). Further calls on
+// the handle fail with ErrNotInit.
+func (a *Admin) Detach() derr.Code {
+	if !a.attached {
+		return derr.ErrNotInit
+	}
+	a.attached = false
+	return derr.Success
+}
+
+func (a *Admin) check() derr.Code {
+	if a == nil || !a.attached {
+		return derr.ErrNotInit
+	}
+	return derr.Success
+}
+
+// PIDList returns the PIDs registered in the DROM system
+// (DROM_GetPidList).
+func (a *Admin) PIDList() ([]shmem.PID, derr.Code) {
+	if c := a.check(); c.IsError() {
+		return nil, c
+	}
+	return a.sys.seg.PIDList(), derr.Success
+}
+
+// ProcessMask returns the current mask of pid (DROM_GetProcessMask).
+// With FlagSync it first waits for any pending mask to be applied, so
+// the caller observes a settled value.
+func (a *Admin) ProcessMask(pid shmem.PID, flags Flags) (cpuset.CPUSet, derr.Code) {
+	if c := a.check(); c.IsError() {
+		return cpuset.CPUSet{}, c
+	}
+	if flags.Has(FlagSync) {
+		if c := a.sys.waitClean(pid); c.IsError() {
+			return cpuset.CPUSet{}, c
+		}
+	}
+	e, code := a.sys.seg.Lookup(pid)
+	if code.IsError() {
+		return cpuset.CPUSet{}, code
+	}
+	return e.CurrentMask, derr.Success
+}
+
+// Inspect returns the full shared-memory entry of pid, for tooling.
+func (a *Admin) Inspect(pid shmem.PID) (shmem.ProcEntry, derr.Code) {
+	if c := a.check(); c.IsError() {
+		return shmem.ProcEntry{}, c
+	}
+	return a.sys.seg.Lookup(pid)
+}
+
+// Stats returns the run-time counters of pid: the paper's future-work
+// "collection of useful data from applications at run time" that an
+// external entity can consult and feed back to the job scheduler.
+func (a *Admin) Stats(pid shmem.PID) (shmem.Stats, derr.Code) {
+	if c := a.check(); c.IsError() {
+		return shmem.Stats{}, c
+	}
+	st, ok := a.sys.seg.StatsOf(pid)
+	if !ok {
+		return shmem.Stats{}, derr.ErrNoProc
+	}
+	return st, derr.Success
+}
+
+// SetProcessMask stages a new mask for pid (DROM_SetProcessMask). The
+// target applies it at its next poll.
+//
+// Conflict rules: CPUs in mask that other processes currently use (or
+// are promised) are conflicts. Without FlagSteal the call fails with
+// ErrPerm. With FlagSteal the victims are shrunk — their future mask
+// loses the conflicting CPUs — unless a victim would end up with an
+// empty mask, which fails with ErrPerm (a process cannot be left
+// without CPUs through DROM).
+//
+// With FlagSync the call additionally waits until the target process
+// applies the new mask, failing with ErrTimeout after
+// System.SyncTimeout.
+func (a *Admin) SetProcessMask(pid shmem.PID, mask cpuset.CPUSet, flags Flags) derr.Code {
+	if c := a.check(); c.IsError() {
+		return c
+	}
+	if code := a.sys.stageMask(pid, mask, flags); code.IsError() {
+		return code
+	}
+	if flags.Has(FlagSync) {
+		return a.sys.waitClean(pid)
+	}
+	return derr.Success
+}
+
+// PreInit registers a starting process into the DROM system
+// (DROM_PreInit), reserving the CPUs in mask — making room in the node
+// by shrinking other running processes when FlagSteal is set. The
+// usual workflow (Figure 2) is: the launcher calls PreInit with the
+// PID the child will use, then forks/execs; the child's DLB Init
+// completes the handshake and inherits the reserved mask.
+func (a *Admin) PreInit(pid shmem.PID, mask cpuset.CPUSet, flags Flags) derr.Code {
+	if c := a.check(); c.IsError() {
+		return c
+	}
+	if mask.IsEmpty() || !mask.IsSubsetOf(a.sys.seg.NodeCPUs()) {
+		return derr.ErrInvalid
+	}
+	thefts, code := a.sys.resolveConflicts(pid, mask, flags)
+	if code.IsError() {
+		return code
+	}
+	if code := a.sys.seg.RegisterPreInit(pid, mask, thefts); code.IsError() {
+		// Roll back nothing: resolveConflicts staged victim shrinks
+		// only on success path below, see stageVictims.
+		return code
+	}
+	if code := a.sys.stageVictims(thefts); code.IsError() {
+		return code
+	}
+	if flags.Has(FlagSync) {
+		for _, th := range thefts {
+			if c := a.sys.waitClean(th.Victim); c.IsError() {
+				return c
+			}
+		}
+	}
+	return derr.Success
+}
+
+// PostFinalize removes a previously pre-initialized (or registered)
+// process from the DROM system (DROM_PostFinalize). With
+// FlagReturnStolen, CPUs that PreInit stole are staged back to their
+// original owners, provided those processes are still registered and
+// still polling.
+func (a *Admin) PostFinalize(pid shmem.PID, flags Flags) derr.Code {
+	if c := a.check(); c.IsError() {
+		return c
+	}
+	e, code := a.sys.seg.Lookup(pid)
+	if code.IsError() {
+		return code
+	}
+	// What the process actually held at the end: CPUs it stole but
+	// later lost (re-stolen by another PreInit/SetProcessMask) must
+	// NOT be returned — they belong to someone else now.
+	held := e.CurrentMask
+	if e.Dirty {
+		held = e.FutureMask
+	}
+	if code := a.sys.seg.Unregister(pid); code.IsError() {
+		return code
+	}
+	if flags.Has(FlagReturnStolen) {
+		for _, th := range e.Stolen {
+			ve, code := a.sys.seg.Lookup(th.Victim)
+			if code.IsError() {
+				continue // victim already gone; CPUs stay free
+			}
+			// Clip the return to CPUs the dead process still held and
+			// that are genuinely free right now (FreeMask accounts for
+			// futures staged by earlier iterations of this loop).
+			give := th.Mask.And(held).And(a.sys.seg.FreeMask())
+			if give.IsEmpty() {
+				continue
+			}
+			base := ve.CurrentMask
+			if ve.Dirty {
+				base = ve.FutureMask
+			}
+			a.sys.seg.SetFuture(th.Victim, base.Or(give))
+		}
+	}
+	return derr.Success
+}
+
+// ---------------------------------------------------------------------
+// Process side (used by the DLB framework)
+// ---------------------------------------------------------------------
+
+// Register adds a process with its initial mask. If an administrator
+// pre-initialized this PID, the reserved mask wins (two-phase PreInit
+// handshake) and the returned mask reflects it.
+func (s *System) Register(pid shmem.PID, mask cpuset.CPUSet) (cpuset.CPUSet, derr.Code) {
+	code := s.seg.Register(pid, mask)
+	if code.IsError() {
+		return cpuset.CPUSet{}, code
+	}
+	e, code := s.seg.Lookup(pid)
+	if code.IsError() {
+		return cpuset.CPUSet{}, code
+	}
+	return e.CurrentMask, derr.Success
+}
+
+// Poll is DLB_PollDROM: it checks for a pending mask and applies it.
+// On Success the new mask is returned; NoUpdate means nothing pending.
+func (s *System) Poll(pid shmem.PID) (cpuset.CPUSet, derr.Code) {
+	return s.seg.ApplyFuture(pid)
+}
+
+// Unregister removes the process from the system (process-side
+// finalization, DLB_Finalize).
+func (s *System) Unregister(pid shmem.PID) derr.Code {
+	return s.seg.Unregister(pid)
+}
+
+// ---------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------
+
+// resolveConflicts computes the victim shrink set for taking mask on
+// behalf of pid. It returns the theft records without staging them.
+func (s *System) resolveConflicts(pid shmem.PID, mask cpuset.CPUSet, flags Flags) ([]shmem.Theft, derr.Code) {
+	var thefts []shmem.Theft
+	for _, e := range s.seg.Snapshot() {
+		if e.PID == pid {
+			continue
+		}
+		cur := e.CurrentMask
+		if e.Dirty {
+			cur = e.FutureMask
+		}
+		conflict := cur.And(mask)
+		if conflict.IsEmpty() {
+			continue
+		}
+		if !flags.Has(FlagSteal) {
+			return nil, derr.ErrPerm
+		}
+		if cur.AndNot(conflict).IsEmpty() {
+			// Stealing would leave the victim with no CPUs.
+			return nil, derr.ErrPerm
+		}
+		thefts = append(thefts, shmem.Theft{Victim: e.PID, Mask: conflict})
+	}
+	return thefts, derr.Success
+}
+
+// stageVictims writes the shrunken future masks of all theft victims.
+func (s *System) stageVictims(thefts []shmem.Theft) derr.Code {
+	for _, th := range thefts {
+		e, code := s.seg.Lookup(th.Victim)
+		if code.IsError() {
+			return code
+		}
+		base := e.CurrentMask
+		if e.Dirty {
+			base = e.FutureMask
+		}
+		if code := s.seg.SetFuture(th.Victim, base.AndNot(th.Mask)); code.IsError() {
+			return code
+		}
+	}
+	return derr.Success
+}
+
+// stageMask validates and stages a new mask for pid, shrinking victims
+// when stealing is allowed.
+func (s *System) stageMask(pid shmem.PID, mask cpuset.CPUSet, flags Flags) derr.Code {
+	if mask.IsEmpty() || !mask.IsSubsetOf(s.seg.NodeCPUs()) {
+		return derr.ErrInvalid
+	}
+	if _, code := s.seg.Lookup(pid); code.IsError() {
+		return code
+	}
+	thefts, code := s.resolveConflicts(pid, mask, flags)
+	if code.IsError() {
+		return code
+	}
+	if code := s.stageVictims(thefts); code.IsError() {
+		return code
+	}
+	if len(thefts) > 0 {
+		// Record the thefts so PostFinalize can undo them later.
+		e, _ := s.seg.Lookup(pid)
+		s.seg.SetStolen(pid, append(e.Stolen, thefts...))
+	}
+	return s.seg.SetFuture(pid, mask)
+}
+
+// waitClean blocks until pid has applied any pending mask, bounded by
+// SyncTimeout.
+func (s *System) waitClean(pid shmem.PID) derr.Code {
+	timeout := s.SyncTimeout
+	if timeout <= 0 {
+		timeout = DefaultSyncTimeout
+	}
+	cancel := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() { close(cancel) })
+	defer timer.Stop()
+	return s.seg.WaitClean(pid, cancel)
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("drom.System(node=%s cpus=%s procs=%d)",
+		s.seg.Name(), s.seg.NodeCPUs(), s.seg.NumProcs())
+}

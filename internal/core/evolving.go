@@ -1,0 +1,55 @@
+package core
+
+// Evolving-application support: the complementary model to DROM's
+// manager-driven malleability. The paper's related work (§2) discusses
+// PMIx-style APIs where "changes in resources is demanded by the
+// application itself, not the resource manager". This file implements
+// the minimal version of that model on top of the same shared memory:
+// a process posts a desired CPU count; administrators list the
+// outstanding requests and decide whether (and how) to satisfy them
+// with ordinary SetProcessMask calls.
+
+import (
+	"repro/internal/derr"
+	"repro/internal/shmem"
+)
+
+// RequestResize posts the process's own desired CPU count (evolving
+// model). The resource manager observes it via Admin.ResizeRequests
+// and may grant it; nothing changes until it does. n <= 0 withdraws
+// the request.
+func (s *System) RequestResize(pid shmem.PID, n int) derr.Code {
+	return s.seg.SetResizeRequest(pid, n)
+}
+
+// ResizeRequest is one outstanding evolving-application request.
+type ResizeRequest struct {
+	PID shmem.PID
+	// Current is the CPUs the process holds (effective mask size).
+	Current int
+	// Want is the CPU count the process asked for.
+	Want int
+}
+
+// ResizeRequests lists the processes with outstanding resize requests,
+// in PID order.
+func (a *Admin) ResizeRequests() ([]ResizeRequest, derr.Code) {
+	if c := a.check(); c.IsError() {
+		return nil, c
+	}
+	var out []ResizeRequest
+	for _, e := range a.sys.seg.Snapshot() {
+		if e.ResizeRequest == 0 {
+			continue
+		}
+		cur := e.CurrentMask
+		if e.Dirty {
+			cur = e.FutureMask
+		}
+		if e.ResizeRequest == cur.Count() {
+			continue // already satisfied
+		}
+		out = append(out, ResizeRequest{PID: e.PID, Current: cur.Count(), Want: e.ResizeRequest})
+	}
+	return out, derr.Success
+}

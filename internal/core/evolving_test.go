@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+func TestRequestResizeLifecycle(t *testing.T) {
+	s := newSys(t)
+	a := attach(t, s)
+	s.Register(1, cpuset.Range(0, 7))
+
+	// No requests initially.
+	reqs, code := a.ResizeRequests()
+	if code.IsError() || len(reqs) != 0 {
+		t.Fatalf("initial requests = %v/%v", reqs, code)
+	}
+
+	// The application asks for 12 CPUs.
+	if code := s.RequestResize(1, 12); code.IsError() {
+		t.Fatal(code)
+	}
+	reqs, _ = a.ResizeRequests()
+	if len(reqs) != 1 || reqs[0].PID != 1 || reqs[0].Want != 12 || reqs[0].Current != 8 {
+		t.Fatalf("requests = %+v", reqs)
+	}
+
+	// The manager grants it with a plain SetProcessMask; once the
+	// effective size matches, the request no longer lists.
+	if code := a.SetProcessMask(1, cpuset.Range(0, 11), FlagNone); code.IsError() {
+		t.Fatal(code)
+	}
+	reqs, _ = a.ResizeRequests()
+	if len(reqs) != 0 {
+		t.Fatalf("satisfied request still listed: %+v", reqs)
+	}
+	s.Poll(1)
+
+	// Withdrawing.
+	s.RequestResize(1, 4)
+	s.RequestResize(1, 0)
+	reqs, _ = a.ResizeRequests()
+	if len(reqs) != 0 {
+		t.Fatalf("withdrawn request listed: %+v", reqs)
+	}
+}
+
+func TestRequestResizeValidation(t *testing.T) {
+	s := newSys(t)
+	if code := s.RequestResize(99, 4); code != derr.ErrNoProc {
+		t.Errorf("missing pid = %v", code)
+	}
+	a := attach(t, s)
+	a.Detach()
+	if _, code := a.ResizeRequests(); code != derr.ErrNotInit {
+		t.Errorf("detached admin = %v", code)
+	}
+}

@@ -1,0 +1,117 @@
+// Package derr defines the DLB-style status codes used across the DROM
+// and DLB interfaces. The names and meanings mirror the C library's
+// DLB_SUCCESS / DLB_ERR_* family so that code ported from the paper's
+// artifact reads naturally.
+package derr
+
+import "fmt"
+
+// Code is a DLB status code. Success-like codes are >= 0, errors are
+// negative, matching the C convention.
+type Code int
+
+const (
+	// NoUpdate is returned by polling calls when no pending action
+	// exists (DLB_NOUPDT).
+	NoUpdate Code = 2
+	// NotEnabled is returned when the requested module is compiled in
+	// but not active for this process (DLB_NOTED).
+	NotEnabled Code = 1
+	// Success indicates the operation completed (DLB_SUCCESS).
+	Success Code = 0
+	// ErrUnknown is an unspecified internal error.
+	ErrUnknown Code = -1
+	// ErrNotInit indicates the process has not called Init.
+	ErrNotInit Code = -2
+	// ErrAlreadyInit indicates a second Init/Attach on the same handle.
+	ErrAlreadyInit Code = -3
+	// ErrDisabled indicates the requested functionality is disabled.
+	ErrDisabled Code = -4
+	// ErrNoShmem indicates the node shared-memory segment is missing.
+	ErrNoShmem Code = -5
+	// ErrNoProc indicates the target PID is not registered with DLB.
+	ErrNoProc Code = -6
+	// ErrPendingDirty indicates the target still has an unapplied mask
+	// change (DLB_ERR_PDIRTY).
+	ErrPendingDirty Code = -7
+	// ErrPerm indicates the requested mask conflicts with CPUs owned by
+	// another process and stealing was not requested (DLB_ERR_PERM).
+	ErrPerm Code = -8
+	// ErrTimeout indicates a synchronous operation expired before the
+	// target applied the change.
+	ErrTimeout Code = -9
+	// ErrNoMem indicates the shared memory has no free process slots.
+	ErrNoMem Code = -10
+	// ErrInvalid indicates an invalid argument (empty mask, bad pid...).
+	ErrInvalid Code = -11
+	// ErrNoComp indicates the operation is incompatible with the
+	// process state, e.g. PostFinalize on a live process.
+	ErrNoComp Code = -12
+)
+
+var names = map[Code]string{
+	NoUpdate:        "DLB_NOUPDT",
+	NotEnabled:      "DLB_NOTED",
+	Success:         "DLB_SUCCESS",
+	ErrUnknown:      "DLB_ERR_UNKNOWN",
+	ErrNotInit:      "DLB_ERR_NOINIT",
+	ErrAlreadyInit:  "DLB_ERR_INIT",
+	ErrDisabled:     "DLB_ERR_DISBLD",
+	ErrNoShmem:      "DLB_ERR_NOSHMEM",
+	ErrNoProc:       "DLB_ERR_NOPROC",
+	ErrPendingDirty: "DLB_ERR_PDIRTY",
+	ErrPerm:         "DLB_ERR_PERM",
+	ErrTimeout:      "DLB_ERR_TIMEOUT",
+	ErrNoMem:        "DLB_ERR_NOMEM",
+	ErrInvalid:      "DLB_ERR_INVALID",
+	ErrNoComp:       "DLB_ERR_NOCOMP",
+}
+
+var messages = map[Code]string{
+	NoUpdate:        "no pending update",
+	NotEnabled:      "module not enabled",
+	Success:         "success",
+	ErrUnknown:      "unknown error",
+	ErrNotInit:      "process not initialized with DLB",
+	ErrAlreadyInit:  "process already initialized",
+	ErrDisabled:     "functionality disabled",
+	ErrNoShmem:      "node shared memory not found",
+	ErrNoProc:       "process not registered with DLB",
+	ErrPendingDirty: "target process has a pending unapplied mask",
+	ErrPerm:         "mask conflicts with CPUs owned by another process",
+	ErrTimeout:      "synchronous operation timed out",
+	ErrNoMem:        "no free process slots in shared memory",
+	ErrInvalid:      "invalid argument",
+	ErrNoComp:       "operation incompatible with process state",
+}
+
+// Name returns the DLB-style symbolic name of the code.
+func (c Code) Name() string {
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("DLB_CODE(%d)", int(c))
+}
+
+// Error implements the error interface. Success and other non-negative
+// codes also implement it so a Code can be passed around uniformly, but
+// IsError reports false for them.
+func (c Code) Error() string {
+	if m, ok := messages[c]; ok {
+		return fmt.Sprintf("%s: %s", c.Name(), m)
+	}
+	return c.Name()
+}
+
+// IsError reports whether the code represents a failure.
+func (c Code) IsError() bool { return c < 0 }
+
+// Err returns the code as an error, or nil when the code is a
+// success-like value. Use it at API boundaries that prefer idiomatic Go
+// error handling over status codes.
+func (c Code) Err() error {
+	if c.IsError() {
+		return c
+	}
+	return nil
+}

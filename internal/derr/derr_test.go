@@ -1,0 +1,70 @@
+package derr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNamesAndMessages(t *testing.T) {
+	cases := []struct {
+		code Code
+		name string
+	}{
+		{Success, "DLB_SUCCESS"},
+		{NoUpdate, "DLB_NOUPDT"},
+		{NotEnabled, "DLB_NOTED"},
+		{ErrNotInit, "DLB_ERR_NOINIT"},
+		{ErrPerm, "DLB_ERR_PERM"},
+		{ErrTimeout, "DLB_ERR_TIMEOUT"},
+		{ErrNoProc, "DLB_ERR_NOPROC"},
+		{ErrPendingDirty, "DLB_ERR_PDIRTY"},
+	}
+	for _, tc := range cases {
+		if got := tc.code.Name(); got != tc.name {
+			t.Errorf("Name(%d) = %q, want %q", tc.code, got, tc.name)
+		}
+		if !strings.Contains(tc.code.Error(), tc.name) {
+			t.Errorf("Error() should contain name: %q", tc.code.Error())
+		}
+	}
+}
+
+func TestUnknownCode(t *testing.T) {
+	c := Code(-99)
+	if !strings.Contains(c.Name(), "-99") {
+		t.Errorf("unknown code name = %q", c.Name())
+	}
+	if c.Error() == "" {
+		t.Error("unknown code should still format an error")
+	}
+}
+
+func TestIsError(t *testing.T) {
+	for _, c := range []Code{Success, NoUpdate, NotEnabled} {
+		if c.IsError() {
+			t.Errorf("%v should not be an error", c)
+		}
+		if c.Err() != nil {
+			t.Errorf("%v.Err() should be nil", c)
+		}
+	}
+	for _, c := range []Code{ErrUnknown, ErrNotInit, ErrPerm, ErrTimeout, ErrNoMem} {
+		if !c.IsError() {
+			t.Errorf("%v should be an error", c)
+		}
+		if c.Err() == nil {
+			t.Errorf("%v.Err() should be non-nil", c)
+		}
+	}
+}
+
+func TestErrorsIs(t *testing.T) {
+	var err error = ErrPerm
+	if !errors.Is(err, ErrPerm) {
+		t.Error("errors.Is should match the same code")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Error("errors.Is should not match a different code")
+	}
+}

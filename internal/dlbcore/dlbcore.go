@@ -1,0 +1,333 @@
+// Package dlbcore implements the DLB framework (§3.1): the per-process
+// library context that applications (or runtime integrations) talk to.
+// It ties together the DROM module (internal/core), the LeWI module
+// (internal/lewi) and the programming-model callbacks, and implements
+// both receiver modes described in the paper: polling (the default,
+// driven by interception points) and asynchronous (a helper goroutine
+// woken by shared-memory notifications).
+package dlbcore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+	"repro/internal/lewi"
+	"repro/internal/shmem"
+)
+
+// Mode selects how the process observes DROM updates.
+type Mode int
+
+const (
+	// ModePolling applies updates only at explicit poll points
+	// (DLB_PollDROM or interception hooks). Default.
+	ModePolling Mode = iota
+	// ModeAsync spawns a helper goroutine that applies updates as soon
+	// as an administrator stages them and fires the callbacks.
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	if m == ModeAsync {
+		return "async"
+	}
+	return "polling"
+}
+
+// Options configures a DLB context, the analogue of DLB_ARGS.
+type Options struct {
+	// DROM enables the Dynamic Resource Ownership Management module.
+	DROM bool
+	// LeWI enables the Lend-When-Idle module.
+	LeWI bool
+	// Mode selects polling or async update delivery.
+	Mode Mode
+	// LewiPolicy selects the lend policy for blocking calls.
+	LewiPolicy lewi.Policy
+	// MaxBorrow caps borrowed CPUs for LeWI (<=0 = unlimited).
+	MaxBorrow int
+}
+
+// ParseArgs parses a DLB_ARGS-style option string, e.g.
+// "--drom --lewi --mode=async --lewi-keep-one-cpu --max-borrow=4".
+// Unknown options produce an error, like DLB's strict parser.
+func ParseArgs(args string) (Options, error) {
+	opts := Options{MaxBorrow: -1, LewiPolicy: lewi.LendAllButOne}
+	for _, tok := range strings.Fields(args) {
+		switch {
+		case tok == "--drom":
+			opts.DROM = true
+		case tok == "--no-drom":
+			opts.DROM = false
+		case tok == "--lewi":
+			opts.LeWI = true
+		case tok == "--no-lewi":
+			opts.LeWI = false
+		case tok == "--mode=polling":
+			opts.Mode = ModePolling
+		case tok == "--mode=async":
+			opts.Mode = ModeAsync
+		case tok == "--lewi-keep-one-cpu":
+			opts.LewiPolicy = lewi.LendAllButOne
+		case tok == "--lewi-lend-all":
+			opts.LewiPolicy = lewi.LendAll
+		case strings.HasPrefix(tok, "--max-borrow="):
+			var n int
+			if _, err := fmt.Sscanf(tok, "--max-borrow=%d", &n); err != nil {
+				return opts, fmt.Errorf("dlb: bad option %q: %v", tok, err)
+			}
+			opts.MaxBorrow = n
+		default:
+			return opts, fmt.Errorf("dlb: unknown option %q", tok)
+		}
+	}
+	return opts, nil
+}
+
+// Callbacks are invoked when the process's resources change. They are
+// the programming-model integration surface: the OpenMP-like runtime
+// registers SetNumThreads/SetProcessMask so that DROM/LeWI changes
+// translate into team resizing and re-pinning (§4).
+type Callbacks struct {
+	// SetNumThreads is called with the new CPU count.
+	SetNumThreads func(n int)
+	// SetProcessMask is called with the new mask (for re-pinning).
+	SetProcessMask func(mask cpuset.CPUSet)
+}
+
+// Context is a process's DLB handle (DLB_Init ... DLB_Finalize).
+type Context struct {
+	sys  *core.System
+	pid  shmem.PID
+	opts Options
+
+	mu        sync.Mutex
+	mask      cpuset.CPUSet
+	cb        Callbacks
+	lewi      *lewi.Module
+	finalized bool
+
+	asyncStop chan struct{}
+	asyncDone chan struct{}
+	watch     <-chan struct{}
+}
+
+// Init registers the process with the DLB system (DLB_Init). If an
+// administrator pre-initialized this PID via DROM_PreInit, the
+// reserved mask overrides the supplied one.
+func Init(sys *core.System, pid shmem.PID, mask cpuset.CPUSet, opts Options) (*Context, derr.Code) {
+	got, code := sys.Register(pid, mask)
+	if code.IsError() {
+		return nil, code
+	}
+	c := &Context{sys: sys, pid: pid, opts: opts, mask: got}
+	if opts.LeWI {
+		m, code := lewi.New(sys.Segment(), pid, got, opts.LewiPolicy)
+		if code.IsError() {
+			sys.Unregister(pid)
+			return nil, code
+		}
+		m.SetMaxBorrow(opts.MaxBorrow)
+		c.lewi = m
+	}
+	if opts.DROM && opts.Mode == ModeAsync {
+		c.startAsync()
+	}
+	return c, derr.Success
+}
+
+// PID returns the context's virtual PID.
+func (c *Context) PID() shmem.PID { return c.pid }
+
+// Options returns the options the context was created with.
+func (c *Context) Options() Options { return c.opts }
+
+// Mask returns the process's current mask.
+func (c *Context) Mask() cpuset.CPUSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mask
+}
+
+// NumCPUs returns the size of the current mask.
+func (c *Context) NumCPUs() int { return c.Mask().Count() }
+
+// SetCallbacks registers the programming-model callbacks.
+func (c *Context) SetCallbacks(cb Callbacks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cb = cb
+}
+
+// PollDROM is DLB_PollDROM: checks for a pending mask change and
+// applies it. On Success it returns the new CPU count and mask and has
+// already fired the callbacks. NoUpdate means nothing was pending.
+// With the LeWI module enabled it also honors pending reclaims.
+func (c *Context) PollDROM() (int, cpuset.CPUSet, derr.Code) {
+	if c.isFinalized() {
+		return 0, cpuset.CPUSet{}, derr.ErrNotInit
+	}
+	if !c.opts.DROM {
+		return 0, cpuset.CPUSet{}, derr.ErrDisabled
+	}
+	mask, code := c.sys.Poll(c.pid)
+	if code == derr.Success {
+		c.applyOwnedMask(mask)
+		return mask.Count(), mask, derr.Success
+	}
+	if c.lewi != nil {
+		if m, changed := c.lewi.Poll(); changed {
+			c.applyMask(m, true)
+			return m.Count(), m, derr.Success
+		}
+	}
+	return 0, cpuset.CPUSet{}, code
+}
+
+// applyOwnedMask handles a DROM ownership change: LeWI ownership moves
+// with the mask (removed CPUs are released, added ones claimed) and
+// the callbacks fire.
+func (c *Context) applyOwnedMask(mask cpuset.CPUSet) {
+	c.mu.Lock()
+	lw := c.lewi
+	c.mu.Unlock()
+	if lw != nil {
+		lw.SetOwned(mask)
+	}
+	c.applyMask(mask, true)
+}
+
+// applyMask records the new running mask and fires callbacks (outside
+// the lock) when fire is true. It does not touch LeWI ownership:
+// lend/borrow transitions change the running mask only.
+func (c *Context) applyMask(mask cpuset.CPUSet, fire bool) {
+	c.mu.Lock()
+	c.mask = mask
+	cb := c.cb
+	c.mu.Unlock()
+	if !fire {
+		return
+	}
+	if cb.SetNumThreads != nil {
+		cb.SetNumThreads(mask.Count())
+	}
+	if cb.SetProcessMask != nil {
+		cb.SetProcessMask(mask)
+	}
+}
+
+// Finalize unregisters the process (DLB_Finalize). Idempotent.
+func (c *Context) Finalize() derr.Code {
+	c.mu.Lock()
+	if c.finalized {
+		c.mu.Unlock()
+		return derr.ErrNotInit
+	}
+	c.finalized = true
+	c.mu.Unlock()
+	if c.asyncStop != nil {
+		close(c.asyncStop)
+		<-c.asyncDone
+	}
+	if c.lewi != nil {
+		c.lewi.Finalize()
+	}
+	return c.sys.Unregister(c.pid)
+}
+
+func (c *Context) isFinalized() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finalized
+}
+
+// ---------------------------------------------------------------------
+// LeWI entry points (used directly or through MPI interception)
+// ---------------------------------------------------------------------
+
+// IntoBlockingCall marks the process as blocked (PMPI pre-hook): with
+// LeWI it lends CPUs to the node pool. Returns the mask kept.
+func (c *Context) IntoBlockingCall() cpuset.CPUSet {
+	if c.lewi == nil {
+		return c.Mask()
+	}
+	m := c.lewi.EnterBlocking()
+	c.applyMask(m, true)
+	return m
+}
+
+// OutOfBlockingCall marks the process as runnable again (PMPI
+// post-hook): with LeWI it reclaims its CPUs.
+func (c *Context) OutOfBlockingCall() cpuset.CPUSet {
+	if c.lewi == nil {
+		return c.Mask()
+	}
+	m, _ := c.lewi.ExitBlocking()
+	c.applyMask(m, true)
+	return m
+}
+
+// RequestResize posts an evolving-application request for n CPUs: the
+// resource manager may grant it later through an ordinary DROM mask
+// change, observed at the next poll. n <= 0 withdraws the request.
+func (c *Context) RequestResize(n int) derr.Code {
+	if c.isFinalized() {
+		return derr.ErrNotInit
+	}
+	return c.sys.RequestResize(c.pid, n)
+}
+
+// Borrow asks LeWI for extra idle CPUs; returns the acquired set.
+func (c *Context) Borrow() cpuset.CPUSet {
+	if c.lewi == nil {
+		return cpuset.CPUSet{}
+	}
+	got := c.lewi.Borrow()
+	if !got.IsEmpty() {
+		c.applyMask(c.lewi.Mask(), true)
+	}
+	return got
+}
+
+// Lend voluntarily lends specific CPUs to the pool.
+func (c *Context) Lend(mask cpuset.CPUSet) {
+	if c.lewi == nil {
+		return
+	}
+	c.lewi.Lend(mask)
+	c.applyMask(c.lewi.Mask(), true)
+}
+
+// ---------------------------------------------------------------------
+// Async mode
+// ---------------------------------------------------------------------
+
+func (c *Context) startAsync() {
+	c.asyncStop = make(chan struct{})
+	c.asyncDone = make(chan struct{})
+	c.watch = c.sys.Segment().Watch(c.pid)
+	go func() {
+		defer close(c.asyncDone)
+		defer c.sys.Segment().Unwatch(c.pid, c.watch)
+		for {
+			select {
+			case <-c.asyncStop:
+				return
+			case <-c.watch:
+				mask, code := c.sys.Poll(c.pid)
+				if code == derr.Success {
+					c.applyOwnedMask(mask)
+				}
+			}
+		}
+	}()
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("dlb.Context(pid=%d mask=%s drom=%v lewi=%v mode=%s)",
+		c.pid, c.Mask(), c.opts.DROM, c.opts.LeWI, c.opts.Mode)
+}

@@ -1,0 +1,216 @@
+// Package metrics computes the system-level quantities the paper
+// evaluates (§6): total run time, per-job response time, average
+// response time, and per-thread performance counters (IPC,
+// cycles/µs).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// JobRecord captures one job's lifecycle timestamps (virtual seconds).
+type JobRecord struct {
+	Name   string
+	Submit float64
+	Start  float64
+	End    float64
+}
+
+// WaitTime is the time spent in the scheduler queue.
+func (j JobRecord) WaitTime() float64 { return j.Start - j.Submit }
+
+// RunTime is the execution time.
+func (j JobRecord) RunTime() float64 { return j.End - j.Start }
+
+// ResponseTime is wait + run: the paper's per-job metric.
+func (j JobRecord) ResponseTime() float64 { return j.End - j.Submit }
+
+// Workload aggregates the jobs of one scenario run.
+type Workload struct {
+	Jobs []JobRecord
+}
+
+// Add appends a job record.
+func (w *Workload) Add(j JobRecord) { w.Jobs = append(w.Jobs, j) }
+
+// Job returns the record with the given name, or false.
+func (w *Workload) Job(name string) (JobRecord, bool) {
+	for _, j := range w.Jobs {
+		if j.Name == name {
+			return j, true
+		}
+	}
+	return JobRecord{}, false
+}
+
+// TotalRunTime is "last job end time minus first job submission time".
+func (w *Workload) TotalRunTime() float64 {
+	if len(w.Jobs) == 0 {
+		return 0
+	}
+	first := math.Inf(1)
+	last := math.Inf(-1)
+	for _, j := range w.Jobs {
+		first = math.Min(first, j.Submit)
+		last = math.Max(last, j.End)
+	}
+	return last - first
+}
+
+// Utilization estimates the cluster utilization over the workload's
+// span: Σ_j (CPUs_j × run_j) / (totalCores × TotalRunTime). CPU-time
+// is approximated by each job's requested width times its run time, so
+// malleability phases are averaged out; use traces for exact numbers.
+func (w *Workload) Utilization(cpusOf func(name string) int, totalCores int) float64 {
+	total := w.TotalRunTime()
+	if total <= 0 || totalCores <= 0 {
+		return 0
+	}
+	var used float64
+	for _, j := range w.Jobs {
+		used += float64(cpusOf(j.Name)) * j.RunTime()
+	}
+	u := used / (float64(totalCores) * total)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AvgResponseTime is the arithmetic mean of the jobs' response times.
+func (w *Workload) AvgResponseTime() float64 {
+	if len(w.Jobs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, j := range w.Jobs {
+		sum += j.ResponseTime()
+	}
+	return sum / float64(len(w.Jobs))
+}
+
+// String renders a compact table of the workload.
+func (w *Workload) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s\n", "job", "submit", "wait", "run", "response")
+	for _, j := range w.Jobs {
+		fmt.Fprintf(&sb, "%-28s %10.1f %10.1f %10.1f %10.1f\n",
+			j.Name, j.Submit, j.WaitTime(), j.RunTime(), j.ResponseTime())
+	}
+	fmt.Fprintf(&sb, "total run time %.1f s, avg response %.1f s\n",
+		w.TotalRunTime(), w.AvgResponseTime())
+	return sb.String()
+}
+
+// Gain returns the relative improvement of b over a: (a-b)/a.
+// Positive means b is better (smaller). Zero when a is zero.
+func Gain(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// Series is a labeled sequence of (x, y) points, used to print the
+// figure data rows.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one series sample.
+type Point struct {
+	X string
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x string, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Table renders multiple series sharing X labels as an aligned text
+// table (one row per X, one column per series).
+func Table(series ...Series) string {
+	// Collect X labels in first-appearance order.
+	var xs []string
+	seen := map[string]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s", "")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %14s", s.Label)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-34s", x)
+		for _, s := range series {
+			val := math.NaN()
+			for _, p := range s.Points {
+				if p.X == x {
+					val = p.Y
+					break
+				}
+			}
+			if math.IsNaN(val) {
+				fmt.Fprintf(&sb, " %14s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %14.1f", val)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary holds per-thread counter aggregates for Figure 14-style
+// views.
+type Summary struct {
+	values []float64
+}
+
+// Observe adds a sample.
+func (s *Summary) Observe(v float64) { s.values = append(s.values, v) }
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank on a sorted copy.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), s.values...)
+	sort.Float64s(cp)
+	idx := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

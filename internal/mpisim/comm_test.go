@@ -1,0 +1,104 @@
+package mpisim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitPartitionsByColor(t *testing.T) {
+	w := NewWorld(4)
+	var mu sync.Mutex
+	got := map[int][2]int{} // world rank -> (comm rank, comm size)
+	w.Run(func(r *Rank) {
+		c := r.Split(r.RankID()%2, 0)
+		mu.Lock()
+		got[r.RankID()] = [2]int{c.RankID(), c.Size()}
+		mu.Unlock()
+	})
+	// Even ranks form one 2-member comm, odd the other.
+	for wr, v := range got {
+		if v[1] != 2 {
+			t.Errorf("world rank %d comm size = %d", wr, v[1])
+		}
+		wantRank := wr / 2
+		if v[0] != wantRank {
+			t.Errorf("world rank %d comm rank = %d, want %d", wr, v[0], wantRank)
+		}
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	w := NewWorld(3)
+	var mu sync.Mutex
+	got := map[int]int{}
+	w.Run(func(r *Rank) {
+		// Reverse order by key: world rank 2 gets comm rank 0.
+		c := r.Split(0, -r.RankID())
+		mu.Lock()
+		got[r.RankID()] = c.RankID()
+		mu.Unlock()
+	})
+	if got[2] != 0 || got[1] != 1 || got[0] != 2 {
+		t.Errorf("key ordering = %v", got)
+	}
+}
+
+func TestCommSendRecv(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		c := r.Split(r.RankID()%2, 0)
+		if c.RankID() == 0 {
+			c.Send(1, 3, r.RankID()*100)
+			// Also world-level traffic must not interfere.
+		} else {
+			got := c.Recv(0, 3)
+			want := (r.RankID() % 2) * 100
+			if got != want {
+				t.Errorf("comm recv = %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestCommBarrierIndependent(t *testing.T) {
+	w := NewWorld(4)
+	// Two communicators of 2: each must pass its own barrier without
+	// waiting for the other color.
+	w.Run(func(r *Rank) {
+		c := r.Split(r.RankID()%2, 0)
+		for i := 0; i < 5; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestCommAllreduce(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		c := r.Split(r.RankID()/2, 0) // {0,1} and {2,3}
+		sum := c.Allreduce(OpSum, float64(r.RankID()))
+		var want float64
+		if r.RankID() < 2 {
+			want = 0 + 1
+		} else {
+			want = 2 + 3
+		}
+		if sum != want {
+			t.Errorf("rank %d comm sum = %v, want %v", r.RankID(), sum, want)
+		}
+	})
+}
+
+func TestSplitReusable(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		// Two consecutive splits with different colorings.
+		a := r.Split(r.RankID()%2, 0)
+		a.Barrier()
+		b := r.Split(r.RankID()/2, 0)
+		b.Barrier()
+		if a.Size() != 2 || b.Size() != 2 {
+			t.Errorf("sizes = %d/%d", a.Size(), b.Size())
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package mpisim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/dlbcore"
+	"repro/internal/shmem"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			r.Send(1, 7, "hello")
+		} else {
+			got := r.Recv(0, 7)
+			if got != "hello" {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		switch r.RankID() {
+		case 0:
+			r.Send(2, 1, "from0tag1")
+		case 1:
+			r.Send(2, 2, "from1tag2")
+		case 2:
+			// Receive out of arrival order by selecting on tag.
+			if got := r.Recv(1, 2); got != "from1tag2" {
+				t.Errorf("tag-matched Recv = %v", got)
+			}
+			if got := r.Recv(0, 1); got != "from0tag1" {
+				t.Errorf("src-matched Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			r.Send(1, 42, 99)
+		} else {
+			if got := r.Recv(AnySource, AnyTag); got != 99 {
+				t.Errorf("wildcard Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorld(4)
+	var before, after atomic.Int32
+	w.Run(func(r *Rank) {
+		before.Add(1)
+		r.Barrier()
+		// Everyone must have passed "before" by now.
+		if before.Load() != 4 {
+			t.Errorf("rank %d passed barrier with before=%d", r.RankID(), before.Load())
+		}
+		after.Add(1)
+	})
+	if after.Load() != 4 {
+		t.Fatalf("after = %d", after.Load())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		for i := 0; i < 10; i++ {
+			r.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(4)
+	var mu sync.Mutex
+	got := map[int]interface{}{}
+	w.Run(func(r *Rank) {
+		var v interface{}
+		if r.RankID() == 2 {
+			v = r.Bcast(2, "payload")
+		} else {
+			v = r.Bcast(2, nil)
+		}
+		mu.Lock()
+		got[r.RankID()] = v
+		mu.Unlock()
+	})
+	for rank, v := range got {
+		if v != "payload" {
+			t.Errorf("rank %d got %v", rank, v)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		res := r.Gather(0, r.RankID()*10)
+		if r.RankID() == 0 {
+			for i := 0; i < 4; i++ {
+				if res[i] != i*10 {
+					t.Errorf("gather[%d] = %v", i, res[i])
+				}
+			}
+		} else if res != nil {
+			t.Errorf("non-root got %v", res)
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(r *Rank) {
+		sum := r.Allreduce(OpSum, float64(r.RankID()))
+		if sum != 10 { // 0+1+2+3+4
+			t.Errorf("rank %d sum = %v", r.RankID(), sum)
+		}
+		max := r.Allreduce(OpMax, float64(r.RankID()))
+		if max != 4 {
+			t.Errorf("rank %d max = %v", r.RankID(), max)
+		}
+		min := r.Allreduce(OpMin, float64(r.RankID()+1))
+		if min != 1 {
+			t.Errorf("rank %d min = %v", r.RankID(), min)
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		out := make([]interface{}, 3)
+		for i := range out {
+			out[i] = r.RankID()*100 + i
+		}
+		in := r.Alltoall(out)
+		for i := range in {
+			want := i*100 + r.RankID()
+			if in[i] != want {
+				t.Errorf("rank %d in[%d] = %v, want %d", r.RankID(), i, in[i], want)
+			}
+		}
+	})
+}
+
+func TestAlltoallBadLengthPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Rank(0).Alltoall(make([]interface{}, 5))
+}
+
+func TestWorldValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWorld(0) should panic")
+			}
+		}()
+		NewWorld(0)
+	}()
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank out of range should panic")
+		}
+	}()
+	w.Rank(5)
+}
+
+func TestHooksFire(t *testing.T) {
+	w := NewWorld(2)
+	var pre, post atomic.Int32
+	w.Run(func(r *Rank) {
+		r.SetHooks(Hooks{
+			Pre:  func(c Call) { pre.Add(1) },
+			Post: func(c Call) { post.Add(1) },
+		})
+		r.Barrier()
+	})
+	if pre.Load() != 2 || post.Load() != 2 {
+		t.Errorf("hooks fired pre=%d post=%d", pre.Load(), post.Load())
+	}
+}
+
+// TestDLBInterceptionPollsDROM: the PMPI hook applies a pending DROM
+// mask when the rank enters an MPI call — the paper's "more
+// synchronization points" integration.
+func TestDLBInterceptionPollsDROM(t *testing.T) {
+	reg := shmem.NewRegistry()
+	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 15), 0))
+
+	w := NewWorld(2)
+	var ctxs [2]*dlbcore.Context
+	for i := 0; i < 2; i++ {
+		mask := cpuset.Range(i*8, i*8+7)
+		ctx, code := dlbcore.Init(sys, shmem.PID(100+i), mask, dlbcore.Options{DROM: true})
+		if code.IsError() {
+			t.Fatal(code)
+		}
+		ctxs[i] = ctx
+		AttachDLB(w.Rank(i), ctx)
+	}
+	defer ctxs[0].Finalize()
+	defer ctxs[1].Finalize()
+
+	admin, _ := sys.Attach()
+	if c := admin.SetProcessMask(100, cpuset.Range(0, 3), core.FlagNone); c.IsError() {
+		t.Fatal(c)
+	}
+
+	w.Run(func(r *Rank) {
+		r.Barrier() // interception point: rank 0 applies the new mask here
+	})
+	if !ctxs[0].Mask().Equal(cpuset.Range(0, 3)) {
+		t.Errorf("rank 0 mask = %v, want 0-3", ctxs[0].Mask())
+	}
+	if !ctxs[1].Mask().Equal(cpuset.Range(8, 15)) {
+		t.Errorf("rank 1 mask = %v, want untouched", ctxs[1].Mask())
+	}
+}
+
+// TestDLBLewiLendDuringBlocking: while a rank waits in Recv, its CPUs
+// are lent; the peer can borrow them, and they come back afterwards.
+func TestDLBLewiLendDuringBlocking(t *testing.T) {
+	reg := shmem.NewRegistry()
+	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 7), 0))
+
+	w := NewWorld(2)
+	ctx0, _ := dlbcore.Init(sys, 100, cpuset.Range(0, 3), dlbcore.Options{DROM: true, LeWI: true})
+	ctx1, _ := dlbcore.Init(sys, 101, cpuset.Range(4, 7), dlbcore.Options{DROM: true, LeWI: true})
+	defer ctx0.Finalize()
+	defer ctx1.Finalize()
+	AttachDLB(w.Rank(0), ctx0)
+	AttachDLB(w.Rank(1), ctx1)
+
+	borrowed := make(chan cpuset.CPUSet, 1)
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			// Blocks in Recv: LeWI lends 3 of its 4 CPUs.
+			r.Recv(1, 1)
+		} else {
+			// Give rank 0 time to block, then borrow.
+			deadline := time.After(2 * time.Second)
+			for {
+				if got := ctx1.Borrow(); !got.IsEmpty() {
+					borrowed <- got
+					break
+				}
+				select {
+				case <-deadline:
+					borrowed <- cpuset.CPUSet{}
+					break
+				default:
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				break
+			}
+			r.Send(0, 1, "wake")
+		}
+	})
+	got := <-borrowed
+	if got.IsEmpty() {
+		t.Fatal("peer could not borrow lent CPUs")
+	}
+	if !got.IsSubsetOf(cpuset.Range(1, 3)) {
+		t.Errorf("borrowed = %v, want subset of rank 0's lendable CPUs", got)
+	}
+	// After Recv returned, rank 0 reclaimed its own CPUs.
+	if !ctx0.Mask().IsSubsetOf(cpuset.Range(0, 3)) || ctx0.Mask().IsEmpty() {
+		t.Errorf("rank 0 mask after unblock = %v", ctx0.Mask())
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		r := w.Rank(1)
+		for i := 0; i < b.N; i++ {
+			r.Recv(0, 0)
+			r.Send(0, 1, i)
+		}
+		close(done)
+	}()
+	r := w.Rank(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Send(1, 0, i)
+		r.Recv(1, 1)
+	}
+	<-done
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	w := NewWorld(4)
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				r.Allreduce(OpSum, 1)
+			}
+		}(w.Rank(i))
+	}
+	wg.Wait()
+}

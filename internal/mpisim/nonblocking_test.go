@@ -1,0 +1,160 @@
+package mpisim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvWait(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			req := r.Isend(1, 5, "async")
+			if got := req.Wait(); got != nil {
+				t.Errorf("send Wait = %v, want nil", got)
+			}
+		} else {
+			req := r.Irecv(0, 5)
+			if got := req.Wait(); got != "async" {
+				t.Errorf("recv Wait = %v", got)
+			}
+		}
+	})
+}
+
+func TestIrecvDoesNotBlock(t *testing.T) {
+	w := NewWorld(2)
+	r1 := w.Rank(1)
+	start := time.Now()
+	req := r1.Irecv(0, 9) // nothing sent yet: must return immediately
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Irecv blocked")
+	}
+	if req.Test() {
+		t.Fatal("request complete before message exists")
+	}
+	w.Rank(0).Send(1, 9, 42)
+	if got := req.Wait(); got != 42 {
+		t.Fatalf("Wait = %v", got)
+	}
+	if !req.Test() {
+		t.Fatal("Test false after completion")
+	}
+}
+
+func TestOverlapComputeCommunication(t *testing.T) {
+	w := NewWorld(2)
+	var overlapped atomic.Bool
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			time.Sleep(30 * time.Millisecond)
+			r.Send(1, 1, "late")
+		} else {
+			req := r.Irecv(0, 1)
+			// Compute while the message is in flight.
+			if !req.Test() {
+				overlapped.Store(true)
+			}
+			req.Wait()
+		}
+	})
+	if !overlapped.Load() {
+		t.Error("no compute/communication overlap observed")
+	}
+}
+
+func TestSendrecvSymmetricExchange(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		peer := 1 - r.RankID()
+		got := r.Sendrecv(peer, 1, r.RankID()*10, peer, 1)
+		if got != peer*10 {
+			t.Errorf("rank %d sendrecv = %v, want %d", r.RankID(), got, peer*10)
+		}
+	})
+}
+
+func TestWaitall(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.RankID() == 0 {
+			r.Send(1, 1, "a")
+			r.Send(1, 2, "b")
+		} else {
+			r1 := r.Irecv(0, 1)
+			r2 := r.Irecv(0, 2)
+			got := Waitall(r1, r2)
+			if got[0] != "a" || got[1] != "b" {
+				t.Errorf("Waitall = %v", got)
+			}
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		got := r.Reduce(2, OpSum, float64(r.RankID()+1))
+		if r.RankID() == 2 {
+			if got != 10 { // 1+2+3+4
+				t.Errorf("root reduce = %v", got)
+			}
+		} else if got != 0 {
+			t.Errorf("non-root reduce = %v", got)
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		var got interface{}
+		if r.RankID() == 0 {
+			got = r.Scatter(0, []interface{}{"a", "b", "c"})
+		} else {
+			got = r.Scatter(0, nil)
+		}
+		want := string(rune('a' + r.RankID()))
+		if got != want {
+			t.Errorf("rank %d scatter = %v, want %v", r.RankID(), got, want)
+		}
+	})
+}
+
+func TestScatterBadLengthPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Rank(0).Scatter(0, []interface{}{"only-one"})
+}
+
+func TestBlockingClassification(t *testing.T) {
+	nonBlocking := []Call{CallSend, CallIsend, CallIrecv}
+	for _, c := range nonBlocking {
+		if c.Blocking() {
+			t.Errorf("%s should be non-blocking", c)
+		}
+	}
+	blocking := []Call{CallRecv, CallWait, CallBarrier, CallAllreduce, CallReduce, CallScatter}
+	for _, c := range blocking {
+		if !c.Blocking() {
+			t.Errorf("%s should be blocking", c)
+		}
+	}
+}
+
+func TestHooksFireOnNonblockingOps(t *testing.T) {
+	w := NewWorld(2)
+	var calls atomic.Int32
+	r0 := w.Rank(0)
+	r0.SetHooks(Hooks{Pre: func(c Call) { calls.Add(1) }})
+	req := r0.Isend(1, 1, "x")
+	req.Wait()
+	if calls.Load() != 2 { // Isend + Wait
+		t.Errorf("hook calls = %d, want 2", calls.Load())
+	}
+}

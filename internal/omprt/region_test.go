@@ -1,0 +1,112 @@
+package omprt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegionBarrier(t *testing.T) {
+	rt := New(4)
+	var before, violations atomic.Int32
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		before.Add(1)
+		reg.Barrier()
+		if before.Load() != 4 {
+			violations.Add(1)
+		}
+		// Reusable barrier.
+		reg.Barrier()
+	})
+	if violations.Load() != 0 {
+		t.Fatalf("%d threads passed the barrier early", violations.Load())
+	}
+}
+
+func TestRegionCritical(t *testing.T) {
+	rt := New(8)
+	var inside, maxInside atomic.Int32
+	counter := 0
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		for i := 0; i < 100; i++ {
+			reg.Critical(func() {
+				cur := inside.Add(1)
+				if cur > maxInside.Load() {
+					maxInside.Store(cur)
+				}
+				counter++ // data race unless critical works
+				inside.Add(-1)
+			})
+		}
+	})
+	if maxInside.Load() != 1 {
+		t.Errorf("critical admitted %d threads", maxInside.Load())
+	}
+	if counter != 800 {
+		t.Errorf("counter = %d, want 800", counter)
+	}
+}
+
+func TestRegionSingle(t *testing.T) {
+	rt := New(4)
+	var execs atomic.Int32
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		reg.Single(ti.Num, func() { execs.Add(1) })
+	})
+	if execs.Load() != 1 {
+		t.Fatalf("single executed %d times", execs.Load())
+	}
+}
+
+func TestRegionSingleSequence(t *testing.T) {
+	rt := New(4)
+	var a, b atomic.Int32
+	var order []int32
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		reg.Single(ti.Num, func() {
+			a.Add(1)
+			order = append(order, 1)
+		})
+		reg.Single(ti.Num, func() {
+			b.Add(1)
+			order = append(order, 2)
+		})
+	})
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Fatalf("singles executed %d/%d times", a.Load(), b.Load())
+	}
+	// The implicit barrier after Single orders the two constructs.
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("single order = %v", order)
+	}
+}
+
+func TestRegionSingleWithBarriers(t *testing.T) {
+	rt := New(3)
+	shared := 0
+	var sum atomic.Int64
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		reg.Single(ti.Num, func() { shared = 42 })
+		// After the single's implicit barrier every thread sees it.
+		sum.Add(int64(shared))
+	})
+	if sum.Load() != 3*42 {
+		t.Errorf("sum = %d, want %d", sum.Load(), 3*42)
+	}
+}
+
+func TestNestedParallelRegionSerializes(t *testing.T) {
+	rt := New(4)
+	var inner atomic.Int32
+	rt.ParallelRegion(func(reg *Region, ti ThreadInfo, team int) {
+		rt.ParallelRegion(func(ireg *Region, iti ThreadInfo, iteam int) {
+			if iteam != 1 {
+				t.Errorf("nested team = %d", iteam)
+			}
+			ireg.Barrier() // must not deadlock with team of 1
+			inner.Add(1)
+		})
+	})
+	if inner.Load() != 4 {
+		t.Errorf("inner bodies = %d", inner.Load())
+	}
+}

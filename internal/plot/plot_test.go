@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// validateXML asserts the SVG parses as well-formed XML.
+func validateXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:   "Total run time of nest + pils",
+		YLabel:  "seconds",
+		XLabels: []string{"C1+C1", "C1+C2"},
+		Series: []BarSeries{
+			{Label: "Serial", Values: []float64{2819, 2816}},
+			{Label: "DROM", Values: []float64{2784, 2572}},
+		},
+	}
+	svg := c.SVG()
+	validateXML(t, svg)
+	if !strings.Contains(svg, "Serial") || !strings.Contains(svg, "DROM") {
+		t.Error("legend missing")
+	}
+	if strings.Count(svg, "<rect") < 5 { // background + 4 bars + legend
+		t.Errorf("too few rects:\n%s", svg)
+	}
+	if !strings.Contains(svg, "C1+C2") {
+		t.Error("x label missing")
+	}
+}
+
+func TestBarChartHandlesNaNAndEmpty(t *testing.T) {
+	c := BarChart{
+		Title:   "sparse",
+		XLabels: []string{"a", "b"},
+		Series:  []BarSeries{{Label: "s", Values: []float64{math.NaN(), 5}}},
+	}
+	validateXML(t, c.SVG())
+	// Entirely empty chart still renders.
+	validateXML(t, BarChart{Title: "empty"}.SVG())
+}
+
+func TestBarChartEscapesText(t *testing.T) {
+	c := BarChart{
+		Title:   "a < b & c",
+		XLabels: []string{"x<y"},
+		Series:  []BarSeries{{Label: "s&t", Values: []float64{1}}},
+	}
+	svg := c.SVG()
+	validateXML(t, svg)
+	if strings.Contains(svg, "a < b & c") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	g := Gantt{
+		Title:  "UC2 timeline",
+		XLabel: "time (s)",
+		Rows: []GanttRow{
+			{Label: "nest r0 t0", Group: 0, Spans: []GanttSpan{{T0: 0, T1: 100, Intensity: 1}}},
+			{Label: "cn r0 t0", Group: 1, Spans: []GanttSpan{{T0: 50, T1: 150, Intensity: 0.5}}},
+		},
+	}
+	svg := g.SVG()
+	validateXML(t, svg)
+	if !strings.Contains(svg, "nest r0 t0") {
+		t.Error("row label missing")
+	}
+	if !strings.Contains(svg, `fill-opacity="0.50"`) {
+		t.Errorf("intensity not applied:\n%s", svg)
+	}
+}
+
+func TestGanttAutoRange(t *testing.T) {
+	g := Gantt{Rows: []GanttRow{{Label: "r", Spans: []GanttSpan{{T0: 10, T1: 20}}}}}
+	validateXML(t, g.SVG())
+	// Degenerate empty gantt.
+	validateXML(t, Gantt{Title: "none"}.SVG())
+}

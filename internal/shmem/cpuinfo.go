@@ -1,0 +1,284 @@
+package shmem
+
+import (
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+// cpuState is one slot of the cpuinfo table, used by the LeWI module.
+// A CPU has an owner (the process whose allocation it belongs to) and a
+// guest (the process currently entitled to run on it). Owner and guest
+// coincide unless the owner lent the CPU and someone borrowed it.
+type cpuState struct {
+	owner PID // 0 = unowned
+	guest PID // 0 = idle (lent or unowned and unclaimed)
+	// lent is true while the owner has handed the CPU to the pool.
+	lent bool
+	// reclaimPending is true when the owner wants a borrowed CPU back;
+	// the borrower must return it at its next poll.
+	reclaimPending bool
+}
+
+// CPUOwner returns the owner PID of a CPU (0 if unowned).
+func (s *Segment) CPUOwner(cpu int) PID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpus[cpu].owner
+}
+
+// CPUGuest returns the guest PID of a CPU (0 if idle).
+func (s *Segment) CPUGuest(cpu int) PID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpus[cpu].guest
+}
+
+// ClaimCPUs records pid as owner and guest of every CPU in mask.
+// It fails with ErrPerm if any CPU is already owned by another process.
+func (s *Segment) ClaimCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bad bool
+	mask.ForEach(func(c int) bool {
+		if s.cpus[c].owner != 0 && s.cpus[c].owner != pid {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		return derr.ErrPerm
+	}
+	mask.ForEach(func(c int) bool {
+		s.cpus[c] = cpuState{owner: pid, guest: pid}
+		return true
+	})
+	s.bump()
+	return derr.Success
+}
+
+// ReleaseCPUs clears ownership of every CPU in mask owned by pid.
+func (s *Segment) ReleaseCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mask.ForEach(func(c int) bool {
+		if s.cpus[c].owner == pid {
+			s.cpus[c] = cpuState{}
+		}
+		return true
+	})
+	s.bump()
+	return derr.Success
+}
+
+// TransferCPUs moves ownership of mask from one pid to another,
+// preserving guest state when the guest was the old owner. Used by the
+// SLURM integration when a finished job's CPUs are redistributed.
+func (s *Segment) TransferCPUs(from, to PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bad bool
+	mask.ForEach(func(c int) bool {
+		if s.cpus[c].owner != from {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		return derr.ErrPerm
+	}
+	mask.ForEach(func(c int) bool {
+		st := &s.cpus[c]
+		st.owner = to
+		if st.guest == from || st.guest == 0 {
+			st.guest = to
+		}
+		st.lent = false
+		st.reclaimPending = false
+		return true
+	})
+	s.bump()
+	return derr.Success
+}
+
+// LendCPUs marks the CPUs in mask (owned by pid) as lent: the owner
+// stops running on them and they become available for borrowing.
+// CPUs in mask not owned by pid are ignored if currently guested by
+// pid as a borrower — lending a borrowed CPU returns it instead.
+func (s *Segment) LendCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.statsOf(pid); st != nil && !mask.IsEmpty() {
+		st.Lends++
+		st.CPUsLent += int64(mask.Count())
+	}
+	mask.ForEach(func(c int) bool {
+		st := &s.cpus[c]
+		switch {
+		case st.owner == pid:
+			st.lent = true
+			if st.guest == pid {
+				st.guest = 0
+			}
+		case st.guest == pid:
+			// Returning a borrowed CPU. If the owner reclaimed it, it
+			// goes straight back; otherwise it stays in the pool.
+			st.guest = 0
+			if st.reclaimPending {
+				st.reclaimPending = false
+				st.lent = false
+				if st.owner != 0 {
+					st.guest = st.owner
+				}
+			} else if !st.lent && st.owner != 0 {
+				st.guest = st.owner
+			}
+		}
+		return true
+	})
+	s.bump()
+	return derr.Success
+}
+
+// BorrowCPUs assigns up to max lent-or-unowned idle CPUs to pid as
+// guest and returns the acquired mask. max < 0 means "as many as
+// available". Prefers CPUs whose owner is 0 (free) first, then lent
+// CPUs, in ascending CPU order within the node set.
+func (s *Segment) BorrowCPUs(pid PID, max int) cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var got cpuset.CPUSet
+	take := func(wantFree bool) {
+		s.nodeCPUs.ForEach(func(c int) bool {
+			if max >= 0 && got.Count() >= max {
+				return false
+			}
+			st := &s.cpus[c]
+			if st.guest != 0 {
+				return true
+			}
+			isFree := st.owner == 0
+			if isFree != wantFree {
+				return true
+			}
+			if !isFree && !st.lent {
+				return true
+			}
+			st.guest = pid
+			st.reclaimPending = false
+			got.Set(c)
+			return true
+		})
+	}
+	take(true)
+	take(false)
+	if !got.IsEmpty() {
+		if st := s.statsOf(pid); st != nil {
+			st.Borrows++
+			st.CPUsBorrowed += int64(got.Count())
+		}
+		s.bump()
+	}
+	return got
+}
+
+// ReclaimCPUs is called by an owner that wants its lent CPUs back.
+// Idle lent CPUs are returned immediately (guest reset to owner, lent
+// cleared) and included in the returned "recovered" mask. CPUs
+// currently guested by a borrower are flagged reclaimPending and
+// reported in the "pending" mask.
+func (s *Segment) ReclaimCPUs(pid PID, mask cpuset.CPUSet) (recovered, pending cpuset.CPUSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mask.ForEach(func(c int) bool {
+		st := &s.cpus[c]
+		if st.owner != pid || !st.lent {
+			return true
+		}
+		if st.guest == 0 {
+			st.lent = false
+			st.guest = pid
+			recovered.Set(c)
+		} else if st.guest != pid {
+			st.reclaimPending = true
+			pending.Set(c)
+		}
+		return true
+	})
+	if !recovered.IsEmpty() || !pending.IsEmpty() {
+		if st := s.statsOf(pid); st != nil {
+			st.Reclaims++
+		}
+		s.bump()
+	}
+	return recovered, pending
+}
+
+// PollReclaim returns the CPUs guested by pid whose owner wants them
+// back. The borrower is expected to call LendCPUs (return) on them.
+func (s *Segment) PollReclaim(pid PID) cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m cpuset.CPUSet
+	for c := range s.cpus {
+		st := &s.cpus[c]
+		if st.guest == pid && st.owner != pid && st.reclaimPending {
+			m.Set(c)
+		}
+	}
+	return m
+}
+
+// GuestMask returns all CPUs currently guested by pid (owned + borrowed).
+func (s *Segment) GuestMask(pid PID) cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m cpuset.CPUSet
+	for c := range s.cpus {
+		if s.cpus[c].guest == pid {
+			m.Set(c)
+		}
+	}
+	return m
+}
+
+// OwnerMask returns all CPUs owned by pid.
+func (s *Segment) OwnerMask(pid PID) cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m cpuset.CPUSet
+	for c := range s.cpus {
+		if s.cpus[c].owner == pid {
+			m.Set(c)
+		}
+	}
+	return m
+}
+
+// LentMask returns all CPUs currently marked lent (idle or borrowed).
+func (s *Segment) LentMask() cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m cpuset.CPUSet
+	for c := range s.cpus {
+		if s.cpus[c].lent {
+			m.Set(c)
+		}
+	}
+	return m
+}
+
+// IdleMask returns CPUs with no guest: lendable capacity on the node.
+func (s *Segment) IdleMask() cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m cpuset.CPUSet
+	s.nodeCPUs.ForEach(func(c int) bool {
+		if s.cpus[c].guest == 0 {
+			m.Set(c)
+		}
+		return true
+	})
+	return m
+}

@@ -1,0 +1,225 @@
+package shmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+func TestClaimRelease(t *testing.T) {
+	s := newTestSegment(t)
+	if code := s.ClaimCPUs(1, cpuset.Range(0, 7)); code != derr.Success {
+		t.Fatal(code)
+	}
+	if s.CPUOwner(0) != 1 || s.CPUGuest(0) != 1 {
+		t.Errorf("cpu 0 owner/guest = %d/%d", s.CPUOwner(0), s.CPUGuest(0))
+	}
+	// Conflicting claim fails and mutates nothing.
+	if code := s.ClaimCPUs(2, cpuset.Range(4, 11)); code != derr.ErrPerm {
+		t.Fatalf("overlapping claim = %v", code)
+	}
+	if s.CPUOwner(8) != 0 {
+		t.Error("failed claim must not take any CPU")
+	}
+	// Re-claiming your own CPUs is fine.
+	if code := s.ClaimCPUs(1, cpuset.Range(0, 7)); code != derr.Success {
+		t.Errorf("idempotent claim = %v", code)
+	}
+	s.ReleaseCPUs(1, cpuset.Range(0, 3))
+	if s.CPUOwner(0) != 0 || s.CPUOwner(4) != 1 {
+		t.Error("partial release wrong")
+	}
+}
+
+func TestOwnerGuestMasks(t *testing.T) {
+	s := newTestSegment(t)
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+	if !s.OwnerMask(1).Equal(cpuset.Range(0, 7)) {
+		t.Errorf("OwnerMask(1) = %v", s.OwnerMask(1))
+	}
+	if !s.GuestMask(2).Equal(cpuset.Range(8, 15)) {
+		t.Errorf("GuestMask(2) = %v", s.GuestMask(2))
+	}
+	if !s.IdleMask().IsEmpty() {
+		t.Errorf("IdleMask = %v, want empty", s.IdleMask())
+	}
+}
+
+func TestLendBorrowReturn(t *testing.T) {
+	s := newTestSegment(t)
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+
+	// Process 1 blocks in MPI and lends half its CPUs.
+	s.LendCPUs(1, cpuset.Range(4, 7))
+	if !s.LentMask().Equal(cpuset.Range(4, 7)) {
+		t.Fatalf("LentMask = %v", s.LentMask())
+	}
+	if !s.IdleMask().Equal(cpuset.Range(4, 7)) {
+		t.Fatalf("IdleMask = %v", s.IdleMask())
+	}
+
+	// Process 2 borrows up to 2 CPUs.
+	got := s.BorrowCPUs(2, 2)
+	if got.Count() != 2 || !got.IsSubsetOf(cpuset.Range(4, 7)) {
+		t.Fatalf("BorrowCPUs = %v", got)
+	}
+	if !s.GuestMask(2).Equal(cpuset.Range(8, 15).Or(got)) {
+		t.Errorf("GuestMask(2) = %v", s.GuestMask(2))
+	}
+
+	// Borrowing more takes the rest; max<0 means all.
+	rest := s.BorrowCPUs(2, -1)
+	if got.Or(rest).Count() != 4 {
+		t.Fatalf("total borrowed = %v", got.Or(rest))
+	}
+	// Nothing left to borrow.
+	if m := s.BorrowCPUs(2, -1); !m.IsEmpty() {
+		t.Fatalf("borrow on empty pool = %v", m)
+	}
+
+	// Borrower returns two CPUs: they stay lent (idle) because the
+	// owner has not reclaimed.
+	s.LendCPUs(2, got)
+	if !s.IdleMask().Equal(got) {
+		t.Errorf("IdleMask after return = %v", s.IdleMask())
+	}
+}
+
+func TestBorrowPrefersFreeCPUs(t *testing.T) {
+	r := NewRegistry()
+	s := r.Open("n", cpuset.Range(0, 7), 0)
+	s.ClaimCPUs(1, cpuset.Range(0, 3))
+	s.LendCPUs(1, cpuset.Range(0, 3))
+	// CPUs 4-7 are unowned; they must be taken before lent ones.
+	got := s.BorrowCPUs(2, 4)
+	if !got.Equal(cpuset.Range(4, 7)) {
+		t.Errorf("BorrowCPUs = %v, want free CPUs 4-7 first", got)
+	}
+}
+
+func TestReclaimFlow(t *testing.T) {
+	s := newTestSegment(t)
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+	s.LendCPUs(1, cpuset.Range(4, 7))
+	borrowed := s.BorrowCPUs(2, 2) // 2 borrowed, 2 idle lent
+
+	recovered, pending := s.ReclaimCPUs(1, cpuset.Range(0, 7))
+	if !recovered.Equal(cpuset.Range(4, 7).AndNot(borrowed)) {
+		t.Errorf("recovered = %v", recovered)
+	}
+	if !pending.Equal(borrowed) {
+		t.Errorf("pending = %v, want %v", pending, borrowed)
+	}
+
+	// The borrower sees the reclaim request at its next poll.
+	if m := s.PollReclaim(2); !m.Equal(borrowed) {
+		t.Fatalf("PollReclaim = %v, want %v", m, borrowed)
+	}
+	s.LendCPUs(2, borrowed) // borrower returns
+	if m := s.PollReclaim(2); !m.IsEmpty() {
+		t.Errorf("PollReclaim after return = %v", m)
+	}
+	// Reclaim-pending CPUs go straight back to the owner on return.
+	if !s.GuestMask(1).Equal(cpuset.Range(0, 7)) {
+		t.Errorf("owner guest mask = %v", s.GuestMask(1))
+	}
+	// A further reclaim is a no-op.
+	recovered, pending = s.ReclaimCPUs(1, cpuset.Range(0, 7))
+	if !recovered.IsEmpty() || !pending.IsEmpty() {
+		t.Errorf("idempotent reclaim = %v/%v", recovered, pending)
+	}
+}
+
+func TestTransferCPUs(t *testing.T) {
+	s := newTestSegment(t)
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+	if code := s.TransferCPUs(1, 2, cpuset.Range(0, 3)); code != derr.Success {
+		t.Fatal(code)
+	}
+	if s.CPUOwner(0) != 2 || s.CPUGuest(0) != 2 {
+		t.Errorf("transferred cpu owner/guest = %d/%d", s.CPUOwner(0), s.CPUGuest(0))
+	}
+	// Transferring CPUs you do not own fails atomically.
+	if code := s.TransferCPUs(1, 2, cpuset.Range(0, 7)); code != derr.ErrPerm {
+		t.Errorf("bad transfer = %v", code)
+	}
+}
+
+func TestUnregisterCleansCpuinfo(t *testing.T) {
+	s := newTestSegment(t)
+	s.Register(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.Register(2, cpuset.Range(8, 15))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+	s.LendCPUs(1, cpuset.Range(4, 7))
+	borrowed := s.BorrowCPUs(2, -1)
+	if borrowed.IsEmpty() {
+		t.Fatal("setup: borrow failed")
+	}
+	// Process 2 dies without returning.
+	s.Unregister(2)
+	for _, c := range cpuset.Range(8, 15).List() {
+		if s.CPUOwner(c) != 0 {
+			t.Errorf("cpu %d still owned by dead pid", c)
+		}
+	}
+	for _, c := range borrowed.List() {
+		if s.CPUGuest(c) == 2 {
+			t.Errorf("cpu %d still guested by dead pid", c)
+		}
+	}
+}
+
+// Property: under arbitrary lend/borrow/reclaim/return sequences, no
+// CPU ever has two guests, guests only run on owned-or-lent CPUs, and
+// owners never lose ownership.
+func TestPropertyLewiInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		reg := NewRegistry()
+		s := reg.Open("n", cpuset.Range(0, 15), 0)
+		s.ClaimCPUs(1, cpuset.Range(0, 7))
+		s.ClaimCPUs(2, cpuset.Range(8, 15))
+		pids := []PID{1, 2}
+		owned := map[PID]cpuset.CPUSet{
+			1: cpuset.Range(0, 7),
+			2: cpuset.Range(8, 15),
+		}
+		for step := 0; step < 60; step++ {
+			pid := pids[r.Intn(2)]
+			switch r.Intn(4) {
+			case 0:
+				var m cpuset.CPUSet
+				for i := 0; i < r.Intn(4); i++ {
+					m.Set(r.Intn(16))
+				}
+				s.LendCPUs(pid, m)
+			case 1:
+				s.BorrowCPUs(pid, r.Intn(5)-1)
+			case 2:
+				s.ReclaimCPUs(pid, owned[pid])
+			case 3:
+				s.LendCPUs(pid, s.PollReclaim(pid))
+			}
+			// Invariants.
+			g1, g2 := s.GuestMask(1), s.GuestMask(2)
+			if g1.Intersects(g2) {
+				return false
+			}
+			if !s.OwnerMask(1).Equal(owned[1]) || !s.OwnerMask(2).Equal(owned[2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,485 @@
+// Package shmem emulates the per-node shared memory segments that the
+// DLB library creates under /dev/shm. DROM and LeWI coordinate
+// processes exclusively through these segments: a lock-protected
+// process-info table (one slot per registered process, holding its
+// current and pending CPU masks) and a CPU-info table (one slot per
+// CPU, holding ownership and guest state for Lend-When-Idle).
+//
+// In the paper's artifact the segments are POSIX shared memory mapped
+// by every process of a node; here a Segment is an in-process object
+// obtained from a Registry by name, and "processes" are virtual PIDs.
+// The protocol — writers set a future mask plus a dirty flag, targets
+// apply it at their next poll, synchronous callers wait for the
+// application — is preserved bit for bit.
+package shmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+// PID identifies a virtual process within a shmem namespace.
+type PID int
+
+// DefaultMaxProcs is the default number of process slots per segment,
+// matching DLB's default shared-memory sizing.
+const DefaultMaxProcs = 64
+
+// Theft records CPUs taken from a victim process when building the
+// initial mask of a new process via DROM_PreInit with the steal flag.
+// PostFinalize uses it to give the CPUs back.
+type Theft struct {
+	Victim PID
+	Mask   cpuset.CPUSet
+}
+
+// ProcEntry is one slot of the process-info table.
+type ProcEntry struct {
+	PID PID
+	// OwnedMask is the set of CPUs originally allocated to the process
+	// (its "fair" share); reclaims and PostFinalize restore toward it.
+	OwnedMask cpuset.CPUSet
+	// CurrentMask is the mask the process currently runs with.
+	CurrentMask cpuset.CPUSet
+	// FutureMask is the pending mask written by an administrator; it is
+	// only meaningful while Dirty is true.
+	FutureMask cpuset.CPUSet
+	// Dirty is set by administrators and cleared when the target
+	// process applies FutureMask at a poll point.
+	Dirty bool
+	// PreInit marks entries registered by DROM_PreInit on behalf of a
+	// process that has not yet attached (fork/exec window).
+	PreInit bool
+	// Stolen lists CPUs taken from victims to build this entry's mask.
+	Stolen []Theft
+	// Stats holds the per-process counters consumable by external
+	// entities (the paper's future-work data collection).
+	Stats Stats
+	// ResizeRequest is the CPU count the process itself asked for (the
+	// evolving-application model of the PMIx-style related work, §2:
+	// "changes in resources is demanded by the application itself").
+	// 0 means no outstanding request.
+	ResizeRequest int
+}
+
+func (e *ProcEntry) clone() *ProcEntry {
+	c := *e
+	c.Stolen = append([]Theft(nil), e.Stolen...)
+	return &c
+}
+
+// Segment is one node's shared memory: a procinfo table plus a cpuinfo
+// table, guarded by a single mutex like DLB's lock-protected segment.
+type Segment struct {
+	name     string
+	nodeCPUs cpuset.CPUSet
+	maxProcs int
+
+	mu       sync.Mutex
+	procs    map[PID]*ProcEntry
+	cpus     []cpuState
+	watchers map[PID][]chan struct{}
+	// generation increments on every mutation; synchronous waiters use
+	// it to detect progress without missing wakeups.
+	generation uint64
+	cond       *sync.Cond
+}
+
+// Name returns the segment's registry name.
+func (s *Segment) Name() string { return s.name }
+
+// NodeCPUs returns the full CPU set of the node this segment serves.
+func (s *Segment) NodeCPUs() cpuset.CPUSet { return s.nodeCPUs }
+
+// MaxProcs returns the capacity of the procinfo table.
+func (s *Segment) MaxProcs() int { return s.maxProcs }
+
+func newSegment(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *Segment {
+	s := &Segment{
+		name:     name,
+		nodeCPUs: nodeCPUs,
+		maxProcs: maxProcs,
+		procs:    make(map[PID]*ProcEntry),
+		cpus:     make([]cpuState, cpuset.MaxCPUs),
+		watchers: make(map[PID][]chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register adds a process slot with the given owned/current mask.
+// It fails with ErrAlreadyInit if the pid is present and not a
+// pre-initialized slot, with ErrNoMem if the table is full, and with
+// ErrInvalid if the mask is empty or not a subset of the node's CPUs.
+//
+// Registering a pid that has a PreInit slot completes the two-phase
+// DROM_PreInit handshake: the process inherits the reserved mask and
+// the slot becomes a normal entry.
+func (s *Segment) Register(pid PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.procs[pid]; ok {
+		if !e.PreInit {
+			return derr.ErrAlreadyInit
+		}
+		// Complete the PreInit handshake; the reserved mask wins over
+		// the mask supplied by the process, as in DLB.
+		e.PreInit = false
+		s.bump()
+		return derr.Success
+	}
+	if len(s.procs) >= s.maxProcs {
+		return derr.ErrNoMem
+	}
+	if mask.IsEmpty() || !mask.IsSubsetOf(s.nodeCPUs) {
+		return derr.ErrInvalid
+	}
+	s.procs[pid] = &ProcEntry{
+		PID:         pid,
+		OwnedMask:   mask,
+		CurrentMask: mask,
+	}
+	s.bump()
+	return derr.Success
+}
+
+// RegisterPreInit adds a PreInit slot on behalf of a process that will
+// attach later (the DROM_PreInit fork/exec window). The entry carries
+// the thefts used to build its mask so PostFinalize can undo them.
+func (s *Segment) RegisterPreInit(pid PID, mask cpuset.CPUSet, stolen []Theft) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.procs[pid]; ok {
+		return derr.ErrAlreadyInit
+	}
+	if len(s.procs) >= s.maxProcs {
+		return derr.ErrNoMem
+	}
+	if mask.IsEmpty() || !mask.IsSubsetOf(s.nodeCPUs) {
+		return derr.ErrInvalid
+	}
+	s.procs[pid] = &ProcEntry{
+		PID:         pid,
+		OwnedMask:   mask,
+		CurrentMask: mask,
+		PreInit:     true,
+		Stolen:      append([]Theft(nil), stolen...),
+	}
+	s.bump()
+	return derr.Success
+}
+
+// Unregister removes a process slot. It returns ErrNoProc if absent.
+func (s *Segment) Unregister(pid PID) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.procs[pid]; !ok {
+		return derr.ErrNoProc
+	}
+	delete(s.procs, pid)
+	// Drop ownership of the process's CPUs in the cpuinfo table.
+	for c := range s.cpus {
+		if s.cpus[c].owner == pid {
+			s.cpus[c] = cpuState{}
+		} else if s.cpus[c].guest == pid {
+			s.cpus[c].guest = s.cpus[c].owner
+			s.cpus[c].reclaimPending = false
+		}
+	}
+	s.bump()
+	return derr.Success
+}
+
+// Lookup returns a copy of the process entry.
+func (s *Segment) Lookup(pid PID) (ProcEntry, derr.Code) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.procs[pid]
+	if !ok {
+		return ProcEntry{}, derr.ErrNoProc
+	}
+	return *e.clone(), derr.Success
+}
+
+// PIDList returns the registered PIDs in ascending order.
+func (s *Segment) PIDList() []PID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PID, 0, len(s.procs))
+	for pid := range s.procs {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumProcs returns the number of registered processes.
+func (s *Segment) NumProcs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.procs)
+}
+
+// UsedMask returns the union of the current masks of all registered
+// processes, including pending future masks of dirty entries (a CPU
+// promised to a process counts as used).
+func (s *Segment) UsedMask() cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var u cpuset.CPUSet
+	for _, e := range s.procs {
+		u = u.Or(e.CurrentMask)
+		if e.Dirty {
+			u = u.Or(e.FutureMask)
+		}
+	}
+	return u
+}
+
+// FreeMask returns the node CPUs not used by any registered process.
+func (s *Segment) FreeMask() cpuset.CPUSet {
+	return s.nodeCPUs.AndNot(s.UsedMask())
+}
+
+// SetFuture stages a new mask for pid and marks the entry dirty. The
+// caller (DROM admin) is responsible for conflict checks; SetFuture
+// itself only validates the pid and mask.
+func (s *Segment) SetFuture(pid PID, mask cpuset.CPUSet) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.procs[pid]
+	if !ok {
+		return derr.ErrNoProc
+	}
+	if mask.IsEmpty() || !mask.IsSubsetOf(s.nodeCPUs) {
+		return derr.ErrInvalid
+	}
+	e.FutureMask = mask
+	e.Dirty = true
+	s.bump()
+	s.notifyLocked(pid)
+	return derr.Success
+}
+
+// ApplyFuture is the target-process side of the protocol: if the entry
+// is dirty it promotes FutureMask to CurrentMask, clears the flag and
+// returns the new mask with Success; otherwise it returns NoUpdate.
+func (s *Segment) ApplyFuture(pid PID) (cpuset.CPUSet, derr.Code) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.procs[pid]
+	if !ok {
+		return cpuset.CPUSet{}, derr.ErrNoProc
+	}
+	e.Stats.Polls++
+	if !e.Dirty {
+		return cpuset.CPUSet{}, derr.NoUpdate
+	}
+	before := e.CurrentMask.Count()
+	e.CurrentMask = e.FutureMask
+	e.Dirty = false
+	e.Stats.MaskChanges++
+	if after := e.CurrentMask.Count(); after > before {
+		e.Stats.CPUsGained += int64(after - before)
+	} else {
+		e.Stats.CPUsLost += int64(before - after)
+	}
+	s.bump()
+	return e.CurrentMask, derr.Success
+}
+
+// SetResizeRequest records the process's own desired CPU count
+// (evolving-application request). n <= 0 clears the request.
+func (s *Segment) SetResizeRequest(pid PID, n int) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.procs[pid]
+	if !ok {
+		return derr.ErrNoProc
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.ResizeRequest = n
+	s.bump()
+	return derr.Success
+}
+
+// SetStolen replaces the theft records of a pid (used when an admin
+// shrinks victims after the entry already exists).
+func (s *Segment) SetStolen(pid PID, stolen []Theft) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.procs[pid]
+	if !ok {
+		return derr.ErrNoProc
+	}
+	e.Stolen = append([]Theft(nil), stolen...)
+	s.bump()
+	return derr.Success
+}
+
+// Generation returns the segment's mutation counter.
+func (s *Segment) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
+}
+
+// WaitClean blocks until the entry for pid is not dirty, the pid
+// disappears, or the generation counter advances past maxGens
+// mutations without the flag clearing (a coarse deadlock guard used to
+// implement synchronous-with-timeout semantics in virtual time). The
+// cancel channel aborts the wait.
+func (s *Segment) WaitClean(pid PID, cancel <-chan struct{}) derr.Code {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		e, ok := s.procs[pid]
+		if !ok {
+			return derr.ErrNoProc
+		}
+		if !e.Dirty {
+			return derr.Success
+		}
+		select {
+		case <-cancel:
+			return derr.ErrTimeout
+		default:
+		}
+		// Wait for any mutation; re-check afterwards. A background
+		// goroutine watching cancel pokes the cond so we never sleep
+		// past cancellation.
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-cancel:
+				s.cond.Broadcast()
+			case <-done:
+			}
+		}()
+		s.cond.Wait()
+		close(done)
+	}
+}
+
+// Watch subscribes to dirty-flag notifications for pid. The returned
+// channel receives a token whenever an administrator stages a mask for
+// pid. Used by the async helper-thread mode.
+func (s *Segment) Watch(pid PID) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	s.watchers[pid] = append(s.watchers[pid], ch)
+	return ch
+}
+
+// Unwatch removes a previously registered watcher channel.
+func (s *Segment) Unwatch(pid PID, ch <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.watchers[pid]
+	for i, w := range ws {
+		if w == ch {
+			s.watchers[pid] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Segment) notifyLocked(pid PID) {
+	for _, ch := range s.watchers[pid] {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending token
+		}
+	}
+}
+
+// bump must be called with the lock held after any mutation.
+func (s *Segment) bump() {
+	s.generation++
+	s.cond.Broadcast()
+}
+
+// Snapshot returns copies of all entries, for tests and diagnostics.
+func (s *Segment) Snapshot() []ProcEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProcEntry, 0, len(s.procs))
+	for _, e := range s.procs {
+		out = append(out, *e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Registry maps segment names to segments, emulating the /dev/shm
+// namespace. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	segments map[string]*Segment
+	nextPID  int64
+}
+
+// NewRegistry returns an empty namespace.
+func NewRegistry() *Registry {
+	return &Registry{segments: make(map[string]*Segment), nextPID: 1000}
+}
+
+// Open returns the segment with the given name, creating it with the
+// provided node CPU set and capacity if absent. Reopening an existing
+// segment ignores nodeCPUs/maxProcs, as a second shm_open would.
+func (r *Registry) Open(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *Segment {
+	if maxProcs <= 0 {
+		maxProcs = DefaultMaxProcs
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.segments[name]; ok {
+		return s
+	}
+	s := newSegment(name, nodeCPUs, maxProcs)
+	r.segments[name] = s
+	return s
+}
+
+// Get returns the named segment or nil if it does not exist.
+func (r *Registry) Get(name string) *Segment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.segments[name]
+}
+
+// Delete removes the named segment (shm_unlink).
+func (r *Registry) Delete(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.segments, name)
+}
+
+// Names returns all segment names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.segments))
+	for n := range r.segments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllocPID returns a fresh virtual PID, unique within the registry.
+func (r *Registry) AllocPID() PID {
+	return PID(atomic.AddInt64(&r.nextPID, 1))
+}
+
+func (r *Registry) String() string {
+	return fmt.Sprintf("shmem.Registry(%d segments)", len(r.Names()))
+}

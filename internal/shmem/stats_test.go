@@ -1,0 +1,59 @@
+package shmem
+
+import (
+	"testing"
+
+	"repro/internal/cpuset"
+)
+
+func TestStatsCountPollsAndMaskChanges(t *testing.T) {
+	s := newTestSegment(t)
+	s.Register(1, cpuset.Range(0, 15))
+	s.ApplyFuture(1) // NoUpdate poll
+	s.SetFuture(1, cpuset.Range(0, 7))
+	s.ApplyFuture(1) // shrink applied
+	s.SetFuture(1, cpuset.Range(0, 11))
+	s.ApplyFuture(1) // grow applied
+
+	st, ok := s.StatsOf(1)
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if st.Polls != 3 {
+		t.Errorf("Polls = %d, want 3", st.Polls)
+	}
+	if st.MaskChanges != 2 {
+		t.Errorf("MaskChanges = %d, want 2", st.MaskChanges)
+	}
+	if st.CPUsLost != 8 || st.CPUsGained != 4 {
+		t.Errorf("CPUs lost/gained = %d/%d, want 8/4", st.CPUsLost, st.CPUsGained)
+	}
+}
+
+func TestStatsCountLewiOps(t *testing.T) {
+	s := newTestSegment(t)
+	s.Register(1, cpuset.Range(0, 7))
+	s.Register(2, cpuset.Range(8, 15))
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(2, cpuset.Range(8, 15))
+
+	s.LendCPUs(1, cpuset.Range(4, 7))
+	s.BorrowCPUs(2, 2)
+	s.ReclaimCPUs(1, cpuset.Range(0, 7))
+
+	st1, _ := s.StatsOf(1)
+	if st1.Lends != 1 || st1.CPUsLent != 4 || st1.Reclaims != 1 {
+		t.Errorf("pid1 stats = %+v", st1)
+	}
+	st2, _ := s.StatsOf(2)
+	if st2.Borrows != 1 || st2.CPUsBorrowed != 2 {
+		t.Errorf("pid2 stats = %+v", st2)
+	}
+}
+
+func TestStatsOfMissingPID(t *testing.T) {
+	s := newTestSegment(t)
+	if _, ok := s.StatsOf(99); ok {
+		t.Error("stats for missing pid")
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim is a minimal discrete-event simulation engine with
+// virtual time in seconds. The cluster evaluation (§6) runs on it:
+// application models advance iteration by iteration, and every
+// scheduling or malleability action executes through the real DROM
+// code — only durations are virtual.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// EventID identifies a scheduled event for cancellation.
+type EventID int64
+
+type event struct {
+	t   float64
+	seq int64 // tie-break: FIFO among simultaneous events
+	id  EventID
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use: all events run on the caller of Run/Step.
+type Engine struct {
+	now       float64
+	queue     eventHeap
+	nextSeq   int64
+	nextID    EventID
+	cancelled map[EventID]bool
+	processed int64
+	stopped   bool
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{cancelled: make(map[EventID]bool)}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed.
+func (e *Engine) Processed() int64 { return e.processed }
+
+// Pending returns the number of events still queued (including
+// cancelled ones not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics —
+// it is always a bug in the model.
+func (e *Engine) At(t float64, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: invalid event time %v", t))
+	}
+	e.nextID++
+	id := e.nextID
+	e.nextSeq++
+	heap.Push(&e.queue, &event{t: t, seq: e.nextSeq, id: id, fn: fn})
+	return id
+}
+
+// After schedules fn delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, fn func()) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// unknown event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	e.cancelled[id] = true
+}
+
+// Step executes the next event. It returns false when the queue is
+// empty or the engine was stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if e.cancelled[ev.id] {
+			delete(e.cancelled, ev.id)
+			continue
+		}
+		e.now = ev.t
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// t (if it is in the future).
+func (e *Engine) RunUntil(t float64) {
+	for len(e.queue) > 0 && !e.stopped {
+		// Peek.
+		next := e.queue[0]
+		if e.cancelled[next.id] {
+			heap.Pop(&e.queue)
+			delete(e.cancelled, next.id)
+			continue
+		}
+		if next.t > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event.
+func (e *Engine) Stop() { e.stopped = true }

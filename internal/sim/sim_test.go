@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	e.After(3, func() { order = append(order, 3) })
+	e.After(1, func() { order = append(order, 1) })
+	e.After(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var rec func()
+	n := 0
+	rec = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 4 {
+			e.After(1.5, rec)
+		}
+	}
+	e.After(1, rec)
+	e.Run()
+	want := []float64{1, 2.5, 4, 5.5}
+	if len(times) != 4 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.After(1, func() { ran = true })
+	e.Cancel(id)
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Cancelling twice or after run is harmless.
+	e.Cancel(id)
+	e.Cancel(9999)
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past should panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.After(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(2.5)
+	if len(ran) != 2 {
+		t.Fatalf("ran = %v", ran)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("after Run ran = %v", ran)
+	}
+}
+
+func TestRunUntilAdvancesEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(float64(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop", count)
+	}
+}
+
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var times []float64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			times = append(times, e.Now())
+			if depth < 3 {
+				for i := 0; i < r.Intn(3); i++ {
+					e.After(r.Float64()*10, func() { schedule(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			e.After(r.Float64()*100, func() { schedule(0) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(float64(i%100), func() {})
+	}
+	e.Run()
+}

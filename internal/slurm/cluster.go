@@ -1,0 +1,148 @@
+// Package slurm simulates the SLURM pieces the paper modifies (§5): a
+// cluster controller (slurmctld) with a priority queue and node
+// selection, per-node daemons (slurmd) whose task/affinity plugin
+// computes CPU masks for new *and running* jobs, and step daemons
+// (slurmstepd) that apply masks at launch and finalize tasks. The
+// DROM-enabled code path implements the Figure 2 protocol:
+//
+//	launch_request (1)  slurmd computes masks, shrinking running jobs
+//	pre_launch     (2)  slurmstepd reserves via DROM_PreInit (2.1)
+//	DLB_PollDROM   (3)  running tasks apply the shrink at a safe point
+//	post_term      (4)  DROM_PostFinalize (4.1) returns stolen CPUs
+//	release_res.   (5)  freed CPUs redistributed to running tasks (5.1)
+package slurm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/hwmodel"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Policy selects how the controller treats busy nodes.
+type Policy int
+
+const (
+	// PolicySerial is the baseline: nodes are exclusive, a job waits
+	// until its nodes are completely free (the paper's "Serial"
+	// scenario).
+	PolicySerial Policy = iota
+	// PolicyDROM co-allocates jobs on busy nodes by repartitioning
+	// CPUs through DROM (the paper's contribution).
+	PolicyDROM
+	// PolicyOversubscribe co-allocates *without* shrinking: masks
+	// overlap and CPUs are time-shared. The related-work baseline
+	// ([14]/[26]) that DROM is designed to beat; used by the ablation
+	// benches.
+	PolicyOversubscribe
+	// PolicyPreempt checkpoints and requeues lower-priority running
+	// jobs when a higher-priority job arrives (the other §6.2 baseline:
+	// "the already running job needs to be preempted ... which would
+	// degrade the performance"). Checkpoint and restart costs apply.
+	PolicyPreempt
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicySerial:
+		return "serial"
+	case PolicyDROM:
+		return "drom"
+	case PolicyOversubscribe:
+		return "oversubscribe"
+	case PolicyPreempt:
+		return "preempt"
+	}
+	return "?"
+}
+
+// Cluster is the simulated machine: nodes with DROM shared memory,
+// the demand table coupling co-runners, and the event engine.
+type Cluster struct {
+	Machine hwmodel.Machine
+	Nodes   []string
+
+	Engine *sim.Engine
+	Demand *apps.DemandTable
+	Tracer *trace.Tracer // optional
+
+	// Jitter, when non-nil, perturbs every iteration duration by a
+	// seeded random factor (JitterFrac relative amplitude),
+	// reproducing the run-to-run variability of the paper's real-
+	// machine measurements (reported CV up to 3.4%).
+	Jitter     *rand.Rand
+	JitterFrac float64
+
+	reg *shmem.Registry
+	sys map[string]*core.System
+}
+
+// NewCluster builds a cluster of n nodes of the given machine type.
+func NewCluster(eng *sim.Engine, m hwmodel.Machine, n int, tracer *trace.Tracer) *Cluster {
+	c := &Cluster{
+		Machine: m,
+		Engine:  eng,
+		Demand:  apps.NewDemandTable(m),
+		Tracer:  tracer,
+		reg:     shmem.NewRegistry(),
+		sys:     make(map[string]*core.System),
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d", i)
+		c.Nodes = append(c.Nodes, name)
+		c.sys[name] = core.NewSystem(c.reg.Open(name, m.NodeMask(), 0))
+	}
+	return c
+}
+
+// System returns the DROM system of a node.
+func (c *Cluster) System(node string) *core.System { return c.sys[node] }
+
+// AllocPID returns a fresh virtual PID.
+func (c *Cluster) AllocPID() shmem.PID { return c.reg.AllocPID() }
+
+// Job is one submission.
+type Job struct {
+	Name string
+	Spec apps.Spec
+	Cfg  apps.Config
+	// Iters overrides the spec's default iteration count (job size).
+	Iters int
+	// Nodes is the number of nodes requested (the paper always uses 2).
+	Nodes int
+	// Priority orders the queue (higher first, FIFO within equal).
+	Priority int
+	// Malleable marks the job as DROM-capable. Non-malleable jobs are
+	// never shrunk and never co-allocated onto.
+	Malleable bool
+}
+
+// Validate checks the job shape.
+func (j *Job) Validate(cluster *Cluster) error {
+	if j.Nodes <= 0 || j.Nodes > len(cluster.Nodes) {
+		return fmt.Errorf("slurm: job %s wants %d nodes, cluster has %d", j.Name, j.Nodes, len(cluster.Nodes))
+	}
+	if j.Cfg.Ranks%j.Nodes != 0 {
+		return fmt.Errorf("slurm: job %s has %d ranks over %d nodes (must divide)", j.Name, j.Cfg.Ranks, j.Nodes)
+	}
+	if j.Cfg.Threads < 1 || j.Cfg.Ranks < 1 {
+		return fmt.Errorf("slurm: job %s has invalid config %v", j.Name, j.Cfg)
+	}
+	perNode := (j.Cfg.Ranks / j.Nodes) * j.Cfg.Threads
+	if perNode > cluster.Machine.CoresPerNode() {
+		return fmt.Errorf("slurm: job %s wants %d CPUs/node, node has %d", j.Name, perNode, cluster.Machine.CoresPerNode())
+	}
+	return nil
+}
+
+// RanksPerNode returns how many of the job's MPI ranks land on each
+// node.
+func (j *Job) RanksPerNode() int { return j.Cfg.Ranks / j.Nodes }
+
+// CPUsPerNode returns the CPUs the job requests on each node.
+func (j *Job) CPUsPerNode() int { return j.RanksPerNode() * j.Cfg.Threads }

@@ -1,0 +1,567 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+	"repro/internal/metrics"
+	"repro/internal/shmem"
+)
+
+// DefaultLaunchLatency models srun + slurmstepd startup.
+const DefaultLaunchLatency = 1.0 // seconds
+
+// taskRef is one launched task.
+type taskRef struct {
+	pid  shmem.PID
+	node string
+}
+
+// runningJob tracks a launched job.
+type runningJob struct {
+	job    *Job
+	submit float64
+	start  float64
+	nodes  []string
+	tasks  []taskRef // rank order
+	inst   *apps.Instance
+}
+
+func (r *runningJob) onNode(node string) []taskRef {
+	var out []taskRef
+	for _, t := range r.tasks {
+		if t.node == node {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// queuedJob is a waiting submission, or a checkpointed job awaiting
+// resumption (resume != nil).
+type queuedJob struct {
+	job    *Job
+	submit float64
+	seq    int
+	resume *runningJob
+}
+
+// NodeSelection orders candidate nodes when a job can be placed on a
+// subset of them: the paper's future-work knob ("at resource
+// management level, by choosing as 'victim' nodes the ones with lower
+// utilization").
+type NodeSelection int
+
+const (
+	// SelectFreest prefers the least-utilized nodes (the paper's
+	// suggested victim choice). Default.
+	SelectFreest NodeSelection = iota
+	// SelectPacked prefers the most-utilized nodes that still fit,
+	// consolidating jobs and keeping nodes free for wide jobs.
+	SelectPacked
+)
+
+func (s NodeSelection) String() string {
+	if s == SelectPacked {
+		return "packed"
+	}
+	return "freest"
+}
+
+// Controller is the slurmctld simulation: queueing, node selection and
+// the DROM-enabled launch/termination protocol via per-node slurmd
+// administrators.
+type Controller struct {
+	cluster *Cluster
+	policy  Policy
+
+	// NodeSelection orders candidate nodes for placement.
+	NodeSelection NodeSelection
+
+	// ServeEvolving makes the controller grant evolving-application
+	// resize requests whenever resources free up.
+	ServeEvolving bool
+
+	// Backfill lets queued jobs behind a blocked head start when they
+	// fit (fit-based backfilling; the paper keeps slurmctld FCFS, this
+	// is an extension knob for the scheduling-policy experiments).
+	Backfill bool
+
+	// LaunchLatency is the srun→running delay.
+	LaunchLatency float64
+	// CheckpointCost / RestartCost model the state save/restore of the
+	// preemption baseline (seconds per preempted job).
+	CheckpointCost float64
+	RestartCost    float64
+	// drainUntil blocks launches while a checkpoint is in progress.
+	drainUntil float64
+
+	queue   []*queuedJob
+	seq     int
+	running []*runningJob
+	admins  map[string]*core.Admin
+
+	// Records accumulates the per-job lifecycle metrics.
+	Records metrics.Workload
+
+	// Log accumulates the DROM protocol events (Figure 2) when
+	// LogProtocol is set.
+	LogProtocol bool
+	Log         []ProtocolEvent
+
+	// Err holds the first internal error (model bugs surface loudly).
+	Err error
+}
+
+// ProtocolEvent is one step of the Figure-2 launch/termination
+// protocol as executed by the controller and its per-node daemons.
+type ProtocolEvent struct {
+	Time   float64
+	Node   string
+	Step   string // launch_request, pre_launch, post_term, release_resources
+	Detail string
+}
+
+func (e ProtocolEvent) String() string {
+	return fmt.Sprintf("t=%8.1fs %-6s %-17s %s", e.Time, e.Node, e.Step, e.Detail)
+}
+
+// logf appends a protocol event when logging is on.
+func (ctl *Controller) logf(node, step, format string, args ...interface{}) {
+	if !ctl.LogProtocol {
+		return
+	}
+	ctl.Log = append(ctl.Log, ProtocolEvent{
+		Time: ctl.cluster.Engine.Now(), Node: node, Step: step,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// NewController creates a controller with the given policy. One slurmd
+// administrator attaches per node.
+func NewController(c *Cluster, policy Policy) *Controller {
+	ctl := &Controller{
+		cluster:        c,
+		policy:         policy,
+		LaunchLatency:  DefaultLaunchLatency,
+		CheckpointCost: 120,
+		RestartCost:    120,
+		admins:         make(map[string]*core.Admin),
+	}
+	for _, n := range c.Nodes {
+		admin, code := c.System(n).Attach()
+		if code.IsError() {
+			panic(code)
+		}
+		ctl.admins[n] = admin
+	}
+	return ctl
+}
+
+// Policy returns the controller's scheduling policy.
+func (ctl *Controller) Policy() Policy { return ctl.policy }
+
+// QueueLen returns the number of waiting jobs.
+func (ctl *Controller) QueueLen() int { return len(ctl.queue) }
+
+// RunningLen returns the number of running jobs.
+func (ctl *Controller) RunningLen() int { return len(ctl.running) }
+
+// Submit enqueues a job at the current virtual time and tries to
+// schedule.
+func (ctl *Controller) Submit(j *Job) error {
+	if err := j.Validate(ctl.cluster); err != nil {
+		return err
+	}
+	ctl.seq++
+	ctl.queue = append(ctl.queue, &queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq})
+	ctl.trySchedule()
+	return nil
+}
+
+// fail records the first internal error.
+func (ctl *Controller) fail(err error) {
+	if ctl.Err == nil {
+		ctl.Err = err
+	}
+}
+
+// trySchedule walks the queue in priority order and launches whatever
+// fits. FCFS within a priority level, no backfilling (the paper leaves
+// slurmctld's policies untouched).
+func (ctl *Controller) trySchedule() {
+	sort.SliceStable(ctl.queue, func(i, j int) bool {
+		if ctl.queue[i].job.Priority != ctl.queue[j].job.Priority {
+			return ctl.queue[i].job.Priority > ctl.queue[j].job.Priority
+		}
+		return ctl.queue[i].seq < ctl.queue[j].seq
+	})
+	// While a checkpoint drain is in progress, hold all launches.
+	if now := ctl.cluster.Engine.Now(); now < ctl.drainUntil {
+		ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
+		return
+	}
+	for i := 0; i < len(ctl.queue); {
+		q := ctl.queue[i]
+		nodes, plans := ctl.selectNodes(q.job)
+		if nodes == nil {
+			if i == 0 && ctl.policy == PolicyPreempt && ctl.tryPreempt(q.job) {
+				return // checkpoint in progress; retry scheduled
+			}
+			if !ctl.Backfill {
+				return // head-of-line blocks (FCFS)
+			}
+			i++ // backfill: try the next queued job
+			continue
+		}
+		ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+		ctl.launch(q, nodes, plans)
+		// Restart the scan: the launch changed the cluster state.
+		i = 0
+	}
+}
+
+// tryPreempt checkpoints every running job with lower priority than j,
+// requeues them for later resumption, and schedules a re-try once the
+// checkpoint completes. Returns false when nothing can be preempted.
+func (ctl *Controller) tryPreempt(j *Job) bool {
+	var victims []*runningJob
+	for _, r := range ctl.running {
+		if r.job.Priority < j.Priority {
+			victims = append(victims, r)
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	for _, v := range victims {
+		v.inst.Stop()
+		for i, rr := range ctl.running {
+			if rr == v {
+				ctl.running = append(ctl.running[:i], ctl.running[i+1:]...)
+				break
+			}
+		}
+		ctl.seq++
+		ctl.queue = append(ctl.queue, &queuedJob{
+			job: v.job, submit: v.submit, seq: ctl.seq, resume: v,
+		})
+		ctl.logf(v.nodes[0], "preempt", "job %s checkpointed after %d iterations",
+			v.job.Name, v.inst.ItersDone())
+	}
+	ctl.drainUntil = ctl.cluster.Engine.Now() + ctl.CheckpointCost
+	ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
+	return true
+}
+
+// jobsOn returns the running jobs with tasks on node, as slurmd input.
+func (ctl *Controller) jobsOn(node string) []JobOnNode {
+	var out []JobOnNode
+	for _, r := range ctl.running {
+		refs := r.onNode(node)
+		if len(refs) == 0 {
+			continue
+		}
+		jn := JobOnNode{Job: r.job}
+		for _, t := range refs {
+			// Use the *effective* mask: a staged-but-unapplied change
+			// (dirty future) is already binding for planning purposes —
+			// the CPUs it drops are promised to someone else, and the
+			// CPUs it gains are spoken for.
+			e, code := ctl.admins[node].Inspect(t.pid)
+			if code.IsError() {
+				continue // task gone mid-plan; skip
+			}
+			mask := e.CurrentMask
+			if e.Dirty {
+				mask = e.FutureMask
+			}
+			jn.Tasks = append(jn.Tasks, TaskInfo{PID: t.pid, Mask: mask})
+		}
+		out = append(out, jn)
+	}
+	return out
+}
+
+// selectNodes picks nodes for a job under the active policy and
+// returns the per-node launch plans. nil means the job must wait.
+func (ctl *Controller) selectNodes(j *Job) ([]string, map[string]LaunchPlan) {
+	type cand struct {
+		node string
+		free int
+		plan LaunchPlan
+	}
+	var cands []cand
+	for _, node := range ctl.cluster.Nodes {
+		occupants := ctl.jobsOn(node)
+		switch ctl.policy {
+		case PolicySerial, PolicyPreempt:
+			if len(occupants) > 0 {
+				continue
+			}
+			plan, err := PlanLaunch(ctl.cluster.Machine, nil, j)
+			if err != nil {
+				continue
+			}
+			cands = append(cands, cand{node, ctl.cluster.Machine.CoresPerNode(), plan})
+		case PolicyDROM:
+			if !j.Malleable && len(occupants) > 0 {
+				continue // a rigid job needs free nodes
+			}
+			coAllocOK := true
+			for _, o := range occupants {
+				if !o.Job.Malleable {
+					coAllocOK = false
+				}
+			}
+			if !coAllocOK {
+				continue
+			}
+			plan, err := PlanLaunch(ctl.cluster.Machine, occupants, j)
+			if err != nil {
+				continue
+			}
+			free := ctl.cluster.System(node).Segment().FreeMask().Count()
+			cands = append(cands, cand{node, free, plan})
+		case PolicyOversubscribe:
+			// Always feasible: overlap the requested layout.
+			plan := LaunchPlan{Shrinks: map[shmem.PID]cpuset.CPUSet{}}
+			per := splitEven(j.CPUsPerNode(), j.RanksPerNode())
+			lo := 0
+			for _, n := range per {
+				plan.NewTaskMasks = append(plan.NewTaskMasks, cpuset.Range(lo, lo+n-1))
+				lo += n
+			}
+			cands = append(cands, cand{node, 0, plan})
+		}
+	}
+	if len(cands) < j.Nodes {
+		return nil, nil
+	}
+	// Order candidates per the configured victim-node policy.
+	switch ctl.NodeSelection {
+	case SelectPacked:
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].free < cands[b].free })
+	default: // SelectFreest: "victim nodes the ones with lower utilization"
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
+	}
+	nodes := make([]string, 0, j.Nodes)
+	plans := make(map[string]LaunchPlan, j.Nodes)
+	for _, c := range cands[:j.Nodes] {
+		nodes = append(nodes, c.node)
+		plans[c.node] = c.plan
+	}
+	sort.Strings(nodes)
+	return nodes, plans
+}
+
+// launch executes the Figure 2 protocol for a scheduled job, or
+// resumes a checkpointed one on fresh placements.
+func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]LaunchPlan) {
+	j := q.job
+	r := q.resume
+	if r != nil {
+		// Resumption: reuse the running-job record (submit and start
+		// are preserved so response time spans the suspension).
+		r.nodes = nodes
+		r.tasks = nil
+	} else {
+		r = &runningJob{job: j, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
+	}
+
+	var placements []apps.Placement
+	for _, node := range nodes {
+		plan := plans[node]
+		admin := ctl.admins[node]
+		ctl.logf(node, "launch_request", "job %s: %d new task(s), %d victim shrink(s) planned",
+			j.Name, len(plan.NewTaskMasks), len(plan.Shrinks))
+		// pre_launch: reserve the new tasks' CPUs via DROM_PreInit with
+		// the steal flag. PreInit itself stages the victims' shrinks
+		// (to exactly the masks launch_request planned, since the new
+		// masks are the complement of the planned keeps) and records
+		// the thefts so post_term can return the CPUs.
+		for _, mask := range plan.NewTaskMasks {
+			pid := ctl.cluster.AllocPID()
+			r.tasks = append(r.tasks, taskRef{pid: pid, node: node})
+			if ctl.policy == PolicyOversubscribe {
+				// No reservation: the task will register directly with
+				// an overlapping mask.
+			} else {
+				if code := admin.PreInit(pid, mask, core.FlagSteal); code.IsError() {
+					ctl.fail(fmt.Errorf("slurm: PreInit pid %d on %s: %w", pid, node, code))
+				}
+				ctl.logf(node, "pre_launch", "DROM_PreInit(pid=%d, mask=%s, STEAL)", pid, mask)
+			}
+			placements = append(placements, apps.Placement{
+				Node: node, Sys: ctl.cluster.System(node), PID: pid, InitialMask: mask,
+			})
+		}
+	}
+
+	if q.resume != nil {
+		// Resume from the checkpoint, paying the restart cost.
+		ctl.running = append(ctl.running, r)
+		inst := r.inst
+		pls := placements
+		ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
+			if err := inst.Resume(pls, ctl.RestartCost); err != nil {
+				ctl.fail(err)
+			}
+		})
+		ctl.logf(nodes[0], "resume", "job %s resumed at %d/%d iterations",
+			j.Name, inst.ItersDone(), inst.Iters)
+		return
+	}
+
+	inst, err := apps.NewInstance(j.Spec, j.Cfg, j.Iters, j.Name,
+		ctl.cluster.Engine, ctl.cluster.Demand, ctl.cluster.Tracer, placements)
+	if err != nil {
+		ctl.fail(err)
+		return
+	}
+	inst.FinalizeExternally = true
+	inst.Jitter = ctl.cluster.Jitter
+	inst.JitterFrac = ctl.cluster.JitterFrac
+	inst.OnComplete = func(end float64) { ctl.onJobEnd(r, end) }
+	r.inst = inst
+	ctl.running = append(ctl.running, r)
+
+	// srun/slurmstepd latency, then the task starts (DLB_Init).
+	ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
+		if err := inst.Start(); err != nil {
+			ctl.fail(err)
+		}
+	})
+}
+
+// onJobEnd implements post_term + release_resources.
+func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
+	// post_term: DROM_PostFinalize each task, returning stolen CPUs to
+	// their original owners when they still run.
+	for _, t := range r.tasks {
+		admin := ctl.admins[t.node]
+		if code := admin.PostFinalize(t.pid, core.FlagReturnStolen); code.IsError() && code != derr.ErrNoProc {
+			ctl.fail(fmt.Errorf("slurm: PostFinalize pid %d: %w", t.pid, code))
+		}
+		ctl.logf(t.node, "post_term", "DROM_PostFinalize(pid=%d, RETURN_STOLEN)", t.pid)
+	}
+	// Drop the job from the running set.
+	for i, rr := range ctl.running {
+		if rr == r {
+			ctl.running = append(ctl.running[:i], ctl.running[i+1:]...)
+			break
+		}
+	}
+	ctl.Records.Add(metrics.JobRecord{
+		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
+	})
+	// release_resources: expand surviving jobs into the freed CPUs.
+	if ctl.policy == PolicyDROM {
+		for _, node := range r.nodes {
+			ctl.releaseResources(node)
+		}
+	}
+	// Freed capacity may unblock the queue.
+	ctl.trySchedule()
+	if ctl.ServeEvolving {
+		ctl.ServeEvolvingRequests()
+	}
+}
+
+// Cancel kills a job (scancel): a queued job is dropped; a running job
+// is stopped immediately, its tasks finalized and its CPUs
+// redistributed. The job is recorded with its end at the current time.
+// Returns false if the job is unknown.
+func (ctl *Controller) Cancel(name string) bool {
+	for i, q := range ctl.queue {
+		if q.job.Name == name {
+			ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+			ctl.Records.Add(metrics.JobRecord{
+				Name: name, Submit: q.submit,
+				Start: ctl.cluster.Engine.Now(), End: ctl.cluster.Engine.Now(),
+			})
+			return true
+		}
+	}
+	for _, r := range ctl.running {
+		if r.job.Name == name {
+			r.inst.Stop()
+			ctl.logf(r.nodes[0], "scancel", "job %s killed at %d/%d iterations",
+				name, r.inst.ItersDone(), r.inst.Iters)
+			ctl.onJobEnd(r, ctl.cluster.Engine.Now())
+			return true
+		}
+	}
+	return false
+}
+
+// ServeEvolvingRequests scans every node for evolving-application
+// resize requests (§2's PMIx-style model, complementary to DROM) and
+// grants what the current state allows: shrinks immediately, grows
+// bounded by the node's free CPUs. Called automatically on job
+// completion when ServeEvolving is set, or explicitly by the operator.
+func (ctl *Controller) ServeEvolvingRequests() {
+	for _, node := range ctl.cluster.Nodes {
+		admin := ctl.admins[node]
+		reqs, code := admin.ResizeRequests()
+		if code.IsError() {
+			continue
+		}
+		for _, req := range reqs {
+			e, code := admin.Inspect(req.PID)
+			if code.IsError() {
+				continue
+			}
+			cur := e.CurrentMask
+			if e.Dirty {
+				cur = e.FutureMask
+			}
+			var next cpuset.CPUSet
+			if req.Want < req.Current {
+				next = ctl.cluster.Machine.SocketAwarePick(cur, req.Want)
+			} else {
+				free := ctl.cluster.System(node).Segment().FreeMask()
+				extra := ctl.cluster.Machine.SocketAwarePick(free, req.Want-req.Current)
+				if extra.IsEmpty() {
+					continue // nothing to grant now
+				}
+				next = cur.Or(extra)
+			}
+			if next.IsEmpty() || next.Equal(cur) {
+				continue
+			}
+			if code := admin.SetProcessMask(req.PID, next, core.FlagNone); code.IsError() {
+				ctl.fail(fmt.Errorf("slurm: evolving grant pid %d on %s: %w", req.PID, node, code))
+				continue
+			}
+			ctl.logf(node, "evolving_grant", "pid=%d %d->%d CPUs (mask=%s)",
+				req.PID, req.Current, next.Count(), next)
+		}
+	}
+}
+
+// releaseResources redistributes the free CPUs of a node to running
+// malleable jobs below their request (Figure 2 step 5, using
+// GetPidList/GetProcessMask/SetProcessMask).
+func (ctl *Controller) releaseResources(node string) {
+	admin := ctl.admins[node]
+	free := ctl.cluster.System(node).Segment().FreeMask()
+	if free.IsEmpty() {
+		return
+	}
+	grown := PlanExpand(ctl.cluster.Machine, ctl.jobsOn(node), free)
+	for pid, mask := range grown {
+		// Preserve any pending staged mask: grow from the future value.
+		if e, code := admin.Inspect(pid); !code.IsError() && e.Dirty {
+			mask = e.FutureMask.Or(mask.AndNot(e.CurrentMask))
+		}
+		if code := admin.SetProcessMask(pid, mask, core.FlagNone); code.IsError() {
+			ctl.fail(fmt.Errorf("slurm: expand pid %d to %s on %s: %w", pid, mask, node, code))
+		}
+		ctl.logf(node, "release_resources", "DROM_SetProcessMask(pid=%d, mask=%s) [expand]", pid, mask)
+	}
+}

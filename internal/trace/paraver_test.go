@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePRVHeader(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver ") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Duration 10 s = 1e10 ns.
+	if !strings.Contains(lines[0], "10000000000_ns") {
+		t.Errorf("duration missing: %q", lines[0])
+	}
+	// Two applications (jobs a and b).
+	if !strings.Contains(lines[0], ":2:") {
+		t.Errorf("application count missing: %q", lines[0])
+	}
+}
+
+func TestWritePRVRecords(t *testing.T) {
+	tr := New()
+	tr.Add(Segment{Job: "a", Rank: 0, Thread: 0, CPU: 3, T0: 1, T1: 2, State: Run, IPC: 1})
+	tr.Add(Segment{Job: "a", Rank: 0, Thread: 0, CPU: 3, T0: 2, T1: 3, State: Idle})
+	tr.Add(Segment{Job: "a", Rank: 0, Thread: 1, CPU: -1, T0: 1, T1: 3, State: Removed})
+	var buf bytes.Buffer
+	if err := tr.WritePRV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + run + idle (removed skipped)
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	// Run record: state 1, cpu 4 (1-based), times relative to span lo.
+	if lines[1] != "1:4:1:1:1:0:1000000000:1" {
+		t.Errorf("run record = %q", lines[1])
+	}
+	if lines[2] != "1:4:1:1:1:1000000000:2000000000:0" {
+		t.Errorf("idle record = %q", lines[2])
+	}
+}
+
+func TestWritePCFAndROW(t *testing.T) {
+	tr := sampleTracer()
+	var pcf bytes.Buffer
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pcf.String(), "STATES_COLOR") {
+		t.Errorf("pcf missing colors:\n%s", pcf.String())
+	}
+	var row bytes.Buffer
+	if err := tr.WriteROW(&row); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(row.String(), "\n"), "\n")
+	// 3 distinct (job,rank,thread) rows in the sample.
+	if lines[0] != "LEVEL THREAD SIZE 3" {
+		t.Errorf("row header = %q", lines[0])
+	}
+	if lines[1] != "a.1.1" || lines[3] != "b.1.1" {
+		t.Errorf("row labels = %v", lines[1:])
+	}
+}
+
+func TestWritePRVRecordsSorted(t *testing.T) {
+	tr := New()
+	tr.Add(Segment{Job: "a", Thread: 0, CPU: 0, T0: 5, T1: 6, State: Run})
+	tr.Add(Segment{Job: "a", Thread: 1, CPU: 1, T0: 1, T1: 2, State: Run})
+	var buf bytes.Buffer
+	tr.WritePRV(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.Contains(lines[1], ":0:") {
+		t.Errorf("records not time-sorted: %q before %q", lines[1], lines[2])
+	}
+}

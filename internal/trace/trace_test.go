@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTracer() *Tracer {
+	t := New()
+	// Two threads of job "a": thread 0 busy 0..10, thread 1 busy 0..5
+	// then idle 5..10.
+	t.Add(Segment{Job: "a", Rank: 0, Thread: 0, CPU: 0, T0: 0, T1: 10, State: Run, IPC: 1.0, CyclesPerUs: 2600})
+	t.Add(Segment{Job: "a", Rank: 0, Thread: 1, CPU: 1, T0: 0, T1: 5, State: Run, IPC: 1.2, CyclesPerUs: 2600})
+	t.Add(Segment{Job: "a", Rank: 0, Thread: 1, CPU: 1, T0: 5, T1: 10, State: Idle})
+	// Job "b" single segment.
+	t.Add(Segment{Job: "b", Rank: 0, Thread: 0, CPU: 8, T0: 2, T1: 8, State: Run, IPC: 0.5, CyclesPerUs: 2600})
+	return t
+}
+
+func TestAddDropsEmptySegments(t *testing.T) {
+	tr := New()
+	tr.Add(Segment{T0: 5, T1: 5})
+	tr.Add(Segment{T0: 5, T1: 4})
+	if len(tr.Segments()) != 0 {
+		t.Errorf("degenerate segments stored: %d", len(tr.Segments()))
+	}
+}
+
+func TestJobsAndFilter(t *testing.T) {
+	tr := sampleTracer()
+	jobs := tr.Jobs()
+	if len(jobs) != 2 || jobs[0] != "a" || jobs[1] != "b" {
+		t.Errorf("Jobs = %v", jobs)
+	}
+	if got := len(tr.Filter("a")); got != 3 {
+		t.Errorf("Filter(a) = %d segments", got)
+	}
+	if got := len(tr.Filter("")); got != 4 {
+		t.Errorf("Filter(all) = %d segments", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := sampleTracer()
+	lo, hi := tr.Span()
+	if lo != 0 || hi != 10 {
+		t.Errorf("Span = %v..%v", lo, hi)
+	}
+	var empty Tracer
+	lo, hi = empty.Span()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty Span = %v..%v", lo, hi)
+	}
+}
+
+func TestThreadUtilization(t *testing.T) {
+	tr := sampleTracer()
+	stats := tr.ThreadUtilization("a", 0, 10)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Thread != 0 || stats[0].Utilization != 1.0 {
+		t.Errorf("thread 0 util = %+v", stats[0])
+	}
+	if stats[1].Thread != 1 || stats[1].Utilization != 0.5 {
+		t.Errorf("thread 1 util = %+v", stats[1])
+	}
+	// Window clipping: only the busy half of thread 1.
+	stats = tr.ThreadUtilization("a", 0, 5)
+	if stats[1].Utilization != 1.0 {
+		t.Errorf("clipped util = %+v", stats[1])
+	}
+}
+
+func TestIPCHistogram(t *testing.T) {
+	tr := sampleTracer()
+	h := tr.IPCHistogram("a", 4, 2.0) // bins of 0.5
+	// IPC 1.0 for 10s in bin 2, IPC 1.2 for 5s in bin 2.
+	if h[2] != 15 {
+		t.Errorf("histogram = %v", h)
+	}
+	// Out-of-range IPC clamps to the last bin.
+	tr.Add(Segment{Job: "a", Thread: 2, T0: 0, T1: 1, State: Run, IPC: 99})
+	h = tr.IPCHistogram("a", 4, 2.0)
+	if h[3] != 1 {
+		t.Errorf("clamped histogram = %v", h)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	tr := sampleTracer()
+	out := tr.RenderTimeline("a", 20, "util")
+	if !strings.Contains(out, "a r0 t00") || !strings.Contains(out, "a r0 t01") {
+		t.Errorf("timeline missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	// Thread 0 full intensity everywhere; thread 1 has lighter cells in
+	// its idle half.
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("busy row lacks full shade: %q", lines[1])
+	}
+	// Cycles metric renders too.
+	out = tr.RenderTimeline("a", 10, "cycles")
+	if !strings.Contains(out, "metric=cycles") {
+		t.Errorf("cycles render:\n%s", out)
+	}
+	// Empty job.
+	if got := tr.RenderTimeline("zzz", 10, "util"); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/plot"
+	"repro/internal/trace"
+)
+
+// Chart converts a FigureData into a grouped bar chart (the visual
+// form of Figures 4, 6-12 and 15).
+func (f FigureData) Chart() plot.BarChart {
+	c := plot.BarChart{Title: fmt.Sprintf("%s: %s", f.ID, f.Title), YLabel: "seconds"}
+	// X labels in first-appearance order across series.
+	seen := map[string]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				c.XLabels = append(c.XLabels, p.X)
+			}
+		}
+	}
+	idx := map[string]int{}
+	for i, x := range c.XLabels {
+		idx[x] = i
+	}
+	for _, s := range f.Series {
+		bs := plot.BarSeries{Label: s.Label, Values: make([]float64, len(c.XLabels))}
+		for i := range bs.Values {
+			bs.Values[i] = math.NaN()
+		}
+		for _, p := range s.Points {
+			bs.Values[idx[p.X]] = p.Y
+		}
+		c.Series = append(c.Series, bs)
+	}
+	return c
+}
+
+// TimelineGantt converts a trace into a Gantt figure: one row per
+// (job, rank, thread), bucketed utilization as span intensity — the
+// visual form of the Figure 5/13 Paraver views.
+func TimelineGantt(tr *trace.Tracer, title string, buckets int) plot.Gantt {
+	if buckets <= 0 {
+		buckets = 240
+	}
+	lo, hi := tr.Span()
+	g := plot.Gantt{Title: title, XLabel: "time (s)", T0: lo, T1: hi}
+	if hi <= lo {
+		return g
+	}
+	type key struct {
+		job          string
+		rank, thread int
+	}
+	rows := map[key][]float64{}
+	weight := map[key][]float64{}
+	for _, s := range tr.Segments() {
+		if s.State == trace.Removed {
+			continue
+		}
+		k := key{s.Job, s.Rank, s.Thread}
+		if rows[k] == nil {
+			rows[k] = make([]float64, buckets)
+			weight[k] = make([]float64, buckets)
+		}
+		v := 0.0
+		if s.State == trace.Run {
+			v = 1
+		}
+		b0 := int((s.T0 - lo) / (hi - lo) * float64(buckets))
+		b1 := int((s.T1 - lo) / (hi - lo) * float64(buckets))
+		if b1 >= buckets {
+			b1 = buckets - 1
+		}
+		for b := b0; b <= b1; b++ {
+			rows[k][b] += v * s.Duration()
+			weight[k][b] += s.Duration()
+		}
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.thread < b.thread
+	})
+	jobIdx := map[string]int{}
+	for _, j := range tr.Jobs() {
+		jobIdx[j] = len(jobIdx)
+	}
+	bw := (hi - lo) / float64(buckets)
+	for _, k := range keys {
+		row := plot.GanttRow{
+			Label: fmt.Sprintf("%s r%d t%02d", k.job, k.rank, k.thread),
+			Group: jobIdx[k.job],
+		}
+		for b := 0; b < buckets; b++ {
+			if weight[k][b] <= 0 {
+				continue
+			}
+			util := rows[k][b] / weight[k][b]
+			if util <= 0.02 {
+				continue
+			}
+			row.Spans = append(row.Spans, plot.GanttSpan{
+				T0:        lo + bw*float64(b),
+				T1:        lo + bw*float64(b+1),
+				Intensity: util,
+			})
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return g
+}

@@ -1,0 +1,240 @@
+// Package workload assembles and runs the paper's evaluation scenarios
+// (§6): use case 1 (in-situ analytics) and use case 2 (high-priority
+// job), under the Serial baseline and the DROM-enabled SLURM. It
+// produces the measurements behind every figure of the evaluation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/hwmodel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/trace"
+)
+
+// Submission schedules one job at a virtual time.
+type Submission struct {
+	Job slurm.Job
+	At  float64
+}
+
+// Scenario is a reproducible workload description.
+type Scenario struct {
+	Name  string
+	Nodes int
+	Subs  []Submission
+	// Trace enables per-thread tracing (needed for Figures 5, 13, 14).
+	Trace bool
+	// LogProtocol records the Figure-2 DROM protocol events.
+	LogProtocol bool
+	// NodeSelection orders candidate nodes at placement (victim-node
+	// policy).
+	NodeSelection slurm.NodeSelection
+	// ServeEvolving makes the controller grant evolving-application
+	// resize requests when resources free up.
+	ServeEvolving bool
+	// Machine overrides the node model (zero value = MareNostrum III).
+	Machine hwmodel.Machine
+	// JitterFrac adds seeded run-to-run variability to iteration
+	// durations (0 = deterministic); Seed selects the stream.
+	JitterFrac float64
+	Seed       int64
+}
+
+// Result is one scenario execution.
+type Result struct {
+	Scenario string
+	Policy   slurm.Policy
+	Records  metrics.Workload
+	Tracer   *trace.Tracer
+	Protocol []slurm.ProtocolEvent
+	Err      error
+}
+
+// Run executes the scenario under the given policy on an MN3-like
+// cluster and returns the collected metrics.
+func Run(s Scenario, policy slurm.Policy) Result {
+	eng := sim.NewEngine()
+	var tr *trace.Tracer
+	if s.Trace {
+		tr = trace.New()
+	}
+	nodes := s.Nodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	machine := s.Machine
+	if machine.CoresPerNode() == 0 {
+		machine = hwmodel.MN3()
+	}
+	cluster := slurm.NewCluster(eng, machine, nodes, tr)
+	if s.JitterFrac > 0 {
+		cluster.Jitter = rand.New(rand.NewSource(s.Seed))
+		cluster.JitterFrac = s.JitterFrac
+	}
+	ctl := slurm.NewController(cluster, policy)
+	ctl.LogProtocol = s.LogProtocol
+	ctl.NodeSelection = s.NodeSelection
+	ctl.ServeEvolving = s.ServeEvolving
+	res := Result{Scenario: s.Name, Policy: policy, Tracer: tr}
+	for i := range s.Subs {
+		sub := s.Subs[i]
+		job := sub.Job // copy per run; controller mutates nothing but be safe
+		if sub.At == 0 {
+			if err := ctl.Submit(&job); err != nil {
+				res.Err = err
+				return res
+			}
+			continue
+		}
+		eng.At(sub.At, func() {
+			if err := ctl.Submit(&job); err != nil && res.Err == nil {
+				res.Err = err
+			}
+		})
+	}
+	eng.Run()
+	if res.Err == nil {
+		res.Err = ctl.Err
+	}
+	res.Records = ctl.Records
+	res.Protocol = ctl.Log
+	return res
+}
+
+// AnalyticsSubmitTime is when the UC1 analytics job enters the queue.
+const AnalyticsSubmitTime = 300
+
+// HighPrioSubmitTime is when the UC2 high-priority job arrives.
+const HighPrioSubmitTime = 1200
+
+// UC2NestIters sizes the UC2 NEST simulation (~2800 s at Conf. 1).
+const UC2NestIters = 2300
+
+// UC2NeuronIters sizes the UC2 CoreNeuron job (~590 s at Conf. 1).
+const UC2NeuronIters = 384
+
+// simSpec returns the spec for a simulator name.
+func simSpec(name string) apps.Spec {
+	switch name {
+	case "nest":
+		return apps.NEST()
+	case "coreneuron":
+		return apps.CoreNeuron()
+	}
+	panic(fmt.Sprintf("workload: unknown simulator %q", name))
+}
+
+// anaSpec returns the spec for an analytics name.
+func anaSpec(name string) apps.Spec {
+	switch name {
+	case "pils":
+		return apps.Pils()
+	case "stream":
+		return apps.STREAM()
+	}
+	panic(fmt.Sprintf("workload: unknown analytics %q", name))
+}
+
+// UC1 builds the in-situ analytics scenario: a simulation submitted at
+// t=0 and an analytics job at t=AnalyticsSubmitTime, both asking for 2
+// nodes (§6.1).
+func UC1(simName string, simCfg apps.Config, anaName string, anaCfg apps.Config, traced bool) Scenario {
+	return Scenario{
+		Name:  fmt.Sprintf("uc1/%s-%s+%s-%s", simName, simCfg, anaName, anaCfg),
+		Nodes: 2,
+		Trace: traced,
+		Subs: []Submission{
+			{Job: slurm.Job{
+				Name: simName, Spec: simSpec(simName), Cfg: simCfg,
+				Nodes: 2, Malleable: true,
+			}},
+			{At: AnalyticsSubmitTime, Job: slurm.Job{
+				Name: anaName, Spec: anaSpec(anaName), Cfg: anaCfg,
+				Nodes: 2, Malleable: true,
+			}},
+		},
+	}
+}
+
+// UC2 builds the high-priority job scenario (§6.2): a long NEST
+// Conf. 1 simulation, then a high-priority CoreNeuron Conf. 1 job
+// arriving at t=HighPrioSubmitTime. Under DROM the two jobs
+// equipartition the nodes (16/16 CPUs of 32).
+func UC2(traced bool) Scenario {
+	return Scenario{
+		Name:  "uc2/nest+coreneuron-highprio",
+		Nodes: 2,
+		Trace: traced,
+		Subs: []Submission{
+			{Job: slurm.Job{
+				Name: "nest", Spec: apps.NEST(), Cfg: apps.Config{Ranks: 2, Threads: 16},
+				Iters: UC2NestIters, Nodes: 2, Malleable: true,
+			}},
+			{At: HighPrioSubmitTime, Job: slurm.Job{
+				Name: "coreneuron", Spec: apps.CoreNeuron(), Cfg: apps.Config{Ranks: 2, Threads: 16},
+				Iters: UC2NeuronIters, Nodes: 2, Priority: 10, Malleable: true,
+			}},
+		},
+	}
+}
+
+// Compare runs a scenario under Serial and DROM and returns both.
+func Compare(s Scenario) (serial, drom Result) {
+	return Run(s, slurm.PolicySerial), Run(s, slurm.PolicyDROM)
+}
+
+// Repeated summarizes n jittered runs of a scenario under one policy,
+// reproducing the paper's measurement methodology ("average of at
+// least 3 runs", CV up to 3.4%).
+type Repeated struct {
+	Runs            int
+	MeanTotal       float64
+	CVTotal         float64
+	MeanAvgResponse float64
+}
+
+// RunN executes the scenario n times with seeds 1..n and the given
+// jitter fraction, and returns the aggregate statistics.
+func RunN(s Scenario, policy slurm.Policy, n int, jitterFrac float64) (Repeated, error) {
+	if n < 1 {
+		n = 1
+	}
+	totals := make([]float64, 0, n)
+	var respSum float64
+	for seed := 1; seed <= n; seed++ {
+		sc := s
+		sc.JitterFrac = jitterFrac
+		sc.Seed = int64(seed)
+		res := Run(sc, policy)
+		if res.Err != nil {
+			return Repeated{}, res.Err
+		}
+		totals = append(totals, res.Records.TotalRunTime())
+		respSum += res.Records.AvgResponseTime()
+	}
+	var mean float64
+	for _, v := range totals {
+		mean += v
+	}
+	mean /= float64(n)
+	var varsum float64
+	for _, v := range totals {
+		varsum += (v - mean) * (v - mean)
+	}
+	cv := 0.0
+	if mean > 0 {
+		cv = math.Sqrt(varsum/float64(n)) / mean
+	}
+	return Repeated{
+		Runs:            n,
+		MeanTotal:       mean,
+		CVTotal:         cv,
+		MeanAvgResponse: respSum / float64(n),
+	}, nil
+}
