@@ -472,6 +472,62 @@ func BenchmarkAblationAsyncVsPolling(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedPolicies1000 is the bundled scale benchmark of the
+// scheduling subsystem: a seeded 1000-job synthetic SWF trace on a
+// 4-node cluster, replayed under every sched policy. The malleable
+// policies must beat EASY on mean wait time — shrinking running jobs
+// through DROM admits the queue head immediately instead of making it
+// wait for a reservation.
+func BenchmarkSchedPolicies1000(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := map[string]cluster.SchedStats{}
+	for _, name := range cluster.SchedPolicyNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p, err := cluster.NewSchedPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st cluster.SchedStats
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunSched(sc, p)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				st = cluster.SchedStatsOf(sc, res)
+			}
+			stats[name] = st
+			b.ReportMetric(st.MeanWait, "mean-wait-s")
+			b.ReportMetric(st.P95Wait, "p95-wait-s")
+			b.ReportMetric(st.MeanResponse, "mean-resp-s")
+			b.ReportMetric(st.Makespan, "makespan-s")
+			b.ReportMetric(st.MeanSlowdown, "mean-bsld")
+		})
+	}
+	easy, haveEasy := stats["easy"]
+	if !haveEasy {
+		return // filtered run: nothing to compare against
+	}
+	if st, ok := stats["malleable-shrink"]; ok && st.MeanWait >= easy.MeanWait {
+		b.Errorf("malleable-shrink mean wait %.1fs, want below EASY %.1fs", st.MeanWait, easy.MeanWait)
+	}
+	if st, ok := stats["malleable-expand"]; ok {
+		if st.MeanWait >= easy.MeanWait {
+			b.Errorf("malleable-expand mean wait %.1fs, want below EASY %.1fs", st.MeanWait, easy.MeanWait)
+		}
+		// Mean wait alone is gameable (admit everything on a sliver of
+		// CPUs and let it crawl); the full malleable policy must also
+		// win end-to-end turnaround.
+		if st.MeanResponse >= easy.MeanResponse {
+			b.Errorf("malleable-expand mean response %.1fs, want below EASY %.1fs",
+				st.MeanResponse, easy.MeanResponse)
+		}
+	}
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

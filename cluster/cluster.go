@@ -7,10 +7,13 @@
 package cluster
 
 import (
+	"io"
+
 	"repro/internal/apps"
 	"repro/internal/djsb"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/slurm"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -133,3 +136,55 @@ func RunDJSB(p DJSBParams, pol Policy) (DJSBReport, error) { return djsb.Run(p, 
 
 // SummarizeDJSB computes the stream report from any finished result.
 func SummarizeDJSB(res Result) DJSBReport { return djsb.Summarize(res) }
+
+// ---------------------------------------------------------------------
+// Scheduling subsystem (internal/sched) and SWF-scale replay
+// ---------------------------------------------------------------------
+
+// SchedPolicy is a pluggable queue-ordering/admission policy: fcfs,
+// easy (backfill with head reservation), malleable-shrink (shrink
+// running jobs through DROM to admit the head) or malleable-expand
+// (additionally re-grow jobs once the queue drains).
+type SchedPolicy = sched.Policy
+
+// NewSchedPolicy resolves a policy by name (see sched.New for the
+// accepted aliases).
+func NewSchedPolicy(name string) (SchedPolicy, error) { return sched.New(name) }
+
+// SchedPolicyNames lists the canonical policy names.
+func SchedPolicyNames() []string { return sched.Names() }
+
+// RunSched executes a scenario under a SchedPolicy; every
+// malleability action flows through the real DROM protocol.
+func RunSched(s Scenario, p SchedPolicy) Result { return workload.RunSched(s, p) }
+
+// SchedStats are the scheduler-quality metrics (makespan, waits,
+// bounded slowdown, utilization).
+type SchedStats = metrics.SchedStats
+
+// SchedStatsOf computes the metrics of a finished run.
+func SchedStatsOf(s Scenario, res Result) SchedStats { return workload.SchedStatsOf(s, res) }
+
+// SWFJob is one Standard Workload Format record.
+type SWFJob = workload.SWFJob
+
+// SWFOptions maps a trace onto the simulated cluster.
+type SWFOptions = workload.SWFOptions
+
+// ParseSWF reads a Standard Workload Format trace.
+func ParseSWF(r io.Reader) ([]SWFJob, error) { return workload.ParseSWF(r) }
+
+// SWFScenario converts trace records into a replayable scenario,
+// returning the number of unusable records skipped.
+func SWFScenario(jobs []SWFJob, o SWFOptions) (Scenario, int, error) {
+	return workload.SWFScenario(jobs, o)
+}
+
+// SyntheticSWF parameterizes the seeded trace generator.
+type SyntheticSWF = workload.SyntheticSWF
+
+// SyntheticSWFScenario generates a reproducible thousand-job-scale
+// workload.
+func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
+	return workload.SyntheticSWFScenario(p)
+}

@@ -48,3 +48,27 @@ func TestRunDJSBSmoke(t *testing.T) {
 		t.Fatal("bogus policy should fail")
 	}
 }
+
+func TestParseSchedPolicies(t *testing.T) {
+	for _, in := range []string{"", "all", "fcfs", "easy,malleable", "malleable-shrink, malleable-expand"} {
+		got, err := parseSchedPolicies(in)
+		if err != nil || len(got) == 0 {
+			t.Errorf("parseSchedPolicies(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSchedPolicies("fcfs,bogus"); err == nil {
+		t.Error("bogus sched policy should fail")
+	}
+}
+
+func TestRunSchedSmoke(t *testing.T) {
+	if err := runSched("easy,malleable", "", 1, 40, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSched("bogus", "", 1, 10, 0, 2); err == nil {
+		t.Fatal("bogus policy should fail")
+	}
+	if err := runSched("fcfs", "/nonexistent.swf", 1, 0, 0, 2); err == nil {
+		t.Fatal("missing trace file should fail")
+	}
+}

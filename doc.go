@@ -12,6 +12,14 @@
 //   - repro/cluster — the DROM-enabled SLURM cluster simulator used to
 //     regenerate the paper's evaluation
 //
+// Beyond the paper, internal/sched adds the scheduler-driven
+// malleability the authors leave as future work: pluggable queue
+// policies (FCFS, EASY backfill, malleable-shrink, malleable-expand)
+// whose shrink/expand actions flow through the real DROM
+// SetProcessMask path, exercised at scale by replaying Standard
+// Workload Format traces (cluster.ParseSWF) or seeded synthetic
+// thousand-job workloads (slurmsim -sched easy,malleable -jobs 1000).
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the evaluation section; cmd/figures prints them.
 package repro

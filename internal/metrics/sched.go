@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoundedSlowdownThreshold caps the denominator of the bounded
+// slowdown so sub-threshold jobs cannot explode the metric (the
+// standard 10 s from the batch-scheduling literature).
+const BoundedSlowdownThreshold = 10.0
+
+// SchedStats are the scheduler-quality metrics of one workload run:
+// the quantities batch-scheduling papers compare policies on.
+type SchedStats struct {
+	Jobs         int
+	Makespan     float64 // last end − first submit
+	MeanWait     float64
+	P95Wait      float64
+	MeanResponse float64
+	P95Response  float64
+	MeanSlowdown float64 // bounded slowdown, threshold 10 s
+	MaxSlowdown  float64
+	// Demand is Σ(requested width × actual runtime) over the cluster's
+	// capacity — an upper bound on utilization, NOT utilization: a job
+	// shrunk below its request runs elongated but is still weighted at
+	// full width, so malleable policies can push this past what the
+	// CPUs really did. Exact utilization needs the per-thread traces.
+	// 0 when no width information is supplied.
+	Demand float64
+}
+
+// NewSchedStats computes the stats from a finished workload. cpusOf
+// maps a job name to its requested CPU width for the demand estimate;
+// pass nil (or totalCores <= 0) to skip it.
+func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) SchedStats {
+	st := SchedStats{Jobs: len(w.Jobs)}
+	if st.Jobs == 0 {
+		return st
+	}
+	var waits, resps Summary
+	var slow float64
+	for _, j := range w.Jobs {
+		waits.Observe(j.WaitTime())
+		resps.Observe(j.ResponseTime())
+		s := math.Max(1, j.ResponseTime()/math.Max(j.RunTime(), BoundedSlowdownThreshold))
+		slow += s
+		st.MaxSlowdown = math.Max(st.MaxSlowdown, s)
+	}
+	st.Makespan = w.TotalRunTime()
+	st.MeanWait = waits.Mean()
+	st.P95Wait = waits.Percentile(95)
+	st.MeanResponse = resps.Mean()
+	st.P95Response = resps.Percentile(95)
+	st.MeanSlowdown = slow / float64(st.Jobs)
+	if cpusOf != nil && totalCores > 0 {
+		st.Demand = w.Utilization(cpusOf, totalCores)
+	}
+	return st
+}
+
+func (s SchedStats) String() string {
+	return fmt.Sprintf(
+		"jobs=%d makespan=%.0fs mean_wait=%.1fs p95_wait=%.1fs mean_resp=%.1fs p95_resp=%.1fs mean_bsld=%.2f max_bsld=%.2f demand=%.1f%%",
+		s.Jobs, s.Makespan, s.MeanWait, s.P95Wait, s.MeanResponse, s.P95Response,
+		s.MeanSlowdown, s.MaxSlowdown, 100*s.Demand)
+}

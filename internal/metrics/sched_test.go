@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSchedStatsEmpty(t *testing.T) {
+	st := NewSchedStats(Workload{}, nil, 0)
+	if st.Jobs != 0 || st.Makespan != 0 || st.MeanWait != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestSchedStatsValues(t *testing.T) {
+	var w Workload
+	// Job a: submit 0, start 0, end 100  → wait 0, resp 100, bsld 1.
+	w.Add(JobRecord{Name: "a", Submit: 0, Start: 0, End: 100})
+	// Job b: submit 0, start 100, end 200 → wait 100, resp 200, bsld 2.
+	w.Add(JobRecord{Name: "b", Submit: 0, Start: 100, End: 200})
+	// Job c: tiny run, long wait → bounded slowdown caps the blow-up:
+	// resp 105 / max(5, 10) = 10.5.
+	w.Add(JobRecord{Name: "c", Submit: 0, Start: 100, End: 105})
+
+	cpus := map[string]int{"a": 32, "b": 32, "c": 8}
+	st := NewSchedStats(w, func(n string) int { return cpus[n] }, 64)
+
+	if st.Jobs != 3 {
+		t.Fatalf("jobs = %d", st.Jobs)
+	}
+	if st.Makespan != 200 {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+	if want := (0.0 + 100 + 100) / 3; math.Abs(st.MeanWait-want) > 1e-9 {
+		t.Errorf("mean wait = %v, want %v", st.MeanWait, want)
+	}
+	if st.P95Wait != 100 {
+		t.Errorf("p95 wait = %v", st.P95Wait)
+	}
+	if want := (1.0 + 2 + 10.5) / 3; math.Abs(st.MeanSlowdown-want) > 1e-9 {
+		t.Errorf("mean bounded slowdown = %v, want %v", st.MeanSlowdown, want)
+	}
+	if st.MaxSlowdown != 10.5 {
+		t.Errorf("max bounded slowdown = %v", st.MaxSlowdown)
+	}
+	// Demand: (32·100 + 32·100 + 8·5) / (64·200).
+	if want := (32.0*100 + 32*100 + 8*5) / (64 * 200); math.Abs(st.Demand-want) > 1e-9 {
+		t.Errorf("demand = %v, want %v", st.Demand, want)
+	}
+	if s := st.String(); !strings.Contains(s, "jobs=3") || !strings.Contains(s, "mean_wait") {
+		t.Errorf("String() = %q", s)
+	}
+}

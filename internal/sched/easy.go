@@ -1,0 +1,81 @@
+package sched
+
+// EASY is aggressive backfilling with a head-job reservation (Lifka's
+// EASY scheduler): when the queue head does not fit, it is given a
+// reservation at the shadow time — the earliest instant the running
+// set's walltime estimates free enough capacity. Jobs behind the head
+// may start out of order only when they cannot delay that reservation:
+// either they are projected to end before the shadow time, or they fit
+// entirely in the capacity the head leaves spare. A stream of small
+// jobs can therefore never starve a wide job, which is the defect of
+// naive fit-based backfilling.
+type EASY struct{}
+
+// Name implements Policy.
+func (EASY) Name() string { return "easy" }
+
+// Schedule implements Policy.
+func (EASY) Schedule(s *State) []Action {
+	free := cloneInts(s.Free)
+	var acts []Action
+	var started []release
+	i := 0
+	for i < len(s.Queue) {
+		j := s.Queue[i]
+		nodes := place(free, j.Nodes, j.CPUsPerNode)
+		if nodes == nil {
+			break
+		}
+		acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+		started = append(started, releasesFor(nodes, j.CPUsPerNode, s.Now+wallOf(j))...)
+		i++
+	}
+	if i >= len(s.Queue) {
+		return acts
+	}
+	return append(acts, backfill(s, free, started, i, nil)...)
+}
+
+// backfill starts jobs behind the blocked head s.Queue[headIdx] under
+// the EASY guarantee. allocs optionally overrides running allocations
+// (for policies that shrank jobs earlier in the cycle). free is
+// consumed in place.
+func backfill(s *State, free []int, started []release, headIdx int, allocs map[int]int) []Action {
+	head := s.Queue[headIdx]
+	shadow, spare := reservation(s, free, started, head, allocs)
+	var acts []Action
+	for _, j := range s.Queue[headIdx+1:] {
+		if !fits(free, j.Nodes, j.CPUsPerNode) {
+			continue
+		}
+		if s.Now+wallOf(j) <= shadow {
+			// Ends before the head needs the CPUs: the capacity it takes
+			// now is back by the shadow time, so the projection at the
+			// shadow is unchanged.
+			nodes := place(free, j.Nodes, j.CPUsPerNode)
+			acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+			continue
+		}
+		// Runs past the shadow: it may only use capacity the head's
+		// reservation leaves spare, on nodes that have BOTH free CPUs
+		// now and spare CPUs at the shadow — picking them separately
+		// could land the job on a reserved node and delay the head.
+		comb := make([]int, len(free))
+		for i := range comb {
+			comb[i] = free[i]
+			if spare[i] < comb[i] {
+				comb[i] = spare[i]
+			}
+		}
+		nodes := place(comb, j.Nodes, j.CPUsPerNode)
+		if nodes == nil {
+			continue
+		}
+		for _, n := range nodes {
+			free[n] -= j.CPUsPerNode
+			spare[n] -= j.CPUsPerNode
+		}
+		acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+	}
+	return acts
+}

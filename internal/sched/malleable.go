@@ -1,0 +1,242 @@
+package sched
+
+import "sort"
+
+// Malleable is the DROM-aware scheduler the paper names as future
+// work. It behaves like EASY, with two malleability extensions
+// executed through the real DROM protocol:
+//
+//   - shrink-to-admit: when the queue head does not fit, running
+//     malleable jobs on the best candidate nodes are shrunk toward the
+//     §5 equipartition (never below one CPU per task) and the head is
+//     started in the freed CPUs, possibly below its full request.
+//   - expand (when Expand is set): once the queue is fully served,
+//     running malleable jobs below their request grow back into the
+//     free CPUs, one CPU per node at a time to the smallest allocation
+//     first — the generalization of the controller's evolving-request
+//     service.
+type Malleable struct {
+	// Expand enables the re-expansion phase (malleable-expand);
+	// without it the policy only shrinks (malleable-shrink).
+	Expand bool
+}
+
+// Name implements Policy.
+func (m Malleable) Name() string {
+	if m.Expand {
+		return "malleable-expand"
+	}
+	return "malleable-shrink"
+}
+
+// Schedule implements Policy.
+func (m Malleable) Schedule(s *State) []Action {
+	free := cloneInts(s.Free)
+	allocs := make(map[int]int, len(s.Running))
+	for _, r := range s.Running {
+		allocs[r.ID] = r.CPUsPerNode
+	}
+	var acts []Action
+	var started []release
+	i := 0
+	for i < len(s.Queue) {
+		j := s.Queue[i]
+		if nodes := place(free, j.Nodes, j.CPUsPerNode); nodes != nil {
+			acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+			started = append(started, releasesFor(nodes, j.CPUsPerNode, s.Now+wallOf(j))...)
+			i++
+			continue
+		}
+		shrinks, target, nodes := shrinkToFit(s, free, allocs, j)
+		if nodes == nil {
+			break // not even malleability can admit the head
+		}
+		acts = append(acts, shrinks...)
+		acts = append(acts, Action{Kind: ActStart, ID: j.ID, TargetCPUsPerNode: target, Nodes: nodes})
+		started = append(started, releasesFor(nodes, target, s.Now+wallOf(j))...)
+		i++
+	}
+	if i < len(s.Queue) {
+		acts = append(acts, backfill(s, free, started, i, allocs)...)
+		return acts
+	}
+	if m.Expand {
+		acts = append(acts, expandInto(s, free, allocs)...)
+	}
+	return acts
+}
+
+// shrinkToFit plans the admission of head by shrinking running
+// malleable jobs. It picks the head.Nodes nodes with the most
+// reclaimable capacity, computes the bounded equipartition among the
+// victims and the head on each, uniformizes every victim to its
+// smallest per-node share, and returns the shrink actions, the head's
+// starting allocation and its node set. free and allocs are updated in
+// place on success; on failure everything is left untouched and nil
+// nodes are returned.
+func shrinkToFit(s *State, free []int, allocs map[int]int, head Job) ([]Action, int, []int) {
+	minNeed := head.MinCPUsPerNode
+	if minNeed < 1 {
+		minNeed = 1
+	}
+	// Reclaimable capacity per node.
+	capacity := cloneInts(free)
+	for _, r := range s.Running {
+		if !r.Malleable {
+			continue
+		}
+		if d := allocs[r.ID] - r.MinCPUsPerNode; d > 0 {
+			for _, n := range r.Nodes {
+				capacity[n] += d
+			}
+		}
+	}
+	chosen := place(capacity, head.Nodes, minNeed)
+	if chosen == nil {
+		return nil, 0, nil
+	}
+	chosenSet := make(map[int]bool, len(chosen))
+	for _, n := range chosen {
+		chosenSet[n] = true
+	}
+
+	// Bounded equipartition per chosen node; victims spanning several
+	// chosen nodes settle on their smallest share (uniform masks keep
+	// the executor simple; any over-shrink is free capacity a later
+	// expand reclaims).
+	targets := make(map[int]int)
+	headTarget := head.CPUsPerNode
+	for _, n := range chosen {
+		var ids, mins, maxs []int
+		capN := free[n]
+		for _, r := range s.Running {
+			if !r.Malleable || !onNode(r, n) {
+				continue
+			}
+			ids = append(ids, r.ID)
+			mins = append(mins, r.MinCPUsPerNode)
+			maxs = append(maxs, allocs[r.ID])
+			capN += allocs[r.ID]
+		}
+		mins = append(mins, minNeed)
+		maxs = append(maxs, head.CPUsPerNode)
+		alloc := waterfillBounded(capN, mins, maxs)
+		if alloc == nil {
+			return nil, 0, nil // node cannot host even the minimums
+		}
+		for k, id := range ids {
+			if t, ok := targets[id]; !ok || alloc[k] < t {
+				targets[id] = alloc[k]
+			}
+		}
+		if h := alloc[len(alloc)-1]; h < headTarget {
+			headTarget = h
+		}
+	}
+
+	// Verify the plan before committing: after the shrinks, every
+	// chosen node must hold the head's share.
+	newFree := cloneInts(free)
+	for id, t := range targets {
+		if t >= allocs[id] {
+			continue
+		}
+		for _, n := range nodesOf(s, id) {
+			newFree[n] += allocs[id] - t
+		}
+	}
+	for _, n := range chosen {
+		if newFree[n] < headTarget {
+			headTarget = newFree[n]
+		}
+	}
+	if headTarget < minNeed {
+		return nil, 0, nil
+	}
+
+	// Commit: emit shrinks in ID order, update free and allocs, carve
+	// out the head's share.
+	ids := make([]int, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var acts []Action
+	for _, id := range ids {
+		t := targets[id]
+		if t >= allocs[id] {
+			continue
+		}
+		for _, n := range nodesOf(s, id) {
+			free[n] += allocs[id] - t
+		}
+		allocs[id] = t
+		acts = append(acts, Action{Kind: ActShrink, ID: id, TargetCPUsPerNode: t})
+	}
+	for _, n := range chosen {
+		free[n] -= headTarget
+	}
+	return acts, headTarget, chosen
+}
+
+// expandInto grows running malleable jobs below their request into the
+// leftover free CPUs, one CPU per node at a time to the smallest
+// allocation first (the equipartition in reverse).
+func expandInto(s *State, free []int, allocs map[int]int) []Action {
+	grew := make(map[int]bool)
+	for {
+		best := -1
+		for k, r := range s.Running {
+			if !r.Malleable || allocs[r.ID] >= r.ReqCPUsPerNode {
+				continue
+			}
+			ok := true
+			for _, n := range r.Nodes {
+				if free[n] < 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if best < 0 || allocs[r.ID] < allocs[s.Running[best].ID] {
+				best = k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := s.Running[best]
+		allocs[r.ID]++
+		for _, n := range r.Nodes {
+			free[n]--
+		}
+		grew[r.ID] = true
+	}
+	var acts []Action
+	for _, r := range s.Running {
+		if grew[r.ID] {
+			acts = append(acts, Action{Kind: ActExpand, ID: r.ID, TargetCPUsPerNode: allocs[r.ID]})
+		}
+	}
+	return acts
+}
+
+func onNode(r Running, n int) bool {
+	for _, x := range r.Nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func nodesOf(s *State, id int) []int {
+	for _, r := range s.Running {
+		if r.ID == id {
+			return r.Nodes
+		}
+	}
+	return nil
+}

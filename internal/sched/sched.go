@@ -1,0 +1,352 @@
+// Package sched provides pluggable queue-ordering and admission
+// policies for the slurmctld simulation. The paper deliberately keeps
+// slurmctld FCFS and names scheduler-driven malleability as future
+// work ("the scheduler could shrink running jobs to start queued
+// ones"); this package is that scheduler.
+//
+// A Policy sees a read-only capacity snapshot of the cluster (free
+// CPUs per node, the priority-ordered queue, the running set with
+// walltime estimates) and answers with an ordered list of Actions:
+// start a queued job (possibly below its request), shrink a running
+// malleable job, or expand one. The controller executes the actions
+// through the real DROM code path — shrinks and expands are
+// DROM_SetProcessMask calls staged in shared memory and applied at the
+// applications' next DLB_PollDROM, launches reserve CPUs via
+// DROM_PreInit exactly as the Figure-2 protocol prescribes.
+//
+// Four policies ship:
+//
+//	fcfs              head-of-line blocking, strict priority+FIFO
+//	easy              EASY backfilling: the head job gets a walltime-
+//	                  based reservation, later jobs may jump ahead only
+//	                  if they cannot delay it
+//	malleable-shrink  easy + shrink running malleable jobs (equi-
+//	                  partition, never below one CPU per task) to admit
+//	                  the queue head early
+//	malleable-expand  malleable-shrink + re-expand running jobs into
+//	                  free CPUs once the queue is served
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultWalltime is the estimate used for jobs that declare none
+// (seconds). EASY-style reservations need an end estimate for every
+// job; one hour is the classic site default.
+const DefaultWalltime = 3600.0
+
+// Job is the scheduler's view of one queued submission.
+type Job struct {
+	// ID is the controller's stable handle for the job (submission
+	// sequence number).
+	ID int
+	// Name is the job name (diagnostics only).
+	Name string
+	// Priority orders the queue (higher first).
+	Priority int
+	// Submit is the submission time (virtual seconds).
+	Submit float64
+	// Nodes is the number of distinct nodes required.
+	Nodes int
+	// CPUsPerNode is the requested CPUs on each node.
+	CPUsPerNode int
+	// MinCPUsPerNode is the malleability floor (one CPU per task).
+	MinCPUsPerNode int
+	// Walltime is the user's runtime estimate in seconds (<= 0 means
+	// unknown; DefaultWalltime applies).
+	Walltime float64
+	// Malleable marks the job as DROM-capable.
+	Malleable bool
+}
+
+// Running is the scheduler's view of one running job.
+type Running struct {
+	ID   int
+	Name string
+	// Start is when the job started.
+	Start float64
+	// Walltime is the runtime estimate (<= 0 unknown).
+	Walltime float64
+	// Nodes are the node indices the job occupies.
+	Nodes []int
+	// CPUsPerNode is the job's current per-node allocation.
+	CPUsPerNode int
+	// ReqCPUsPerNode is what the job originally asked for.
+	ReqCPUsPerNode int
+	// MinCPUsPerNode is the shrink floor (one CPU per task).
+	MinCPUsPerNode int
+	// Malleable marks the job as shrinkable/expandable through DROM.
+	Malleable bool
+}
+
+// EndEstimate returns the projected completion time.
+func (r Running) EndEstimate() float64 {
+	w := r.Walltime
+	if w <= 0 {
+		w = DefaultWalltime
+	}
+	return r.Start + w
+}
+
+// State is the read-only snapshot a policy schedules against.
+type State struct {
+	// Now is the current virtual time.
+	Now float64
+	// CoresPerNode is the node capacity.
+	CoresPerNode int
+	// Free holds the currently free CPUs per node (effective masks: a
+	// staged-but-unapplied shrink already counts as freed, a staged
+	// grow as taken).
+	Free []int
+	// Queue is the waiting jobs in strict priority order: priority
+	// descending, then submission sequence ascending. Policies must
+	// respect this order for tie-breaking to stay deterministic.
+	Queue []Job
+	// Running is the running set, in launch order.
+	Running []Running
+}
+
+// ActionKind discriminates scheduler directives.
+type ActionKind int
+
+const (
+	// ActStart launches a queued job.
+	ActStart ActionKind = iota
+	// ActShrink reduces a running job's per-node allocation.
+	ActShrink
+	// ActExpand grows a running job's per-node allocation.
+	ActExpand
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActStart:
+		return "start"
+	case ActShrink:
+		return "shrink"
+	case ActExpand:
+		return "expand"
+	}
+	return "?"
+}
+
+// Action is one scheduling directive. The controller executes actions
+// in order; an action that no longer applies (capacity raced away) is
+// skipped, and the job simply stays queued for the next cycle.
+type Action struct {
+	Kind ActionKind
+	// ID names the queued job (ActStart) or running job (others).
+	ID int
+	// TargetCPUsPerNode is the per-node allocation to start at
+	// (ActStart, 0 = full request) or to shrink/expand to.
+	TargetCPUsPerNode int
+	// Nodes pins an ActStart to specific node indices. The executor
+	// must honor them (or skip the action): EASY's past-shadow
+	// backfills and the malleable admissions are only starvation-safe
+	// on the exact nodes the policy budgeted.
+	Nodes []int
+}
+
+func (a Action) String() string {
+	if a.TargetCPUsPerNode > 0 {
+		return fmt.Sprintf("%s(#%d→%d cpus/node)", a.Kind, a.ID, a.TargetCPUsPerNode)
+	}
+	return fmt.Sprintf("%s(#%d)", a.Kind, a.ID)
+}
+
+// Policy decides, each scheduling cycle, which queued jobs to admit
+// and how to reshape the running set. Implementations must be
+// deterministic: the same State always yields the same actions.
+type Policy interface {
+	Name() string
+	Schedule(s *State) []Action
+}
+
+// New returns a policy by name. Accepted names: "fcfs", "easy",
+// "malleable-shrink" (alias "shrink"), "malleable-expand" (aliases
+// "malleable", "expand").
+func New(name string) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "easy":
+		return EASY{}, nil
+	case "malleable-shrink", "shrink":
+		return Malleable{}, nil
+	case "malleable-expand", "malleable", "expand":
+		return Malleable{Expand: true}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, Names())
+}
+
+// Names lists the canonical policy names.
+func Names() []string {
+	return []string{"fcfs", "easy", "malleable-shrink", "malleable-expand"}
+}
+
+// ---------------------------------------------------------------------
+// Capacity helpers shared by the policies
+// ---------------------------------------------------------------------
+
+// wallOf returns the effective walltime estimate of a queued job.
+func wallOf(j Job) float64 {
+	if j.Walltime > 0 {
+		return j.Walltime
+	}
+	return DefaultWalltime
+}
+
+func cloneInts(v []int) []int { return append([]int(nil), v...) }
+
+// place picks j nodes with at least need free CPUs each, preferring
+// the freest (ties: lower index), subtracts the usage from free in
+// place, and returns the chosen indices sorted ascending. It returns
+// nil (and leaves free untouched) when the job does not fit.
+func place(free []int, nodes, need int) []int {
+	type cand struct{ idx, free int }
+	var cands []cand
+	for i, f := range free {
+		if f >= need {
+			cands = append(cands, cand{i, f})
+		}
+	}
+	if nodes <= 0 || len(cands) < nodes {
+		return nil
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
+	out := make([]int, 0, nodes)
+	for _, c := range cands[:nodes] {
+		free[c.idx] -= need
+		out = append(out, c.idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fits reports whether the job would fit without consuming capacity.
+func fits(free []int, nodes, need int) bool {
+	n := 0
+	for _, f := range free {
+		if f >= need {
+			n++
+		}
+	}
+	return n >= nodes
+}
+
+// release is one future capacity return used by the reservation
+// simulation: at time at, node gets cpus back.
+type release struct {
+	at   float64
+	node int
+	cpus int
+}
+
+// releasesOf projects when the running set returns its CPUs. Overdue
+// estimates are clamped to now (the job "should end any moment").
+// allocs, when non-nil, overrides per-job allocations — a shrink
+// decided earlier in the same cycle already moved the difference into
+// the free pool, so only the remainder comes back at job end.
+func releasesOf(s *State, allocs map[int]int) []release {
+	var rels []release
+	for _, r := range s.Running {
+		at := r.EndEstimate()
+		if at < s.Now {
+			at = s.Now
+		}
+		cpus := r.CPUsPerNode
+		if allocs != nil {
+			cpus = allocs[r.ID]
+		}
+		for _, n := range r.Nodes {
+			rels = append(rels, release{at: at, node: n, cpus: cpus})
+		}
+	}
+	return rels
+}
+
+// releasesFor records the future capacity return of a job started this
+// cycle on the given nodes.
+func releasesFor(nodes []int, cpus int, at float64) []release {
+	rels := make([]release, 0, len(nodes))
+	for _, n := range nodes {
+		rels = append(rels, release{at: at, node: n, cpus: cpus})
+	}
+	return rels
+}
+
+// reservation computes the EASY reservation for a blocked head job:
+// the shadow time (earliest projected start, +Inf when even a fully
+// drained cluster cannot host it) and the spare capacity per node at
+// that time after the head's placement is carved out. Backfilled jobs
+// that cannot prove they end before the shadow must fit inside the
+// spare capacity, so they can never delay the head.
+func reservation(s *State, free []int, extra []release, head Job, allocs map[int]int) (float64, []int) {
+	rels := append(releasesOf(s, allocs), extra...)
+	sort.SliceStable(rels, func(a, b int) bool {
+		if rels[a].at != rels[b].at {
+			return rels[a].at < rels[b].at
+		}
+		return rels[a].node < rels[b].node
+	})
+	proj := cloneInts(free)
+	shadow := s.Now
+	i := 0
+	for {
+		tmp := cloneInts(proj)
+		if place(tmp, head.Nodes, head.CPUsPerNode) != nil {
+			return shadow, tmp
+		}
+		if i >= len(rels) {
+			return math.Inf(1), proj
+		}
+		shadow = rels[i].at
+		for i < len(rels) && rels[i].at <= shadow {
+			proj[rels[i].node] += rels[i].cpus
+			if proj[rels[i].node] > s.CoresPerNode {
+				proj[rels[i].node] = s.CoresPerNode
+			}
+			i++
+		}
+	}
+}
+
+// waterfillBounded distributes cores among participants with per-entry
+// minimum and maximum allocations, converging to the equipartition of
+// §5 ("computational resources are equally partitioned among running
+// jobs"). It mirrors the slurmd plugin's fairness rule. Returns nil
+// when the minimums alone exceed the capacity.
+func waterfillBounded(cores int, mins, maxs []int) []int {
+	alloc := make([]int, len(mins))
+	remaining := cores
+	for i := range mins {
+		if mins[i] > maxs[i] {
+			return nil
+		}
+		alloc[i] = mins[i]
+		remaining -= mins[i]
+	}
+	if remaining < 0 {
+		return nil
+	}
+	for remaining > 0 {
+		best := -1
+		for i := range alloc {
+			if alloc[i] >= maxs[i] {
+				continue
+			}
+			if best < 0 || alloc[i] < alloc[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+		remaining--
+	}
+	return alloc
+}

@@ -117,6 +117,10 @@ type Job struct {
 	Nodes int
 	// Priority orders the queue (higher first, FIFO within equal).
 	Priority int
+	// Walltime is the user's runtime estimate in seconds (sbatch
+	// --time). EASY-style reservations and backfill guards rely on it;
+	// 0 means unknown and sched.DefaultWalltime applies.
+	Walltime float64
 	// Malleable marks the job as DROM-capable. Non-malleable jobs are
 	// never shrunk and never co-allocated onto.
 	Malleable bool

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpuset"
 	"repro/internal/derr"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -24,6 +25,7 @@ type taskRef struct {
 // runningJob tracks a launched job.
 type runningJob struct {
 	job    *Job
+	seq    int // submission sequence, the scheduler's stable handle
 	submit float64
 	start  float64
 	nodes  []string
@@ -78,6 +80,7 @@ func (s NodeSelection) String() string {
 type Controller struct {
 	cluster *Cluster
 	policy  Policy
+	sched   sched.Policy
 
 	// NodeSelection orders candidate nodes for placement.
 	NodeSelection NodeSelection
@@ -190,21 +193,36 @@ func (ctl *Controller) fail(err error) {
 	}
 }
 
-// trySchedule walks the queue in priority order and launches whatever
-// fits. FCFS within a priority level, no backfilling (the paper leaves
-// slurmctld's policies untouched).
-func (ctl *Controller) trySchedule() {
+// sortQueue orders the queue by priority (higher first), FIFO within a
+// level.
+func (ctl *Controller) sortQueue() {
 	sort.SliceStable(ctl.queue, func(i, j int) bool {
 		if ctl.queue[i].job.Priority != ctl.queue[j].job.Priority {
 			return ctl.queue[i].job.Priority > ctl.queue[j].job.Priority
 		}
 		return ctl.queue[i].seq < ctl.queue[j].seq
 	})
+}
+
+// trySchedule walks the queue in priority order and launches whatever
+// fits. FCFS within a priority level (the paper leaves slurmctld's
+// policies untouched); an installed sched.Policy takes over queue
+// ordering and admission entirely.
+func (ctl *Controller) trySchedule() {
+	ctl.sortQueue()
 	// While a checkpoint drain is in progress, hold all launches.
 	if now := ctl.cluster.Engine.Now(); now < ctl.drainUntil {
 		ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
 		return
 	}
+	if ctl.sched != nil {
+		ctl.schedCycle()
+		return
+	}
+	// resv guards backfilling with the blocked head's EASY reservation:
+	// naive fit-based backfilling would let a stream of small jobs
+	// starve a wide head forever.
+	var resv *headReservation
 	for i := 0; i < len(ctl.queue); {
 		q := ctl.queue[i]
 		nodes, plans := ctl.selectNodes(q.job)
@@ -215,13 +233,21 @@ func (ctl *Controller) trySchedule() {
 			if !ctl.Backfill {
 				return // head-of-line blocks (FCFS)
 			}
+			if resv == nil {
+				resv = ctl.reservationFor(q.job)
+			}
 			i++ // backfill: try the next queued job
+			continue
+		}
+		if resv != nil && !resv.allows(ctl.cluster.Engine.Now(), q.job, nodes) {
+			i++ // starting now would delay the reserved head
 			continue
 		}
 		ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
 		ctl.launch(q, nodes, plans)
 		// Restart the scan: the launch changed the cluster state.
 		i = 0
+		resv = nil
 	}
 }
 
@@ -367,10 +393,11 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	if r != nil {
 		// Resumption: reuse the running-job record (submit and start
 		// are preserved so response time spans the suspension).
+		r.seq = q.seq
 		r.nodes = nodes
 		r.tasks = nil
 	} else {
-		r = &runningJob{job: j, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
+		r = &runningJob{job: j, seq: q.seq, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
 	}
 
 	var placements []apps.Placement
@@ -460,7 +487,9 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
 	})
 	// release_resources: expand surviving jobs into the freed CPUs.
-	if ctl.policy == PolicyDROM {
+	// With a sched.Policy installed, expansion is that policy's call
+	// (malleable-expand emits explicit actions; EASY/FCFS stay rigid).
+	if ctl.policy == PolicyDROM && ctl.sched == nil {
 		for _, node := range r.nodes {
 			ctl.releaseResources(node)
 		}

@@ -1,0 +1,378 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpuset"
+	"repro/internal/sched"
+)
+
+// This file connects the controller to the pluggable scheduling
+// subsystem (internal/sched). The policy reasons on a capacity
+// snapshot; every action it returns is executed through the real DROM
+// machinery:
+//
+//	start   → DROM_PreInit reservations on effectively-free CPUs,
+//	          then the normal Figure-2 launch
+//	shrink  → DROM_SetProcessMask with the smaller mask, applied at
+//	          the application's next DLB_PollDROM
+//	expand  → DROM_SetProcessMask with the grown mask
+//
+// Sched-driven runs use shared-node, disjoint-mask placement: a job
+// may land next to others, but only on CPUs no effective mask holds —
+// malleability happens exclusively through explicit policy actions.
+
+// UseSched installs a queue-ordering/admission policy. nil reverts to
+// the built-in FCFS(+Backfill) behavior.
+func (ctl *Controller) UseSched(p sched.Policy) { ctl.sched = p }
+
+// Sched returns the installed scheduling policy (nil when the built-in
+// queue logic is active).
+func (ctl *Controller) Sched() sched.Policy { return ctl.sched }
+
+// walltimeEstimate returns the job's effective runtime estimate.
+func walltimeEstimate(j *Job) float64 {
+	if j.Walltime > 0 {
+		return j.Walltime
+	}
+	return sched.DefaultWalltime
+}
+
+// effectiveFree returns the node CPUs no process effectively holds: a
+// staged-but-unapplied mask change (dirty future) is already binding —
+// the CPUs it drops are free to promise, the CPUs it gains are taken.
+func (ctl *Controller) effectiveFree(node string) cpuset.CPUSet {
+	var used cpuset.CPUSet
+	for _, e := range ctl.cluster.System(node).Segment().Snapshot() {
+		m := e.CurrentMask
+		if e.Dirty {
+			m = e.FutureMask
+		}
+		used = used.Or(m)
+	}
+	return ctl.cluster.Machine.NodeMask().AndNot(used)
+}
+
+// snapshot builds the policy's view plus lookup tables from its stable
+// IDs back to the controller's records.
+func (ctl *Controller) snapshot() (*sched.State, map[int]*queuedJob, map[int]*runningJob) {
+	nodeIdx := make(map[string]int, len(ctl.cluster.Nodes))
+	st := &sched.State{
+		Now:          ctl.cluster.Engine.Now(),
+		CoresPerNode: ctl.cluster.Machine.CoresPerNode(),
+	}
+	for i, node := range ctl.cluster.Nodes {
+		nodeIdx[node] = i
+		st.Free = append(st.Free, ctl.effectiveFree(node).Count())
+	}
+	qidx := make(map[int]*queuedJob, len(ctl.queue))
+	for _, q := range ctl.queue {
+		qidx[q.seq] = q
+		st.Queue = append(st.Queue, sched.Job{
+			ID:             q.seq,
+			Name:           q.job.Name,
+			Priority:       q.job.Priority,
+			Submit:         q.submit,
+			Nodes:          q.job.Nodes,
+			CPUsPerNode:    q.job.CPUsPerNode(),
+			MinCPUsPerNode: q.job.RanksPerNode(),
+			Walltime:       q.job.Walltime,
+			Malleable:      q.job.Malleable,
+		})
+	}
+	ridx := make(map[int]*runningJob, len(ctl.running))
+	for _, r := range ctl.running {
+		ridx[r.seq] = r
+		var nodes []int
+		cur := 0
+		for _, node := range r.nodes {
+			nodes = append(nodes, nodeIdx[node])
+			n := 0
+			for _, t := range r.onNode(node) {
+				if e, code := ctl.admins[node].Inspect(t.pid); !code.IsError() {
+					m := e.CurrentMask
+					if e.Dirty {
+						m = e.FutureMask
+					}
+					n += m.Count()
+				}
+			}
+			if n > cur {
+				cur = n
+			}
+		}
+		sort.Ints(nodes)
+		st.Running = append(st.Running, sched.Running{
+			ID:             r.seq,
+			Name:           r.job.Name,
+			Start:          r.start,
+			Walltime:       r.job.Walltime,
+			Nodes:          nodes,
+			CPUsPerNode:    cur,
+			ReqCPUsPerNode: r.job.CPUsPerNode(),
+			MinCPUsPerNode: r.job.RanksPerNode(),
+			Malleable:      r.job.Malleable,
+		})
+	}
+	return st, qidx, ridx
+}
+
+// schedCycle runs one policy pass and executes its actions in order.
+// An action that no longer applies (the capacity model is coarser than
+// mask-level placement) is skipped; the job stays queued for the next
+// cycle.
+func (ctl *Controller) schedCycle() {
+	st, qidx, ridx := ctl.snapshot()
+	for _, a := range ctl.sched.Schedule(st) {
+		switch a.Kind {
+		case sched.ActStart:
+			if q, ok := qidx[a.ID]; ok {
+				ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes)
+			}
+		case sched.ActShrink:
+			if r, ok := ridx[a.ID]; ok {
+				ctl.shrinkRunning(r, a.TargetCPUsPerNode)
+			}
+		case sched.ActExpand:
+			if r, ok := ridx[a.ID]; ok {
+				ctl.expandRunning(r, a.TargetCPUsPerNode)
+			}
+		}
+	}
+}
+
+// startQueued places q on effectively-free CPUs — target per-node CPUs
+// when the policy admits it shrunk (0 = full request), on the pinned
+// node indices when the policy budgeted specific nodes (an EASY
+// reservation is only starvation-safe on exactly those) — and
+// launches it through the Figure-2 protocol. Returns false when
+// placement fails.
+func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool {
+	j := q.job
+	need := j.CPUsPerNode()
+	if target > 0 && target < need {
+		need = target
+	}
+	if min := j.RanksPerNode(); need < min {
+		need = min
+	}
+	type cand struct {
+		node string
+		free cpuset.CPUSet
+	}
+	var cands []cand
+	if len(pinned) > 0 {
+		for _, idx := range pinned {
+			if idx < 0 || idx >= len(ctl.cluster.Nodes) {
+				return false
+			}
+			node := ctl.cluster.Nodes[idx]
+			f := ctl.effectiveFree(node)
+			if f.Count() < need {
+				return false // capacity raced away; stay queued
+			}
+			cands = append(cands, cand{node, f})
+		}
+		if len(cands) != j.Nodes {
+			return false
+		}
+	} else {
+		for _, node := range ctl.cluster.Nodes {
+			f := ctl.effectiveFree(node)
+			if f.Count() >= need {
+				cands = append(cands, cand{node, f})
+			}
+		}
+		if len(cands) < j.Nodes {
+			return false
+		}
+		switch ctl.NodeSelection {
+		case SelectPacked:
+			sort.SliceStable(cands, func(a, b int) bool { return cands[a].free.Count() < cands[b].free.Count() })
+		default:
+			sort.SliceStable(cands, func(a, b int) bool { return cands[a].free.Count() > cands[b].free.Count() })
+		}
+		cands = cands[:j.Nodes]
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].node < cands[b].node })
+	nodes := make([]string, 0, j.Nodes)
+	plans := make(map[string]LaunchPlan, j.Nodes)
+	for _, c := range cands {
+		avail := c.free
+		plan := LaunchPlan{}
+		for _, want := range splitEven(need, j.RanksPerNode()) {
+			mask := ctl.cluster.Machine.SocketAwarePick(avail, want)
+			if mask.IsEmpty() {
+				return false
+			}
+			plan.NewTaskMasks = append(plan.NewTaskMasks, mask)
+			avail = avail.AndNot(mask)
+		}
+		nodes = append(nodes, c.node)
+		plans[c.node] = plan
+	}
+	for i, qq := range ctl.queue {
+		if qq == q {
+			ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+			break
+		}
+	}
+	ctl.launch(q, nodes, plans)
+	return true
+}
+
+// shrinkRunning stages r down to target CPUs per node through
+// DROM_SetProcessMask; each task keeps a socket-compact subset of its
+// own mask and applies it at its next poll.
+func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
+	for _, node := range r.nodes {
+		refs := r.onNode(node)
+		if len(refs) == 0 {
+			continue
+		}
+		t := target
+		if t < len(refs) {
+			t = len(refs) // never below one CPU per task
+		}
+		cur := ctl.effectiveMasks(node, refs)
+		total := 0
+		for _, m := range cur {
+			total += m.Count()
+		}
+		if total <= t {
+			continue
+		}
+		per := splitEven(t, len(refs))
+		for i, ref := range refs {
+			if cur[i].Count() <= per[i] {
+				continue
+			}
+			keep := ctl.cluster.Machine.SocketAwarePick(cur[i], per[i])
+			if keep.IsEmpty() {
+				continue
+			}
+			if code := ctl.admins[node].SetProcessMask(ref.pid, keep, core.FlagNone); code.IsError() {
+				ctl.fail(fmt.Errorf("slurm: sched shrink pid %d to %s on %s: %w", ref.pid, keep, node, code))
+				continue
+			}
+			ctl.logf(node, "sched_shrink", "DROM_SetProcessMask(pid=%d, mask=%s) [%s]",
+				ref.pid, keep, r.job.Name)
+		}
+	}
+}
+
+// expandRunning grows r toward target CPUs per node from the node's
+// effectively-free CPUs.
+func (ctl *Controller) expandRunning(r *runningJob, target int) {
+	for _, node := range r.nodes {
+		refs := r.onNode(node)
+		if len(refs) == 0 {
+			continue
+		}
+		free := ctl.effectiveFree(node)
+		cur := ctl.effectiveMasks(node, refs)
+		per := splitEven(target, len(refs))
+		for i, ref := range refs {
+			want := per[i] - cur[i].Count()
+			if want <= 0 {
+				continue
+			}
+			extra := ctl.cluster.Machine.SocketAwarePick(free, want)
+			if extra.IsEmpty() {
+				continue
+			}
+			free = free.AndNot(extra)
+			mask := cur[i].Or(extra)
+			if code := ctl.admins[node].SetProcessMask(ref.pid, mask, core.FlagNone); code.IsError() {
+				ctl.fail(fmt.Errorf("slurm: sched expand pid %d to %s on %s: %w", ref.pid, mask, node, code))
+				continue
+			}
+			ctl.logf(node, "sched_expand", "DROM_SetProcessMask(pid=%d, mask=%s) [%s]",
+				ref.pid, mask, r.job.Name)
+		}
+	}
+}
+
+// effectiveMasks returns the binding mask of each task: the staged
+// future when dirty, the current mask otherwise.
+func (ctl *Controller) effectiveMasks(node string, refs []taskRef) []cpuset.CPUSet {
+	out := make([]cpuset.CPUSet, len(refs))
+	for i, ref := range refs {
+		if e, code := ctl.admins[node].Inspect(ref.pid); !code.IsError() {
+			out[i] = e.CurrentMask
+			if e.Dirty {
+				out[i] = e.FutureMask
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// EASY reservation guard for the built-in backfill knob
+// ---------------------------------------------------------------------
+
+// headReservation is the blocked head's claim on the cluster: the
+// shadow time when its nodes are projected free (per the running
+// jobs' walltime estimates) and which nodes those are.
+type headReservation struct {
+	shadow float64
+	nodes  map[string]bool
+}
+
+// reservationFor projects, per node, when all current occupants have
+// ended, and reserves the j.Nodes earliest-free nodes for j.
+func (ctl *Controller) reservationFor(j *Job) *headReservation {
+	now := ctl.cluster.Engine.Now()
+	freeAt := make(map[string]float64, len(ctl.cluster.Nodes))
+	for _, node := range ctl.cluster.Nodes {
+		freeAt[node] = now
+	}
+	for _, r := range ctl.running {
+		end := r.start + walltimeEstimate(r.job)
+		if end < now {
+			end = now // overdue estimate: "ends any moment"
+		}
+		for _, node := range r.nodes {
+			if end > freeAt[node] {
+				freeAt[node] = end
+			}
+		}
+	}
+	names := append([]string(nil), ctl.cluster.Nodes...)
+	sort.SliceStable(names, func(a, b int) bool {
+		if freeAt[names[a]] != freeAt[names[b]] {
+			return freeAt[names[a]] < freeAt[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	n := j.Nodes
+	if n > len(names) {
+		n = len(names)
+	}
+	rv := &headReservation{nodes: make(map[string]bool, n)}
+	for _, node := range names[:n] {
+		rv.nodes[node] = true
+		if freeAt[node] > rv.shadow {
+			rv.shadow = freeAt[node]
+		}
+	}
+	return rv
+}
+
+// allows reports whether launching j on nodes now can delay the
+// reserved head: a candidate is admitted when it is projected to end
+// by the shadow time, or when it touches none of the reserved nodes.
+func (rv *headReservation) allows(now float64, j *Job, nodes []string) bool {
+	if now+walltimeEstimate(j) <= rv.shadow {
+		return true
+	}
+	for _, node := range nodes {
+		if rv.nodes[node] {
+			return false
+		}
+	}
+	return true
+}

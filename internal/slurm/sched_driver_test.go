@@ -1,0 +1,224 @@
+package slurm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sched"
+)
+
+// schedController builds a DROM cluster with a sched policy installed.
+func schedController(policy sched.Policy) (*Controller, func() float64) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(policy)
+	return ctl, func() float64 { eng.Run(); return eng.Now() }
+}
+
+// nodeJob is a 1-node job of the given width and length.
+func nodeJob(name string, iters, threads int, walltime float64) *Job {
+	return &Job{Name: name, Spec: fastSpec(iters), Cfg: apps.Config{Ranks: 1, Threads: threads},
+		Nodes: 1, Walltime: walltime, Malleable: true}
+}
+
+// TestSchedFCFSMatchesLegacySerialOrder: the extracted FCFS policy
+// preserves head-of-line blocking.
+func TestSchedFCFSMatchesLegacySerialOrder(t *testing.T) {
+	ctl, run := schedController(sched.FCFS{})
+	submit(t, ctl, nodeJob("a", 100, 16, 0))
+	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 0, Malleable: true})
+	submit(t, ctl, nodeJob("c", 10, 4, 0))
+	if ctl.RunningLen() != 1 || ctl.QueueLen() != 2 {
+		t.Fatalf("running=%d queue=%d, want FCFS blocking", ctl.RunningLen(), ctl.QueueLen())
+	}
+	run()
+	checkErr(t, ctl)
+	rw, _ := ctl.Records.Job("wide")
+	rc, _ := ctl.Records.Job("c")
+	if rc.Start < rw.Start {
+		t.Errorf("c started (%v) before the blocked head wide (%v)", rc.Start, rw.Start)
+	}
+}
+
+// TestSchedEASYBackfills: a short narrow job jumps a blocked wide head
+// without delaying it.
+func TestSchedEASYBackfills(t *testing.T) {
+	ctl, run := schedController(sched.EASY{})
+	submit(t, ctl, nodeJob("long", 200, 16, 300))
+	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(100), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 200, Malleable: true})
+	submit(t, ctl, nodeJob("short", 20, 16, 50))
+	// short fits on the free node and ends well before long's estimate:
+	// it backfills.
+	if ctl.RunningLen() != 2 {
+		t.Fatalf("running=%d, want long+short", ctl.RunningLen())
+	}
+	run()
+	checkErr(t, ctl)
+	rs, _ := ctl.Records.Job("short")
+	rw, _ := ctl.Records.Job("wide")
+	if rs.Start >= rw.Start {
+		t.Errorf("short (%v) should have backfilled before wide (%v)", rs.Start, rw.Start)
+	}
+}
+
+// TestSchedEASYNoStarvation is the regression for the naive-backfill
+// gap: a stream of jobs long enough to outlive the head's reservation
+// must NOT keep jumping the wide head.
+func TestSchedEASYNoStarvation(t *testing.T) {
+	ctl, run := schedController(sched.EASY{})
+	submit(t, ctl, nodeJob("running", 100, 16, 120))
+	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 100, Malleable: true})
+	// Each greedy job would fit the free node right now but runs way
+	// past the shadow time (~120): EASY must hold them all back.
+	for i := 0; i < 4; i++ {
+		submit(t, ctl, nodeJob("greedy", 500, 16, 800))
+	}
+	if ctl.RunningLen() != 1 {
+		t.Fatalf("running=%d: greedy jobs starved the wide head", ctl.RunningLen())
+	}
+	run()
+	checkErr(t, ctl)
+	rw, _ := ctl.Records.Job("wide")
+	rr, _ := ctl.Records.Job("running")
+	if rw.Start > rr.End+2 {
+		t.Errorf("wide started %v, want right after running ends (%v)", rw.Start, rr.End)
+	}
+}
+
+// TestLegacyBackfillReservation: the built-in Backfill knob now
+// carries the same guard (satellite fix): greedy long jobs cannot
+// starve a wide head.
+func TestLegacyBackfillReservation(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicySerial)
+	ctl.Backfill = true
+	submit(t, ctl, &Job{Name: "running", Spec: fastSpec(100), Cfg: apps.Config{Ranks: 1, Threads: 16},
+		Nodes: 1, Walltime: 120, Malleable: true})
+	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 100, Malleable: true})
+	for i := 0; i < 4; i++ {
+		submit(t, ctl, &Job{Name: "greedy", Spec: fastSpec(500), Cfg: apps.Config{Ranks: 1, Threads: 16},
+			Nodes: 1, Walltime: 800, Malleable: true})
+	}
+	if ctl.RunningLen() != 1 {
+		t.Fatalf("running=%d: naive backfill starvation is back", ctl.RunningLen())
+	}
+	eng.Run()
+	checkErr(t, ctl)
+	rw, _ := ctl.Records.Job("wide")
+	rr, _ := ctl.Records.Job("running")
+	if rw.Start > rr.End+2 {
+		t.Errorf("wide started %v, want right after running ends (%v)", rw.Start, rr.End)
+	}
+}
+
+// TestSchedShrinkExpandRoundTrip: the malleable policy shrinks a
+// running job through the real DROM path to admit a second one, and
+// expands it back to its original masks once the intruder finishes.
+func TestSchedShrinkExpandRoundTrip(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(sched.Malleable{Expand: true})
+
+	long := &Job{Name: "long", Spec: fastSpec(600), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 700, Malleable: true}
+	short := &Job{Name: "short", Spec: fastSpec(30), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 60, Malleable: true}
+	submit(t, ctl, long)
+	eng.RunUntil(20)
+
+	// Record long's original masks (full nodes).
+	original := map[string]int{}
+	for _, node := range c.Nodes {
+		for _, e := range c.System(node).Segment().Snapshot() {
+			original[node] += e.CurrentMask.Count()
+		}
+	}
+	if original["node0"] != 16 || original["node1"] != 16 {
+		t.Fatalf("long should own both full nodes: %v", original)
+	}
+
+	submit(t, ctl, short) // admission requires shrinking long to 8/8
+	if ctl.RunningLen() != 2 {
+		t.Fatalf("running=%d, want shrink-admission of short", ctl.RunningLen())
+	}
+	eng.RunUntil(30) // both polled: shrink applied, short registered
+	for _, node := range c.Nodes {
+		for _, e := range c.System(node).Segment().Snapshot() {
+			if e.CurrentMask.Count() != 8 {
+				t.Fatalf("node %s entry mask=%v, want 8/8 equipartition", node, e.CurrentMask)
+			}
+		}
+	}
+
+	// Wait for short to finish; the expand action restores long.
+	eng.RunUntil(200)
+	if ctl.RunningLen() != 1 {
+		t.Fatalf("running=%d, want only long", ctl.RunningLen())
+	}
+	for _, node := range c.Nodes {
+		got := 0
+		entries := c.System(node).Segment().Snapshot()
+		if len(entries) != 1 {
+			t.Fatalf("node %s has %d entries after short ended", node, len(entries))
+		}
+		got = entries[0].CurrentMask.Count()
+		if e := entries[0]; e.Dirty {
+			got = e.FutureMask.Count()
+		}
+		if got != original[node] {
+			t.Errorf("node %s: long holds %d CPUs, want restored %d", node, got, original[node])
+		}
+	}
+	eng.Run()
+	checkErr(t, ctl)
+
+	// All malleability flowed through the DROM protocol: the records
+	// must show both jobs completing with sane times.
+	rl, okl := ctl.Records.Job("long")
+	rs, oks := ctl.Records.Job("short")
+	if !okl || !oks {
+		t.Fatal("missing records")
+	}
+	if rs.WaitTime() > 2 {
+		t.Errorf("short waited %v, want immediate shrink-admission", rs.WaitTime())
+	}
+	if rl.End <= rs.End {
+		t.Errorf("long (%v) should outlive short (%v)", rl.End, rs.End)
+	}
+}
+
+// TestSchedMalleableShrinkDoesNotExpand: without the expand phase the
+// shrunken job keeps its reduced masks after the intruder ends.
+func TestSchedMalleableShrinkDoesNotExpand(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(sched.Malleable{})
+	long := &Job{Name: "long", Spec: fastSpec(600), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 700, Malleable: true}
+	short := &Job{Name: "short", Spec: fastSpec(30), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 60, Malleable: true}
+	submit(t, ctl, long)
+	eng.RunUntil(20)
+	submit(t, ctl, short)
+	eng.RunUntil(300) // short long gone
+	if ctl.RunningLen() != 1 {
+		t.Fatalf("running=%d", ctl.RunningLen())
+	}
+	for _, node := range c.Nodes {
+		for _, e := range c.System(node).Segment().Snapshot() {
+			got := e.CurrentMask.Count()
+			if e.Dirty {
+				got = e.FutureMask.Count()
+			}
+			if got != 8 {
+				t.Errorf("node %s: mask=%d, want shrunken 8 (no expand phase)", node, got)
+			}
+		}
+	}
+	eng.Run()
+	checkErr(t, ctl)
+}

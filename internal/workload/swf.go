@@ -1,0 +1,284 @@
+package workload
+
+// Standard Workload Format (SWF) replay: parse real scheduler traces
+// (the Parallel Workloads Archive format, 18 whitespace-separated
+// fields per job) or synthesize seeded thousand-job traces, and map
+// them onto the simulated DROM cluster so the sched policies can be
+// compared at scale instead of on the paper's two-job scenarios.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/hwmodel"
+	"repro/internal/sched"
+	"repro/internal/slurm"
+)
+
+// swfFields is the fixed record width of the Standard Workload Format.
+const swfFields = 18
+
+// SWFJob is one trace record, reduced to the fields the replay uses.
+// Unknown values follow the SWF convention of -1.
+type SWFJob struct {
+	// ID is the job number (field 1).
+	ID int
+	// Submit is the submission time in seconds (field 2).
+	Submit float64
+	// Run is the actual runtime in seconds (field 4).
+	Run float64
+	// Procs is the number of processors (field 5, falling back to the
+	// requested count of field 8 when unknown).
+	Procs int
+	// ReqTime is the user's requested walltime in seconds (field 9).
+	ReqTime float64
+	// Status is the completion status (field 11; 1 = completed).
+	Status int
+}
+
+// ParseSWF reads an SWF trace. Comment lines start with ';'. Every
+// record line must carry exactly 18 numeric fields; anything else is
+// rejected with the offending line number.
+func ParseSWF(r io.Reader) ([]SWFJob, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var jobs []SWFJob
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != swfFields {
+			return nil, fmt.Errorf("swf: line %d: %d fields, want %d", line, len(fields), swfFields)
+		}
+		vals := make([]float64, swfFields)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("swf: line %d field %d: %v", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[1] < 0 {
+			return nil, fmt.Errorf("swf: line %d: negative submit time %v", line, vals[1])
+		}
+		procs := int(vals[4])
+		if procs <= 0 {
+			procs = int(vals[7]) // requested processors
+		}
+		jobs = append(jobs, SWFJob{
+			ID:      int(vals[0]),
+			Submit:  vals[1],
+			Run:     vals[3],
+			Procs:   procs,
+			ReqTime: vals[8],
+			Status:  int(vals[10]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: %v", err)
+	}
+	return jobs, nil
+}
+
+// FormatSWF renders records as SWF text (unused fields as -1), so
+// synthetic traces round-trip through the parser.
+func FormatSWF(jobs []SWFJob) string {
+	var sb strings.Builder
+	sb.WriteString("; synthetic SWF trace\n")
+	for _, j := range jobs {
+		fmt.Fprintf(&sb, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 %d -1 -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Run, j.Procs, j.Procs, j.ReqTime, j.Status)
+	}
+	return sb.String()
+}
+
+// SWFOptions maps a trace onto the simulated cluster.
+type SWFOptions struct {
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// Machine is the node model (zero value = MN3, 16 cores).
+	Machine hwmodel.Machine
+	// MaxJobs truncates the trace (0 = all).
+	MaxJobs int
+}
+
+// swfSpec is the calibrated synthetic application the replay runs:
+// fully malleable compute (like Pils), one ~1 s chunk per requested
+// CPU and iteration, so the iteration boundary is the DLB_PollDROM
+// malleability point.
+func swfSpec() apps.Spec {
+	return apps.Spec{
+		Name:           "swf",
+		Class:          apps.Malleable,
+		DefaultIters:   100,
+		ChunkSeconds:   1.0,
+		IPCBase:        1.0,
+		IPCAlpha:       0,
+		RefThreads:     16,
+		MemFrac:        0.02,
+		BWPerThreadGBs: 0.2,
+		Spread:         1,
+		CommSeconds:    0,
+	}
+}
+
+// SWFScenario converts trace records into a replayable scenario. Jobs
+// that cannot run on the configured cluster (unknown runtime or
+// processor count, wider than the machine) are skipped and counted.
+func SWFScenario(jobs []SWFJob, o SWFOptions) (Scenario, int, error) {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	machine := o.Machine
+	if machine.CoresPerNode() == 0 {
+		machine = hwmodel.MN3()
+	}
+	cores := machine.CoresPerNode()
+	spec := swfSpec()
+	sc := Scenario{
+		Name:    fmt.Sprintf("swf/%d-jobs", len(jobs)),
+		Nodes:   o.Nodes,
+		Machine: machine,
+	}
+	skipped := 0
+	for i, j := range jobs {
+		if o.MaxJobs > 0 && len(sc.Subs) >= o.MaxJobs {
+			break
+		}
+		if j.Run <= 0 || j.Procs <= 0 {
+			skipped++
+			continue
+		}
+		nodes := (j.Procs + cores - 1) / cores
+		if nodes > o.Nodes {
+			skipped++
+			continue
+		}
+		threads := (j.Procs + nodes - 1) / nodes
+		if threads > cores {
+			threads = cores
+		}
+		iters := int(j.Run/spec.ChunkSeconds + 0.5)
+		if iters < 1 {
+			iters = 1
+		}
+		walltime := j.ReqTime
+		if walltime <= 0 {
+			walltime = 0
+		}
+		sc.Subs = append(sc.Subs, Submission{
+			At: j.Submit,
+			Job: slurm.Job{
+				Name:      fmt.Sprintf("j%05d", i+1),
+				Spec:      spec,
+				Cfg:       apps.Config{Ranks: nodes, Threads: threads},
+				Iters:     iters,
+				Nodes:     nodes,
+				Walltime:  walltime,
+				Malleable: true,
+			},
+		})
+	}
+	if len(sc.Subs) == 0 {
+		return Scenario{}, skipped, fmt.Errorf("swf: no usable jobs in trace (%d skipped)", skipped)
+	}
+	return sc, skipped, nil
+}
+
+// SyntheticSWF seeds the scale-oriented workload generator.
+type SyntheticSWF struct {
+	Seed int64
+	// Jobs is the trace length (default 1000).
+	Jobs int
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// MeanInterarrival is the exponential inter-arrival mean in
+	// seconds (default 60, ~80% offered load on the default shape).
+	MeanInterarrival float64
+}
+
+func (p SyntheticSWF) withDefaults() SyntheticSWF {
+	if p.Jobs <= 0 {
+		p.Jobs = 1000
+	}
+	if p.Nodes <= 0 {
+		p.Nodes = 4
+	}
+	if p.MeanInterarrival <= 0 {
+		p.MeanInterarrival = 60
+	}
+	return p
+}
+
+// Generate produces a reproducible SWF trace: Poisson arrivals, a mix
+// of narrow (sub-node), node-wide and multi-node jobs, log-normal-ish
+// runtimes, and the typical user walltime over-estimation (1–3×).
+func (p SyntheticSWF) Generate() []SWFJob {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	cores := hwmodel.MN3().CoresPerNode()
+	jobs := make([]SWFJob, 0, p.Jobs)
+	at := 0.0
+	for i := 0; i < p.Jobs; i++ {
+		at += r.ExpFloat64() * p.MeanInterarrival
+		var procs int
+		switch x := r.Float64(); {
+		case x < 0.55: // narrow: a few CPUs on one node
+			procs = 1 + r.Intn(cores/2)
+		case x < 0.85 || p.Nodes < 2: // node-wide
+			procs = cores
+		default: // wide: 2..Nodes full nodes
+			procs = cores * (2 + r.Intn(p.Nodes-1))
+		}
+		// Log-normal-ish runtime clamped to [20 s, 600 s].
+		run := math.Exp(4.5 + 0.9*r.NormFloat64())
+		if run < 20 {
+			run = 20
+		}
+		if run > 600 {
+			run = 600
+		}
+		jobs = append(jobs, SWFJob{
+			ID:      i + 1,
+			Submit:  math.Round(at),
+			Run:     math.Round(run),
+			Procs:   procs,
+			ReqTime: math.Round(run * (1 + 2*r.Float64())),
+			Status:  1,
+		})
+	}
+	return jobs
+}
+
+// SyntheticSWFScenario generates and maps a synthetic trace in one
+// step.
+func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
+	p = p.withDefaults()
+	sc, skipped, err := SWFScenario(p.Generate(), SWFOptions{Nodes: p.Nodes})
+	if err != nil {
+		return Scenario{}, err
+	}
+	if skipped > 0 {
+		return Scenario{}, fmt.Errorf("swf: synthetic generator produced %d unusable jobs", skipped)
+	}
+	sc.Name = fmt.Sprintf("swf/synthetic-seed%d-jobs%d", p.Seed, p.Jobs)
+	return sc, nil
+}
+
+// RunSched executes a scenario under a queue/admission policy from
+// internal/sched. Placement is shared-node with disjoint masks; every
+// malleability action the policy emits goes through the real DROM
+// SetProcessMask/PreInit path.
+func RunSched(s Scenario, p sched.Policy) Result {
+	return run(s, slurm.PolicyDROM, p)
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func TestParseSWFRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"too-few-fields":  "1 0 -1 100 16\n",
+		"non-numeric":     "1 0 -1 abc 16 -1 -1 16 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+		"negative-submit": "1 -5 -1 100 16 -1 -1 16 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+		"extra-fields":    "1 0 -1 100 16 -1 -1 16 200 -1 1 -1 -1 -1 -1 -1 -1 -1 99\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseSWF(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseSWF accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseSWFAcceptsCommentsAndRecords(t *testing.T) {
+	text := "; MaxNodes: 4\n\n" +
+		"1 0 -1 100 16 -1 -1 16 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"2 30 -1 50 -1 -1 -1 8 80 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	jobs, err := ParseSWF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Procs != 16 || jobs[0].Run != 100 || jobs[0].ReqTime != 200 {
+		t.Errorf("job 1 = %+v", jobs[0])
+	}
+	// Allocated processors unknown (-1): falls back to requested.
+	if jobs[1].Procs != 8 || jobs[1].Submit != 30 {
+		t.Errorf("job 2 = %+v", jobs[1])
+	}
+}
+
+// TestSyntheticSWFRoundTrip: the generator's trace survives
+// Format→Parse→Scenario unchanged, and generation is deterministic.
+func TestSyntheticSWFRoundTrip(t *testing.T) {
+	p := SyntheticSWF{Seed: 7, Jobs: 50}
+	a := p.Generate()
+	b := p.Generate()
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("generated %d/%d jobs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	parsed, err := ParseSWF(strings.NewReader(FormatSWF(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(a) {
+		t.Fatalf("round-trip lost jobs: %d vs %d", len(parsed), len(a))
+	}
+	for i := range a {
+		if parsed[i] != a[i] {
+			t.Fatalf("round-trip changed job %d: %+v vs %+v", i, parsed[i], a[i])
+		}
+	}
+	sc, skipped, err := SWFScenario(a, SWFOptions{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(sc.Subs) != 50 {
+		t.Fatalf("scenario: %d subs, %d skipped", len(sc.Subs), skipped)
+	}
+	for _, sub := range sc.Subs {
+		if sub.Job.Walltime <= 0 {
+			t.Fatalf("job %s lost its walltime estimate", sub.Job.Name)
+		}
+	}
+}
+
+// TestSyntheticSWFSingleNode: a 1-node cluster must not panic the
+// generator's wide-job branch (regression).
+func TestSyntheticSWFSingleNode(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 2, Jobs: 40, Nodes: 1, MeanInterarrival: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range sc.Subs {
+		if sub.Job.Nodes != 1 {
+			t.Fatalf("job %s spans %d nodes on a 1-node cluster", sub.Job.Name, sub.Job.Nodes)
+		}
+	}
+	p, _ := sched.New("malleable-expand")
+	if res := RunSched(sc, p); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestSWFScenarioSkipsUnusable(t *testing.T) {
+	jobs := []SWFJob{
+		{ID: 1, Submit: 0, Run: -1, Procs: 16, Status: 1},                 // no runtime
+		{ID: 2, Submit: 0, Run: 100, Procs: 0, Status: 1},                 // no width
+		{ID: 3, Submit: 0, Run: 100, Procs: 16 * 100, Status: 1},          // wider than cluster
+		{ID: 4, Submit: 10, Run: 100, Procs: 16, ReqTime: 120, Status: 1}, // fine
+	}
+	sc, skipped, err := SWFScenario(jobs, SWFOptions{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 || len(sc.Subs) != 1 {
+		t.Fatalf("subs=%d skipped=%d", len(sc.Subs), skipped)
+	}
+	if _, _, err := SWFScenario(jobs[:3], SWFOptions{Nodes: 2}); err == nil {
+		t.Error("all-unusable trace should error")
+	}
+}
+
+// TestSWFReplayAllPolicies replays a small synthetic trace under every
+// sched policy and sanity-checks the records.
+func TestSWFReplayAllPolicies(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 3, Jobs: 60, Nodes: 2, MeanInterarrival: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sched.Names() {
+		p, _ := sched.New(name)
+		res := RunSched(sc, p)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if len(res.Records.Jobs) != len(sc.Subs) {
+			t.Fatalf("%s: %d of %d jobs completed", name, len(res.Records.Jobs), len(sc.Subs))
+		}
+		st := SchedStatsOf(sc, res)
+		if st.Makespan <= 0 || st.MeanResponse <= 0 {
+			t.Errorf("%s: degenerate stats %v", name, st)
+		}
+	}
+}
+
+// TestMalleableBeatsEASYOnMeanWait is the tentpole's acceptance
+// criterion on the bundled benchmark scenario: shrinking running
+// malleable jobs through DROM admits queued work earlier than any
+// rigid backfilling can.
+func TestMalleableBeatsEASYOnMeanWait(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 1, Jobs: 200, Nodes: 4, MeanInterarrival: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := func(name string) metrics.SchedStats {
+		p, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunSched(sc, p)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		return SchedStatsOf(sc, res)
+	}
+	easy := stats("easy")
+	fcfs := stats("fcfs")
+	shrink := stats("malleable-shrink")
+	expand := stats("malleable-expand")
+	t.Logf("mean wait: fcfs=%.1fs easy=%.1fs shrink=%.1fs expand=%.1fs",
+		fcfs.MeanWait, easy.MeanWait, shrink.MeanWait, expand.MeanWait)
+	if easy.MeanWait >= fcfs.MeanWait {
+		t.Errorf("EASY (%.1fs) should not wait longer than FCFS (%.1fs)", easy.MeanWait, fcfs.MeanWait)
+	}
+	if shrink.MeanWait >= easy.MeanWait {
+		t.Errorf("malleable-shrink mean wait %.1fs, want below EASY %.1fs", shrink.MeanWait, easy.MeanWait)
+	}
+	if expand.MeanWait >= easy.MeanWait {
+		t.Errorf("malleable-expand mean wait %.1fs, want below EASY %.1fs", expand.MeanWait, easy.MeanWait)
+	}
+	// Wait alone is gameable by admitting everything on a sliver of
+	// CPUs; the full malleable policy must also beat EASY end-to-end.
+	if expand.MeanResponse >= easy.MeanResponse {
+		t.Errorf("malleable-expand mean response %.1fs, want below EASY %.1fs",
+			expand.MeanResponse, easy.MeanResponse)
+	}
+}

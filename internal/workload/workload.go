@@ -12,6 +12,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/trace"
@@ -46,6 +47,21 @@ type Scenario struct {
 	Seed       int64
 }
 
+// clusterShape resolves the scenario's defaults: 2 nodes of the MN3
+// machine model. Every consumer of the cluster dimensions must go
+// through here so metrics and simulation can never disagree.
+func (s Scenario) clusterShape() (nodes int, machine hwmodel.Machine) {
+	nodes = s.Nodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	machine = s.Machine
+	if machine.CoresPerNode() == 0 {
+		machine = hwmodel.MN3()
+	}
+	return nodes, machine
+}
+
 // Result is one scenario execution.
 type Result struct {
 	Scenario string
@@ -59,25 +75,28 @@ type Result struct {
 // Run executes the scenario under the given policy on an MN3-like
 // cluster and returns the collected metrics.
 func Run(s Scenario, policy slurm.Policy) Result {
+	return run(s, policy, nil)
+}
+
+// run is the shared scenario executor; schedPolicy, when non-nil, is
+// installed on the controller and takes over queue ordering and
+// admission (see RunSched).
+func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 	eng := sim.NewEngine()
 	var tr *trace.Tracer
 	if s.Trace {
 		tr = trace.New()
 	}
-	nodes := s.Nodes
-	if nodes <= 0 {
-		nodes = 2
-	}
-	machine := s.Machine
-	if machine.CoresPerNode() == 0 {
-		machine = hwmodel.MN3()
-	}
+	nodes, machine := s.clusterShape()
 	cluster := slurm.NewCluster(eng, machine, nodes, tr)
 	if s.JitterFrac > 0 {
 		cluster.Jitter = rand.New(rand.NewSource(s.Seed))
 		cluster.JitterFrac = s.JitterFrac
 	}
 	ctl := slurm.NewController(cluster, policy)
+	if schedPolicy != nil {
+		ctl.UseSched(schedPolicy)
+	}
 	ctl.LogProtocol = s.LogProtocol
 	ctl.NodeSelection = s.NodeSelection
 	ctl.ServeEvolving = s.ServeEvolving
@@ -105,6 +124,19 @@ func Run(s Scenario, policy slurm.Policy) Result {
 	res.Records = ctl.Records
 	res.Protocol = ctl.Log
 	return res
+}
+
+// SchedStatsOf computes the scheduler-quality metrics of a run,
+// deriving the demand denominator from the scenario's cluster shape
+// and each job's requested width.
+func SchedStatsOf(s Scenario, res Result) metrics.SchedStats {
+	widths := make(map[string]int, len(s.Subs))
+	for _, sub := range s.Subs {
+		widths[sub.Job.Name] = sub.Job.Nodes * sub.Job.CPUsPerNode()
+	}
+	nodes, machine := s.clusterShape()
+	return metrics.NewSchedStats(res.Records,
+		func(name string) int { return widths[name] }, nodes*machine.CoresPerNode())
 }
 
 // AnalyticsSubmitTime is when the UC1 analytics job enters the queue.
