@@ -12,8 +12,11 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"repro/cluster"
 	"repro/internal/djsb"
@@ -525,6 +528,85 @@ func BenchmarkSchedPolicies1000(b *testing.B) {
 			b.Errorf("malleable-expand mean response %.1fs, want below EASY %.1fs",
 				st.MeanResponse, easy.MeanResponse)
 		}
+	}
+}
+
+// BenchmarkSchedReplay100k is the scale benchmark of the incremental
+// scheduling cycle: a seeded 100,000-job synthetic SWF trace on a
+// 4-node cluster, replayed end to end under every sched policy. It
+// reports the end-to-end wall time, the number of policy cycles and
+// simulation events, and the mean cost of one cycle. Committed
+// reference numbers live in BENCH_sched.json; regenerate it with:
+//
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench SchedReplay100k -benchtime 1x .
+func BenchmarkSchedReplay100k(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{Seed: 1, Jobs: 100000, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type entry struct {
+		Policy      string  `json:"policy"`
+		Jobs        int     `json:"jobs"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Cycles      int64   `json:"sched_cycles"`
+		Events      int64   `json:"sim_events"`
+		CycleMicros float64 `json:"us_per_cycle"`
+		MeanWaitS   float64 `json:"mean_wait_s"`
+		MakespanS   float64 `json:"makespan_s"`
+	}
+	byPolicy := map[string]entry{}
+	for _, name := range cluster.SchedPolicyNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p, err := cluster.NewSchedPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var e entry
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				res := cluster.RunSched(sc, p)
+				wall := time.Since(t0)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				st := cluster.SchedStatsOf(sc, res)
+				e = entry{
+					Policy:      name,
+					Jobs:        len(res.Records.Jobs),
+					WallSeconds: wall.Seconds(),
+					Cycles:      res.SchedCycles,
+					Events:      res.Events,
+					CycleMicros: wall.Seconds() * 1e6 / float64(res.SchedCycles),
+					MeanWaitS:   st.MeanWait,
+					MakespanS:   st.Makespan,
+				}
+			}
+			byPolicy[name] = e
+			b.ReportMetric(e.WallSeconds, "wall-s")
+			b.ReportMetric(float64(e.Cycles), "cycles")
+			b.ReportMetric(e.CycleMicros, "us/cycle")
+			b.ReportMetric(float64(e.Jobs)/e.WallSeconds, "jobs/s")
+		})
+	}
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" && len(byPolicy) == len(cluster.SchedPolicyNames()) {
+		entries := make([]entry, 0, len(byPolicy))
+		for _, name := range cluster.SchedPolicyNames() {
+			entries = append(entries, byPolicy[name])
+		}
+		out, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "SchedReplay100k",
+			"trace":     "synthetic SWF seed=1 jobs=100000 nodes=4",
+			"policies":  entries,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/cluster"
 	"repro/internal/djsb"
@@ -38,6 +39,8 @@ func main() {
 	schedNames := flag.String("sched", "", "scheduling policies to replay an SWF workload under: "+
 		"comma list of fcfs, easy, malleable-shrink, malleable-expand (alias malleable), or all")
 	swfPath := flag.String("swf", "", "SWF trace file to replay (default: seeded synthetic trace)")
+	check := flag.Bool("check", false, "swf: cross-check the controller's incremental free-CPU "+
+		"accounting against a full shared-memory re-scan every cycle (slower)")
 	flag.Parse()
 
 	if *schedNames != "" || *swfPath != "" {
@@ -55,7 +58,7 @@ func main() {
 				nn = *nodes
 			}
 		})
-		if err := runSched(*schedNames, *swfPath, *seed, nj, ia, nn); err != nil {
+		if err := runSched(*schedNames, *swfPath, *seed, nj, ia, nn, *check); err != nil {
 			fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -102,7 +105,7 @@ func main() {
 // prints the scheduler-quality metrics of each. Zero-valued
 // parameters mean "unset": the defaults of the trace mapping apply
 // (4 nodes, 1000 synthetic jobs, contended inter-arrival).
-func runSched(names, swfPath string, seed int64, jobs int, interarrival float64, nodes int) error {
+func runSched(names, swfPath string, seed int64, jobs int, interarrival float64, nodes int, check bool) error {
 	policies, err := parseSchedPolicies(names)
 	if err != nil {
 		return err
@@ -137,12 +140,16 @@ func runSched(names, swfPath string, seed int64, jobs int, interarrival float64,
 		}
 		fmt.Printf("=== SWF replay: synthetic seed=%d jobs=%d nodes=%d ===\n", seed, jobs, nodes)
 	}
+	sc.DebugInvariants = check
 	for _, p := range policies {
+		start := time.Now()
 		res := cluster.RunSched(sc, p)
+		wall := time.Since(start)
 		if res.Err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), res.Err)
 		}
-		fmt.Printf("sched=%-17s %s\n", p.Name(), cluster.SchedStatsOf(sc, res))
+		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall]\n",
+			p.Name(), cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds())
 	}
 	return nil
 }

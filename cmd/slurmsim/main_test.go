@@ -62,13 +62,13 @@ func TestParseSchedPolicies(t *testing.T) {
 }
 
 func TestRunSchedSmoke(t *testing.T) {
-	if err := runSched("easy,malleable", "", 1, 40, 30, 2); err != nil {
+	if err := runSched("easy,malleable", "", 1, 40, 30, 2, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSched("bogus", "", 1, 10, 0, 2); err == nil {
+	if err := runSched("bogus", "", 1, 10, 0, 2, false); err == nil {
 		t.Fatal("bogus policy should fail")
 	}
-	if err := runSched("fcfs", "/nonexistent.swf", 1, 0, 0, 2); err == nil {
+	if err := runSched("fcfs", "/nonexistent.swf", 1, 0, 0, 2, false); err == nil {
 		t.Fatal("missing trace file should fail")
 	}
 }

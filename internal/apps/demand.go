@@ -7,8 +7,34 @@ import (
 
 // usage is one rank's resource pressure on a node.
 type usage struct {
+	pid     shmem.PID
 	bwGBs   float64
 	threads int
+}
+
+// nodeDemand is the per-node ledger: a compact entry slice (insertion
+// order, swap-removed) plus lazily recomputed aggregate sums. The
+// simulator reads Total/Threads on every iteration of every rank, so
+// the sums must not be recomputed per read — only after a mutation.
+type nodeDemand struct {
+	idx     map[shmem.PID]int // pid -> position in entries
+	entries []usage
+	bwSum   float64
+	threads int
+	dirty   bool
+}
+
+func (n *nodeDemand) refresh() {
+	if !n.dirty {
+		return
+	}
+	n.bwSum = 0
+	n.threads = 0
+	for _, u := range n.entries {
+		n.bwSum += u.bwGBs
+		n.threads += u.threads
+	}
+	n.dirty = false
 }
 
 // DemandTable tracks the memory-bandwidth demand and active thread
@@ -20,40 +46,63 @@ type usage struct {
 // their entries whenever their masks change.
 type DemandTable struct {
 	machine hwmodel.Machine
-	nodes   map[string]map[shmem.PID]usage
+	nodes   map[string]*nodeDemand
 }
 
 // NewDemandTable creates a table for nodes of the given machine type.
 func NewDemandTable(m hwmodel.Machine) *DemandTable {
 	return &DemandTable{
 		machine: m,
-		nodes:   make(map[string]map[shmem.PID]usage),
+		nodes:   make(map[string]*nodeDemand),
 	}
 }
 
 // SetUsage records the demand of pid on node. Zero values remove it.
 func (d *DemandTable) SetUsage(node string, pid shmem.PID, threads int, bwGBs float64) {
-	m := d.nodes[node]
-	if m == nil {
+	n := d.nodes[node]
+	if n == nil {
 		if bwGBs == 0 && threads == 0 {
 			return
 		}
-		m = make(map[shmem.PID]usage)
-		d.nodes[node] = m
+		n = &nodeDemand{idx: make(map[shmem.PID]int)}
+		d.nodes[node] = n
 	}
+	i, ok := n.idx[pid]
 	if bwGBs == 0 && threads == 0 {
-		delete(m, pid)
+		if !ok {
+			return
+		}
+		last := len(n.entries) - 1
+		if i != last {
+			n.entries[i] = n.entries[last]
+			n.idx[n.entries[i].pid] = i
+		}
+		n.entries = n.entries[:last]
+		delete(n.idx, pid)
+		n.dirty = true
 		return
 	}
-	m[pid] = usage{bwGBs: bwGBs, threads: threads}
+	if ok {
+		if n.entries[i].bwGBs == bwGBs && n.entries[i].threads == threads {
+			return // no change; keep the cached sums valid
+		}
+		n.entries[i].bwGBs = bwGBs
+		n.entries[i].threads = threads
+	} else {
+		n.idx[pid] = len(n.entries)
+		n.entries = append(n.entries, usage{pid: pid, bwGBs: bwGBs, threads: threads})
+	}
+	n.dirty = true
 }
 
 // Set records only the bandwidth demand of pid on node (GB/s),
 // preserving any recorded thread count.
 func (d *DemandTable) Set(node string, pid shmem.PID, gbs float64) {
 	threads := 0
-	if u, ok := d.nodes[node][pid]; ok {
-		threads = u.threads
+	if n := d.nodes[node]; n != nil {
+		if i, ok := n.idx[pid]; ok {
+			threads = n.entries[i].threads
+		}
 	}
 	d.SetUsage(node, pid, threads, gbs)
 }
@@ -63,20 +112,22 @@ func (d *DemandTable) Remove(node string, pid shmem.PID) { d.SetUsage(node, pid,
 
 // Total returns the summed bandwidth demand on node (GB/s).
 func (d *DemandTable) Total(node string) float64 {
-	var sum float64
-	for _, v := range d.nodes[node] {
-		sum += v.bwGBs
+	n := d.nodes[node]
+	if n == nil {
+		return 0
 	}
-	return sum
+	n.refresh()
+	return n.bwSum
 }
 
 // Threads returns the summed active thread count on node.
 func (d *DemandTable) Threads(node string) int {
-	var sum int
-	for _, v := range d.nodes[node] {
-		sum += v.threads
+	n := d.nodes[node]
+	if n == nil {
+		return 0
 	}
-	return sum
+	n.refresh()
+	return n.threads
 }
 
 // Slowdown returns the bandwidth oversubscription factor of node.

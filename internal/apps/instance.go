@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuset"
 	"repro/internal/derr"
+	"repro/internal/hwmodel"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,6 +49,9 @@ type Instance struct {
 	FinalizeExternally bool
 
 	ranks     []*rankRun
+	envs      []RankEnv // per-iteration scratch, reused across events
+	iterateFn func()    // pre-bound method values: one closure per
+	finishFn  func()    // instance, not one per scheduled event
 	itersDone int
 	started   bool
 	completed bool
@@ -62,6 +66,16 @@ type rankRun struct {
 	p      Placement
 	chunks int
 	mask   cpuset.CPUSet
+	// spans caches Machine.Spans(mask); it is refreshed whenever the
+	// mask changes (register, resume, poll) so the per-iteration hot
+	// path never recomputes it.
+	spans bool
+}
+
+// setMask records a new mask and refreshes the derived spans bit.
+func (r *rankRun) setMask(m cpuset.CPUSet, machine hwmodel.Machine) {
+	r.mask = m
+	r.spans = machine.Spans(m)
 }
 
 // activeThreads returns the threads the rank actually exploits.
@@ -89,6 +103,8 @@ func NewInstance(spec Spec, cfg Config, iters int, jobName string,
 		Spec: spec, Cfg: cfg, Iters: iters, JobName: jobName,
 		eng: eng, demand: demand, tracer: tracer,
 	}
+	inst.iterateFn = inst.iterate
+	inst.finishFn = inst.finish
 	for _, p := range placements {
 		inst.ranks = append(inst.ranks, &rankRun{p: p, chunks: cfg.Threads})
 	}
@@ -102,6 +118,12 @@ func (inst *Instance) Start() error {
 	if inst.started {
 		return fmt.Errorf("apps: instance %s already started", inst.JobName)
 	}
+	if inst.stopped {
+		// Checkpointed or cancelled inside the launch-latency window,
+		// before the ranks ever registered: the deferred start becomes
+		// a no-op instead of spawning a ghost execution.
+		return nil
+	}
 	inst.started = true
 	inst.startTime = inst.eng.Now()
 	for _, r := range inst.ranks {
@@ -109,7 +131,7 @@ func (inst *Instance) Start() error {
 		if code.IsError() {
 			return fmt.Errorf("apps: register rank of %s: %w", inst.JobName, code)
 		}
-		r.mask = got
+		r.setMask(got, inst.demand.Machine())
 		n := r.activeThreads(inst.Spec)
 		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
 	}
@@ -121,7 +143,7 @@ func (inst *Instance) Start() error {
 			initDur = d
 		}
 	}
-	inst.schedule(initDur, inst.iterate)
+	inst.schedule(initDur, inst.iterateFn)
 	return nil
 }
 
@@ -138,7 +160,14 @@ func (inst *Instance) schedule(delay float64, fn func()) {
 // managers (the baseline the paper argues against); a later Resume
 // continues from the checkpoint.
 func (inst *Instance) Stop() {
-	if !inst.started || inst.completed || inst.stopped {
+	if inst.completed || inst.stopped {
+		return
+	}
+	if !inst.started {
+		// Still inside the launch-latency window: no rank registered
+		// and no demand was recorded. Flag the instance so the pending
+		// Start event no-ops (a later Resume restarts it normally).
+		inst.stopped = true
 		return
 	}
 	inst.stopped = true
@@ -169,14 +198,14 @@ func (inst *Instance) Resume(placements []Placement, restartCost float64) error 
 		if code.IsError() {
 			return fmt.Errorf("apps: re-register rank of %s: %w", inst.JobName, code)
 		}
-		r.mask = got
+		r.setMask(got, inst.demand.Machine())
 		n := r.activeThreads(inst.Spec)
 		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
 	}
 	if restartCost < 0 {
 		restartCost = 0
 	}
-	inst.schedule(restartCost, inst.iterate)
+	inst.schedule(restartCost, inst.iterateFn)
 	return nil
 }
 
@@ -204,21 +233,24 @@ func (inst *Instance) iterate() {
 	// Malleability point: every rank polls DROM (DLB_PollDROM).
 	for _, r := range inst.ranks {
 		if m, code := r.p.Sys.Poll(r.p.PID); code == derr.Success {
-			r.mask = m
+			r.setMask(m, inst.demand.Machine())
 			n := r.activeThreads(inst.Spec)
 			inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
 		}
 	}
 	// Iteration duration: the slowest rank plus MPI sync.
 	var iterDur float64
-	envs := make([]RankEnv, len(inst.ranks))
+	if cap(inst.envs) < len(inst.ranks) {
+		inst.envs = make([]RankEnv, len(inst.ranks))
+	}
+	envs := inst.envs[:len(inst.ranks)]
 	for i, r := range inst.ranks {
 		env := RankEnv{
 			Threads:      r.activeThreads(inst.Spec),
 			Chunks:       r.chunks,
 			BWSlowdown:   inst.demand.Slowdown(r.p.Node),
 			CPUShare:     inst.demand.CPUShare(r.p.Node),
-			SpansSockets: inst.demand.Machine().Spans(r.mask),
+			SpansSockets: r.spans,
 			Machine:      inst.demand.Machine(),
 		}
 		envs[i] = env
@@ -235,10 +267,10 @@ func (inst *Instance) iterate() {
 	}
 	inst.itersDone++
 	if inst.itersDone >= inst.Iters {
-		inst.schedule(iterDur, inst.finish)
+		inst.schedule(iterDur, inst.finishFn)
 		return
 	}
-	inst.schedule(iterDur, inst.iterate)
+	inst.schedule(iterDur, inst.iterateFn)
 }
 
 // recordTrace emits per-thread segments for the current iteration.

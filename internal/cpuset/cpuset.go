@@ -6,6 +6,7 @@ package cpuset
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 	"strings"
 )
@@ -73,16 +74,7 @@ func (s CPUSet) IsSet(cpu int) bool {
 func (s CPUSet) Count() int {
 	n := 0
 	for _, w := range s.bits {
-		n += popcount(w)
-	}
-	return n
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for w != 0 {
-		w &= w - 1
-		n++
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -166,13 +158,17 @@ func (s CPUSet) Next(from int) int {
 	if from < 0 {
 		from = 0
 	}
-	for c := from; c < MaxCPUs; c++ {
-		if s.bits[c/wordBits] == 0 {
-			c = (c/wordBits+1)*wordBits - 1
-			continue
-		}
-		if s.IsSet(c) {
-			return c
+	if from >= MaxCPUs {
+		return -1
+	}
+	wi := from / wordBits
+	w := s.bits[wi] >> (uint(from) % wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < numWords; wi++ {
+		if s.bits[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.bits[wi])
 		}
 	}
 	return -1

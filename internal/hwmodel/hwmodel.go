@@ -67,16 +67,8 @@ func (m Machine) Spans(mask cpuset.CPUSet) bool {
 	if first < 0 {
 		return false
 	}
-	s0 := m.SocketOf(first)
-	spans := false
-	mask.ForEach(func(c int) bool {
-		if m.SocketOf(c) != s0 {
-			spans = true
-			return false
-		}
-		return true
-	})
-	return spans
+	// Single-socket iff the mask is a subset of the first CPU's socket.
+	return !mask.IsSubsetOf(m.SocketMask(m.SocketOf(first)))
 }
 
 // CyclesPerSecond returns the core clock in cycles/s.

@@ -91,7 +91,10 @@ func (r Running) EndEstimate() float64 {
 	return r.Start + w
 }
 
-// State is the read-only snapshot a policy schedules against.
+// State is the read-only snapshot a policy schedules against. The
+// executor owns the State and its slices and reuses them across
+// cycles: a policy must not mutate them nor retain references past the
+// Schedule call (copy what it wants to keep).
 type State struct {
 	// Now is the current virtual time.
 	Now float64
@@ -146,7 +149,8 @@ type Action struct {
 	// Nodes pins an ActStart to specific node indices. The executor
 	// must honor them (or skip the action): EASY's past-shadow
 	// backfills and the malleable admissions are only starvation-safe
-	// on the exact nodes the policy budgeted.
+	// on the exact nodes the policy budgeted. Indices must be unique —
+	// the executor rejects an action that names a node twice.
 	Nodes []int
 }
 
@@ -159,7 +163,10 @@ func (a Action) String() string {
 
 // Policy decides, each scheduling cycle, which queued jobs to admit
 // and how to reshape the running set. Implementations must be
-// deterministic: the same State always yields the same actions.
+// deterministic: the same State always yields the same actions. An
+// action the executor cannot apply (capacity raced away, invalid or
+// duplicated pinned nodes) is skipped and re-planned on the follow-up
+// cycle the executor re-arms at the same timestamp.
 type Policy interface {
 	Name() string
 	Schedule(s *State) []Action

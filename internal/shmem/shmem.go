@@ -246,6 +246,26 @@ func (s *Segment) FreeMask() cpuset.CPUSet {
 	return s.nodeCPUs.AndNot(s.UsedMask())
 }
 
+// EffectiveUsedMask returns the union of every slot's binding mask:
+// the staged future when the entry is dirty (a pending change is
+// already a promise — the CPUs it drops are free to hand out, the CPUs
+// it gains are taken), the current mask otherwise. Unlike Snapshot,
+// this is a single allocation-free fold under the lock, cheap enough
+// for a resource manager to rescan one node on every cache miss.
+func (s *Segment) EffectiveUsedMask() cpuset.CPUSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var u cpuset.CPUSet
+	for _, e := range s.procs {
+		if e.Dirty {
+			u = u.Or(e.FutureMask)
+		} else {
+			u = u.Or(e.CurrentMask)
+		}
+	}
+	return u
+}
+
 // SetFuture stages a new mask for pid and marks the entry dirty. The
 // caller (DROM admin) is responsible for conflict checks; SetFuture
 // itself only validates the pid and mask.

@@ -370,3 +370,37 @@ func TestPropertyUsedMaskIsUnion(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEffectiveUsedMask(t *testing.T) {
+	s := newTestSegment(t)
+	if !s.EffectiveUsedMask().IsEmpty() {
+		t.Fatal("empty segment should have no effective usage")
+	}
+	if code := s.Register(1, cpuset.Range(0, 7)); code.IsError() {
+		t.Fatal(code)
+	}
+	if code := s.Register(2, cpuset.Range(8, 11)); code.IsError() {
+		t.Fatal(code)
+	}
+	if got, want := s.EffectiveUsedMask(), cpuset.Range(0, 11); !got.Equal(want) {
+		t.Fatalf("EffectiveUsedMask = %s, want %s", got, want)
+	}
+	// A staged shrink is binding immediately: the dropped CPUs leave the
+	// effective usage before the process polls.
+	if code := s.SetFuture(1, cpuset.Range(0, 3)); code.IsError() {
+		t.Fatal(code)
+	}
+	if got, want := s.EffectiveUsedMask(), cpuset.Range(0, 3).Or(cpuset.Range(8, 11)); !got.Equal(want) {
+		t.Fatalf("after staged shrink EffectiveUsedMask = %s, want %s", got, want)
+	}
+	// UsedMask, by contrast, keeps the current mask too (promised CPUs).
+	if got, want := s.UsedMask(), cpuset.Range(0, 11); !got.Equal(want) {
+		t.Fatalf("UsedMask = %s, want %s", got, want)
+	}
+	if _, code := s.ApplyFuture(1); code.IsError() {
+		t.Fatal(code)
+	}
+	if got, want := s.EffectiveUsedMask(), cpuset.Range(0, 3).Or(cpuset.Range(8, 11)); !got.Equal(want) {
+		t.Fatalf("after apply EffectiveUsedMask = %s, want %s", got, want)
+	}
+}

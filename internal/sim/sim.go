@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -15,49 +14,42 @@ import (
 type EventID int64
 
 type event struct {
-	t   float64
-	seq int64 // tie-break: FIFO among simultaneous events
-	id  EventID
-	fn  func()
+	t         float64
+	seq       int64 // tie-break: FIFO among simultaneous events
+	id        EventID
+	fn        func()
+	cancelled bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// less orders events by time, then FIFO. (t, seq) is a total order —
+// seq is unique — so the pop sequence is fully deterministic.
+func (e *event) less(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) {
-	*h = append(*h, x.(*event))
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use: all events run on the caller of Run/Step.
+//
+// The queue is a value-based binary heap: events live inline in the
+// slice (no per-event allocation, no interface boxing) and hot paths
+// sift manually. Cancellation marks the inline entry and keeps no side
+// table, so cancelling an already-executed or unknown event retains
+// nothing — replays that cancel an event per job cannot leak.
 type Engine struct {
 	now       float64
-	queue     eventHeap
+	queue     []event
 	nextSeq   int64
 	nextID    EventID
-	cancelled map[EventID]bool
 	processed int64
 	stopped   bool
 }
 
 // NewEngine returns an engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{cancelled: make(map[EventID]bool)}
+	return &Engine{}
 }
 
 // Now returns the current virtual time in seconds.
@@ -69,6 +61,53 @@ func (e *Engine) Processed() int64 { return e.processed }
 // Pending returns the number of events still queued (including
 // cancelled ones not yet discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// push appends ev and sifts it up (moving a hole instead of swapping
+// halves the copies on the hottest path of the simulation).
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, event{})
+	j := len(e.queue) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !ev.less(&e.queue[i]) {
+			break
+		}
+		e.queue[j] = e.queue[i]
+		j = i
+	}
+	e.queue[j] = ev
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() event {
+	top := e.queue[0]
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = event{} // release the closure
+	e.queue = e.queue[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the hole down from the root, then drop last in.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		j := l
+		if r < n && e.queue[r].less(&e.queue[l]) {
+			j = r
+		}
+		if !e.queue[j].less(&last) {
+			break
+		}
+		e.queue[i] = e.queue[j]
+		i = j
+	}
+	e.queue[i] = last
+	return top
+}
 
 // At schedules fn at absolute time t. Scheduling in the past panics —
 // it is always a bug in the model.
@@ -82,7 +121,7 @@ func (e *Engine) At(t float64, fn func()) EventID {
 	e.nextID++
 	id := e.nextID
 	e.nextSeq++
-	heap.Push(&e.queue, &event{t: t, seq: e.nextSeq, id: id, fn: fn})
+	e.push(event{t: t, seq: e.nextSeq, id: id, fn: fn})
 	return id
 }
 
@@ -92,9 +131,17 @@ func (e *Engine) After(delay float64, fn func()) EventID {
 }
 
 // Cancel removes a scheduled event. Cancelling an already-executed or
-// unknown event is a no-op.
+// unknown event is a no-op and retains no state. Cancellation is rare
+// (checkpoint stops, scancel), so the linear queue scan beats keeping
+// an id→event side table updated on the hot insert/execute paths.
 func (e *Engine) Cancel(id EventID) {
-	e.cancelled[id] = true
+	for i := range e.queue {
+		if e.queue[i].id == id {
+			e.queue[i].cancelled = true
+			e.queue[i].fn = nil // release the closure immediately
+			return
+		}
+	}
 }
 
 // Step executes the next event. It returns false when the queue is
@@ -104,9 +151,8 @@ func (e *Engine) Step() bool {
 		if e.stopped {
 			return false
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		if e.cancelled[ev.id] {
-			delete(e.cancelled, ev.id)
+		ev := e.pop()
+		if ev.cancelled {
 			continue
 		}
 		e.now = ev.t
@@ -128,10 +174,9 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t float64) {
 	for len(e.queue) > 0 && !e.stopped {
 		// Peek.
-		next := e.queue[0]
-		if e.cancelled[next.id] {
-			heap.Pop(&e.queue)
-			delete(e.cancelled, next.id)
+		next := &e.queue[0]
+		if next.cancelled {
+			e.pop()
 			continue
 		}
 		if next.t > t {

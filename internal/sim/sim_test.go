@@ -79,6 +79,37 @@ func TestCancel(t *testing.T) {
 	e.Cancel(9999)
 }
 
+func TestCancelAfterFireLeaksNothing(t *testing.T) {
+	e := NewEngine()
+	// Long replays cancel already-fired events constantly (one per
+	// job); the engine must retain no tracking state for them. The old
+	// implementation inserted every cancelled ID into a map
+	// unconditionally and only deleted it when the event fired — a
+	// fired or unknown ID stayed forever.
+	for i := 0; i < 1000; i++ {
+		id := e.After(1, func() {})
+		e.Run()
+		e.Cancel(id)     // already executed
+		e.Cancel(999999) // never existed
+	}
+	if n := e.Pending(); n != 0 {
+		t.Fatalf("engine tracks %d events after cancelling fired/unknown IDs, want 0", n)
+	}
+	if cap(e.queue) > 4 {
+		t.Fatalf("queue capacity grew to %d over fired-event cancels, want no growth", cap(e.queue))
+	}
+}
+
+func TestCancelPendingDropsClosure(t *testing.T) {
+	e := NewEngine()
+	id := e.After(1, func() { t.Error("cancelled event ran") })
+	e.Cancel(id)
+	e.Run()
+	if n := e.Pending(); n != 0 {
+		t.Fatalf("queue holds %d entries after Run, want 0", n)
+	}
+}
+
 func TestSchedulingInPastPanics(t *testing.T) {
 	e := NewEngine()
 	e.After(5, func() {})

@@ -31,6 +31,25 @@ type runningJob struct {
 	nodes  []string
 	tasks  []taskRef // rank order
 	inst   *apps.Instance
+
+	// nodeIdxs caches the sorted node indices for the scheduler
+	// snapshot (stable while the job runs; recomputed on resume).
+	nodeIdxs []int
+	// curCPUs caches the job's effective per-node CPU allocation (the
+	// max over its nodes of the summed effective task masks). curOK is
+	// cleared whenever a mask on one of the job's nodes may have
+	// changed; the next snapshot recomputes lazily.
+	curCPUs int
+	curOK   bool
+}
+
+func (r *runningJob) hasNode(node string) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 func (r *runningJob) onNode(node string) []taskRef {
@@ -103,10 +122,34 @@ type Controller struct {
 	// drainUntil blocks launches while a checkpoint is in progress.
 	drainUntil float64
 
+	// queue is kept priority-ordered (priority descending, seq
+	// ascending) by enqueue; no per-event re-sort happens.
 	queue   []*queuedJob
 	seq     int
 	running []*runningJob
 	admins  map[string]*core.Admin
+
+	// Incremental scheduling-cycle state: per-node cached effective-
+	// free masks (nodeFreeOK gates staleness), live seq→job indexes,
+	// and the reusable policy snapshot. See sched_driver.go.
+	nodeMask     cpuset.CPUSet
+	nodeIdx      map[string]int
+	nodeFree     []cpuset.CPUSet
+	nodeFreeOK   []bool
+	qBySeq       map[int]*queuedJob
+	rBySeq       map[int]*runningJob
+	snapState    sched.State
+	cyclePending bool
+	lastCycleAt  float64
+	rearmedAt    float64
+
+	// Cycles counts executed scheduling-policy passes (perf metric).
+	Cycles int64
+
+	// DebugInvariants cross-checks the incremental free-CPU accounting
+	// against a full shared-memory re-scan after every cycle and fails
+	// the controller on any divergence or out-of-range count.
+	DebugInvariants bool
 
 	// Records accumulates the per-job lifecycle metrics.
 	Records metrics.Workload
@@ -154,13 +197,22 @@ func NewController(c *Cluster, policy Policy) *Controller {
 		CheckpointCost: 120,
 		RestartCost:    120,
 		admins:         make(map[string]*core.Admin),
+		nodeMask:       c.Machine.NodeMask(),
+		nodeIdx:        make(map[string]int, len(c.Nodes)),
+		nodeFree:       make([]cpuset.CPUSet, len(c.Nodes)),
+		nodeFreeOK:     make([]bool, len(c.Nodes)),
+		qBySeq:         make(map[int]*queuedJob),
+		rBySeq:         make(map[int]*runningJob),
+		lastCycleAt:    -1,
+		rearmedAt:      -1,
 	}
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		admin, code := c.System(n).Attach()
 		if code.IsError() {
 			panic(code)
 		}
 		ctl.admins[n] = admin
+		ctl.nodeIdx[n] = i
 	}
 	return ctl
 }
@@ -181,7 +233,7 @@ func (ctl *Controller) Submit(j *Job) error {
 		return err
 	}
 	ctl.seq++
-	ctl.queue = append(ctl.queue, &queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq})
+	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq})
 	ctl.trySchedule()
 	return nil
 }
@@ -193,30 +245,87 @@ func (ctl *Controller) fail(err error) {
 	}
 }
 
-// sortQueue orders the queue by priority (higher first), FIFO within a
-// level.
-func (ctl *Controller) sortQueue() {
-	sort.SliceStable(ctl.queue, func(i, j int) bool {
-		if ctl.queue[i].job.Priority != ctl.queue[j].job.Priority {
-			return ctl.queue[i].job.Priority > ctl.queue[j].job.Priority
+// enqueue inserts q keeping the queue priority-ordered: priority
+// descending, submission sequence ascending within a level. Keeping
+// the order on insert removes the whole-queue sort the scheduler used
+// to pay on every event.
+func (ctl *Controller) enqueue(q *queuedJob) {
+	i := sort.Search(len(ctl.queue), func(i int) bool {
+		if ctl.queue[i].job.Priority != q.job.Priority {
+			return ctl.queue[i].job.Priority < q.job.Priority
 		}
-		return ctl.queue[i].seq < ctl.queue[j].seq
+		return ctl.queue[i].seq > q.seq
 	})
+	ctl.queue = append(ctl.queue, nil)
+	copy(ctl.queue[i+1:], ctl.queue[i:])
+	ctl.queue[i] = q
+	ctl.qBySeq[q.seq] = q
+}
+
+// dequeue removes q from the waiting queue and its index.
+func (ctl *Controller) dequeue(q *queuedJob) {
+	for i, qq := range ctl.queue {
+		if qq == q {
+			ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+			break
+		}
+	}
+	delete(ctl.qBySeq, q.seq)
+}
+
+// kick requests a scheduling-policy cycle. The first request of an
+// instant runs synchronously — preserving the event→decision mapping
+// the pre-incremental scheduler had, so replay decisions are
+// unchanged — while every further request at the same timestamp marks
+// the cycle dirty and coalesces into one deferred pass over the final
+// state of the instant (Engine.At at the current time): a burst of N
+// submissions and completions costs at most two policy passes, not N.
+func (ctl *Controller) kick() {
+	if ctl.cyclePending {
+		return
+	}
+	now := ctl.cluster.Engine.Now()
+	if now < ctl.drainUntil {
+		// A checkpoint drain is in progress: hold the pass until it ends.
+		ctl.cyclePending = true
+		ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
+		return
+	}
+	if ctl.lastCycleAt == now {
+		ctl.cyclePending = true
+		ctl.cluster.Engine.At(now, ctl.runCycle)
+		return
+	}
+	ctl.lastCycleAt = now
+	ctl.schedCycle()
+}
+
+// runCycle executes the deferred policy pass (honoring a checkpoint
+// drain in progress).
+func (ctl *Controller) runCycle() {
+	ctl.cyclePending = false
+	now := ctl.cluster.Engine.Now()
+	if now < ctl.drainUntil {
+		ctl.cyclePending = true
+		ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
+		return
+	}
+	ctl.lastCycleAt = now
+	ctl.schedCycle()
 }
 
 // trySchedule walks the queue in priority order and launches whatever
 // fits. FCFS within a priority level (the paper leaves slurmctld's
 // policies untouched); an installed sched.Policy takes over queue
-// ordering and admission entirely.
+// ordering and admission entirely (one coalesced cycle per timestamp).
 func (ctl *Controller) trySchedule() {
-	ctl.sortQueue()
+	if ctl.sched != nil {
+		ctl.kick()
+		return
+	}
 	// While a checkpoint drain is in progress, hold all launches.
 	if now := ctl.cluster.Engine.Now(); now < ctl.drainUntil {
 		ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
-		return
-	}
-	if ctl.sched != nil {
-		ctl.schedCycle()
 		return
 	}
 	// resv guards backfilling with the blocked head's EASY reservation:
@@ -243,7 +352,7 @@ func (ctl *Controller) trySchedule() {
 			i++ // starting now would delay the reserved head
 			continue
 		}
-		ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+		ctl.dequeue(q)
 		ctl.launch(q, nodes, plans)
 		// Restart the scan: the launch changed the cluster state.
 		i = 0
@@ -272,8 +381,12 @@ func (ctl *Controller) tryPreempt(j *Job) bool {
 				break
 			}
 		}
+		delete(ctl.rBySeq, v.seq)
+		for _, node := range v.nodes {
+			ctl.invalidateNode(node) // Stop unregistered the tasks
+		}
 		ctl.seq++
-		ctl.queue = append(ctl.queue, &queuedJob{
+		ctl.enqueue(&queuedJob{
 			job: v.job, submit: v.submit, seq: ctl.seq, resume: v,
 		})
 		ctl.logf(v.nodes[0], "preempt", "job %s checkpointed after %d iterations",
@@ -399,6 +512,23 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	} else {
 		r = &runningJob{job: j, seq: q.seq, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
 	}
+	r.nodeIdxs = r.nodeIdxs[:0]
+	for _, node := range nodes {
+		r.nodeIdxs = append(r.nodeIdxs, ctl.nodeIdx[node])
+	}
+	sort.Ints(r.nodeIdxs)
+	// The launch-time allocation is exactly the planned masks; cache
+	// the snapshot's per-node CPU figure from them.
+	r.curCPUs, r.curOK = 0, true
+	for _, node := range nodes {
+		n := 0
+		for _, mask := range plans[node].NewTaskMasks {
+			n += mask.Count()
+		}
+		if n > r.curCPUs {
+			r.curCPUs = n
+		}
+	}
 
 	var placements []apps.Placement
 	for _, node := range nodes {
@@ -416,11 +546,21 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 			r.tasks = append(r.tasks, taskRef{pid: pid, node: node})
 			if ctl.policy == PolicyOversubscribe {
 				// No reservation: the task will register directly with
-				// an overlapping mask.
+				// an overlapping mask, outside the controller's sight.
+				ctl.invalidateNode(node)
 			} else {
+				// A reservation outside the effective-free set steals
+				// from co-located jobs, changing their widths too.
+				if free, ok := ctl.cachedFree(node); !ok || !mask.IsSubsetOf(free) {
+					ctl.invalidateJobsOn(node)
+				}
 				if code := admin.PreInit(pid, mask, core.FlagSteal); code.IsError() {
 					ctl.fail(fmt.Errorf("slurm: PreInit pid %d on %s: %w", pid, node, code))
 				}
+				// The reserved CPUs leave the node's effective-free set
+				// now (a steal shrinks the victims by exactly this mask,
+				// so the delta holds either way).
+				ctl.noteUsed(node, mask)
 				ctl.logf(node, "pre_launch", "DROM_PreInit(pid=%d, mask=%s, STEAL)", pid, mask)
 			}
 			placements = append(placements, apps.Placement{
@@ -432,6 +572,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	if q.resume != nil {
 		// Resume from the checkpoint, paying the restart cost.
 		ctl.running = append(ctl.running, r)
+		ctl.rBySeq[r.seq] = r
 		inst := r.inst
 		pls := placements
 		ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
@@ -456,6 +597,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	inst.OnComplete = func(end float64) { ctl.onJobEnd(r, end) }
 	r.inst = inst
 	ctl.running = append(ctl.running, r)
+	ctl.rBySeq[r.seq] = r
 
 	// srun/slurmstepd latency, then the task starts (DLB_Init).
 	ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
@@ -471,8 +613,22 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 	// their original owners when they still run.
 	for _, t := range r.tasks {
 		admin := ctl.admins[t.node]
+		// Maintain the incremental free accounting: a task that held no
+		// stolen CPUs returns exactly its effective mask to the pool; a
+		// task with thefts redistributes to victims, so the node is
+		// re-scanned lazily instead.
+		e, icode := admin.Inspect(t.pid)
 		if code := admin.PostFinalize(t.pid, core.FlagReturnStolen); code.IsError() && code != derr.ErrNoProc {
 			ctl.fail(fmt.Errorf("slurm: PostFinalize pid %d: %w", t.pid, code))
+		}
+		if icode.IsError() || len(e.Stolen) > 0 {
+			ctl.invalidateNode(t.node)
+		} else {
+			held := e.CurrentMask
+			if e.Dirty {
+				held = e.FutureMask
+			}
+			ctl.noteFreed(t.node, held)
 		}
 		ctl.logf(t.node, "post_term", "DROM_PostFinalize(pid=%d, RETURN_STOLEN)", t.pid)
 	}
@@ -483,6 +639,7 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 			break
 		}
 	}
+	delete(ctl.rBySeq, r.seq)
 	ctl.Records.Add(metrics.JobRecord{
 		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
 	})
@@ -506,9 +663,9 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 // redistributed. The job is recorded with its end at the current time.
 // Returns false if the job is unknown.
 func (ctl *Controller) Cancel(name string) bool {
-	for i, q := range ctl.queue {
+	for _, q := range ctl.queue {
 		if q.job.Name == name {
-			ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
+			ctl.dequeue(q)
 			ctl.Records.Add(metrics.JobRecord{
 				Name: name, Submit: q.submit,
 				Start: ctl.cluster.Engine.Now(), End: ctl.cluster.Engine.Now(),
@@ -567,6 +724,7 @@ func (ctl *Controller) ServeEvolvingRequests() {
 				ctl.fail(fmt.Errorf("slurm: evolving grant pid %d on %s: %w", req.PID, node, code))
 				continue
 			}
+			ctl.invalidateNode(node)
 			ctl.logf(node, "evolving_grant", "pid=%d %d->%d CPUs (mask=%s)",
 				req.PID, req.Current, next.Count(), next)
 		}
@@ -592,5 +750,8 @@ func (ctl *Controller) releaseResources(node string) {
 			ctl.fail(fmt.Errorf("slurm: expand pid %d to %s on %s: %w", pid, mask, node, code))
 		}
 		ctl.logf(node, "release_resources", "DROM_SetProcessMask(pid=%d, mask=%s) [expand]", pid, mask)
+	}
+	if len(grown) > 0 {
+		ctl.invalidateNode(node)
 	}
 }

@@ -25,8 +25,17 @@ import (
 // malleability happens exclusively through explicit policy actions.
 
 // UseSched installs a queue-ordering/admission policy. nil reverts to
-// the built-in FCFS(+Backfill) behavior.
-func (ctl *Controller) UseSched(p sched.Policy) { ctl.sched = p }
+// the built-in FCFS(+Backfill) behavior. Sched-driven runs require
+// disjoint-mask placement, and the incremental free-CPU accounting
+// cannot see oversubscribed registrations (they attach outside the
+// controller, LaunchLatency after the launch): PolicyOversubscribe is
+// rejected.
+func (ctl *Controller) UseSched(p sched.Policy) {
+	if p != nil && ctl.policy == PolicyOversubscribe {
+		panic("slurm: sched policies require disjoint-mask placement; PolicyOversubscribe is unsupported")
+	}
+	ctl.sched = p
+}
 
 // Sched returns the installed scheduling policy (nil when the built-in
 // queue logic is active).
@@ -43,33 +52,116 @@ func walltimeEstimate(j *Job) float64 {
 // effectiveFree returns the node CPUs no process effectively holds: a
 // staged-but-unapplied mask change (dirty future) is already binding —
 // the CPUs it drops are free to promise, the CPUs it gains are taken.
+//
+// The value is served from the controller's per-node cache. The cache
+// is maintained incrementally at the points where effective masks
+// change under the controller's hand — launch reservations (PreInit),
+// shrink/expand staging (SetProcessMask) and job termination
+// (PostFinalize) — and re-scanned lazily from shared memory only for
+// nodes an ambiguous mutation (steal redistribution, checkpoint stop,
+// evolving grant) invalidated.
 func (ctl *Controller) effectiveFree(node string) cpuset.CPUSet {
-	var used cpuset.CPUSet
-	for _, e := range ctl.cluster.System(node).Segment().Snapshot() {
-		m := e.CurrentMask
-		if e.Dirty {
-			m = e.FutureMask
-		}
-		used = used.Or(m)
+	i, ok := ctl.nodeIdx[node]
+	if !ok {
+		return cpuset.CPUSet{}
 	}
-	return ctl.cluster.Machine.NodeMask().AndNot(used)
+	if !ctl.nodeFreeOK[i] {
+		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
+		ctl.nodeFree[i] = ctl.nodeMask.AndNot(used)
+		ctl.nodeFreeOK[i] = true
+	}
+	return ctl.nodeFree[i]
 }
 
-// snapshot builds the policy's view plus lookup tables from its stable
-// IDs back to the controller's records.
-func (ctl *Controller) snapshot() (*sched.State, map[int]*queuedJob, map[int]*runningJob) {
-	nodeIdx := make(map[string]int, len(ctl.cluster.Nodes))
-	st := &sched.State{
-		Now:          ctl.cluster.Engine.Now(),
-		CoresPerNode: ctl.cluster.Machine.CoresPerNode(),
+// cachedFree returns the cached effective-free mask of node without
+// triggering a re-scan; ok is false when the cache is stale.
+func (ctl *Controller) cachedFree(node string) (cpuset.CPUSet, bool) {
+	if i, ok := ctl.nodeIdx[node]; ok && ctl.nodeFreeOK[i] {
+		return ctl.nodeFree[i], true
 	}
-	for i, node := range ctl.cluster.Nodes {
-		nodeIdx[node] = i
+	return cpuset.CPUSet{}, false
+}
+
+// noteUsed removes mask from node's cached effective-free set.
+func (ctl *Controller) noteUsed(node string, mask cpuset.CPUSet) {
+	if i, ok := ctl.nodeIdx[node]; ok && ctl.nodeFreeOK[i] {
+		ctl.nodeFree[i] = ctl.nodeFree[i].AndNot(mask)
+	}
+}
+
+// noteFreed returns mask to node's cached effective-free set.
+func (ctl *Controller) noteFreed(node string, mask cpuset.CPUSet) {
+	if i, ok := ctl.nodeIdx[node]; ok && ctl.nodeFreeOK[i] {
+		ctl.nodeFree[i] = ctl.nodeFree[i].Or(mask)
+	}
+}
+
+// invalidateJobsOn clears the cached allocation width of every running
+// job with tasks on node.
+func (ctl *Controller) invalidateJobsOn(node string) {
+	for _, r := range ctl.running {
+		if r.curOK && r.hasNode(node) {
+			r.curOK = false
+		}
+	}
+}
+
+// invalidateNode drops both the node's cached effective-free mask and
+// the cached widths of the jobs running there; the next consumer
+// re-derives them from shared memory.
+func (ctl *Controller) invalidateNode(node string) {
+	if i, ok := ctl.nodeIdx[node]; ok {
+		ctl.nodeFreeOK[i] = false
+	}
+	ctl.invalidateJobsOn(node)
+}
+
+// runningCPUs returns r's effective per-node CPU allocation (max over
+// its nodes of the summed effective task masks), recomputing it from
+// shared memory only when a mask-affecting event invalidated the
+// cached value.
+func (ctl *Controller) runningCPUs(r *runningJob) int {
+	if r.curOK {
+		return r.curCPUs
+	}
+	cur := 0
+	for _, node := range r.nodes {
+		n := 0
+		for _, t := range r.tasks {
+			if t.node != node {
+				continue
+			}
+			if e, code := ctl.admins[node].Inspect(t.pid); !code.IsError() {
+				m := e.CurrentMask
+				if e.Dirty {
+					m = e.FutureMask
+				}
+				n += m.Count()
+			}
+		}
+		if n > cur {
+			cur = n
+		}
+	}
+	r.curCPUs, r.curOK = cur, true
+	return cur
+}
+
+// snapshot refreshes the policy's view of the cluster. The returned
+// State and its slices are owned by the controller and reused across
+// cycles: policies must treat it as read-only and must not retain it
+// past the Schedule call (the sched.Policy contract).
+func (ctl *Controller) snapshot() *sched.State {
+	st := &ctl.snapState
+	st.Now = ctl.cluster.Engine.Now()
+	st.CoresPerNode = ctl.cluster.Machine.CoresPerNode()
+	st.Free = st.Free[:0]
+	st.Queue = st.Queue[:0]
+	st.Running = st.Running[:0]
+	for _, node := range ctl.cluster.Nodes {
 		st.Free = append(st.Free, ctl.effectiveFree(node).Count())
 	}
-	qidx := make(map[int]*queuedJob, len(ctl.queue))
 	for _, q := range ctl.queue {
-		qidx[q.seq] = q
 		st.Queue = append(st.Queue, sched.Job{
 			ID:             q.seq,
 			Name:           q.job.Name,
@@ -82,63 +174,99 @@ func (ctl *Controller) snapshot() (*sched.State, map[int]*queuedJob, map[int]*ru
 			Malleable:      q.job.Malleable,
 		})
 	}
-	ridx := make(map[int]*runningJob, len(ctl.running))
 	for _, r := range ctl.running {
-		ridx[r.seq] = r
-		var nodes []int
-		cur := 0
-		for _, node := range r.nodes {
-			nodes = append(nodes, nodeIdx[node])
-			n := 0
-			for _, t := range r.onNode(node) {
-				if e, code := ctl.admins[node].Inspect(t.pid); !code.IsError() {
-					m := e.CurrentMask
-					if e.Dirty {
-						m = e.FutureMask
-					}
-					n += m.Count()
-				}
-			}
-			if n > cur {
-				cur = n
-			}
-		}
-		sort.Ints(nodes)
 		st.Running = append(st.Running, sched.Running{
 			ID:             r.seq,
 			Name:           r.job.Name,
 			Start:          r.start,
 			Walltime:       r.job.Walltime,
-			Nodes:          nodes,
-			CPUsPerNode:    cur,
+			Nodes:          r.nodeIdxs,
+			CPUsPerNode:    ctl.runningCPUs(r),
 			ReqCPUsPerNode: r.job.CPUsPerNode(),
 			MinCPUsPerNode: r.job.RanksPerNode(),
 			Malleable:      r.job.Malleable,
 		})
 	}
-	return st, qidx, ridx
+	return st
 }
 
 // schedCycle runs one policy pass and executes its actions in order.
 // An action that no longer applies (the capacity model is coarser than
-// mask-level placement) is skipped; the job stays queued for the next
-// cycle.
+// mask-level placement) is skipped and the job stays queued — but the
+// skip re-arms one follow-up cycle at the current timestamp, so
+// capacity freed by actions that did execute (say, a shrink paired
+// with a start that lost the race) is re-planned immediately instead
+// of idling until the next job event.
 func (ctl *Controller) schedCycle() {
-	st, qidx, ridx := ctl.snapshot()
+	ctl.Cycles++
+	st := ctl.snapshot()
+	skipped := false
 	for _, a := range ctl.sched.Schedule(st) {
 		switch a.Kind {
 		case sched.ActStart:
-			if q, ok := qidx[a.ID]; ok {
-				ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes)
+			q, ok := ctl.qBySeq[a.ID]
+			if !ok || !ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes) {
+				skipped = true
 			}
 		case sched.ActShrink:
-			if r, ok := ridx[a.ID]; ok {
+			if r, ok := ctl.rBySeq[a.ID]; ok {
 				ctl.shrinkRunning(r, a.TargetCPUsPerNode)
+			} else {
+				skipped = true
 			}
 		case sched.ActExpand:
-			if r, ok := ridx[a.ID]; ok {
+			if r, ok := ctl.rBySeq[a.ID]; ok {
 				ctl.expandRunning(r, a.TargetCPUsPerNode)
+			} else {
+				skipped = true
 			}
+		}
+	}
+	if ctl.DebugInvariants {
+		ctl.checkFreeInvariant()
+	}
+	if skipped {
+		ctl.rearmAfterSkip()
+	}
+}
+
+// rearmAfterSkip schedules one follow-up cycle at the current time. At
+// most one re-arm fires per timestamp: a plan the executor keeps
+// rejecting must not loop forever within a single instant.
+func (ctl *Controller) rearmAfterSkip() {
+	now := ctl.cluster.Engine.Now()
+	if ctl.rearmedAt == now {
+		return
+	}
+	ctl.rearmedAt = now
+	ctl.kick()
+}
+
+// checkFreeInvariant cross-checks the incremental accounting against a
+// full shared-memory re-scan: every node's cached effective-free count
+// must match the rescan and stay within [0, CoresPerNode], and every
+// cached job width must match a fresh task-mask walk.
+func (ctl *Controller) checkFreeInvariant() {
+	cores := ctl.cluster.Machine.CoresPerNode()
+	for _, node := range ctl.cluster.Nodes {
+		got := ctl.effectiveFree(node)
+		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
+		want := ctl.nodeMask.AndNot(used)
+		if !got.Equal(want) {
+			ctl.fail(fmt.Errorf("slurm: invariant: node %s cached effective-free %s, re-scan says %s", node, got, want))
+		}
+		if n := got.Count(); n < 0 || n > cores {
+			ctl.fail(fmt.Errorf("slurm: invariant: node %s free count %d outside [0,%d]", node, n, cores))
+		}
+	}
+	for _, r := range ctl.running {
+		if !r.curOK {
+			continue
+		}
+		cached := r.curCPUs
+		r.curOK = false
+		if fresh := ctl.runningCPUs(r); fresh != cached {
+			ctl.fail(fmt.Errorf("slurm: invariant: job %s cached width %d, task masks say %d", r.job.Name, cached, fresh))
 		}
 	}
 }
@@ -164,9 +292,17 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 	}
 	var cands []cand
 	if len(pinned) > 0 {
-		for _, idx := range pinned {
+		for k, idx := range pinned {
 			if idx < 0 || idx >= len(ctl.cluster.Nodes) {
 				return false
+			}
+			// A duplicated index would pass the width check below while
+			// the per-node plans silently collapse onto fewer nodes:
+			// reject the action instead of trusting the policy.
+			for _, prev := range pinned[:k] {
+				if prev == idx {
+					return false
+				}
 			}
 			node := ctl.cluster.Nodes[idx]
 			f := ctl.effectiveFree(node)
@@ -213,12 +349,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 		nodes = append(nodes, c.node)
 		plans[c.node] = plan
 	}
-	for i, qq := range ctl.queue {
-		if qq == q {
-			ctl.queue = append(ctl.queue[:i], ctl.queue[i+1:]...)
-			break
-		}
-	}
+	ctl.dequeue(q)
 	ctl.launch(q, nodes, plans)
 	return true
 }
@@ -257,10 +388,14 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 				ctl.fail(fmt.Errorf("slurm: sched shrink pid %d to %s on %s: %w", ref.pid, keep, node, code))
 				continue
 			}
+			// The dropped CPUs join the node's effective-free set the
+			// moment the shrink is staged (a dirty future is binding).
+			ctl.noteFreed(node, cur[i].AndNot(keep))
 			ctl.logf(node, "sched_shrink", "DROM_SetProcessMask(pid=%d, mask=%s) [%s]",
 				ref.pid, keep, r.job.Name)
 		}
 	}
+	r.curOK = false // recompute the cached width on the next snapshot
 }
 
 // expandRunning grows r toward target CPUs per node from the node's
@@ -289,10 +424,12 @@ func (ctl *Controller) expandRunning(r *runningJob, target int) {
 				ctl.fail(fmt.Errorf("slurm: sched expand pid %d to %s on %s: %w", ref.pid, mask, node, code))
 				continue
 			}
+			ctl.noteUsed(node, extra)
 			ctl.logf(node, "sched_expand", "DROM_SetProcessMask(pid=%d, mask=%s) [%s]",
 				ref.pid, mask, r.job.Name)
 		}
 	}
+	r.curOK = false // recompute the cached width on the next snapshot
 }
 
 // effectiveMasks returns the binding mask of each task: the staged

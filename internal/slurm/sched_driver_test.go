@@ -8,11 +8,15 @@ import (
 )
 
 // schedController builds a DROM cluster with a sched policy installed.
-func schedController(policy sched.Policy) (*Controller, func() float64) {
+// settle drains the events of the current instant — submissions
+// coalesce into one policy cycle that runs at the same virtual time,
+// so tests settle before asserting on queue/running state.
+func schedController(policy sched.Policy) (ctl *Controller, settle func(), run func() float64) {
 	eng, c := newTestCluster()
-	ctl := NewController(c, PolicyDROM)
+	ctl = NewController(c, PolicyDROM)
 	ctl.UseSched(policy)
-	return ctl, func() float64 { eng.Run(); return eng.Now() }
+	ctl.DebugInvariants = true
+	return ctl, func() { eng.RunUntil(eng.Now()) }, func() float64 { eng.Run(); return eng.Now() }
 }
 
 // nodeJob is a 1-node job of the given width and length.
@@ -24,11 +28,12 @@ func nodeJob(name string, iters, threads int, walltime float64) *Job {
 // TestSchedFCFSMatchesLegacySerialOrder: the extracted FCFS policy
 // preserves head-of-line blocking.
 func TestSchedFCFSMatchesLegacySerialOrder(t *testing.T) {
-	ctl, run := schedController(sched.FCFS{})
+	ctl, settle, run := schedController(sched.FCFS{})
 	submit(t, ctl, nodeJob("a", 100, 16, 0))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 0, Malleable: true})
 	submit(t, ctl, nodeJob("c", 10, 4, 0))
+	settle()
 	if ctl.RunningLen() != 1 || ctl.QueueLen() != 2 {
 		t.Fatalf("running=%d queue=%d, want FCFS blocking", ctl.RunningLen(), ctl.QueueLen())
 	}
@@ -44,11 +49,12 @@ func TestSchedFCFSMatchesLegacySerialOrder(t *testing.T) {
 // TestSchedEASYBackfills: a short narrow job jumps a blocked wide head
 // without delaying it.
 func TestSchedEASYBackfills(t *testing.T) {
-	ctl, run := schedController(sched.EASY{})
+	ctl, settle, run := schedController(sched.EASY{})
 	submit(t, ctl, nodeJob("long", 200, 16, 300))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(100), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 200, Malleable: true})
 	submit(t, ctl, nodeJob("short", 20, 16, 50))
+	settle()
 	// short fits on the free node and ends well before long's estimate:
 	// it backfills.
 	if ctl.RunningLen() != 2 {
@@ -67,7 +73,7 @@ func TestSchedEASYBackfills(t *testing.T) {
 // gap: a stream of jobs long enough to outlive the head's reservation
 // must NOT keep jumping the wide head.
 func TestSchedEASYNoStarvation(t *testing.T) {
-	ctl, run := schedController(sched.EASY{})
+	ctl, settle, run := schedController(sched.EASY{})
 	submit(t, ctl, nodeJob("running", 100, 16, 120))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 100, Malleable: true})
@@ -76,6 +82,7 @@ func TestSchedEASYNoStarvation(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		submit(t, ctl, nodeJob("greedy", 500, 16, 800))
 	}
+	settle()
 	if ctl.RunningLen() != 1 {
 		t.Fatalf("running=%d: greedy jobs starved the wide head", ctl.RunningLen())
 	}
@@ -142,6 +149,7 @@ func TestSchedShrinkExpandRoundTrip(t *testing.T) {
 	}
 
 	submit(t, ctl, short) // admission requires shrinking long to 8/8
+	eng.RunUntil(eng.Now())
 	if ctl.RunningLen() != 2 {
 		t.Fatalf("running=%d, want shrink-admission of short", ctl.RunningLen())
 	}
@@ -221,4 +229,179 @@ func TestSchedMalleableShrinkDoesNotExpand(t *testing.T) {
 	}
 	eng.Run()
 	checkErr(t, ctl)
+}
+
+// rearmStubPolicy forces the skipped-action race: while the long job
+// is still wide it pairs a shrink with a start the executor must
+// reject (the freed capacity is below the start's demand), then — on
+// the re-armed follow-up cycle, where the shrink is already staged —
+// admits the queued head at the width that actually fits.
+type rearmStubPolicy struct{}
+
+func (rearmStubPolicy) Name() string { return "rearm-stub" }
+
+func (rearmStubPolicy) Schedule(s *sched.State) []sched.Action {
+	if len(s.Queue) == 0 {
+		return nil
+	}
+	head := s.Queue[0]
+	for _, r := range s.Running {
+		if r.CPUsPerNode > 8 {
+			// Shrink executes; the paired start is over-subscribed on
+			// purpose (16 > the 8 CPUs the shrink frees) and is skipped.
+			return []sched.Action{
+				{Kind: sched.ActShrink, ID: r.ID, TargetCPUsPerNode: 8},
+				{Kind: sched.ActStart, ID: head.ID, TargetCPUsPerNode: 16, Nodes: []int{0}},
+			}
+		}
+	}
+	return []sched.Action{
+		{Kind: sched.ActStart, ID: head.ID, TargetCPUsPerNode: 8, Nodes: []int{0}},
+	}
+}
+
+// TestSkippedActionRearmsCycle is the regression for the freed-CPUs-
+// idle bug: when schedCycle skips an ActStart whose paired ActShrink
+// already executed, a follow-up cycle at the same timestamp must let
+// the head start immediately instead of waiting for the next job end.
+func TestSkippedActionRearmsCycle(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(rearmStubPolicy{})
+	ctl.DebugInvariants = true
+	long := &Job{Name: "long", Spec: fastSpec(600), Cfg: apps.Config{Ranks: 1, Threads: 16},
+		Nodes: 1, Walltime: 700, Malleable: true}
+	submit(t, ctl, long)
+	eng.RunUntil(20)
+	short := &Job{Name: "short", Spec: fastSpec(30), Cfg: apps.Config{Ranks: 1, Threads: 8},
+		Nodes: 1, Walltime: 60, Malleable: true}
+	submit(t, ctl, short)
+	eng.RunUntil(eng.Now()) // settle the re-armed cycle at t=20
+	if ctl.RunningLen() != 2 {
+		t.Fatalf("running=%d, want the shrunk-for head admitted at the same instant", ctl.RunningLen())
+	}
+	eng.Run()
+	checkErr(t, ctl)
+	rs, ok := ctl.Records.Job("short")
+	if !ok {
+		t.Fatal("short never ran")
+	}
+	if rs.Start != 20 {
+		t.Errorf("short started at %v, want 20 (no wait for a job end)", rs.Start)
+	}
+}
+
+// unsatisfiableStubPolicy always demands a start the executor must
+// reject; the re-arm guard must fire at most once per timestamp so the
+// simulation terminates.
+type unsatisfiableStubPolicy struct{ cycles *int }
+
+func (unsatisfiableStubPolicy) Name() string { return "unsatisfiable-stub" }
+
+func (p unsatisfiableStubPolicy) Schedule(s *sched.State) []sched.Action {
+	*p.cycles++
+	if len(s.Queue) == 0 {
+		return nil
+	}
+	return []sched.Action{
+		{Kind: sched.ActStart, ID: s.Queue[0].ID, TargetCPUsPerNode: 16, Nodes: []int{0, 0}},
+	}
+}
+
+// TestRearmBoundedPerTimestamp: a plan the executor keeps rejecting
+// must not re-arm itself forever within one instant.
+func TestRearmBoundedPerTimestamp(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	cycles := 0
+	ctl.UseSched(unsatisfiableStubPolicy{&cycles})
+	ctl.DebugInvariants = true
+	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(10), Cfg: apps.Config{Ranks: 2, Threads: 16},
+		Nodes: 2, Walltime: 60, Malleable: true})
+	eng.Run() // must drain, not loop
+	if ctl.QueueLen() != 1 {
+		t.Fatalf("queue=%d, want the rejected job still waiting", ctl.QueueLen())
+	}
+	if cycles > 2 {
+		t.Errorf("policy ran %d cycles at one instant, want at most 2 (initial + one re-arm)", cycles)
+	}
+	checkErr(t, ctl)
+}
+
+// dupNodesStubPolicy pins a 2-node start onto the same node index
+// twice — the malicious-policy input the executor must reject instead
+// of silently collapsing the plans map onto a single node.
+type dupNodesStubPolicy struct{}
+
+func (dupNodesStubPolicy) Name() string { return "dup-nodes-stub" }
+
+func (dupNodesStubPolicy) Schedule(s *sched.State) []sched.Action {
+	if len(s.Queue) == 0 {
+		return nil
+	}
+	return []sched.Action{
+		{Kind: sched.ActStart, ID: s.Queue[0].ID, Nodes: []int{1, 1}},
+	}
+}
+
+// TestStartRejectsDuplicatePinnedNodes: a duplicated pinned index
+// passes the len(cands) == j.Nodes width check, so startQueued must
+// validate uniqueness explicitly.
+func TestStartRejectsDuplicatePinnedNodes(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(dupNodesStubPolicy{})
+	ctl.DebugInvariants = true
+	submit(t, ctl, &Job{Name: "two-node", Spec: fastSpec(10), Cfg: apps.Config{Ranks: 2, Threads: 8},
+		Nodes: 2, Walltime: 60, Malleable: true})
+	eng.Run()
+	checkErr(t, ctl)
+	if ctl.RunningLen() != 0 || ctl.QueueLen() != 1 {
+		t.Fatalf("running=%d queue=%d, want the duplicate-pinned start rejected",
+			ctl.RunningLen(), ctl.QueueLen())
+	}
+	if _, started := ctl.Records.Job("two-node"); started {
+		t.Error("two-node has a record; the collapsed launch must not happen")
+	}
+}
+
+// TestCancelDuringLaunchLatency: scancel inside the srun latency
+// window (job launched, ranks not yet registered) must not spawn a
+// ghost execution when the deferred Start event fires — the ghost
+// would hold CPUs the incremental free accounting believes are free
+// and add a duplicate job record on its completion.
+func TestCancelDuringLaunchLatency(t *testing.T) {
+	eng, c := newTestCluster()
+	ctl := NewController(c, PolicyDROM)
+	ctl.UseSched(sched.FCFS{})
+	ctl.DebugInvariants = true
+	submit(t, ctl, nodeJob("doomed", 50, 16, 100))
+	eng.RunUntil(eng.Now()) // policy cycle ran; DLB_Init still pending
+	if ctl.RunningLen() != 1 {
+		t.Fatalf("running=%d, want the launch in flight", ctl.RunningLen())
+	}
+	if !ctl.Cancel("doomed") {
+		t.Fatal("Cancel failed")
+	}
+	submit(t, ctl, nodeJob("next", 10, 16, 50))
+	eng.Run()
+	checkErr(t, ctl)
+	records := 0
+	for _, j := range ctl.Records.Jobs {
+		if j.Name == "doomed" {
+			records++
+		}
+	}
+	if records != 1 {
+		t.Errorf("doomed has %d records, want exactly 1", records)
+	}
+	rn, ok := ctl.Records.Job("next")
+	if !ok || rn.Start != 0 {
+		t.Errorf("next start=%v ok=%v, want immediate start on the freed node", rn.Start, ok)
+	}
+	for _, node := range c.Nodes {
+		if n := len(c.System(node).Segment().Snapshot()); n != 0 {
+			t.Errorf("node %s still has %d shared-memory entries (ghost execution?)", node, n)
+		}
+	}
 }

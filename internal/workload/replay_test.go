@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// goldenPath is the committed record of the per-job start times on the
+// seeded 1000-job trace under every policy, captured before the
+// scheduler went incremental. The incremental cycle (cached free
+// counts, sorted-insert queue, coalesced passes, reused snapshots) is
+// a decision-preserving refactor: replays must stay byte-identical.
+//
+// Regenerate (only after an intentional policy change) with:
+//
+//	UPDATE_SCHED_GOLDEN=1 go test ./internal/workload -run ReplayDecisionGolden
+const goldenPath = "testdata/sched_starts_seed1_1000.golden"
+
+// replayStarts renders one policy's start times in the golden format.
+func replayStarts(t *testing.T, sc Scenario, name string) string {
+	t.Helper()
+	p, err := sched.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSched(sc, p)
+	if res.Err != nil {
+		t.Fatalf("%s: %v", name, res.Err)
+	}
+	rs := append(res.Records.Jobs[:0:0], res.Records.Jobs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	var sb strings.Builder
+	for _, j := range rs {
+		fmt.Fprintf(&sb, "%s %s %s %s\n", name, j.Name,
+			strconv.FormatFloat(j.Submit, 'g', -1, 64),
+			strconv.FormatFloat(j.Start, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// TestSchedReplayDecisionGolden replays the seeded 1000-job synthetic
+// SWF trace under all four policies with invariant checking on and
+// compares every job's start time against the pre-refactor golden.
+func TestSchedReplayDecisionGolden(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DebugInvariants = true
+	var got strings.Builder
+	for _, name := range sched.Names() {
+		got.WriteString(replayStarts(t, sc, name))
+	}
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() == string(want) {
+		return
+	}
+	// Report the first divergent line, not a megabyte diff.
+	gl := strings.Split(got.String(), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("start times diverged from the pre-refactor scheduler at line %d:\n  got  %q\n  want %q",
+				i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("start-time listing length changed: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestSchedPropertyCapacityInvariant fuzzes seeded random traces
+// through every policy with the controller's invariant checks on: the
+// node free counts derived from the executed actions must never go
+// negative nor exceed CoresPerNode, and the incremental counters must
+// keep agreeing with a full shared-memory re-scan. This guards both
+// the policies (no over-committing action streams) and the new
+// incremental accounting.
+func TestSchedPropertyCapacityInvariant(t *testing.T) {
+	for seed := int64(2); seed <= 6; seed++ {
+		for _, name := range sched.Names() {
+			p, err := sched.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A tight inter-arrival keeps the cluster contended, so
+			// shrinks, backfills and skips all fire.
+			sc, err := SyntheticSWFScenario(SyntheticSWF{
+				Seed: seed, Jobs: 300, Nodes: 4, MeanInterarrival: 25,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.DebugInvariants = true
+			res := RunSched(sc, p)
+			if res.Err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, name, res.Err)
+			}
+			if len(res.Records.Jobs) != len(sc.Subs) {
+				t.Fatalf("seed %d policy %s: %d of %d jobs completed",
+					seed, name, len(res.Records.Jobs), len(sc.Subs))
+			}
+		}
+	}
+}

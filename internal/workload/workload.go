@@ -45,6 +45,10 @@ type Scenario struct {
 	// durations (0 = deterministic); Seed selects the stream.
 	JitterFrac float64
 	Seed       int64
+	// DebugInvariants makes the controller cross-check its incremental
+	// free-CPU accounting against a full shared-memory re-scan after
+	// every scheduling cycle (slow; for tests and -check runs).
+	DebugInvariants bool
 }
 
 // clusterShape resolves the scenario's defaults: 2 nodes of the MN3
@@ -69,7 +73,12 @@ type Result struct {
 	Records  metrics.Workload
 	Tracer   *trace.Tracer
 	Protocol []slurm.ProtocolEvent
-	Err      error
+	// SchedCycles counts the scheduling-policy passes the controller
+	// executed (0 when no sched.Policy was installed).
+	SchedCycles int64
+	// Events counts the discrete events the simulation processed.
+	Events int64
+	Err    error
 }
 
 // Run executes the scenario under the given policy on an MN3-like
@@ -100,6 +109,7 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 	ctl.LogProtocol = s.LogProtocol
 	ctl.NodeSelection = s.NodeSelection
 	ctl.ServeEvolving = s.ServeEvolving
+	ctl.DebugInvariants = s.DebugInvariants
 	res := Result{Scenario: s.Name, Policy: policy, Tracer: tr}
 	for i := range s.Subs {
 		sub := s.Subs[i]
@@ -123,6 +133,8 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 	}
 	res.Records = ctl.Records
 	res.Protocol = ctl.Log
+	res.SchedCycles = ctl.Cycles
+	res.Events = eng.Processed()
 	return res
 }
 
