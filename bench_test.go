@@ -15,12 +15,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"repro/internal/benchfmt"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/cluster"
 	"repro/internal/djsb"
 	"repro/internal/slurm"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -531,31 +536,78 @@ func BenchmarkSchedPolicies1000(b *testing.B) {
 	}
 }
 
+// replayEntry is the shared BENCH_sched.json measurement schema
+// (internal/benchfmt), written here and checked by cmd/benchdiff.
+type replayEntry = benchfmt.ReplayEntry
+
+// updateBenchJSON read-modify-writes one top-level section of the
+// bench reference file, so the three sched benchmarks can each
+// refresh their own numbers.
+func updateBenchJSON(b *testing.B, path, key string, value interface{}) {
+	b.Helper()
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			b.Fatalf("%s: %v", path, err)
+		}
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc[key] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("updated %s section %q", path, key)
+}
+
+// peakRSSMB reads the process high-water RSS from /proc (0 where
+// unsupported).
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseFloat(fields[0], 64)
+				if err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	return 0
+}
+
 // BenchmarkSchedReplay100k is the scale benchmark of the incremental
 // scheduling cycle: a seeded 100,000-job synthetic SWF trace on a
 // 4-node cluster, replayed end to end under every sched policy. It
 // reports the end-to-end wall time, the number of policy cycles and
-// simulation events, and the mean cost of one cycle. Committed
-// reference numbers live in BENCH_sched.json; regenerate it with:
+// simulation events, the mean cost of one cycle and the heap traffic
+// per cycle. Committed reference numbers live in BENCH_sched.json;
+// regenerate the sections with:
 //
 //	SCHED_BENCH_JSON=BENCH_sched.json \
-//	  go test -run '^$' -bench SchedReplay100k -benchtime 1x .
+//	  go test -run '^$' -bench 'SchedReplay100k|Sweep100k' -benchtime 1x .
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench SchedReplay1M -benchtime 1x .
+//
+// (SchedReplay1M runs alone so its peak-RSS figure is not polluted by
+// the materialized 100k scenarios held earlier in the same process.)
 func BenchmarkSchedReplay100k(b *testing.B) {
 	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{Seed: 1, Jobs: 100000, Nodes: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
-	type entry struct {
-		Policy      string  `json:"policy"`
-		Jobs        int     `json:"jobs"`
-		WallSeconds float64 `json:"wall_seconds"`
-		Cycles      int64   `json:"sched_cycles"`
-		Events      int64   `json:"sim_events"`
-		CycleMicros float64 `json:"us_per_cycle"`
-		MeanWaitS   float64 `json:"mean_wait_s"`
-		MakespanS   float64 `json:"makespan_s"`
-	}
-	byPolicy := map[string]entry{}
+	byPolicy := map[string]replayEntry{}
 	for _, name := range cluster.SchedPolicyNames() {
 		name := name
 		b.Run(name, func(b *testing.B) {
@@ -563,50 +615,165 @@ func BenchmarkSchedReplay100k(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var e entry
+			var e replayEntry
 			for i := 0; i < b.N; i++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
 				t0 := time.Now()
 				res := cluster.RunSched(sc, p)
 				wall := time.Since(t0)
+				runtime.ReadMemStats(&m1)
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
 				st := cluster.SchedStatsOf(sc, res)
-				e = entry{
-					Policy:      name,
-					Jobs:        len(res.Records.Jobs),
-					WallSeconds: wall.Seconds(),
-					Cycles:      res.SchedCycles,
-					Events:      res.Events,
-					CycleMicros: wall.Seconds() * 1e6 / float64(res.SchedCycles),
-					MeanWaitS:   st.MeanWait,
-					MakespanS:   st.Makespan,
+				cycles := float64(res.SchedCycles)
+				e = replayEntry{
+					Policy:         name,
+					Jobs:           res.Records.Count(),
+					WallSeconds:    wall.Seconds(),
+					Cycles:         res.SchedCycles,
+					Events:         res.Events,
+					CycleMicros:    wall.Seconds() * 1e6 / cycles,
+					AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / cycles,
+					BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / cycles,
+					MeanWaitS:      st.MeanWait,
+					MakespanS:      st.Makespan,
 				}
 			}
 			byPolicy[name] = e
 			b.ReportMetric(e.WallSeconds, "wall-s")
 			b.ReportMetric(float64(e.Cycles), "cycles")
 			b.ReportMetric(e.CycleMicros, "us/cycle")
+			b.ReportMetric(e.AllocsPerCycle, "allocs/cycle")
 			b.ReportMetric(float64(e.Jobs)/e.WallSeconds, "jobs/s")
 		})
 	}
 	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" && len(byPolicy) == len(cluster.SchedPolicyNames()) {
-		entries := make([]entry, 0, len(byPolicy))
+		entries := make([]replayEntry, 0, len(byPolicy))
 		for _, name := range cluster.SchedPolicyNames() {
 			entries = append(entries, byPolicy[name])
 		}
-		out, err := json.MarshalIndent(map[string]interface{}{
-			"benchmark": "SchedReplay100k",
-			"trace":     "synthetic SWF seed=1 jobs=100000 nodes=4",
-			"policies":  entries,
-		}, "", "  ")
+		updateBenchJSON(b, path, "sched_replay_100k", map[string]interface{}{
+			"trace":    "synthetic SWF seed=1 jobs=100000 nodes=4",
+			"policies": entries,
+		})
+	}
+}
+
+// BenchmarkSchedReplay1M replays a million-job synthetic SWF trace
+// through the streaming path: the trace is generated lazily, the
+// engine holds one pending submission event, and job records fold
+// into aggregates — memory stays bounded by the scheduler backlog
+// instead of growing with the trace. The benchmark fails if the heap
+// in use after the replay exceeds 256 MB, which a materialized replay
+// of this trace blows through several times over.
+func BenchmarkSchedReplay1M(b *testing.B) {
+	const jobs = 1000000
+	params := cluster.SyntheticSWF{Seed: 1, Jobs: jobs, Nodes: 4}
+	var e replayEntry
+	for i := 0; i < b.N; i++ {
+		p, err := cluster.NewSchedPolicy("fcfs")
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res := cluster.RunSchedStream(cluster.Scenario{Nodes: 4}, params.Source(), p)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		heapMB := float64(m1.HeapAlloc) / (1 << 20)
+		if heapMB > 256 {
+			b.Errorf("streaming 1M replay left %.0f MB on the heap; memory is not bounded", heapMB)
+		}
+		st := cluster.SchedStatsOfStream(res)
+		cycles := float64(res.SchedCycles)
+		e = replayEntry{
+			Policy:         "fcfs",
+			Jobs:           res.Records.Count(),
+			WallSeconds:    wall.Seconds(),
+			Cycles:         res.SchedCycles,
+			Events:         res.Events,
+			CycleMicros:    wall.Seconds() * 1e6 / cycles,
+			AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / cycles,
+			BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / cycles,
+			MeanWaitS:      st.MeanWait,
+			MakespanS:      st.Makespan,
+			HeapMB:         heapMB,
+			PeakRSSMB:      peakRSSMB(),
+		}
+		if e.Jobs != jobs {
+			b.Errorf("replayed %d of %d jobs", e.Jobs, jobs)
+		}
+	}
+	b.ReportMetric(e.WallSeconds, "wall-s")
+	b.ReportMetric(e.CycleMicros, "us/cycle")
+	b.ReportMetric(float64(e.Jobs)/e.WallSeconds, "jobs/s")
+	b.ReportMetric(e.HeapMB, "heap-MB")
+	b.ReportMetric(e.PeakRSSMB, "peak-rss-MB")
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" {
+		updateBenchJSON(b, path, "sched_replay_1m", map[string]interface{}{
+			"trace":  "synthetic SWF seed=1 jobs=1000000 nodes=4 (streamed)",
+			"replay": e,
+		})
+	}
+}
+
+// BenchmarkSweep100k4Policies runs the full 4-policy × 100k-job grid
+// through the parallel sweep engine on GOMAXPROCS workers, against a
+// genuinely sequential baseline: the same grid on ONE worker, whose
+// per-experiment walls are honest single-policy replay times (walls
+// measured inside the parallel run would track the sweep wall itself
+// and could never fail the bound). On a machine with ≥4 cores the
+// parallel sweep must finish within 1.5× the slowest sequential
+// single-policy replay — the experiments are independent, so the only
+// overheads are scenario sharing and scheduler noise. On fewer cores
+// the bound is reported but not enforced.
+func BenchmarkSweep100k4Policies(b *testing.B) {
+	grid := sweep.Grid{Seeds: []int64{1}, Jobs: 100000, Nodes: 4}
+	type sweepBench struct {
+		Workers           int     `json:"workers"`
+		WallSeconds       float64 `json:"wall_seconds"`
+		SumSingleSeconds  float64 `json:"sum_single_seconds"`
+		SlowestSingleSecs float64 `json:"slowest_single_seconds"`
+		Speedup           float64 `json:"speedup"`
+	}
+	var sb sweepBench
+	for i := 0; i < b.N; i++ {
+		seq, err := sweep.Run(grid, 1)
+		if err != nil {
 			b.Fatal(err)
 		}
-		b.Logf("wrote %s", path)
+		sb = sweepBench{}
+		for _, r := range seq.Results {
+			sb.SumSingleSeconds += r.WallSeconds
+			if r.WallSeconds > sb.SlowestSingleSecs {
+				sb.SlowestSingleSecs = r.WallSeconds
+			}
+		}
+		par, err := sweep.Run(grid, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb.Workers = par.Workers
+		sb.WallSeconds = par.WallSeconds
+		sb.Speedup = sb.SumSingleSeconds / sb.WallSeconds
+		if runtime.GOMAXPROCS(0) >= 4 && sb.WallSeconds > 1.5*sb.SlowestSingleSecs {
+			b.Errorf("parallel sweep wall %.2fs exceeds 1.5x slowest sequential single policy (%.2fs) on %d workers",
+				sb.WallSeconds, sb.SlowestSingleSecs, sb.Workers)
+		}
+	}
+	b.ReportMetric(sb.WallSeconds, "wall-s")
+	b.ReportMetric(sb.SlowestSingleSecs, "slowest-single-s")
+	b.ReportMetric(sb.Speedup, "speedup")
+	b.ReportMetric(float64(sb.Workers), "workers")
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" {
+		updateBenchJSON(b, path, "sweep_100k_4policies", sb)
 	}
 }
 

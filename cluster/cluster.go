@@ -188,3 +188,31 @@ type SyntheticSWF = workload.SyntheticSWF
 func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
 	return workload.SyntheticSWFScenario(p)
 }
+
+// SubmissionSource yields submissions in nondecreasing submit order
+// (streaming replay input).
+type SubmissionSource = workload.SubmissionSource
+
+// NewSWFReaderSource streams an SWF trace file as submissions without
+// materializing it.
+func NewSWFReaderSource(r io.Reader, o SWFOptions) SubmissionSource {
+	return workload.NewSWFReaderSource(r, o)
+}
+
+// ParseSWFFunc streams an SWF trace record by record.
+func ParseSWFFunc(r io.Reader, fn func(SWFJob) error) error {
+	return workload.ParseSWFFunc(r, fn)
+}
+
+// RunSchedStream replays a submission stream under a SchedPolicy in
+// bounded memory: job records are folded into aggregate statistics as
+// they complete (no per-job records, no percentiles). For a stream in
+// submit order the scheduling decisions are identical to
+// materializing it and calling RunSched; an out-of-order record is
+// submitted at the stream position instead of being sorted into place.
+func RunSchedStream(base Scenario, src SubmissionSource, p SchedPolicy) Result {
+	return workload.RunSchedStream(base, src, p)
+}
+
+// SchedStatsOfStream computes the metrics of a streamed run.
+func SchedStatsOfStream(res Result) SchedStats { return workload.SchedStatsOfStream(res) }

@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_sched.json files — the
+// committed baseline and a freshly generated candidate — and fails
+// when the candidate regresses.
+//
+// Replay outcomes that must not change at all (job counts, scheduling
+// cycles, simulation events, mean wait, makespan) are compared
+// exactly: they are deterministic, so any difference means the
+// scheduler's decisions changed. Wall-clock derived numbers
+// (us_per_cycle) are machine-dependent and only fail when the
+// candidate is slower than baseline × tolerance; allocation counts
+// per cycle are nearly deterministic and get a tight factor.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 3.0] baseline.json candidate.json
+package main
+
+import (
+	"repro/internal/benchfmt"
+
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// replayEntry and benchDoc come from the shared schema package, so
+// the JSON tags cannot drift from what the bench harness writes.
+type replayEntry = benchfmt.ReplayEntry
+
+type benchDoc = benchfmt.Doc
+
+// diff returns the regression findings between baseline and candidate.
+func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
+	var base, cand benchDoc
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(candidate, &cand); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	var findings []string
+	add := func(format string, args ...interface{}) {
+		findings = append(findings, fmt.Sprintf(format, args...))
+	}
+	compare := func(name string, b, c replayEntry) {
+		if c.Jobs != b.Jobs {
+			add("%s: jobs %d, baseline %d", name, c.Jobs, b.Jobs)
+		}
+		if c.Cycles != b.Cycles {
+			add("%s: sched_cycles %d, baseline %d (decisions changed)", name, c.Cycles, b.Cycles)
+		}
+		if c.Events != b.Events {
+			add("%s: sim_events %d, baseline %d (decisions changed)", name, c.Events, b.Events)
+		}
+		if c.MeanWaitS != b.MeanWaitS {
+			add("%s: mean_wait_s %g, baseline %g (decisions changed)", name, c.MeanWaitS, b.MeanWaitS)
+		}
+		if c.MakespanS != b.MakespanS {
+			add("%s: makespan_s %g, baseline %g (decisions changed)", name, c.MakespanS, b.MakespanS)
+		}
+		if b.CycleMicros > 0 && c.CycleMicros > b.CycleMicros*tolerance {
+			add("%s: us_per_cycle %.2f exceeds baseline %.2f x %.1f", name, c.CycleMicros, b.CycleMicros, tolerance)
+		}
+		// Allocation counts barely vary between runs; a jump means a
+		// hot-path allocation crept back in.
+		if b.AllocsPerCycle > 0 && c.AllocsPerCycle > b.AllocsPerCycle*1.5+5 {
+			add("%s: allocs_per_cycle %.1f exceeds baseline %.1f x 1.5", name, c.AllocsPerCycle, b.AllocsPerCycle)
+		}
+	}
+	if base.Replay100k != nil && cand.Replay100k != nil {
+		byName := map[string]replayEntry{}
+		for _, e := range cand.Replay100k.Policies {
+			byName[e.Policy] = e
+		}
+		for _, b := range base.Replay100k.Policies {
+			c, ok := byName[b.Policy]
+			if !ok {
+				add("sched_replay_100k: policy %q missing from candidate", b.Policy)
+				continue
+			}
+			compare("sched_replay_100k/"+b.Policy, b, c)
+		}
+	}
+	if base.Replay1M != nil && cand.Replay1M != nil {
+		compare("sched_replay_1m/"+base.Replay1M.Replay.Policy, base.Replay1M.Replay, cand.Replay1M.Replay)
+	}
+	return findings, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 3.0, "allowed us_per_cycle slowdown factor vs baseline")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	baseline, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	candidate, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := diff(baseline, candidate, *tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(findings), flag.Arg(0))
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s matches %s (tolerance %.1fx)\n", flag.Arg(1), flag.Arg(0), *tolerance)
+}

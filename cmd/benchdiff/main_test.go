@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseDoc = `{
+  "sched_replay_100k": {
+    "policies": [
+      {"policy": "fcfs", "jobs": 100, "sched_cycles": 200, "sim_events": 1000,
+       "us_per_cycle": 10.0, "allocs_per_cycle": 12.0, "mean_wait_s": 5.5, "makespan_s": 900}
+    ]
+  },
+  "sched_replay_1m": {
+    "replay": {"policy": "fcfs", "jobs": 1000, "sched_cycles": 2000, "sim_events": 9000,
+       "us_per_cycle": 9.0, "allocs_per_cycle": 11.0, "mean_wait_s": 1.5, "makespan_s": 8000}
+  }
+}`
+
+func TestDiffClean(t *testing.T) {
+	findings, err := diff([]byte(baseDoc), []byte(baseDoc), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("identical docs produced findings: %v", findings)
+	}
+}
+
+func TestDiffCatchesDecisionChange(t *testing.T) {
+	cand := strings.Replace(baseDoc, `"sched_cycles": 200`, `"sched_cycles": 201`, 1)
+	cand = strings.Replace(cand, `"mean_wait_s": 5.5`, `"mean_wait_s": 5.6`, 1)
+	findings, err := diff([]byte(baseDoc), []byte(cand), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want cycle + wait regressions", findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "decisions changed") {
+			t.Errorf("finding %q should flag a decision change", f)
+		}
+	}
+}
+
+func TestDiffWallToleranceAndAllocs(t *testing.T) {
+	// 2x slower: inside the 3x tolerance.
+	cand := strings.Replace(baseDoc, `"us_per_cycle": 10.0`, `"us_per_cycle": 20.0`, 1)
+	findings, err := diff([]byte(baseDoc), []byte(cand), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("2x slowdown within tolerance flagged: %v", findings)
+	}
+	// 4x slower: out.
+	cand = strings.Replace(baseDoc, `"us_per_cycle": 10.0`, `"us_per_cycle": 40.0`, 1)
+	findings, _ = diff([]byte(baseDoc), []byte(cand), 3.0)
+	if len(findings) != 1 || !strings.Contains(findings[0], "us_per_cycle") {
+		t.Fatalf("4x slowdown not flagged: %v", findings)
+	}
+	// Allocation regression.
+	cand = strings.Replace(baseDoc, `"allocs_per_cycle": 12.0`, `"allocs_per_cycle": 40.0`, 1)
+	findings, _ = diff([]byte(baseDoc), []byte(cand), 3.0)
+	if len(findings) != 1 || !strings.Contains(findings[0], "allocs_per_cycle") {
+		t.Fatalf("alloc regression not flagged: %v", findings)
+	}
+}
+
+func TestDiffMissingPolicyAndSections(t *testing.T) {
+	cand := strings.Replace(baseDoc, `"policy": "fcfs", "jobs": 100`, `"policy": "easy", "jobs": 100`, 1)
+	findings, err := diff([]byte(baseDoc), []byte(cand), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "missing from candidate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing policy not flagged: %v", findings)
+	}
+	// A candidate with only one section compares just that section.
+	only100k := `{"sched_replay_100k": {"policies": [
+      {"policy": "fcfs", "jobs": 100, "sched_cycles": 200, "sim_events": 1000,
+       "us_per_cycle": 10.0, "allocs_per_cycle": 12.0, "mean_wait_s": 5.5, "makespan_s": 900}]}}`
+	findings, err = diff([]byte(baseDoc), []byte(only100k), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("partial candidate should compare cleanly: %v", findings)
+	}
+}

@@ -9,17 +9,22 @@
 //	slurmsim -scenario uc2 -trace -metric cycles
 //	slurmsim -sched easy,malleable -jobs 1000          # synthetic SWF replay
 //	slurmsim -sched all -swf trace.swf -nodes 8        # real trace replay
+//	slurmsim -sched fcfs -jobs 1000000 -stream         # bounded-memory replay
+//	slurmsim -sweep 'policies=all;seeds=1-4;jobs=5000' # parallel experiment grid
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/cluster"
 	"repro/internal/djsb"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -41,9 +46,88 @@ func main() {
 	swfPath := flag.String("swf", "", "SWF trace file to replay (default: seeded synthetic trace)")
 	check := flag.Bool("check", false, "swf: cross-check the controller's incremental free-CPU "+
 		"accounting against a full shared-memory re-scan every cycle (slower)")
+	stream := flag.Bool("stream", false, "swf/sched: stream the trace instead of materializing it "+
+		"(bounded memory, aggregate statistics only; for million-job replays)")
+	sweepSpec := flag.String("sweep", "", "run a parallel experiment grid, e.g. "+
+		"'policies=all;seeds=1-4;jobs=5000;nodes=4' (see internal/sweep.ParseGrid)")
+	sweepWorkers := flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "sweep output format: table, json, or csv")
+	out := flag.String("out", "", "sweep: write the summary to this file instead of stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if *schedNames != "" || *swfPath != "" {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: -memprofile: %v\n", err)
+		}
+	}
+	defer writeMemProfile()
+	// Route through run() so both profiles flush on success AND
+	// failure (os.Exit skips defers, so the error path writes them
+	// explicitly — a failing replay is exactly when a profile helps).
+	if err := run(runArgs{
+		scenario: *scenario, policy: *policy,
+		simName: *simName, simConf: *simConf, anaName: *anaName, anaConf: *anaConf,
+		traced: *traced, metric: *metric, width: *width,
+		seed: *seed, jobs: *jobs, interarrival: *interarrival, nodes: *nodes,
+		schedNames: *schedNames, swfPath: *swfPath, check: *check, stream: *stream,
+		sweepSpec: *sweepSpec, sweepWorkers: *sweepWorkers, format: *format, out: *out,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
+		pprof.StopCPUProfile()
+		writeMemProfile()
+		os.Exit(1)
+	}
+}
+
+// runArgs carries the parsed flags.
+type runArgs struct {
+	scenario, policy    string
+	simName, anaName    string
+	simConf, anaConf    int
+	traced              bool
+	metric              string
+	width               int
+	seed                int64
+	jobs                int
+	interarrival        float64
+	nodes               int
+	schedNames, swfPath string
+	check, stream       bool
+	sweepSpec           string
+	sweepWorkers        int
+	format, out         string
+}
+
+func run(a runArgs) error {
+	if a.sweepSpec != "" {
+		return runSweep(a.sweepSpec, a.sweepWorkers, a.format, a.out)
+	}
+	if a.schedNames != "" || a.swfPath != "" {
 		// Only honor -interarrival/-jobs/-nodes when the user set them;
 		// the SWF mode's own defaults (a contended 1000-job trace on 4
 		// nodes) apply otherwise.
@@ -51,53 +135,132 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "interarrival":
-				ia = *interarrival
+				ia = a.interarrival
 			case "jobs":
-				nj = *jobs
+				nj = a.jobs
 			case "nodes":
-				nn = *nodes
+				nn = a.nodes
 			}
 		})
-		if err := runSched(*schedNames, *swfPath, *seed, nj, ia, nn, *check); err != nil {
-			fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
-			os.Exit(1)
+		if a.stream {
+			return runSchedStream(a.schedNames, a.swfPath, a.seed, nj, ia, nn, a.check)
 		}
-		return
+		return runSched(a.schedNames, a.swfPath, a.seed, nj, ia, nn, a.check)
 	}
 
-	if *scenario == "djsb" {
-		if err := runDJSB(*seed, *jobs, *interarrival, *nodes, *policy); err != nil {
-			fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	if a.scenario == "djsb" {
+		return runDJSB(a.seed, a.jobs, a.interarrival, a.nodes, a.policy)
 	}
 
-	sc, err := buildScenario(*scenario, *simName, *simConf, *anaName, *anaConf, *traced)
+	sc, err := buildScenario(a.scenario, a.simName, a.simConf, a.anaName, a.anaConf, a.traced)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
-	policies, err := parsePolicies(*policy)
+	policies, err := parsePolicies(a.policy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	for _, p := range policies {
 		res := cluster.Run(sc, p)
 		if res.Err != nil {
-			fmt.Fprintf(os.Stderr, "slurmsim: %s under %s: %v\n", sc.Name, p, res.Err)
-			os.Exit(1)
+			return fmt.Errorf("%s under %s: %w", sc.Name, p, res.Err)
 		}
 		fmt.Printf("=== %s under %s ===\n", sc.Name, p)
 		fmt.Print(res.Records.String())
-		if *traced && res.Tracer != nil {
-			fmt.Println(res.Tracer.RenderTimeline("", *width, *metric))
+		if a.traced && res.Tracer != nil {
+			fmt.Println(res.Tracer.RenderTimeline("", a.width, a.metric))
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// runSweep parses the grid spec, fans the experiments across workers
+// and writes the summary in the requested format.
+func runSweep(spec string, workers int, format, out string) error {
+	grid, err := sweep.ParseGrid(spec)
+	if err != nil {
+		return err
+	}
+	sum, err := sweep.Run(grid, workers)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "table", "":
+		_, err = fmt.Fprint(w, sum.Table())
+	case "json":
+		err = sum.WriteJSON(w)
+	case "csv":
+		err = sum.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown sweep format %q (table, json, csv)", format)
+	}
+	return err
+}
+
+// runSchedStream replays an SWF workload through the bounded-memory
+// streaming path: the trace is never materialized and job records are
+// folded into aggregates as they complete, so million-job traces
+// replay in memory proportional to the scheduler backlog.
+func runSchedStream(names, swfPath string, seed int64, jobs int, interarrival float64, nodes int, check bool) error {
+	policies, err := parseSchedPolicies(names)
+	if err != nil {
+		return err
+	}
+	if nodes <= 0 {
+		nodes = 4
+	}
+	if swfPath != "" {
+		// jobs stays 0 unless the user set -jobs: a file trace replays
+		// whole by default, exactly like the materialized path.
+		fmt.Printf("=== SWF stream replay: %s on %d nodes ===\n", swfPath, nodes)
+	} else {
+		if jobs <= 0 {
+			jobs = 1000
+		}
+		fmt.Printf("=== SWF stream replay: synthetic seed=%d jobs=%d nodes=%d ===\n", seed, jobs, nodes)
+	}
+	base := cluster.Scenario{Nodes: nodes, DebugInvariants: check}
+	for _, p := range policies {
+		var src cluster.SubmissionSource
+		if swfPath != "" {
+			f, err := os.Open(swfPath)
+			if err != nil {
+				return err
+			}
+			// The source's parser goroutine closes f when it exits.
+			src = cluster.NewSWFReaderSource(f, cluster.SWFOptions{Nodes: nodes, MaxJobs: jobs})
+		} else {
+			src = cluster.SyntheticSWF{
+				Seed: seed, Jobs: jobs, Nodes: nodes, MeanInterarrival: interarrival,
+			}.Source()
+		}
+		start := time.Now()
+		res := cluster.RunSchedStream(base, src, p)
+		wall := time.Since(start)
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", p.Name(), res.Err)
+		}
+		skipped := ""
+		if sk, ok := src.(interface{ Skipped() int }); ok && sk.Skipped() > 0 {
+			skipped = fmt.Sprintf(", %d unusable records skipped", sk.Skipped())
+		}
+		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
+			p.Name(), cluster.SchedStatsOfStream(res), res.SchedCycles, res.Events, wall.Seconds(), skipped)
+	}
+	return nil
 }
 
 // runSched replays an SWF workload — a trace file or the seeded

@@ -19,7 +19,22 @@
 // SetProcessMask path, exercised at scale by replaying Standard
 // Workload Format traces (cluster.ParseSWF) or seeded synthetic
 // thousand-job workloads (slurmsim -sched easy,malleable -jobs 1000).
+// Million-job traces replay in bounded memory through the streaming
+// path (cluster.RunSchedStream, slurmsim -stream): the trace is
+// parsed and generated lazily and job records fold into aggregate
+// statistics, with decisions identical to the materialized replay
+// for traces in submit order.
+//
+// internal/sweep fans whole experiment grids — policy × trace × seed,
+// the shape of the paper's evaluation — across GOMAXPROCS workers,
+// each experiment fully isolated, with results aggregated in grid
+// order so the output is byte-identical at any worker count
+// (slurmsim -sweep 'policies=all;seeds=1-4;jobs=5000').
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the evaluation section; cmd/figures prints them.
+// BENCH_sched.json carries the committed scale-benchmark reference
+// numbers (100k-job replay per policy, the streaming 1M-job replay,
+// the 4-policy parallel sweep); cmd/benchdiff diffs a fresh run
+// against it and fails on regressions of the deterministic outcomes.
 package repro

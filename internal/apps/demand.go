@@ -57,6 +57,58 @@ func NewDemandTable(m hwmodel.Machine) *DemandTable {
 	}
 }
 
+// NodeHandle is a cached reference to one node's ledger. The
+// per-iteration hot path of every rank reads the node's contention
+// factors and (rarely) rewrites its own usage; resolving the node
+// name through the map on each of those calls was measurable at
+// 100k-job replay scale, so ranks resolve the handle once at
+// (re)placement and go through it afterwards.
+type NodeHandle struct {
+	d *DemandTable
+	n *nodeDemand
+}
+
+// Valid reports whether the handle points at a node ledger.
+func (h NodeHandle) Valid() bool { return h.n != nil }
+
+// Handle returns a NodeHandle for node, creating the (empty) ledger
+// if needed.
+func (d *DemandTable) Handle(node string) NodeHandle {
+	n := d.nodes[node]
+	if n == nil {
+		n = &nodeDemand{idx: make(map[shmem.PID]int)}
+		d.nodes[node] = n
+	}
+	return NodeHandle{d: d, n: n}
+}
+
+// SetUsage records the demand of pid on the handle's node. Zero
+// values remove it.
+func (h NodeHandle) SetUsage(pid shmem.PID, threads int, bwGBs float64) {
+	h.n.setUsage(pid, threads, bwGBs)
+}
+
+// Remove drops pid from the handle's node.
+func (h NodeHandle) Remove(pid shmem.PID) { h.n.setUsage(pid, 0, 0) }
+
+// Slowdown returns the bandwidth oversubscription factor of the node.
+func (h NodeHandle) Slowdown() float64 {
+	h.n.refresh()
+	return hwmodel.BWSlowdown(h.n.bwSum, h.d.machine.MemBWGBs)
+}
+
+// CPUShare returns the average fraction of a CPU each active thread
+// on the node receives (see DemandTable.CPUShare).
+func (h NodeHandle) CPUShare() float64 {
+	h.n.refresh()
+	t := h.n.threads
+	cores := h.d.machine.CoresPerNode()
+	if t <= cores {
+		return 1
+	}
+	return float64(cores) / float64(t)
+}
+
 // SetUsage records the demand of pid on node. Zero values remove it.
 func (d *DemandTable) SetUsage(node string, pid shmem.PID, threads int, bwGBs float64) {
 	n := d.nodes[node]
@@ -67,6 +119,12 @@ func (d *DemandTable) SetUsage(node string, pid shmem.PID, threads int, bwGBs fl
 		n = &nodeDemand{idx: make(map[shmem.PID]int)}
 		d.nodes[node] = n
 	}
+	n.setUsage(pid, threads, bwGBs)
+}
+
+// setUsage is the ledger mutation shared by the table and handle
+// paths. Zero values remove the entry.
+func (n *nodeDemand) setUsage(pid shmem.PID, threads int, bwGBs float64) {
 	i, ok := n.idx[pid]
 	if bwGBs == 0 && threads == 0 {
 		if !ok {

@@ -70,6 +70,10 @@ type rankRun struct {
 	// mask changes (register, resume, poll) so the per-iteration hot
 	// path never recomputes it.
 	spans bool
+	// dem caches the demand-table handle of the rank's node, resolved
+	// once per (re)placement so the per-iteration path never pays the
+	// node-name map lookup.
+	dem NodeHandle
 }
 
 // setMask records a new mask and refreshes the derived spans bit.
@@ -79,7 +83,7 @@ func (r *rankRun) setMask(m cpuset.CPUSet, machine hwmodel.Machine) {
 }
 
 // activeThreads returns the threads the rank actually exploits.
-func (r *rankRun) activeThreads(spec Spec) int {
+func (r *rankRun) activeThreads(spec *Spec) int {
 	n := r.mask.Count()
 	if spec.Class == Simulator && n > r.chunks {
 		// Static partition: threads beyond the partition are useless.
@@ -126,19 +130,21 @@ func (inst *Instance) Start() error {
 	}
 	inst.started = true
 	inst.startTime = inst.eng.Now()
+	machine := inst.demand.Machine()
 	for _, r := range inst.ranks {
 		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
 		if code.IsError() {
 			return fmt.Errorf("apps: register rank of %s: %w", inst.JobName, code)
 		}
-		r.setMask(got, inst.demand.Machine())
-		n := r.activeThreads(inst.Spec)
-		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+		r.setMask(got, machine)
+		r.dem = inst.demand.Handle(r.p.Node)
+		n := r.activeThreads(&inst.Spec)
+		r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 	}
 	// Initialization phase (serial, possibly memory-bound).
 	initDur := 0.0
 	for _, r := range inst.ranks {
-		d := inst.Spec.InitTime(inst.demand.Slowdown(r.p.Node))
+		d := inst.Spec.InitTime(r.dem.Slowdown())
 		if d > initDur {
 			initDur = d
 		}
@@ -192,15 +198,17 @@ func (inst *Instance) Resume(placements []Placement, restartCost float64) error 
 		return fmt.Errorf("apps: Resume with %d placements for %d ranks", len(placements), len(inst.ranks))
 	}
 	inst.stopped = false
+	machine := inst.demand.Machine()
 	for i, r := range inst.ranks {
 		r.p = placements[i]
 		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
 		if code.IsError() {
 			return fmt.Errorf("apps: re-register rank of %s: %w", inst.JobName, code)
 		}
-		r.setMask(got, inst.demand.Machine())
-		n := r.activeThreads(inst.Spec)
-		inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+		r.setMask(got, machine)
+		r.dem = inst.demand.Handle(r.p.Node)
+		n := r.activeThreads(&inst.Spec)
+		r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 	}
 	if restartCost < 0 {
 		restartCost = 0
@@ -230,12 +238,13 @@ func (inst *Instance) iterate() {
 		return
 	}
 	inst.haveEvent = false
+	machine := inst.demand.Machine()
 	// Malleability point: every rank polls DROM (DLB_PollDROM).
 	for _, r := range inst.ranks {
 		if m, code := r.p.Sys.Poll(r.p.PID); code == derr.Success {
-			r.setMask(m, inst.demand.Machine())
-			n := r.activeThreads(inst.Spec)
-			inst.demand.SetUsage(r.p.Node, r.p.PID, n, inst.Spec.BWDemand(n))
+			r.setMask(m, machine)
+			n := r.activeThreads(&inst.Spec)
+			r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 		}
 	}
 	// Iteration duration: the slowest rank plus MPI sync.
@@ -246,12 +255,11 @@ func (inst *Instance) iterate() {
 	envs := inst.envs[:len(inst.ranks)]
 	for i, r := range inst.ranks {
 		env := RankEnv{
-			Threads:      r.activeThreads(inst.Spec),
+			Threads:      r.activeThreads(&inst.Spec),
 			Chunks:       r.chunks,
-			BWSlowdown:   inst.demand.Slowdown(r.p.Node),
-			CPUShare:     inst.demand.CPUShare(r.p.Node),
+			BWSlowdown:   r.dem.Slowdown(),
+			CPUShare:     r.dem.CPUShare(),
 			SpansSockets: r.spans,
-			Machine:      inst.demand.Machine(),
 		}
 		envs[i] = env
 		if d := inst.Spec.IterTime(env); d > iterDur {

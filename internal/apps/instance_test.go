@@ -80,7 +80,8 @@ func TestInstanceRunsToCompletion(t *testing.T) {
 		t.Fatalf("iters=%d completed=%v", inst.ItersDone(), inst.Completed())
 	}
 	// ~100 iterations plus init; the full-node mask spans both sockets.
-	iter := NEST().IterTime(RankEnv{Threads: 16, Chunks: 16, BWSlowdown: 1, SpansSockets: true})
+	nest := NEST()
+	iter := nest.IterTime(RankEnv{Threads: 16, Chunks: 16, BWSlowdown: 1, SpansSockets: true})
 	want := NEST().InitSeconds + 100*(iter+NEST().CommSeconds)
 	if math.Abs(end-want) > 1 {
 		t.Errorf("end = %v, want ~%v", end, want)

@@ -24,8 +24,6 @@ type RankEnv struct {
 	// SpansSockets is true when the rank's mask crosses a socket
 	// boundary, paying the cross-socket locality penalty.
 	SpansSockets bool
-	// Machine supplies clock frequency for counter derivation.
-	Machine hwmodel.Machine
 }
 
 func (e RankEnv) sane() RankEnv {
@@ -46,7 +44,7 @@ func (e RankEnv) sane() RankEnv {
 
 // ipcRel returns the relative IPC factor at the given thread count
 // (1.0 at RefThreads).
-func (s Spec) ipcRel(threads int) float64 {
+func (s *Spec) ipcRel(threads int) float64 {
 	return hwmodel.IPC(1.0, s.IPCAlpha, threads, s.RefThreads)
 }
 
@@ -55,7 +53,7 @@ func (s Spec) ipcRel(threads int) float64 {
 // carries 1 + k/min(Spread*k, t) chunks' worth of work, where k = C-t
 // is the excess. t >= C yields 1 (extra threads are useless). The
 // FullyMalleable variant always achieves the work-conserving C/t.
-func (s Spec) imbalance(threads, chunks int) float64 {
+func (s *Spec) imbalance(threads, chunks int) float64 {
 	t, c := threads, chunks
 	if t < 1 {
 		t = 1
@@ -84,7 +82,7 @@ func (s Spec) imbalance(threads, chunks int) float64 {
 // IterTime returns the wall-clock duration of one iteration of one
 // rank under env. MPI synchronization cost is added by the caller at
 // the job level (the job iterates in lockstep).
-func (s Spec) IterTime(env RankEnv) float64 {
+func (s *Spec) IterTime(env RankEnv) float64 {
 	env = env.sane()
 	switch s.Class {
 	case Bandwidth:
@@ -114,7 +112,7 @@ func (s Spec) IterTime(env RankEnv) float64 {
 // scaleCompute applies the IPC locality factor, the bandwidth
 // contention penalty and the CPU time-sharing penalty to a base
 // compute time.
-func (s Spec) scaleCompute(base float64, env RankEnv) float64 {
+func (s *Spec) scaleCompute(base float64, env RankEnv) float64 {
 	t := base / s.ipcRel(env.Threads)
 	if env.SpansSockets && s.SocketSpanPenalty > 0 {
 		t /= 1 - s.SocketSpanPenalty
@@ -126,7 +124,7 @@ func (s Spec) scaleCompute(base float64, env RankEnv) float64 {
 // EffIPC returns the observable instructions-per-cycle of a running
 // thread under env: the locality-scaled IPC degraded by memory stalls.
 // This is the Figure 14 metric.
-func (s Spec) EffIPC(env RankEnv) float64 {
+func (s *Spec) EffIPC(env RankEnv) float64 {
 	env = env.sane()
 	t := env.Threads
 	if s.Class == Simulator && t > env.Chunks {
@@ -138,7 +136,7 @@ func (s Spec) EffIPC(env RankEnv) float64 {
 
 // BWDemand returns the average node memory bandwidth demand (GB/s) of
 // one rank with the given thread count, used to compute contention.
-func (s Spec) BWDemand(threads int) float64 {
+func (s *Spec) BWDemand(threads int) float64 {
 	if threads < 0 {
 		threads = 0
 	}
@@ -147,7 +145,7 @@ func (s Spec) BWDemand(threads int) float64 {
 
 // InitTime returns the initialization phase duration under a node
 // bandwidth slowdown (memory-bound init stretches under contention).
-func (s Spec) InitTime(bwSlowdown float64) float64 {
+func (s *Spec) InitTime(bwSlowdown float64) float64 {
 	if bwSlowdown < 1 {
 		bwSlowdown = 1
 	}
@@ -162,7 +160,7 @@ func (s Spec) InitTime(bwSlowdown float64) float64 {
 // partition and t < C, the first min(Spread*k, t) threads absorb the
 // excess and stay busy the whole critical path; the rest idle for the
 // imbalance bubble (Figure 5's "white idle spaces").
-func (s Spec) ThreadBusyFraction(threadIdx int, env RankEnv) float64 {
+func (s *Spec) ThreadBusyFraction(threadIdx int, env RankEnv) float64 {
 	env = env.sane()
 	if s.Class != Simulator || s.FullyMalleable || env.Threads >= env.Chunks {
 		return 1

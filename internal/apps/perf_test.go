@@ -2,14 +2,13 @@ package apps
 
 import (
 	"math"
+	"repro/internal/hwmodel"
 	"testing"
 	"testing/quick"
-
-	"repro/internal/hwmodel"
 )
 
 func env(threads, chunks int, slow float64) RankEnv {
-	return RankEnv{Threads: threads, Chunks: chunks, BWSlowdown: slow, Machine: hwmodel.MN3()}
+	return RankEnv{Threads: threads, Chunks: chunks, BWSlowdown: slow}
 }
 
 func TestTable1Configs(t *testing.T) {
@@ -190,7 +189,8 @@ func TestThreadBusyFraction(t *testing.T) {
 		t.Errorf("balanced busy = %v", got)
 	}
 	// Malleable apps never show partition bubbles.
-	if got := Pils().ThreadBusyFraction(5, env(3, 16, 1)); got != 1 {
+	pils := Pils()
+	if got := pils.ThreadBusyFraction(5, env(3, 16, 1)); got != 1 {
 		t.Errorf("pils busy = %v", got)
 	}
 }

@@ -1,0 +1,43 @@
+// Package benchfmt holds the shared schema of BENCH_sched.json — the
+// committed scale-benchmark reference numbers. The bench harness
+// writes it and cmd/benchdiff compares against it; sharing the struct
+// keeps the JSON tags from drifting apart (a mismatched tag would
+// silently unmarshal to zero and disable the tolerance-gated checks).
+package benchfmt
+
+// ReplayEntry is one replay measurement. The wall-dependent fields
+// (wall_seconds, us_per_cycle, heap/RSS, allocs/bytes per cycle) vary
+// with the machine; the rest are deterministic replay outcomes, which
+// cmd/benchdiff checks exactly.
+type ReplayEntry struct {
+	Policy         string  `json:"policy"`
+	Jobs           int     `json:"jobs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Cycles         int64   `json:"sched_cycles"`
+	Events         int64   `json:"sim_events"`
+	CycleMicros    float64 `json:"us_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	MeanWaitS      float64 `json:"mean_wait_s"`
+	MakespanS      float64 `json:"makespan_s"`
+	// HeapMB is the heap in use right after the replay — the bounded-
+	// memory evidence for the streaming path. PeakRSSMB is the
+	// process-lifetime high-water mark: only meaningful when the
+	// benchmark ran alone in the process (the regeneration recipe runs
+	// SchedReplay1M standalone for exactly that reason).
+	HeapMB    float64 `json:"heap_in_use_mb,omitempty"`
+	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
+}
+
+// Doc is the top-level shape of BENCH_sched.json (sections are
+// read-modify-written independently by the benchmarks).
+type Doc struct {
+	Replay100k *struct {
+		Trace    string        `json:"trace"`
+		Policies []ReplayEntry `json:"policies"`
+	} `json:"sched_replay_100k"`
+	Replay1M *struct {
+		Trace  string      `json:"trace"`
+		Replay ReplayEntry `json:"replay"`
+	} `json:"sched_replay_1m"`
+}

@@ -305,30 +305,12 @@ func (s *System) Unregister(pid shmem.PID) derr.Code {
 
 // resolveConflicts computes the victim shrink set for taking mask on
 // behalf of pid. It returns the theft records without staging them.
+// The segment does the scan in one locked pass (ascending victim PID,
+// no entry cloning): launches that reserve only free CPUs — the
+// overwhelming majority in scheduler-driven replays — resolve without
+// allocating.
 func (s *System) resolveConflicts(pid shmem.PID, mask cpuset.CPUSet, flags Flags) ([]shmem.Theft, derr.Code) {
-	var thefts []shmem.Theft
-	for _, e := range s.seg.Snapshot() {
-		if e.PID == pid {
-			continue
-		}
-		cur := e.CurrentMask
-		if e.Dirty {
-			cur = e.FutureMask
-		}
-		conflict := cur.And(mask)
-		if conflict.IsEmpty() {
-			continue
-		}
-		if !flags.Has(FlagSteal) {
-			return nil, derr.ErrPerm
-		}
-		if cur.AndNot(conflict).IsEmpty() {
-			// Stealing would leave the victim with no CPUs.
-			return nil, derr.ErrPerm
-		}
-		thefts = append(thefts, shmem.Theft{Victim: e.PID, Mask: conflict})
-	}
-	return thefts, derr.Success
+	return s.seg.ResolveThefts(pid, mask, flags.Has(FlagSteal))
 }
 
 // stageVictims writes the shrunken future masks of all theft victims.

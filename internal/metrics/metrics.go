@@ -28,15 +28,74 @@ func (j JobRecord) RunTime() float64 { return j.End - j.Start }
 // ResponseTime is wait + run: the paper's per-job metric.
 func (j JobRecord) ResponseTime() float64 { return j.End - j.Submit }
 
-// Workload aggregates the jobs of one scenario run.
-type Workload struct {
-	Jobs []JobRecord
+// BoundedSlowdown is response over runtime with the standard 10 s
+// denominator floor, clamped below at 1 — the shared definition of
+// the aggregate and materialized statistics paths.
+func (j JobRecord) BoundedSlowdown() float64 {
+	return math.Max(1, j.ResponseTime()/math.Max(j.RunTime(), BoundedSlowdownThreshold))
 }
 
-// Add appends a job record.
-func (w *Workload) Add(j JobRecord) { w.Jobs = append(w.Jobs, j) }
+// Workload aggregates the jobs of one scenario run. In the default
+// mode every record is retained (Jobs); SetAggregate switches to
+// streaming aggregation, where Add folds each record into running
+// sums and retains nothing — the mode million-job replays use to stay
+// in bounded memory.
+type Workload struct {
+	Jobs []JobRecord
 
-// Job returns the record with the given name, or false.
+	aggregate   bool
+	n           int
+	firstSubmit float64
+	lastEnd     float64
+	sumWait     float64
+	sumResp     float64
+	sumSlow     float64
+	maxSlow     float64
+}
+
+// SetAggregate switches the workload to streaming aggregation. It
+// must be called before the first Add.
+func (w *Workload) SetAggregate() {
+	if len(w.Jobs) > 0 {
+		panic("metrics: SetAggregate after records were added")
+	}
+	w.aggregate = true
+}
+
+// Aggregated reports whether the workload retains only aggregates.
+func (w *Workload) Aggregated() bool { return w.aggregate }
+
+// Add appends a job record (or folds it into the aggregates).
+func (w *Workload) Add(j JobRecord) {
+	if !w.aggregate {
+		w.Jobs = append(w.Jobs, j)
+		return
+	}
+	if w.n == 0 {
+		w.firstSubmit = j.Submit
+		w.lastEnd = j.End
+	} else {
+		w.firstSubmit = math.Min(w.firstSubmit, j.Submit)
+		w.lastEnd = math.Max(w.lastEnd, j.End)
+	}
+	w.n++
+	w.sumWait += j.WaitTime()
+	w.sumResp += j.ResponseTime()
+	s := j.BoundedSlowdown()
+	w.sumSlow += s
+	w.maxSlow = math.Max(w.maxSlow, s)
+}
+
+// Count returns the number of jobs recorded in either mode.
+func (w *Workload) Count() int {
+	if w.aggregate {
+		return w.n
+	}
+	return len(w.Jobs)
+}
+
+// Job returns the record with the given name, or false. Aggregated
+// workloads retain no per-job records.
 func (w *Workload) Job(name string) (JobRecord, bool) {
 	for _, j := range w.Jobs {
 		if j.Name == name {
@@ -48,6 +107,12 @@ func (w *Workload) Job(name string) (JobRecord, bool) {
 
 // TotalRunTime is "last job end time minus first job submission time".
 func (w *Workload) TotalRunTime() float64 {
+	if w.aggregate {
+		if w.n == 0 {
+			return 0
+		}
+		return w.lastEnd - w.firstSubmit
+	}
 	if len(w.Jobs) == 0 {
 		return 0
 	}
@@ -82,6 +147,12 @@ func (w *Workload) Utilization(cpusOf func(name string) int, totalCores int) flo
 
 // AvgResponseTime is the arithmetic mean of the jobs' response times.
 func (w *Workload) AvgResponseTime() float64 {
+	if w.aggregate {
+		if w.n == 0 {
+			return 0
+		}
+		return w.sumResp / float64(w.n)
+	}
 	if len(w.Jobs) == 0 {
 		return 0
 	}

@@ -32,8 +32,23 @@ type SchedStats struct {
 
 // NewSchedStats computes the stats from a finished workload. cpusOf
 // maps a job name to its requested CPU width for the demand estimate;
-// pass nil (or totalCores <= 0) to skip it.
+// pass nil (or totalCores <= 0) to skip it. An aggregated workload
+// (streaming replay) yields the mean/max statistics; the percentile
+// fields, which need the full distribution, stay zero, and so does
+// Demand.
 func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) SchedStats {
+	if w.Aggregated() {
+		st := SchedStats{Jobs: w.n}
+		if st.Jobs == 0 {
+			return st
+		}
+		st.Makespan = w.TotalRunTime()
+		st.MeanWait = w.sumWait / float64(w.n)
+		st.MeanResponse = w.sumResp / float64(w.n)
+		st.MeanSlowdown = w.sumSlow / float64(w.n)
+		st.MaxSlowdown = w.maxSlow
+		return st
+	}
 	st := SchedStats{Jobs: len(w.Jobs)}
 	if st.Jobs == 0 {
 		return st
@@ -43,7 +58,7 @@ func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) Sch
 	for _, j := range w.Jobs {
 		waits.Observe(j.WaitTime())
 		resps.Observe(j.ResponseTime())
-		s := math.Max(1, j.ResponseTime()/math.Max(j.RunTime(), BoundedSlowdownThreshold))
+		s := j.BoundedSlowdown()
 		slow += s
 		st.MaxSlowdown = math.Max(st.MaxSlowdown, s)
 	}

@@ -9,73 +9,71 @@ package sched
 // entirely in the capacity the head leaves spare. A stream of small
 // jobs can therefore never starve a wide job, which is the defect of
 // naive fit-based backfilling.
-type EASY struct{}
+type EASY struct{ sc scratch }
 
 // Name implements Policy.
-func (EASY) Name() string { return "easy" }
+func (*EASY) Name() string { return "easy" }
 
 // Schedule implements Policy.
-func (EASY) Schedule(s *State) []Action {
-	free := cloneInts(s.Free)
-	var acts []Action
-	var started []release
+func (p *EASY) Schedule(s *State) []Action {
+	sc := &p.sc
+	sc.reset(s)
 	i := 0
 	for i < len(s.Queue) {
 		j := s.Queue[i]
-		nodes := place(free, j.Nodes, j.CPUsPerNode)
+		nodes := sc.place(sc.free, j.Nodes, j.CPUsPerNode)
 		if nodes == nil {
 			break
 		}
-		acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
-		started = append(started, releasesFor(nodes, j.CPUsPerNode, s.Now+wallOf(j))...)
+		sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+		sc.appendStarted(nodes, j.CPUsPerNode, s.Now+wallOf(j))
 		i++
 	}
 	if i >= len(s.Queue) {
-		return acts
+		return sc.acts
 	}
-	return append(acts, backfill(s, free, started, i, nil)...)
+	sc.backfill(s, i, nil)
+	return sc.acts
 }
 
 // backfill starts jobs behind the blocked head s.Queue[headIdx] under
-// the EASY guarantee. allocs optionally overrides running allocations
-// (for policies that shrank jobs earlier in the cycle). free is
-// consumed in place.
-func backfill(s *State, free []int, started []release, headIdx int, allocs map[int]int) []Action {
+// the EASY guarantee, appending the actions to the cycle's list.
+// allocs optionally overrides running allocations (for policies that
+// shrank jobs earlier in the cycle). sc.free is consumed in place.
+func (sc *scratch) backfill(s *State, headIdx int, allocs map[int]int) {
 	head := s.Queue[headIdx]
-	shadow, spare := reservation(s, free, started, head, allocs)
-	var acts []Action
+	shadow, spare := sc.reservation(s, sc.free, head, allocs)
 	for _, j := range s.Queue[headIdx+1:] {
-		if !fits(free, j.Nodes, j.CPUsPerNode) {
+		if !fits(sc.free, j.Nodes, j.CPUsPerNode) {
 			continue
 		}
 		if s.Now+wallOf(j) <= shadow {
 			// Ends before the head needs the CPUs: the capacity it takes
 			// now is back by the shadow time, so the projection at the
 			// shadow is unchanged.
-			nodes := place(free, j.Nodes, j.CPUsPerNode)
-			acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+			nodes := sc.place(sc.free, j.Nodes, j.CPUsPerNode)
+			sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
 			continue
 		}
 		// Runs past the shadow: it may only use capacity the head's
 		// reservation leaves spare, on nodes that have BOTH free CPUs
 		// now and spare CPUs at the shadow — picking them separately
 		// could land the job on a reserved node and delay the head.
-		comb := make([]int, len(free))
+		comb := append(sc.comb[:0], sc.free...)
+		sc.comb = comb
 		for i := range comb {
-			comb[i] = free[i]
 			if spare[i] < comb[i] {
 				comb[i] = spare[i]
 			}
 		}
-		nodes := place(comb, j.Nodes, j.CPUsPerNode)
+		nodes := sc.place(comb, j.Nodes, j.CPUsPerNode)
 		if nodes == nil {
 			continue
 		}
 		for _, n := range nodes {
-			free[n] -= j.CPUsPerNode
+			sc.free[n] -= j.CPUsPerNode
 			spare[n] -= j.CPUsPerNode
 		}
-		acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+		sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
 	}
-	return acts
 }

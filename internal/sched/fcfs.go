@@ -3,22 +3,22 @@ package sched
 // FCFS is the policy extracted from the original controller: strict
 // priority order, FIFO within a priority level, head-of-line blocking
 // (the paper's untouched slurmctld).
-type FCFS struct{}
+type FCFS struct{ sc scratch }
 
 // Name implements Policy.
-func (FCFS) Name() string { return "fcfs" }
+func (*FCFS) Name() string { return "fcfs" }
 
 // Schedule starts queued jobs in order until one does not fit; nothing
 // behind the blocked head may run.
-func (FCFS) Schedule(s *State) []Action {
-	free := cloneInts(s.Free)
-	var acts []Action
+func (p *FCFS) Schedule(s *State) []Action {
+	sc := &p.sc
+	sc.reset(s)
 	for _, j := range s.Queue {
-		nodes := place(free, j.Nodes, j.CPUsPerNode)
+		nodes := sc.place(sc.free, j.Nodes, j.CPUsPerNode)
 		if nodes == nil {
 			break
 		}
-		acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+		sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
 	}
-	return acts
+	return sc.acts
 }

@@ -19,10 +19,25 @@ type Malleable struct {
 	// Expand enables the re-expansion phase (malleable-expand);
 	// without it the policy only shrinks (malleable-shrink).
 	Expand bool
+
+	sc scratch
+	// Per-cycle working state, reused across cycles.
+	allocs map[int]int
+	// shrinkToFit buffers.
+	capacity []int
+	newFree  []int
+	mins     []int
+	maxs     []int
+	alloc    []int
+	victims  []int
+	targets  map[int]int
+	ids      []int
+	// expandInto buffer.
+	grew map[int]bool
 }
 
 // Name implements Policy.
-func (m Malleable) Name() string {
+func (m *Malleable) Name() string {
 	if m.Expand {
 		return "malleable-expand"
 	}
@@ -30,103 +45,109 @@ func (m Malleable) Name() string {
 }
 
 // Schedule implements Policy.
-func (m Malleable) Schedule(s *State) []Action {
-	free := cloneInts(s.Free)
-	allocs := make(map[int]int, len(s.Running))
-	for _, r := range s.Running {
-		allocs[r.ID] = r.CPUsPerNode
+func (m *Malleable) Schedule(s *State) []Action {
+	sc := &m.sc
+	sc.reset(s)
+	if m.allocs == nil {
+		m.allocs = make(map[int]int, len(s.Running))
 	}
-	var acts []Action
-	var started []release
+	clear(m.allocs)
+	for _, r := range s.Running {
+		m.allocs[r.ID] = r.CPUsPerNode
+	}
 	i := 0
 	for i < len(s.Queue) {
 		j := s.Queue[i]
-		if nodes := place(free, j.Nodes, j.CPUsPerNode); nodes != nil {
-			acts = append(acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
-			started = append(started, releasesFor(nodes, j.CPUsPerNode, s.Now+wallOf(j))...)
+		if nodes := sc.place(sc.free, j.Nodes, j.CPUsPerNode); nodes != nil {
+			sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, Nodes: nodes})
+			sc.appendStarted(nodes, j.CPUsPerNode, s.Now+wallOf(j))
 			i++
 			continue
 		}
-		shrinks, target, nodes := shrinkToFit(s, free, allocs, j)
+		target, nodes := m.shrinkToFit(s, j)
 		if nodes == nil {
 			break // not even malleability can admit the head
 		}
-		acts = append(acts, shrinks...)
-		acts = append(acts, Action{Kind: ActStart, ID: j.ID, TargetCPUsPerNode: target, Nodes: nodes})
-		started = append(started, releasesFor(nodes, target, s.Now+wallOf(j))...)
+		sc.acts = append(sc.acts, Action{Kind: ActStart, ID: j.ID, TargetCPUsPerNode: target, Nodes: nodes})
+		sc.appendStarted(nodes, target, s.Now+wallOf(j))
 		i++
 	}
 	if i < len(s.Queue) {
-		acts = append(acts, backfill(s, free, started, i, allocs)...)
-		return acts
+		sc.backfill(s, i, m.allocs)
+		return sc.acts
 	}
 	if m.Expand {
-		acts = append(acts, expandInto(s, free, allocs)...)
+		m.expandInto(s)
 	}
-	return acts
+	return sc.acts
 }
 
 // shrinkToFit plans the admission of head by shrinking running
 // malleable jobs. It picks the head.Nodes nodes with the most
 // reclaimable capacity, computes the bounded equipartition among the
 // victims and the head on each, uniformizes every victim to its
-// smallest per-node share, and returns the shrink actions, the head's
-// starting allocation and its node set. free and allocs are updated in
-// place on success; on failure everything is left untouched and nil
-// nodes are returned.
-func shrinkToFit(s *State, free []int, allocs map[int]int, head Job) ([]Action, int, []int) {
+// smallest per-node share, appends the shrink actions, and returns
+// the head's starting allocation and its node set. sc.free and
+// m.allocs are updated in place on success; on failure everything is
+// left untouched and nil nodes are returned.
+func (m *Malleable) shrinkToFit(s *State, head Job) (int, []int) {
+	sc := &m.sc
 	minNeed := head.MinCPUsPerNode
 	if minNeed < 1 {
 		minNeed = 1
 	}
 	// Reclaimable capacity per node.
-	capacity := cloneInts(free)
+	capacity := append(m.capacity[:0], sc.free...)
+	m.capacity = capacity
 	for _, r := range s.Running {
 		if !r.Malleable {
 			continue
 		}
-		if d := allocs[r.ID] - r.MinCPUsPerNode; d > 0 {
+		if d := m.allocs[r.ID] - r.MinCPUsPerNode; d > 0 {
 			for _, n := range r.Nodes {
 				capacity[n] += d
 			}
 		}
 	}
-	chosen := place(capacity, head.Nodes, minNeed)
+	chosen := sc.place(capacity, head.Nodes, minNeed)
 	if chosen == nil {
-		return nil, 0, nil
-	}
-	chosenSet := make(map[int]bool, len(chosen))
-	for _, n := range chosen {
-		chosenSet[n] = true
+		return 0, nil
 	}
 
 	// Bounded equipartition per chosen node; victims spanning several
 	// chosen nodes settle on their smallest share (uniform masks keep
 	// the executor simple; any over-shrink is free capacity a later
 	// expand reclaims).
-	targets := make(map[int]int)
+	if m.targets == nil {
+		m.targets = make(map[int]int)
+	}
+	clear(m.targets)
 	headTarget := head.CPUsPerNode
 	for _, n := range chosen {
-		var ids, mins, maxs []int
-		capN := free[n]
+		victims := m.victims[:0]
+		mins := m.mins[:0]
+		maxs := m.maxs[:0]
+		capN := sc.free[n]
 		for _, r := range s.Running {
 			if !r.Malleable || !onNode(r, n) {
 				continue
 			}
-			ids = append(ids, r.ID)
+			victims = append(victims, r.ID)
 			mins = append(mins, r.MinCPUsPerNode)
-			maxs = append(maxs, allocs[r.ID])
-			capN += allocs[r.ID]
+			maxs = append(maxs, m.allocs[r.ID])
+			capN += m.allocs[r.ID]
 		}
 		mins = append(mins, minNeed)
 		maxs = append(maxs, head.CPUsPerNode)
-		alloc := waterfillBounded(capN, mins, maxs)
+		m.victims, m.mins, m.maxs = victims, mins, maxs
+		alloc := waterfillBounded(m.alloc, capN, mins, maxs)
 		if alloc == nil {
-			return nil, 0, nil // node cannot host even the minimums
+			return 0, nil // node cannot host even the minimums
 		}
-		for k, id := range ids {
-			if t, ok := targets[id]; !ok || alloc[k] < t {
-				targets[id] = alloc[k]
+		m.alloc = alloc
+		for k, id := range victims {
+			if t, ok := m.targets[id]; !ok || alloc[k] < t {
+				m.targets[id] = alloc[k]
 			}
 		}
 		if h := alloc[len(alloc)-1]; h < headTarget {
@@ -136,13 +157,14 @@ func shrinkToFit(s *State, free []int, allocs map[int]int, head Job) ([]Action, 
 
 	// Verify the plan before committing: after the shrinks, every
 	// chosen node must hold the head's share.
-	newFree := cloneInts(free)
-	for id, t := range targets {
-		if t >= allocs[id] {
+	newFree := append(m.newFree[:0], sc.free...)
+	m.newFree = newFree
+	for id, t := range m.targets {
+		if t >= m.allocs[id] {
 			continue
 		}
 		for _, n := range nodesOf(s, id) {
-			newFree[n] += allocs[id] - t
+			newFree[n] += m.allocs[id] - t
 		}
 	}
 	for _, n := range chosen {
@@ -151,48 +173,52 @@ func shrinkToFit(s *State, free []int, allocs map[int]int, head Job) ([]Action, 
 		}
 	}
 	if headTarget < minNeed {
-		return nil, 0, nil
+		return 0, nil
 	}
 
 	// Commit: emit shrinks in ID order, update free and allocs, carve
 	// out the head's share.
-	ids := make([]int, 0, len(targets))
-	for id := range targets {
+	ids := m.ids[:0]
+	for id := range m.targets {
 		ids = append(ids, id)
 	}
+	m.ids = ids
 	sort.Ints(ids)
-	var acts []Action
 	for _, id := range ids {
-		t := targets[id]
-		if t >= allocs[id] {
+		t := m.targets[id]
+		if t >= m.allocs[id] {
 			continue
 		}
 		for _, n := range nodesOf(s, id) {
-			free[n] += allocs[id] - t
+			sc.free[n] += m.allocs[id] - t
 		}
-		allocs[id] = t
-		acts = append(acts, Action{Kind: ActShrink, ID: id, TargetCPUsPerNode: t})
+		m.allocs[id] = t
+		sc.acts = append(sc.acts, Action{Kind: ActShrink, ID: id, TargetCPUsPerNode: t})
 	}
 	for _, n := range chosen {
-		free[n] -= headTarget
+		sc.free[n] -= headTarget
 	}
-	return acts, headTarget, chosen
+	return headTarget, chosen
 }
 
 // expandInto grows running malleable jobs below their request into the
 // leftover free CPUs, one CPU per node at a time to the smallest
 // allocation first (the equipartition in reverse).
-func expandInto(s *State, free []int, allocs map[int]int) []Action {
-	grew := make(map[int]bool)
+func (m *Malleable) expandInto(s *State) {
+	sc := &m.sc
+	if m.grew == nil {
+		m.grew = make(map[int]bool)
+	}
+	clear(m.grew)
 	for {
 		best := -1
 		for k, r := range s.Running {
-			if !r.Malleable || allocs[r.ID] >= r.ReqCPUsPerNode {
+			if !r.Malleable || m.allocs[r.ID] >= r.ReqCPUsPerNode {
 				continue
 			}
 			ok := true
 			for _, n := range r.Nodes {
-				if free[n] < 1 {
+				if sc.free[n] < 1 {
 					ok = false
 					break
 				}
@@ -200,7 +226,7 @@ func expandInto(s *State, free []int, allocs map[int]int) []Action {
 			if !ok {
 				continue
 			}
-			if best < 0 || allocs[r.ID] < allocs[s.Running[best].ID] {
+			if best < 0 || m.allocs[r.ID] < m.allocs[s.Running[best].ID] {
 				best = k
 			}
 		}
@@ -208,19 +234,17 @@ func expandInto(s *State, free []int, allocs map[int]int) []Action {
 			break
 		}
 		r := s.Running[best]
-		allocs[r.ID]++
+		m.allocs[r.ID]++
 		for _, n := range r.Nodes {
-			free[n]--
+			sc.free[n]--
 		}
-		grew[r.ID] = true
+		m.grew[r.ID] = true
 	}
-	var acts []Action
 	for _, r := range s.Running {
-		if grew[r.ID] {
-			acts = append(acts, Action{Kind: ActExpand, ID: r.ID, TargetCPUsPerNode: allocs[r.ID]})
+		if m.grew[r.ID] {
+			sc.acts = append(sc.acts, Action{Kind: ActExpand, ID: r.ID, TargetCPUsPerNode: m.allocs[r.ID]})
 		}
 	}
-	return acts
 }
 
 func onNode(r Running, n int) bool {

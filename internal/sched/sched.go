@@ -167,6 +167,12 @@ func (a Action) String() string {
 // action the executor cannot apply (capacity raced away, invalid or
 // duplicated pinned nodes) is skipped and re-planned on the follow-up
 // cycle the executor re-arms at the same timestamp.
+//
+// Policies carry reusable scratch buffers: the returned actions (and
+// their Nodes slices) are valid only until the next Schedule call on
+// the same instance, and a policy instance must not be shared between
+// concurrently running experiments — the sweep engine creates one per
+// experiment.
 type Policy interface {
 	Name() string
 	Schedule(s *State) []Action
@@ -178,13 +184,13 @@ type Policy interface {
 func New(name string) (Policy, error) {
 	switch name {
 	case "fcfs":
-		return FCFS{}, nil
+		return &FCFS{}, nil
 	case "easy":
-		return EASY{}, nil
+		return &EASY{}, nil
 	case "malleable-shrink", "shrink":
-		return Malleable{}, nil
+		return &Malleable{}, nil
 	case "malleable-expand", "malleable", "expand":
-		return Malleable{Expand: true}, nil
+		return &Malleable{Expand: true}, nil
 	}
 	return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, Names())
 }
@@ -206,28 +212,80 @@ func wallOf(j Job) float64 {
 	return DefaultWalltime
 }
 
-func cloneInts(v []int) []int { return append([]int(nil), v...) }
+// scratch holds the reusable buffers of one policy instance. A cycle
+// runs tens of placements and a reservation projection; allocating
+// those per call dominated the policies' allocation profile at
+// 100k-job replay scale, so every buffer lives here and is reset at
+// the top of Schedule. Consequence: returned actions are valid only
+// until the next Schedule call, and instances are single-goroutine.
+type scratch struct {
+	free    []int
+	acts    []Action
+	started []release
+	// arena backs the node-index slices handed out through Actions
+	// this cycle; growing it re-allocates the backing array, which is
+	// safe because already-returned slices keep the old one alive.
+	arena []int
+	cands []placeCand
+	// reservation projection buffers.
+	rels    []release
+	proj    []int
+	spare   []int
+	comb    []int
+	relSort releaseSorter
+}
 
-// place picks j nodes with at least need free CPUs each, preferring
-// the freest (ties: lower index), subtracts the usage from free in
-// place, and returns the chosen indices sorted ascending. It returns
-// nil (and leaves free untouched) when the job does not fit.
-func place(free []int, nodes, need int) []int {
-	type cand struct{ idx, free int }
-	var cands []cand
+// reset prepares the buffers for a new cycle against state s.
+func (sc *scratch) reset(s *State) {
+	sc.free = append(sc.free[:0], s.Free...)
+	sc.acts = sc.acts[:0]
+	sc.started = sc.started[:0]
+	sc.arena = sc.arena[:0]
+}
+
+// intSlice hands out an n-slot zeroed slice from the cycle arena.
+func (sc *scratch) intSlice(n int) []int {
+	start := len(sc.arena)
+	for i := 0; i < n; i++ {
+		sc.arena = append(sc.arena, 0)
+	}
+	return sc.arena[start : start+n : start+n]
+}
+
+type placeCand struct{ idx, free int }
+
+// place picks nodes nodes with at least need free CPUs each,
+// preferring the freest (ties: lower index), subtracts the usage from
+// free in place, and returns the chosen indices sorted ascending
+// (arena-backed). It returns nil (and leaves free untouched) when the
+// job does not fit.
+func (sc *scratch) place(free []int, nodes, need int) []int {
+	cands := sc.cands[:0]
 	for i, f := range free {
 		if f >= need {
-			cands = append(cands, cand{i, f})
+			cands = append(cands, placeCand{i, f})
 		}
 	}
+	sc.cands = cands
 	if nodes <= 0 || len(cands) < nodes {
 		return nil
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
-	out := make([]int, 0, nodes)
-	for _, c := range cands[:nodes] {
+	// Stable insertion sort by free descending (ties keep index
+	// order): candidate counts are node counts, and the reflect-based
+	// stable sort allocated on every call.
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i
+		for j > 0 && cands[j-1].free < c.free {
+			cands[j] = cands[j-1]
+			j--
+		}
+		cands[j] = c
+	}
+	out := sc.intSlice(nodes)
+	for k, c := range cands[:nodes] {
 		free[c.idx] -= need
-		out = append(out, c.idx)
+		out[k] = c.idx
 	}
 	sort.Ints(out)
 	return out
@@ -252,13 +310,35 @@ type release struct {
 	cpus int
 }
 
-// releasesOf projects when the running set returns its CPUs. Overdue
-// estimates are clamped to now (the job "should end any moment").
-// allocs, when non-nil, overrides per-job allocations — a shrink
-// decided earlier in the same cycle already moved the difference into
-// the free pool, so only the remainder comes back at job end.
-func releasesOf(s *State, allocs map[int]int) []release {
-	var rels []release
+// releaseSorter orders releases by (time, node) without the
+// allocation of a reflect-based sort.
+type releaseSorter struct{ r []release }
+
+func (s *releaseSorter) Len() int      { return len(s.r) }
+func (s *releaseSorter) Swap(i, j int) { s.r[i], s.r[j] = s.r[j], s.r[i] }
+func (s *releaseSorter) Less(i, j int) bool {
+	if s.r[i].at != s.r[j].at {
+		return s.r[i].at < s.r[j].at
+	}
+	return s.r[i].node < s.r[j].node
+}
+
+// appendStarted records the future capacity return of a job started
+// this cycle on the given nodes.
+func (sc *scratch) appendStarted(nodes []int, cpus int, at float64) {
+	for _, n := range nodes {
+		sc.started = append(sc.started, release{at: at, node: n, cpus: cpus})
+	}
+}
+
+// releasesOf projects when the running set returns its CPUs (into the
+// rels scratch). Overdue estimates are clamped to now (the job
+// "should end any moment"). allocs, when non-nil, overrides per-job
+// allocations — a shrink decided earlier in the same cycle already
+// moved the difference into the free pool, so only the remainder
+// comes back at job end.
+func (sc *scratch) releasesOf(s *State, allocs map[int]int) []release {
+	rels := sc.rels[:0]
 	for _, r := range s.Running {
 		at := r.EndEstimate()
 		if at < s.Now {
@@ -272,40 +352,33 @@ func releasesOf(s *State, allocs map[int]int) []release {
 			rels = append(rels, release{at: at, node: n, cpus: cpus})
 		}
 	}
-	return rels
-}
-
-// releasesFor records the future capacity return of a job started this
-// cycle on the given nodes.
-func releasesFor(nodes []int, cpus int, at float64) []release {
-	rels := make([]release, 0, len(nodes))
-	for _, n := range nodes {
-		rels = append(rels, release{at: at, node: n, cpus: cpus})
-	}
+	sc.rels = rels
 	return rels
 }
 
 // reservation computes the EASY reservation for a blocked head job:
 // the shadow time (earliest projected start, +Inf when even a fully
 // drained cluster cannot host it) and the spare capacity per node at
-// that time after the head's placement is carved out. Backfilled jobs
-// that cannot prove they end before the shadow must fit inside the
-// spare capacity, so they can never delay the head.
-func reservation(s *State, free []int, extra []release, head Job, allocs map[int]int) (float64, []int) {
-	rels := append(releasesOf(s, allocs), extra...)
-	sort.SliceStable(rels, func(a, b int) bool {
-		if rels[a].at != rels[b].at {
-			return rels[a].at < rels[b].at
-		}
-		return rels[a].node < rels[b].node
-	})
-	proj := cloneInts(free)
+// that time after the head's placement is carved out (scratch-backed,
+// mutable by the caller until the next cycle). Backfilled jobs that
+// cannot prove they end before the shadow must fit inside the spare
+// capacity, so they can never delay the head. The started releases of
+// this cycle are included in the projection.
+func (sc *scratch) reservation(s *State, free []int, head Job, allocs map[int]int) (float64, []int) {
+	rels := sc.releasesOf(s, allocs)
+	rels = append(rels, sc.started...)
+	sc.rels = rels
+	sc.relSort.r = rels
+	sort.Stable(&sc.relSort)
+	proj := append(sc.proj[:0], free...)
+	sc.proj = proj
 	shadow := s.Now
 	i := 0
 	for {
-		tmp := cloneInts(proj)
-		if place(tmp, head.Nodes, head.CPUsPerNode) != nil {
-			return shadow, tmp
+		spare := append(sc.spare[:0], proj...)
+		sc.spare = spare
+		if sc.place(spare, head.Nodes, head.CPUsPerNode) != nil {
+			return shadow, spare
 		}
 		if i >= len(rels) {
 			return math.Inf(1), proj
@@ -324,16 +397,17 @@ func reservation(s *State, free []int, extra []release, head Job, allocs map[int
 // waterfillBounded distributes cores among participants with per-entry
 // minimum and maximum allocations, converging to the equipartition of
 // §5 ("computational resources are equally partitioned among running
-// jobs"). It mirrors the slurmd plugin's fairness rule. Returns nil
-// when the minimums alone exceed the capacity.
-func waterfillBounded(cores int, mins, maxs []int) []int {
-	alloc := make([]int, len(mins))
+// jobs"). It mirrors the slurmd plugin's fairness rule, writing into
+// dst (grown as needed). Returns nil when the minimums alone exceed
+// the capacity.
+func waterfillBounded(dst []int, cores int, mins, maxs []int) []int {
+	alloc := dst[:0]
 	remaining := cores
 	for i := range mins {
 		if mins[i] > maxs[i] {
 			return nil
 		}
-		alloc[i] = mins[i]
+		alloc = append(alloc, mins[i])
 		remaining -= mins[i]
 	}
 	if remaining < 0 {

@@ -45,7 +45,7 @@ func TestFCFSHeadOfLineBlocks(t *testing.T) {
 		{ID: 1, Nodes: 2, CPUsPerNode: 8, MinCPUsPerNode: 1},
 		{ID: 2, Nodes: 1, CPUsPerNode: 2, MinCPUsPerNode: 1},
 	}
-	if acts := (FCFS{}).Schedule(s); len(acts) != 0 {
+	if acts := (&FCFS{}).Schedule(s); len(acts) != 0 {
 		t.Errorf("FCFS behind a blocked head started %v", acts)
 	}
 	// With room, jobs start in order.
@@ -54,7 +54,7 @@ func TestFCFSHeadOfLineBlocks(t *testing.T) {
 		{ID: 1, Nodes: 2, CPUsPerNode: 8, MinCPUsPerNode: 1},
 		{ID: 2, Nodes: 1, CPUsPerNode: 2, MinCPUsPerNode: 1},
 	}
-	acts := (FCFS{}).Schedule(s)
+	acts := (&FCFS{}).Schedule(s)
 	if len(acts) != 2 || acts[0].ID != 1 || acts[1].ID != 2 {
 		t.Errorf("FCFS actions = %v", acts)
 	}
@@ -116,14 +116,14 @@ func TestEASYBackfill(t *testing.T) {
 		}
 		return s
 	}
-	if acts := (EASY{}).Schedule(mk(50)); len(acts) != 1 || acts[0].ID != 3 {
+	if acts := (&EASY{}).Schedule(mk(50)); len(acts) != 1 || acts[0].ID != 3 {
 		t.Errorf("short candidate should backfill: %v", acts)
 	}
-	if acts := (EASY{}).Schedule(mk(500)); len(acts) != 0 {
+	if acts := (&EASY{}).Schedule(mk(500)); len(acts) != 0 {
 		t.Errorf("long candidate would delay the head: %v", acts)
 	}
 	// FCFS starves the backfiller either way.
-	if acts := (FCFS{}).Schedule(mk(50)); len(acts) != 0 {
+	if acts := (&FCFS{}).Schedule(mk(50)); len(acts) != 0 {
 		t.Errorf("FCFS should block: %v", acts)
 	}
 }
@@ -147,7 +147,7 @@ func TestEASYSpareCapacity(t *testing.T) {
 	s.Free = []int{0, 16}
 	// Head fits node1 immediately and fills the cluster; the candidate
 	// becomes the new blocked head.
-	acts := (EASY{}).Schedule(s)
+	acts := (&EASY{}).Schedule(s)
 	if len(acts) != 1 || acts[0].ID != 2 {
 		t.Fatalf("acts = %v", acts)
 	}
@@ -164,7 +164,7 @@ func TestEASYSpareCapacity(t *testing.T) {
 		{ID: 2, Nodes: 1, CPUsPerNode: 16, MinCPUsPerNode: 1, Walltime: 50},
 		{ID: 3, Nodes: 1, CPUsPerNode: 8, MinCPUsPerNode: 1, Walltime: 1e6},
 	}
-	acts = (EASY{}).Schedule(s)
+	acts = (&EASY{}).Schedule(s)
 	if len(acts) != 1 || acts[0].ID != 3 {
 		t.Fatalf("long candidate should use spare node1 capacity: %v", acts)
 	}
@@ -180,10 +180,10 @@ func TestMalleableShrinkAdmitsHead(t *testing.T) {
 	}
 	s.Queue = []Job{{ID: 3, Nodes: 2, CPUsPerNode: 16, MinCPUsPerNode: 2, Walltime: 100, Malleable: true}}
 
-	if acts := (EASY{}).Schedule(s); len(acts) != 0 {
+	if acts := (&EASY{}).Schedule(s); len(acts) != 0 {
 		t.Fatalf("EASY cannot admit without malleability: %v", acts)
 	}
-	acts := Malleable{}.Schedule(s)
+	acts := (&Malleable{}).Schedule(s)
 	if len(acts) != 3 {
 		t.Fatalf("want 2 shrinks + 1 start, got %v", acts)
 	}
@@ -213,7 +213,7 @@ func TestMalleableShrinkRespectsFloor(t *testing.T) {
 	// Head needs at least 16 CPUs on the node; victim floor is 8, so at
 	// most 8 can be freed.
 	s.Queue = []Job{{ID: 2, Nodes: 1, CPUsPerNode: 16, MinCPUsPerNode: 16, Walltime: 10, Malleable: true}}
-	if acts := (Malleable{}).Schedule(s); len(acts) != 0 {
+	if acts := (&Malleable{}).Schedule(s); len(acts) != 0 {
 		t.Errorf("infeasible head admitted: %v", acts)
 	}
 }
@@ -226,7 +226,7 @@ func TestMalleableExpand(t *testing.T) {
 		{ID: 1, Start: 0, Walltime: 1000, Nodes: []int{0}, CPUsPerNode: 8, ReqCPUsPerNode: 16, MinCPUsPerNode: 1, Malleable: true},
 		{ID: 2, Start: 0, Walltime: 1000, Nodes: []int{1}, CPUsPerNode: 4, ReqCPUsPerNode: 8, MinCPUsPerNode: 1, Malleable: true},
 	}
-	acts := Malleable{Expand: true}.Schedule(s)
+	acts := (&Malleable{Expand: true}).Schedule(s)
 	if len(acts) != 2 {
 		t.Fatalf("acts = %v", acts)
 	}
@@ -246,7 +246,7 @@ func TestMalleableExpand(t *testing.T) {
 		}
 	}
 	// The shrink-only variant leaves the CPUs free.
-	if acts := (Malleable{}).Schedule(s); len(acts) != 0 {
+	if acts := (&Malleable{}).Schedule(s); len(acts) != 0 {
 		t.Errorf("malleable-shrink should not expand: %v", acts)
 	}
 }
@@ -259,15 +259,55 @@ func TestReservationUnknownWalltime(t *testing.T) {
 		ID: 1, Start: 0, Nodes: []int{0}, CPUsPerNode: 16,
 		ReqCPUsPerNode: 16, MinCPUsPerNode: 1,
 	}}
+	var sc scratch
+	sc.reset(s)
 	head := Job{ID: 2, Nodes: 2, CPUsPerNode: 16, MinCPUsPerNode: 1}
-	shadow, _ := reservation(s, cloneInts(s.Free), nil, head, nil)
+	shadow, _ := sc.reservation(s, sc.free, head, nil)
 	if shadow != DefaultWalltime {
 		t.Errorf("shadow = %v, want DefaultWalltime %v", shadow, DefaultWalltime)
 	}
 	// A head too wide for the machine never fits: infinite shadow.
+	sc.reset(s)
 	wide := Job{ID: 3, Nodes: 3, CPUsPerNode: 16, MinCPUsPerNode: 1}
-	shadow, _ = reservation(s, cloneInts(s.Free), nil, wide, nil)
+	shadow, _ = sc.reservation(s, sc.free, wide, nil)
 	if !math.IsInf(shadow, 1) {
 		t.Errorf("impossible head shadow = %v, want +Inf", shadow)
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the allocation profile of the
+// cycle loop: after one warm-up cycle every policy must schedule a
+// busy, contended state without heap allocations — placements,
+// reservations, equipartitions and the action list all run on the
+// instance's scratch buffers.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	mk := func() *State {
+		s := state16(2, 5, 0, 16)
+		s.CoresPerNode = 16
+		s.Queue = []Job{
+			{ID: 10, Nodes: 2, CPUsPerNode: 12, MinCPUsPerNode: 2, Walltime: 500},
+			{ID: 11, Nodes: 1, CPUsPerNode: 2, MinCPUsPerNode: 1, Walltime: 50},
+			{ID: 12, Nodes: 1, CPUsPerNode: 4, MinCPUsPerNode: 1, Walltime: 5000},
+		}
+		s.Running = []Running{
+			{ID: 1, Start: 0, Walltime: 900, Nodes: []int{0}, CPUsPerNode: 14,
+				ReqCPUsPerNode: 16, MinCPUsPerNode: 2, Malleable: true},
+			{ID: 2, Start: 0, Walltime: 300, Nodes: []int{1}, CPUsPerNode: 11,
+				ReqCPUsPerNode: 16, MinCPUsPerNode: 1, Malleable: true},
+			{ID: 3, Start: 0, Walltime: 100, Nodes: []int{2}, CPUsPerNode: 16,
+				ReqCPUsPerNode: 16, MinCPUsPerNode: 4, Malleable: true},
+		}
+		return s
+	}
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mk()
+		p.Schedule(s) // warm up the scratch buffers
+		if avg := testing.AllocsPerRun(50, func() { p.Schedule(s) }); avg > 0 {
+			t.Errorf("%s: %.1f allocs per cycle in steady state, want 0", name, avg)
+		}
 	}
 }

@@ -266,6 +266,46 @@ func (s *Segment) EffectiveUsedMask() cpuset.CPUSet {
 	return u
 }
 
+// ResolveThefts computes the thefts required for pid to take mask:
+// every other entry whose binding mask (staged future when dirty,
+// current otherwise) intersects mask contributes its overlap, in
+// ascending victim-PID order. With steal false any conflict fails with
+// ErrPerm; so does a theft that would leave a victim with no CPUs.
+// Unlike walking Snapshot, this is a single pass under the lock with
+// no entry cloning: a resource manager that reserves only
+// effectively-free CPUs gets a nil slice back without allocating.
+func (s *Segment) ResolveThefts(pid PID, mask cpuset.CPUSet, steal bool) ([]Theft, derr.Code) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var thefts []Theft
+	for _, e := range s.procs {
+		if e.PID == pid {
+			continue
+		}
+		cur := e.CurrentMask
+		if e.Dirty {
+			cur = e.FutureMask
+		}
+		conflict := cur.And(mask)
+		if conflict.IsEmpty() {
+			continue
+		}
+		if !steal {
+			return nil, derr.ErrPerm
+		}
+		if cur.AndNot(conflict).IsEmpty() {
+			// Stealing would leave the victim with no CPUs.
+			return nil, derr.ErrPerm
+		}
+		thefts = append(thefts, Theft{Victim: e.PID, Mask: conflict})
+	}
+	// The map iteration above is unordered; victims must come back in
+	// a deterministic order because callers stage the shrinks (and
+	// later return the CPUs) in list order.
+	sort.Slice(thefts, func(i, j int) bool { return thefts[i].Victim < thefts[j].Victim })
+	return thefts, derr.Success
+}
+
 // SetFuture stages a new mask for pid and marks the entry dirty. The
 // caller (DROM admin) is responsible for conflict checks; SetFuture
 // itself only validates the pid and mask.
@@ -399,17 +439,44 @@ func (s *Segment) Watch(pid PID) <-chan struct{} {
 	return ch
 }
 
-// Unwatch removes a previously registered watcher channel.
+// Unwatch removes a previously registered watcher channel. The last
+// watcher of a pid removes the pid's map entry entirely — long-lived
+// segments serving many short-lived watchers must not accumulate
+// empty slices. Unwatching an unknown channel or pid is a no-op.
 func (s *Segment) Unwatch(pid PID, ch <-chan struct{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ws := s.watchers[pid]
 	for i, w := range ws {
 		if w == ch {
+			if len(ws) == 1 {
+				delete(s.watchers, pid)
+				return
+			}
 			s.watchers[pid] = append(ws[:i], ws[i+1:]...)
 			return
 		}
 	}
+}
+
+// WatcherCount returns the number of registered watcher channels for
+// pid (diagnostics and leak tests).
+func (s *Segment) WatcherCount(pid PID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.watchers[pid])
+}
+
+// watcherPIDs returns the pids with live watcher map entries,
+// including empty ones (leak tests).
+func (s *Segment) watcherPIDs() []PID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PID, 0, len(s.watchers))
+	for pid := range s.watchers {
+		out = append(out, pid)
+	}
+	return out
 }
 
 func (s *Segment) notifyLocked(pid PID) {

@@ -404,3 +404,109 @@ func TestEffectiveUsedMask(t *testing.T) {
 		t.Fatalf("after apply EffectiveUsedMask = %s, want %s", got, want)
 	}
 }
+
+// TestUnwatchDuringNotification: a watcher that unsubscribes while an
+// administrator is staging masks must neither deadlock nor leave a
+// stale map entry, and notifyLocked must keep serving the remaining
+// watchers.
+func TestUnwatchDuringNotification(t *testing.T) {
+	s := newTestSegment(t)
+	if code := s.Register(1, cpuset.Range(0, 3)); code.IsError() {
+		t.Fatal(code)
+	}
+	ch1 := s.Watch(1)
+	ch2 := s.Watch(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s.SetFuture(1, cpuset.Range(0, 1))
+			s.ApplyFuture(1)
+		}
+	}()
+	// Unsubscribe ch1 mid-stream, with a pending token it never drained.
+	s.Unwatch(1, ch1)
+	<-done
+	// ch2 still receives: stage one more change.
+	s.SetFuture(1, cpuset.Range(0, 2))
+	select {
+	case <-ch2:
+	case <-time.After(time.Second):
+		t.Fatal("surviving watcher missed the notification")
+	}
+	if n := s.WatcherCount(1); n != 1 {
+		t.Fatalf("watcher count = %d, want 1", n)
+	}
+	s.Unwatch(1, ch2)
+	if n := s.WatcherCount(1); n != 0 {
+		t.Fatalf("watcher count after full unwatch = %d, want 0", n)
+	}
+	if pids := s.watcherPIDs(); len(pids) != 0 {
+		t.Fatalf("stale watcher map entries for pids %v", pids)
+	}
+	// Unwatching again (unknown channel now) is a harmless no-op.
+	s.Unwatch(1, ch1)
+	s.Unwatch(99, ch1)
+}
+
+// TestWatchUnregisteredPID: watching a pid with no process slot is
+// legal (the watcher simply never fires until the pid registers), and
+// unwatching cleans the entry up completely.
+func TestWatchUnregisteredPID(t *testing.T) {
+	s := newTestSegment(t)
+	ch := s.Watch(42)
+	// No slot: staging fails and nothing is delivered.
+	if code := s.SetFuture(42, cpuset.Range(0, 1)); code != derr.ErrNoProc {
+		t.Fatalf("SetFuture on unregistered pid = %v, want ErrNoProc", code)
+	}
+	select {
+	case <-ch:
+		t.Fatal("watcher fired for an unregistered pid")
+	default:
+	}
+	// Once the pid registers, the pre-existing watch serves it.
+	if code := s.Register(42, cpuset.Range(0, 3)); code.IsError() {
+		t.Fatal(code)
+	}
+	if code := s.SetFuture(42, cpuset.Range(0, 1)); code.IsError() {
+		t.Fatal(code)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("watcher registered before the pid missed its notification")
+	}
+	s.Unwatch(42, ch)
+	if pids := s.watcherPIDs(); len(pids) != 0 {
+		t.Fatalf("stale watcher map entries for pids %v", pids)
+	}
+}
+
+// TestDoubleUnregister: the second unregister reports ErrNoProc and
+// mutates nothing — in particular the cpuinfo table stays consistent
+// and re-registration works.
+func TestDoubleUnregister(t *testing.T) {
+	s := newTestSegment(t)
+	if code := s.Register(7, cpuset.Range(0, 3)); code.IsError() {
+		t.Fatal(code)
+	}
+	if code := s.Unregister(7); code.IsError() {
+		t.Fatal(code)
+	}
+	gen := s.Generation()
+	if code := s.Unregister(7); code != derr.ErrNoProc {
+		t.Fatalf("second Unregister = %v, want ErrNoProc", code)
+	}
+	if s.Generation() != gen {
+		t.Error("failed unregister bumped the generation counter")
+	}
+	if n := s.NumProcs(); n != 0 {
+		t.Fatalf("procs = %d, want 0", n)
+	}
+	if code := s.Register(7, cpuset.Range(0, 3)); code.IsError() {
+		t.Fatalf("re-register after double unregister: %v", code)
+	}
+	if got := s.UsedMask(); !got.Equal(cpuset.Range(0, 3)) {
+		t.Fatalf("used mask after re-register = %v", got)
+	}
+}

@@ -13,21 +13,30 @@ import (
 // EventID identifies a scheduled event for cancellation.
 type EventID int64
 
+// frontBase seeds the front-band ID space: front-band IDs ascend from
+// here and stay far below every regular ID, so at equal times the
+// whole front band orders before the regular band while remaining
+// FIFO within itself.
+const frontBase = math.MinInt64 / 2
+
+// event is one queue entry. It is deliberately 24 bytes: the heap
+// sifts copy events by value on the hottest path of the simulation,
+// and replays keep millions of them moving. The ID doubles as the
+// FIFO tie-break (IDs are unique and ascending per band), and a nil
+// fn marks a cancelled entry — no separate flag, no side table.
 type event struct {
-	t         float64
-	seq       int64 // tie-break: FIFO among simultaneous events
-	id        EventID
-	fn        func()
-	cancelled bool
+	t  float64
+	id int64
+	fn func()
 }
 
-// less orders events by time, then FIFO. (t, seq) is a total order —
-// seq is unique — so the pop sequence is fully deterministic.
+// less orders events by time, then ID. (t, id) is a total order — IDs
+// are unique — so the pop sequence is fully deterministic.
 func (e *event) less(o *event) bool {
 	if e.t != o.t {
 		return e.t < o.t
 	}
-	return e.seq < o.seq
+	return e.id < o.id
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
@@ -35,21 +44,21 @@ func (e *event) less(o *event) bool {
 //
 // The queue is a value-based binary heap: events live inline in the
 // slice (no per-event allocation, no interface boxing) and hot paths
-// sift manually. Cancellation marks the inline entry and keeps no side
-// table, so cancelling an already-executed or unknown event retains
-// nothing — replays that cancel an event per job cannot leak.
+// sift manually. Cancellation nils the inline closure and keeps no
+// side table, so cancelling an already-executed or unknown event
+// retains nothing — replays that cancel an event per job cannot leak.
 type Engine struct {
 	now       float64
 	queue     []event
-	nextSeq   int64
-	nextID    EventID
+	nextID    int64
+	nextFront int64
 	processed int64
 	stopped   bool
 }
 
 // NewEngine returns an engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{nextFront: frontBase}
 }
 
 // Now returns the current virtual time in seconds.
@@ -109,20 +118,60 @@ func (e *Engine) pop() event {
 	return top
 }
 
-// At schedules fn at absolute time t. Scheduling in the past panics —
-// it is always a bug in the model.
-func (e *Engine) At(t float64, fn func()) EventID {
+// checkTime rejects invalid or past event times — always a bug in the
+// model.
+func (e *Engine) checkTime(t float64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: invalid event time %v", t))
 	}
+}
+
+// At schedules fn at absolute time t. Scheduling in the past panics —
+// it is always a bug in the model.
+func (e *Engine) At(t float64, fn func()) EventID {
+	e.checkTime(t)
 	e.nextID++
 	id := e.nextID
-	e.nextSeq++
-	e.push(event{t: t, seq: e.nextSeq, id: id, fn: fn})
-	return id
+	e.push(event{t: t, id: id, fn: fn})
+	return EventID(id)
+}
+
+// AtFront schedules fn at absolute time t in the front band: among
+// events with the same time, front-band events execute before every
+// regular event regardless of scheduling order, and FIFO among
+// themselves. Workload drivers use it to stream job submissions one
+// event ahead while keeping the execution order identical to
+// scheduling every submission up front (submissions were scheduled
+// before the simulation started, so their IDs preceded all regular
+// events).
+func (e *Engine) AtFront(t float64, fn func()) EventID {
+	e.checkTime(t)
+	e.nextFront++
+	id := e.nextFront
+	e.push(event{t: t, id: id, fn: fn})
+	return EventID(id)
+}
+
+// AllocID reserves a regular-band event ID without scheduling
+// anything. AtID later schedules an event under it. Together they let
+// a driver pre-allocate the IDs of a whole submission stream at setup
+// time — fixing each submission's position in the deterministic
+// (time, ID) execution order — while pushing the events one at a time,
+// so the queue never holds more than one pending submission. Each
+// reserved ID must be scheduled at most once.
+func (e *Engine) AllocID() EventID {
+	e.nextID++
+	return EventID(e.nextID)
+}
+
+// AtID schedules fn at absolute time t under a pre-allocated ID (see
+// AllocID). Scheduling in the past panics.
+func (e *Engine) AtID(id EventID, t float64, fn func()) {
+	e.checkTime(t)
+	e.push(event{t: t, id: int64(id), fn: fn})
 }
 
 // After schedules fn delay seconds from now. Negative delays panic.
@@ -136,9 +185,8 @@ func (e *Engine) After(delay float64, fn func()) EventID {
 // an id→event side table updated on the hot insert/execute paths.
 func (e *Engine) Cancel(id EventID) {
 	for i := range e.queue {
-		if e.queue[i].id == id {
-			e.queue[i].cancelled = true
-			e.queue[i].fn = nil // release the closure immediately
+		if e.queue[i].id == int64(id) {
+			e.queue[i].fn = nil // cancelled; release the closure now
 			return
 		}
 	}
@@ -152,8 +200,8 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		ev := e.pop()
-		if ev.cancelled {
-			continue
+		if ev.fn == nil {
+			continue // cancelled
 		}
 		e.now = ev.t
 		e.processed++
@@ -175,8 +223,8 @@ func (e *Engine) RunUntil(t float64) {
 	for len(e.queue) > 0 && !e.stopped {
 		// Peek.
 		next := &e.queue[0]
-		if next.cancelled {
-			e.pop()
+		if next.fn == nil {
+			e.pop() // cancelled
 			continue
 		}
 		if next.t > t {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -174,6 +175,73 @@ func TestStop(t *testing.T) {
 	e.Run()
 	if count != 3 {
 		t.Errorf("ran %d events after Stop", count)
+	}
+}
+
+func TestAtFrontOrdersBeforeRegularAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// Regular events scheduled FIRST, front events after: the front
+	// band must still run first at the shared timestamp, FIFO within
+	// itself, exactly as if the front events had been scheduled before
+	// the simulation started.
+	e.At(5, func() { order = append(order, "r1") })
+	e.At(5, func() { order = append(order, "r2") })
+	e.AtFront(5, func() { order = append(order, "f1") })
+	e.AtFront(5, func() { order = append(order, "f2") })
+	e.At(3, func() { order = append(order, "early") })
+	e.Run()
+	want := []string{"early", "f1", "f2", "r1", "r2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAtFrontChainMatchesUpfrontScheduling(t *testing.T) {
+	// The streaming pattern: each front event schedules the next one.
+	// The resulting execution order must equal scheduling all of them
+	// up front before any regular event existed.
+	times := []float64{0.5, 1, 1, 1, 2}
+	run := func(stream bool) []string {
+		e := NewEngine()
+		var order []string
+		if stream {
+			var next func(i int)
+			next = func(i int) {
+				if i >= len(times) {
+					return
+				}
+				e.AtFront(times[i], func() {
+					order = append(order, fmt.Sprintf("s%d@%g", i, e.Now()))
+					next(i + 1)
+				})
+			}
+			next(0)
+		} else {
+			for i, at := range times {
+				i, at := i, at
+				e.At(at, func() { order = append(order, fmt.Sprintf("s%d@%g", i, e.Now())) })
+			}
+		}
+		// Regular simulation activity interleaved at the same instants.
+		e.At(1, func() { order = append(order, "sim@1") })
+		e.At(2, func() { order = append(order, "sim@2") })
+		e.Run()
+		return order
+	}
+	up, st := run(false), run(true)
+	if len(up) != len(st) {
+		t.Fatalf("upfront %v vs streamed %v", up, st)
+	}
+	for i := range up {
+		if up[i] != st[i] {
+			t.Fatalf("divergence at %d: upfront %v vs streamed %v", i, up, st)
+		}
 	}
 }
 

@@ -62,6 +62,18 @@ func (r *runningJob) onNode(node string) []taskRef {
 	return out
 }
 
+// onNodeInto is onNode with a caller-owned buffer, for the sched-cycle
+// hot path.
+func (r *runningJob) onNodeInto(dst []taskRef, node string) []taskRef {
+	dst = dst[:0]
+	for _, t := range r.tasks {
+		if t.node == node {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 // queuedJob is a waiting submission, or a checkpointed job awaiting
 // resumption (resume != nil).
 type queuedJob struct {
@@ -142,6 +154,15 @@ type Controller struct {
 	cyclePending bool
 	lastCycleAt  float64
 	rearmedAt    float64
+
+	// Reusable scratch for the sched-driven launch path (single
+	// goroutine; each buffer is fully rewritten before use).
+	startCands []startCand
+	splitBuf   []int
+	maskBuf    []cpuset.CPUSet
+	refsBuf    []taskRef
+	planBuf    map[string]LaunchPlan
+	placeBuf   []apps.Placement
 
 	// Cycles counts executed scheduling-policy passes (perf metric).
 	Cycles int64
@@ -530,7 +551,10 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		}
 	}
 
-	var placements []apps.Placement
+	// placements is controller-owned scratch: NewInstance copies each
+	// entry into its rank state, and the resume path below takes an
+	// explicit copy for its deferred closure.
+	placements := ctl.placeBuf[:0]
 	for _, node := range nodes {
 		plan := plans[node]
 		admin := ctl.admins[node]
@@ -569,12 +593,13 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		}
 	}
 
+	ctl.placeBuf = placements
 	if q.resume != nil {
 		// Resume from the checkpoint, paying the restart cost.
 		ctl.running = append(ctl.running, r)
 		ctl.rBySeq[r.seq] = r
 		inst := r.inst
-		pls := placements
+		pls := append([]apps.Placement(nil), placements...)
 		ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
 			if err := inst.Resume(pls, ctl.RestartCost); err != nil {
 				ctl.fail(err)

@@ -271,6 +271,13 @@ func (ctl *Controller) checkFreeInvariant() {
 	}
 }
 
+// startCand is a placement candidate of startQueued.
+type startCand struct {
+	node string
+	free cpuset.CPUSet
+	n    int // cached free.Count()
+}
+
 // startQueued places q on effectively-free CPUs — target per-node CPUs
 // when the policy admits it shrunk (0 = full request), on the pinned
 // node indices when the policy budgeted specific nodes (an EASY
@@ -286,11 +293,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 	if min := j.RanksPerNode(); need < min {
 		need = min
 	}
-	type cand struct {
-		node string
-		free cpuset.CPUSet
-	}
-	var cands []cand
+	cands := ctl.startCands[:0]
 	if len(pinned) > 0 {
 		for k, idx := range pinned {
 			if idx < 0 || idx >= len(ctl.cluster.Nodes) {
@@ -307,38 +310,61 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 			node := ctl.cluster.Nodes[idx]
 			f := ctl.effectiveFree(node)
 			if f.Count() < need {
+				ctl.startCands = cands
 				return false // capacity raced away; stay queued
 			}
-			cands = append(cands, cand{node, f})
+			cands = append(cands, startCand{node, f, f.Count()})
 		}
+		ctl.startCands = cands
 		if len(cands) != j.Nodes {
 			return false
 		}
 	} else {
 		for _, node := range ctl.cluster.Nodes {
 			f := ctl.effectiveFree(node)
-			if f.Count() >= need {
-				cands = append(cands, cand{node, f})
+			if n := f.Count(); n >= need {
+				cands = append(cands, startCand{node, f, n})
 			}
 		}
+		ctl.startCands = cands
 		if len(cands) < j.Nodes {
 			return false
 		}
-		switch ctl.NodeSelection {
-		case SelectPacked:
-			sort.SliceStable(cands, func(a, b int) bool { return cands[a].free.Count() < cands[b].free.Count() })
-		default:
-			sort.SliceStable(cands, func(a, b int) bool { return cands[a].free.Count() > cands[b].free.Count() })
+		// Stable insertion sort by free count (candidate counts are
+		// node counts; the reflect-based sort allocated per call).
+		packed := ctl.NodeSelection == SelectPacked
+		for i := 1; i < len(cands); i++ {
+			c := cands[i]
+			k := i
+			for k > 0 && (packed && cands[k-1].n > c.n || !packed && cands[k-1].n < c.n) {
+				cands[k] = cands[k-1]
+				k--
+			}
+			cands[k] = c
 		}
 		cands = cands[:j.Nodes]
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].node < cands[b].node })
+	// Order the chosen nodes by name (insertion sort, unique names).
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		k := i
+		for k > 0 && cands[k-1].node > c.node {
+			cands[k] = cands[k-1]
+			k--
+		}
+		cands[k] = c
+	}
+	if ctl.planBuf == nil {
+		ctl.planBuf = make(map[string]LaunchPlan, len(ctl.cluster.Nodes))
+	}
+	clear(ctl.planBuf)
 	nodes := make([]string, 0, j.Nodes)
-	plans := make(map[string]LaunchPlan, j.Nodes)
+	plans := ctl.planBuf
 	for _, c := range cands {
 		avail := c.free
 		plan := LaunchPlan{}
-		for _, want := range splitEven(need, j.RanksPerNode()) {
+		ctl.splitBuf = splitEvenInto(ctl.splitBuf, need, j.RanksPerNode())
+		for _, want := range ctl.splitBuf {
 			mask := ctl.cluster.Machine.SocketAwarePick(avail, want)
 			if mask.IsEmpty() {
 				return false
@@ -359,7 +385,8 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 // own mask and applies it at its next poll.
 func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 	for _, node := range r.nodes {
-		refs := r.onNode(node)
+		refs := r.onNodeInto(ctl.refsBuf, node)
+		ctl.refsBuf = refs
 		if len(refs) == 0 {
 			continue
 		}
@@ -375,7 +402,8 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 		if total <= t {
 			continue
 		}
-		per := splitEven(t, len(refs))
+		ctl.splitBuf = splitEvenInto(ctl.splitBuf, t, len(refs))
+		per := ctl.splitBuf
 		for i, ref := range refs {
 			if cur[i].Count() <= per[i] {
 				continue
@@ -402,13 +430,15 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 // effectively-free CPUs.
 func (ctl *Controller) expandRunning(r *runningJob, target int) {
 	for _, node := range r.nodes {
-		refs := r.onNode(node)
+		refs := r.onNodeInto(ctl.refsBuf, node)
+		ctl.refsBuf = refs
 		if len(refs) == 0 {
 			continue
 		}
 		free := ctl.effectiveFree(node)
 		cur := ctl.effectiveMasks(node, refs)
-		per := splitEven(target, len(refs))
+		ctl.splitBuf = splitEvenInto(ctl.splitBuf, target, len(refs))
+		per := ctl.splitBuf
 		for i, ref := range refs {
 			want := per[i] - cur[i].Count()
 			if want <= 0 {
@@ -433,9 +463,16 @@ func (ctl *Controller) expandRunning(r *runningJob, target int) {
 }
 
 // effectiveMasks returns the binding mask of each task: the staged
-// future when dirty, the current mask otherwise.
+// future when dirty, the current mask otherwise. The returned slice
+// is controller-owned scratch, valid until the next call.
 func (ctl *Controller) effectiveMasks(node string, refs []taskRef) []cpuset.CPUSet {
-	out := make([]cpuset.CPUSet, len(refs))
+	if cap(ctl.maskBuf) < len(refs) {
+		ctl.maskBuf = make([]cpuset.CPUSet, len(refs))
+	}
+	out := ctl.maskBuf[:len(refs)]
+	for i := range out {
+		out[i] = cpuset.CPUSet{}
+	}
 	for i, ref := range refs {
 		if e, code := ctl.admins[node].Inspect(ref.pid); !code.IsError() {
 			out[i] = e.CurrentMask

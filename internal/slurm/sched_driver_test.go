@@ -28,7 +28,7 @@ func nodeJob(name string, iters, threads int, walltime float64) *Job {
 // TestSchedFCFSMatchesLegacySerialOrder: the extracted FCFS policy
 // preserves head-of-line blocking.
 func TestSchedFCFSMatchesLegacySerialOrder(t *testing.T) {
-	ctl, settle, run := schedController(sched.FCFS{})
+	ctl, settle, run := schedController(&sched.FCFS{})
 	submit(t, ctl, nodeJob("a", 100, 16, 0))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 0, Malleable: true})
@@ -49,7 +49,7 @@ func TestSchedFCFSMatchesLegacySerialOrder(t *testing.T) {
 // TestSchedEASYBackfills: a short narrow job jumps a blocked wide head
 // without delaying it.
 func TestSchedEASYBackfills(t *testing.T) {
-	ctl, settle, run := schedController(sched.EASY{})
+	ctl, settle, run := schedController(&sched.EASY{})
 	submit(t, ctl, nodeJob("long", 200, 16, 300))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(100), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 200, Malleable: true})
@@ -73,7 +73,7 @@ func TestSchedEASYBackfills(t *testing.T) {
 // gap: a stream of jobs long enough to outlive the head's reservation
 // must NOT keep jumping the wide head.
 func TestSchedEASYNoStarvation(t *testing.T) {
-	ctl, settle, run := schedController(sched.EASY{})
+	ctl, settle, run := schedController(&sched.EASY{})
 	submit(t, ctl, nodeJob("running", 100, 16, 120))
 	submit(t, ctl, &Job{Name: "wide", Spec: fastSpec(50), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 100, Malleable: true})
@@ -128,7 +128,7 @@ func TestLegacyBackfillReservation(t *testing.T) {
 func TestSchedShrinkExpandRoundTrip(t *testing.T) {
 	eng, c := newTestCluster()
 	ctl := NewController(c, PolicyDROM)
-	ctl.UseSched(sched.Malleable{Expand: true})
+	ctl.UseSched(&sched.Malleable{Expand: true})
 
 	long := &Job{Name: "long", Spec: fastSpec(600), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 700, Malleable: true}
@@ -204,7 +204,7 @@ func TestSchedShrinkExpandRoundTrip(t *testing.T) {
 func TestSchedMalleableShrinkDoesNotExpand(t *testing.T) {
 	eng, c := newTestCluster()
 	ctl := NewController(c, PolicyDROM)
-	ctl.UseSched(sched.Malleable{})
+	ctl.UseSched(&sched.Malleable{})
 	long := &Job{Name: "long", Spec: fastSpec(600), Cfg: apps.Config{Ranks: 2, Threads: 16},
 		Nodes: 2, Walltime: 700, Malleable: true}
 	short := &Job{Name: "short", Spec: fastSpec(30), Cfg: apps.Config{Ranks: 2, Threads: 16},
@@ -373,7 +373,7 @@ func TestStartRejectsDuplicatePinnedNodes(t *testing.T) {
 func TestCancelDuringLaunchLatency(t *testing.T) {
 	eng, c := newTestCluster()
 	ctl := NewController(c, PolicyDROM)
-	ctl.UseSched(sched.FCFS{})
+	ctl.UseSched(&sched.FCFS{})
 	ctl.DebugInvariants = true
 	submit(t, ctl, nodeJob("doomed", 50, 16, 100))
 	eng.RunUntil(eng.Now()) // policy cycle ran; DLB_Init still pending

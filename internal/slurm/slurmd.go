@@ -98,14 +98,21 @@ func waterfill(cores int, requests []int) []int {
 // splitEven divides total into n parts differing by at most one,
 // larger parts first.
 func splitEven(total, n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = total / n
+	return splitEvenInto(make([]int, 0, n), total, n)
+}
+
+// splitEvenInto is splitEven writing into a caller-owned buffer, for
+// the sched-cycle hot path.
+func splitEvenInto(dst []int, total, n int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		v := total / n
 		if i < total%n {
-			out[i]++
+			v++
 		}
+		dst = append(dst, v)
 	}
-	return out
+	return dst
 }
 
 // PlanLaunch computes the CPU distribution for launching newJob on a

@@ -1,0 +1,194 @@
+package sweep
+
+// Grid-spec parsing and summary rendering: the slurmsim CLI surface
+// of the sweep engine.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// ParseGrid parses a compact grid spec of the form
+//
+//	policies=fcfs,easy;seeds=1-4;jobs=2000;nodes=4;ia=60
+//
+// Fields are key=value pairs separated by ';' (or whitespace). Keys:
+//
+//	policies  comma list of sched policy names, or "all" (default all)
+//	seeds     comma list and/or lo-hi ranges, e.g. "1,3,5-8" (default 1)
+//	jobs      synthetic trace length (default 1000)
+//	nodes     cluster size (default 4)
+//	ia        mean inter-arrival seconds (default 60)
+//	swf       SWF trace file to replay instead of the generator
+//	max       truncate an SWF trace to this many jobs
+//	stream    1/true: bounded-memory streaming replay
+//	check     1/true: per-cycle invariant cross-checks (slow)
+func ParseGrid(spec string) (Grid, error) {
+	var g Grid
+	fields := strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ';' || r == ' ' || r == '\t'
+	})
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Grid{}, fmt.Errorf("sweep: malformed grid field %q (want key=value)", f)
+		}
+		switch k {
+		case "policies", "policy":
+			if v != "all" {
+				g.Policies = strings.Split(v, ",")
+			}
+		case "seeds", "seed":
+			seeds, err := parseSeeds(v)
+			if err != nil {
+				return Grid{}, err
+			}
+			g.Seeds = seeds
+		case "jobs":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: jobs: %v", err)
+			}
+			g.Jobs = n
+		case "nodes":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: nodes: %v", err)
+			}
+			g.Nodes = n
+		case "ia", "interarrival":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: ia: %v", err)
+			}
+			g.MeanInterarrival = x
+		case "swf":
+			g.SWFPath = v
+		case "max":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: max: %v", err)
+			}
+			g.MaxJobs = n
+		case "stream":
+			g.Stream = v == "1" || v == "true"
+		case "check":
+			g.DebugInvariants = v == "1" || v == "true"
+		default:
+			return Grid{}, fmt.Errorf("sweep: unknown grid key %q", k)
+		}
+	}
+	return g, nil
+}
+
+// parseSeeds accepts comma lists with lo-hi ranges: "1,3,5-8".
+func parseSeeds(v string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(v, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseInt(lo, 10, 64)
+			b, err2 := strconv.ParseInt(hi, 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("sweep: bad seed range %q", part)
+			}
+			if b-a >= 10000 {
+				return nil, fmt.Errorf("sweep: seed range %q too large", part)
+			}
+			for s := a; s <= b; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad seed %q", part)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
+}
+
+// WriteJSON renders the summary as indented JSON.
+func (s Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV renders one row per experiment.
+func (s Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"index", "policy", "seed", "jobs", "wall_seconds", "sched_cycles", "sim_events",
+		"makespan_s", "mean_wait_s", "p95_wait_s", "mean_resp_s", "mean_bsld", "error",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range s.Results {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Index), r.Policy, strconv.FormatInt(r.Seed, 10),
+			strconv.Itoa(r.Jobs), f(r.WallSeconds),
+			strconv.FormatInt(r.Cycles, 10), strconv.FormatInt(r.Events, 10),
+			f(r.Stats.Makespan), f(r.Stats.MeanWait), f(r.Stats.P95Wait),
+			f(r.Stats.MeanResponse), f(r.Stats.MeanSlowdown), r.Err,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders an aligned text table like the paper's figures: one
+// row per (seed, policy) with the headline scheduler metrics.
+func (s Summary) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %-17s %6s %8s %10s %12s %12s %12s %10s\n",
+		"seed", "policy", "jobs", "wall-s", "cycles", "makespan-s", "mean-wait-s", "mean-resp-s", "mean-bsld")
+	for _, r := range s.Results {
+		if r.Err != "" {
+			fmt.Fprintf(&sb, "%-5d %-17s ERROR %s\n", r.Seed, r.Policy, r.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-5d %-17s %6d %8.2f %10d %12.0f %12.1f %12.1f %10.2f\n",
+			r.Seed, r.Policy, r.Jobs, r.WallSeconds, r.Cycles,
+			r.Stats.Makespan, r.Stats.MeanWait, r.Stats.MeanResponse, r.Stats.MeanSlowdown)
+	}
+	fmt.Fprintf(&sb, "%d experiments on %d workers in %.2fs wall\n",
+		len(s.Results), s.Workers, s.WallSeconds)
+	return sb.String()
+}
+
+// scenarioFromFile materializes an SWF file trace.
+func scenarioFromFile(path string, o workload.SWFOptions) (workload.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Scenario{}, err
+	}
+	defer f.Close()
+	jobs, err := workload.ParseSWF(f)
+	if err != nil {
+		return workload.Scenario{}, err
+	}
+	sc, _, err := workload.SWFScenario(jobs, o)
+	return sc, err
+}
+
+// sourceFromFile opens a streaming source over an SWF file. The
+// source's parser goroutine closes the file when it exits (EOF,
+// parse error, or Close).
+func sourceFromFile(path string, o workload.SWFOptions) (workload.SubmissionSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewSWFReaderSource(f, o), nil
+}

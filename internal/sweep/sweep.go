@@ -1,0 +1,298 @@
+// Package sweep is the parallel experiment engine: it fans a
+// (scheduling policy × trace × seed) grid across GOMAXPROCS workers,
+// each experiment fully isolated — its own shmem registry, simulation
+// engine and controller, created by the workload runner — and
+// aggregates the results in grid order, so the output is byte-
+// identical regardless of worker count.
+//
+// The paper's evaluation (§6) is exactly such a grid: policies ×
+// workloads × configurations. Independent replays share nothing but
+// immutable inputs (the scenario's submission list, the machine
+// model, the calibrated application specs — all either read-only or
+// copied per run), which makes the sweep embarrassingly parallel.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Grid describes an experiment grid. The cross product of Policies
+// and Seeds defines the experiments; each replays the same trace
+// shape under one policy.
+type Grid struct {
+	// Policies are sched policy names (sched.Names() when empty).
+	Policies []string
+	// Seeds selects the synthetic traces (default {1}). Ignored when
+	// SWFPath is set (a file is one trace; Seeds collapses to one
+	// experiment per policy).
+	Seeds []int64
+	// Jobs per synthetic trace (default 1000).
+	Jobs int
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// MeanInterarrival is the synthetic generator's inter-arrival mean
+	// in seconds (default 60).
+	MeanInterarrival float64
+	// SWFPath replays a Standard Workload Format file instead of the
+	// synthetic generator.
+	SWFPath string
+	// MaxJobs truncates an SWF file trace (0 = all).
+	MaxJobs int
+	// Stream replays each experiment through the bounded-memory
+	// streaming path (aggregate statistics only; no per-job records,
+	// no P95s). Required for million-job traces.
+	Stream bool
+	// KeepJobs retains per-job records in every result (incompatible
+	// with Stream); the determinism tests diff them byte for byte.
+	KeepJobs bool
+	// DebugInvariants enables the controller's per-cycle accounting
+	// cross-checks (slow).
+	DebugInvariants bool
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Policies) == 0 {
+		g.Policies = sched.Names()
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if g.SWFPath != "" {
+		g.Seeds = g.Seeds[:1]
+	}
+	if g.Jobs <= 0 {
+		g.Jobs = 1000
+	}
+	if g.Nodes <= 0 {
+		g.Nodes = 4
+	}
+	if g.MeanInterarrival <= 0 {
+		g.MeanInterarrival = 60
+	}
+	return g
+}
+
+// Experiment is one cell of the grid.
+type Experiment struct {
+	Index  int    `json:"index"`
+	Policy string `json:"policy"`
+	Seed   int64  `json:"seed"`
+	Trace  string `json:"trace"`
+}
+
+// Result is one finished experiment. Wall-clock fields vary run to
+// run; everything else is deterministic.
+type Result struct {
+	Experiment
+	Jobs        int                `json:"jobs"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Cycles      int64              `json:"sched_cycles"`
+	Events      int64              `json:"sim_events"`
+	Stats       metrics.SchedStats `json:"stats"`
+	Err         string             `json:"error,omitempty"`
+	// Records holds the per-job records when Grid.KeepJobs is set.
+	Records []metrics.JobRecord `json:"-"`
+}
+
+// Summary is a finished sweep: results in grid order plus the sweep's
+// own wall clock.
+type Summary struct {
+	Trace       string   `json:"trace"`
+	Workers     int      `json:"workers"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Results     []Result `json:"results"`
+}
+
+// Experiments enumerates the grid in deterministic order: seeds
+// outer, policies inner (one row per trace, one column per policy,
+// like the paper's tables).
+func (g Grid) Experiments() []Experiment {
+	g = g.withDefaults()
+	exps := make([]Experiment, 0, len(g.Seeds)*len(g.Policies))
+	for _, seed := range g.Seeds {
+		for _, pol := range g.Policies {
+			exps = append(exps, Experiment{
+				Index:  len(exps),
+				Policy: pol,
+				Seed:   seed,
+				Trace:  g.traceName(seed),
+			})
+		}
+	}
+	return exps
+}
+
+func (g Grid) traceName(seed int64) string {
+	if g.SWFPath != "" {
+		return fmt.Sprintf("swf:%s", g.SWFPath)
+	}
+	return fmt.Sprintf("synthetic seed=%d jobs=%d nodes=%d", seed, g.Jobs, g.Nodes)
+}
+
+// gridName describes the whole grid (the summary-level label; the
+// per-result Trace fields carry the individual seeds).
+func (g Grid) gridName() string {
+	if g.SWFPath != "" {
+		return fmt.Sprintf("swf:%s", g.SWFPath)
+	}
+	seeds := make([]string, len(g.Seeds))
+	for i, s := range g.Seeds {
+		seeds[i] = strconv.FormatInt(s, 10)
+	}
+	return fmt.Sprintf("synthetic seeds=%s jobs=%d nodes=%d",
+		strings.Join(seeds, ","), g.Jobs, g.Nodes)
+}
+
+// Run executes the grid on the given number of workers (<= 0 means
+// GOMAXPROCS). Experiments are handed to workers through a channel
+// and each runs in complete isolation; results land in a slice
+// indexed by grid position, so the summary is independent of worker
+// count and scheduling order.
+func Run(g Grid, workers int) (Summary, error) {
+	g = g.withDefaults()
+	if g.Stream && g.KeepJobs {
+		return Summary{}, fmt.Errorf("sweep: KeepJobs requires the materialized path (Stream=false)")
+	}
+	exps := g.Experiments()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	// Materialize each distinct trace once and share it read-only:
+	// the runner copies every job before submitting, so concurrent
+	// experiments on one scenario never race. Streamed experiments
+	// build their own source instead (sources are stateful).
+	scenarios := make(map[int64]workload.Scenario, len(g.Seeds))
+	if !g.Stream {
+		for _, seed := range g.Seeds {
+			sc, err := g.scenario(seed)
+			if err != nil {
+				return Summary{}, err
+			}
+			scenarios[seed] = sc
+		}
+	}
+
+	results := make([]Result, len(exps))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = g.runOne(exps[i], scenarios)
+			}
+		}()
+	}
+	for i := range exps {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	sum := Summary{
+		Trace:       g.gridName(),
+		Workers:     workers,
+		WallSeconds: time.Since(start).Seconds(),
+		Results:     results,
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			return sum, fmt.Errorf("sweep: experiment %d (%s seed %d): %s", r.Index, r.Policy, r.Seed, r.Err)
+		}
+	}
+	return sum, nil
+}
+
+// scenario materializes the trace for one seed.
+func (g Grid) scenario(seed int64) (workload.Scenario, error) {
+	if g.SWFPath != "" {
+		return scenarioFromFile(g.SWFPath, workload.SWFOptions{Nodes: g.Nodes, MaxJobs: g.MaxJobs})
+	}
+	return workload.SyntheticSWFScenario(workload.SyntheticSWF{
+		Seed: seed, Jobs: g.Jobs, Nodes: g.Nodes, MeanInterarrival: g.MeanInterarrival,
+	})
+}
+
+// runOne executes one experiment in isolation.
+func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result {
+	out := Result{Experiment: e}
+	p, err := sched.New(e.Policy)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	t0 := time.Now()
+	var res workload.Result
+	var stats metrics.SchedStats
+	if g.Stream {
+		src, err := g.source(e.Seed)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		base := workload.Scenario{Nodes: g.Nodes, DebugInvariants: g.DebugInvariants}
+		res = workload.RunSchedStream(base, src, p)
+		stats = workload.SchedStatsOfStream(res)
+	} else {
+		sc := scenarios[e.Seed]
+		sc.DebugInvariants = g.DebugInvariants
+		res = workload.RunSched(sc, p)
+		stats = workload.SchedStatsOf(sc, res)
+	}
+	out.WallSeconds = time.Since(t0).Seconds()
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+		return out
+	}
+	out.Jobs = res.Records.Count()
+	out.Cycles = res.SchedCycles
+	out.Events = res.Events
+	out.Stats = stats
+	if g.KeepJobs {
+		out.Records = append([]metrics.JobRecord(nil), res.Records.Jobs...)
+	}
+	return out
+}
+
+// source builds a fresh streaming source for one experiment.
+func (g Grid) source(seed int64) (workload.SubmissionSource, error) {
+	if g.SWFPath != "" {
+		return sourceFromFile(g.SWFPath, workload.SWFOptions{Nodes: g.Nodes, MaxJobs: g.MaxJobs})
+	}
+	return workload.SyntheticSWF{
+		Seed: seed, Jobs: g.Jobs, Nodes: g.Nodes, MeanInterarrival: g.MeanInterarrival,
+	}.Source(), nil
+}
+
+// StartsListing renders the per-job start times of every experiment
+// in the golden-file format of the decision tests (policy, job name,
+// submit, start — jobs sorted by name). It requires KeepJobs.
+func (s Summary) StartsListing() string {
+	var sb strings.Builder
+	for _, r := range s.Results {
+		rs := append([]metrics.JobRecord(nil), r.Records...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+		for _, j := range rs {
+			fmt.Fprintf(&sb, "%s %s %s %s\n", r.Policy, j.Name,
+				strconv.FormatFloat(j.Submit, 'g', -1, 64),
+				strconv.FormatFloat(j.Start, 'g', -1, 64))
+		}
+	}
+	return sb.String()
+}

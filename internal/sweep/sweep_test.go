@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripWall zeroes the wall-clock fields, which legitimately vary
+// between runs; everything left must be bit-identical.
+func stripWall(s Summary) Summary {
+	s.WallSeconds = 0
+	s.Workers = 0
+	for i := range s.Results {
+		s.Results[i].WallSeconds = 0
+	}
+	return s
+}
+
+// TestSweepDeterministicAcrossWorkerCounts: the full summary — stats,
+// cycle and event counts, and the per-job start times of every
+// experiment — must be byte-identical whether the grid runs on 1, 4
+// or 8 workers. Combined with `go test -cpu 1,4,8`, this pins the
+// requirement that parallel execution never changes a scheduling
+// decision.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Seeds: []int64{1, 2},
+		Jobs:  300,
+		Nodes: 4,
+		// Contended traces exercise shrinks, backfills and skips.
+		MeanInterarrival: 25,
+		KeepJobs:         true,
+	}
+	var base Summary
+	var baseStarts string
+	for i, workers := range []int{1, 4, 8} {
+		sum, err := Run(grid, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		starts := sum.StartsListing()
+		if i == 0 {
+			base, baseStarts = stripWall(sum), starts
+			continue
+		}
+		got := stripWall(sum)
+		a, _ := json.Marshal(base)
+		b, _ := json.Marshal(got)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d summary differs from sequential:\n%s\nvs\n%s", workers, b, a)
+		}
+		if starts != baseStarts {
+			t.Errorf("workers=%d per-job start times differ from sequential", workers)
+		}
+	}
+}
+
+// TestSweepMatchesGoldenTrace: a 1-worker sweep over the seeded
+// 1000-job golden trace must reproduce exactly the committed golden
+// start times of the decision test — the sweep engine adds no
+// scheduling behavior of its own.
+func TestSweepMatchesGoldenTrace(t *testing.T) {
+	sum, err := Run(Grid{Seeds: []int64{1}, Jobs: 1000, Nodes: 4, KeepJobs: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "workload", "testdata", "sched_starts_seed1_1000.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sum.StartsListing()
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("sweep start times diverge from golden at line %d:\n  got  %q\n  want %q", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("listing length changed: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestSweepStreamMatchesMaterialized: the streaming sweep must agree
+// with the materialized sweep on every deterministic aggregate.
+func TestSweepStreamMatchesMaterialized(t *testing.T) {
+	base := Grid{Seeds: []int64{3}, Jobs: 500, Nodes: 4}
+	mat, err := Run(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := base
+	st.Stream = true
+	str, err := Run(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mat.Results {
+		m, s := mat.Results[i], str.Results[i]
+		if m.Jobs != s.Jobs || m.Cycles != s.Cycles {
+			t.Errorf("%s: stream jobs/cycles %d/%d vs materialized %d/%d",
+				m.Policy, s.Jobs, s.Cycles, m.Jobs, m.Cycles)
+		}
+		if m.Stats.Makespan != s.Stats.Makespan || m.Stats.MeanWait != s.Stats.MeanWait ||
+			m.Stats.MeanResponse != s.Stats.MeanResponse {
+			t.Errorf("%s: stream stats %+v vs materialized %+v", m.Policy, s.Stats, m.Stats)
+		}
+	}
+}
+
+// TestParseGrid covers the spec format.
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("policies=fcfs,easy;seeds=1,3-5;jobs=2000;nodes=8;ia=45;stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Grid{
+		Policies:         []string{"fcfs", "easy"},
+		Seeds:            []int64{1, 3, 4, 5},
+		Jobs:             2000,
+		Nodes:            8,
+		MeanInterarrival: 45,
+		Stream:           true,
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Errorf("ParseGrid = %+v, want %+v", g, want)
+	}
+	if _, err := ParseGrid("bogus"); err == nil {
+		t.Error("malformed field should fail")
+	}
+	if _, err := ParseGrid("zzz=1"); err == nil {
+		t.Error("unknown key should fail")
+	}
+	if _, err := ParseGrid("seeds=9-1"); err == nil {
+		t.Error("inverted seed range should fail")
+	}
+	// Whitespace-separated fields and "all" policies.
+	g, err = ParseGrid("policies=all seeds=2 jobs=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Policies != nil || len(g.Seeds) != 1 || g.Seeds[0] != 2 || g.Jobs != 10 {
+		t.Errorf("ParseGrid whitespace form = %+v", g)
+	}
+}
+
+// TestSweepOutputFormats smoke-tests the JSON/CSV/table writers.
+func TestSweepOutputFormats(t *testing.T) {
+	sum, err := Run(Grid{Policies: []string{"fcfs"}, Seeds: []int64{1}, Jobs: 50, Nodes: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb bytes.Buffer
+	if err := sum.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jb.Bytes()) {
+		t.Error("WriteJSON produced invalid JSON")
+	}
+	var cb bytes.Buffer
+	if err := sum.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(cb.String(), "\n"); lines != 2 {
+		t.Errorf("CSV lines = %d, want header + 1 row", lines)
+	}
+	if table := sum.Table(); !strings.Contains(table, "fcfs") {
+		t.Errorf("table missing policy row:\n%s", table)
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+// Streaming replay: run SWF-scale workloads without materializing the
+// trace. A SubmissionSource yields submissions one at a time in
+// submit order; the runner keeps exactly one pending submission event
+// in the simulation queue and folds job records into aggregate
+// statistics, so a million-job trace replays in memory bounded by the
+// cluster backlog, not the trace length.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+
+	"repro/internal/hwmodel"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+// SubmissionSource yields submissions, normally in nondecreasing At
+// order; a record whose submit time precedes the stream position is
+// tolerated and treated as arriving immediately (real SWF archives
+// occasionally contain out-of-order records). ok is false when the
+// stream is exhausted (sub is then ignored).
+type SubmissionSource interface {
+	Next() (sub Submission, ok bool, err error)
+}
+
+// SyntheticSource streams the seeded synthetic SWF generator through
+// the trace→cluster mapping without materializing either: the trace
+// it replays is bit-identical to Generate + SWFScenario.
+type SyntheticSource struct {
+	p     SyntheticSWF
+	r     *rand.Rand
+	genAt float64
+	cores int // generator's reference cores (MN3)
+
+	clusterNodes int
+	clusterCores int
+	i            int
+	skipped      int
+}
+
+// Source returns a streaming generator equivalent to Generate() +
+// SWFScenario mapping on p.Nodes nodes of the MN3 machine.
+func (p SyntheticSWF) Source() *SyntheticSource {
+	p = p.withDefaults()
+	nodes, cores, _ := SWFOptions{Nodes: p.Nodes}.shape()
+	return &SyntheticSource{
+		p:            p,
+		r:            rand.New(rand.NewSource(p.Seed)),
+		cores:        hwmodel.MN3().CoresPerNode(),
+		clusterNodes: nodes,
+		clusterCores: cores,
+	}
+}
+
+// Next implements SubmissionSource. Unusable records are skipped (the
+// synthetic generator produces none on its own defaults).
+func (s *SyntheticSource) Next() (Submission, bool, error) {
+	spec := swfSpec()
+	for s.i < s.p.Jobs {
+		j := s.p.genJob(s.r, s.i, &s.genAt, s.cores)
+		idx := s.i
+		s.i++
+		sub, ok := mapSWFJob(j, idx, s.clusterNodes, s.clusterCores, spec)
+		if !ok {
+			s.skipped++
+			continue
+		}
+		return sub, true, nil
+	}
+	return Submission{}, false, nil
+}
+
+// Skipped returns the number of unusable records seen so far.
+func (s *SyntheticSource) Skipped() int { return s.skipped }
+
+// SWFReaderSource streams records from an SWF reader through the
+// trace→cluster mapping, skipping unusable records. Close stops the
+// background parser without reading the rest of the input; if the
+// reader is an io.Closer the parser goroutine closes it when it
+// exits, so file-backed sources never leak descriptors.
+type SWFReaderSource struct {
+	records      chan swfRecordOrErr
+	done         chan struct{}
+	closeOnce    sync.Once
+	clusterNodes int
+	clusterCores int
+	maxJobs      int
+	emitted      int
+	idx          int
+	skipped      int
+}
+
+type swfRecordOrErr struct {
+	job SWFJob
+	err error
+	eof bool
+}
+
+// errStreamStopped aborts the background parse after Close.
+var errStreamStopped = errors.New("workload: swf stream stopped")
+
+// NewSWFReaderSource streams r's records as submissions mapped onto
+// the cluster shape of o. The reader is parsed incrementally on a
+// helper goroutine; the source itself is pulled from a single
+// goroutine (the replay driver).
+func NewSWFReaderSource(r io.Reader, o SWFOptions) *SWFReaderSource {
+	nodes, cores, _ := o.shape()
+	src := &SWFReaderSource{
+		records:      make(chan swfRecordOrErr, 256),
+		done:         make(chan struct{}),
+		clusterNodes: nodes,
+		clusterCores: cores,
+		maxJobs:      o.MaxJobs,
+	}
+	go func() {
+		if c, ok := r.(io.Closer); ok {
+			defer c.Close()
+		}
+		err := ParseSWFFunc(r, func(j SWFJob) error {
+			select {
+			case src.records <- swfRecordOrErr{job: j}:
+				return nil
+			case <-src.done:
+				return errStreamStopped
+			}
+		})
+		if err != nil && err != errStreamStopped {
+			select {
+			case src.records <- swfRecordOrErr{err: err}:
+			case <-src.done:
+			}
+		}
+		select {
+		case src.records <- swfRecordOrErr{eof: true}:
+		case <-src.done:
+		}
+		close(src.records)
+	}()
+	return src
+}
+
+// Close stops the background parser; pending and further Next calls
+// report exhaustion. Always safe to call, any number of times.
+func (s *SWFReaderSource) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	return nil
+}
+
+// Next implements SubmissionSource.
+func (s *SWFReaderSource) Next() (Submission, bool, error) {
+	spec := swfSpec()
+	for {
+		if s.maxJobs > 0 && s.emitted >= s.maxJobs {
+			// Stop the parser instead of draining it: the rest of the
+			// file is never read.
+			s.Close()
+			return Submission{}, false, nil
+		}
+		rec, ok := <-s.records
+		if !ok || rec.eof {
+			return Submission{}, false, nil
+		}
+		if rec.err != nil {
+			return Submission{}, false, rec.err
+		}
+		idx := s.idx
+		s.idx++
+		sub, mapped := mapSWFJob(rec.job, idx, s.clusterNodes, s.clusterCores, spec)
+		if !mapped {
+			s.skipped++
+			continue
+		}
+		s.emitted++
+		return sub, true, nil
+	}
+}
+
+// Skipped returns the number of unusable records seen so far.
+func (s *SWFReaderSource) Skipped() int { return s.skipped }
+
+// RunSchedStream replays a submission stream under a scheduling
+// policy on the cluster described by s (s.Subs is ignored). Job
+// records are folded into aggregate statistics as they complete
+// (metrics.Workload.SetAggregate), so memory use is bounded by the
+// scheduler backlog, not the stream length: this is the path the
+// million-job benchmarks use. Submissions execute in the engine's
+// front band: for a stream in submit order the decision sequence is
+// identical to materializing the trace and calling RunSched. An
+// out-of-order record is the one divergence — it is submitted at the
+// stream position (now), whereas the materialized path sorts it into
+// its true place.
+func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
+	eng := sim.NewEngine()
+	nodes, machine := s.clusterShape()
+	cluster := slurm.NewCluster(eng, machine, nodes, nil)
+	ctl := slurm.NewController(cluster, slurm.PolicyDROM)
+	ctl.UseSched(p)
+	ctl.DebugInvariants = s.DebugInvariants
+	ctl.Records.SetAggregate()
+	res := Result{Scenario: s.Name, Policy: slurm.PolicyDROM}
+
+	submit := func(sub Submission) {
+		job := sub.Job
+		if err := ctl.Submit(&job); err != nil && res.Err == nil {
+			res.Err = err
+		}
+	}
+	var pump func()
+	pump = func() {
+		for res.Err == nil {
+			sub, ok, err := src.Next()
+			if err != nil {
+				res.Err = err
+				return
+			}
+			if !ok {
+				return
+			}
+			if sub.At <= eng.Now() {
+				// Same-instant submission — or an out-of-order record,
+				// which real SWF archives occasionally contain: it is
+				// treated as arriving at the stream position (now),
+				// where the materialized path would have sorted it into
+				// place. Either way it is handled inline.
+				submit(sub)
+				continue
+			}
+			eng.AtFront(sub.At, func() {
+				submit(sub)
+				pump()
+			})
+			return
+		}
+	}
+	pump()
+	eng.Run()
+	// A source abandoned mid-stream (replay error) would otherwise pin
+	// its background parser; closing is a no-op for exhausted or
+	// non-closing sources.
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+	if res.Err == nil {
+		res.Err = ctl.Err
+	}
+	res.Records = ctl.Records
+	res.SchedCycles = ctl.Cycles
+	res.Events = eng.Processed()
+	return res
+}
+
+// SchedStatsOfStream computes the scheduler-quality metrics of a
+// streamed run (no per-job widths are available, so Demand stays 0).
+func SchedStatsOfStream(res Result) metrics.SchedStats {
+	return metrics.NewSchedStats(res.Records, nil, 0)
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/slurm"
+)
+
+// TestStreamReplayMatchesMaterialized: the streaming replay (lazy
+// generation, front-band submissions, aggregate-only records) must
+// reproduce exactly the scheduling outcome of materializing the trace
+// and replaying it through RunSched, for every policy.
+func TestStreamReplayMatchesMaterialized(t *testing.T) {
+	params := SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4}
+	sc, err := SyntheticSWFScenario(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sched.Names() {
+		p1, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunSched(sc, p1)
+		if res.Err != nil {
+			t.Fatalf("%s materialized: %v", name, res.Err)
+		}
+		st := SchedStatsOf(sc, res)
+
+		p2, _ := sched.New(name)
+		sres := RunSchedStream(Scenario{Nodes: params.Nodes}, params.Source(), p2)
+		if sres.Err != nil {
+			t.Fatalf("%s streamed: %v", name, sres.Err)
+		}
+		sst := SchedStatsOfStream(sres)
+
+		if sst.Jobs != st.Jobs {
+			t.Errorf("%s: streamed %d jobs, materialized %d", name, sst.Jobs, st.Jobs)
+		}
+		if sres.SchedCycles != res.SchedCycles {
+			t.Errorf("%s: streamed %d cycles, materialized %d", name, sres.SchedCycles, res.SchedCycles)
+		}
+		if sst.Makespan != st.Makespan {
+			t.Errorf("%s: streamed makespan %v, materialized %v", name, sst.Makespan, st.Makespan)
+		}
+		if sst.MeanWait != st.MeanWait {
+			t.Errorf("%s: streamed mean wait %v, materialized %v", name, sst.MeanWait, st.MeanWait)
+		}
+		if sst.MeanResponse != st.MeanResponse {
+			t.Errorf("%s: streamed mean response %v, materialized %v", name, sst.MeanResponse, st.MeanResponse)
+		}
+		if sst.MeanSlowdown != st.MeanSlowdown {
+			t.Errorf("%s: streamed mean slowdown %v, materialized %v", name, sst.MeanSlowdown, st.MeanSlowdown)
+		}
+	}
+}
+
+// TestSWFReaderSourceMatchesScenario: streaming a trace file yields
+// the same submissions as the materializing parser, including skip
+// accounting and MaxJobs truncation.
+func TestSWFReaderSourceMatchesScenario(t *testing.T) {
+	jobs := SyntheticSWF{Seed: 7, Jobs: 50, Nodes: 4}.Generate()
+	// Make some records unusable so the skip path is exercised.
+	jobs[3].Run = -1
+	jobs[11].Procs = 0
+	jobs[20].Procs = 16 * 100 // wider than the cluster
+	text := FormatSWF(jobs)
+
+	o := SWFOptions{Nodes: 4, MaxJobs: 30}
+	sc, skipped, err := SWFScenario(jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSWFReaderSource(strings.NewReader(text), o)
+	var got []Submission
+	for {
+		sub, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, sub)
+	}
+	if len(got) != len(sc.Subs) {
+		t.Fatalf("streamed %d submissions, materialized %d", len(got), len(sc.Subs))
+	}
+	for i := range got {
+		if got[i].At != sc.Subs[i].At || got[i].Job.Name != sc.Subs[i].Job.Name ||
+			got[i].Job.Nodes != sc.Subs[i].Job.Nodes || got[i].Job.Iters != sc.Subs[i].Job.Iters ||
+			got[i].Job.Cfg != sc.Subs[i].Job.Cfg || got[i].Job.Walltime != sc.Subs[i].Job.Walltime {
+			t.Fatalf("submission %d differs: %+v vs %+v", i, got[i], sc.Subs[i])
+		}
+	}
+	// MaxJobs cut the stream before the trace ended, so the streamed
+	// skip count may lag the full-trace count but never exceed it.
+	if src.Skipped() > skipped {
+		t.Errorf("streamed skipped %d, materialized %d", src.Skipped(), skipped)
+	}
+}
+
+// sliceSource serves a fixed submission list (test helper).
+type sliceSource struct {
+	subs []Submission
+	i    int
+}
+
+func (s *sliceSource) Next() (Submission, bool, error) {
+	if s.i >= len(s.subs) {
+		return Submission{}, false, nil
+	}
+	sub := s.subs[s.i]
+	s.i++
+	return sub, true, nil
+}
+
+// TestStreamToleratesOutOfOrderRecords: real SWF archives occasionally
+// contain records whose submit time precedes the previous record's;
+// the streaming replay treats them as arriving at the stream position
+// instead of failing.
+func TestStreamToleratesOutOfOrderRecords(t *testing.T) {
+	job := func(name string) slurm.Job {
+		sub, ok := anyMappedJob(name)
+		if !ok {
+			t.Fatal("helper produced no job")
+		}
+		return sub
+	}
+	src := &sliceSource{subs: []Submission{
+		{At: 100, Job: job("j00001")},
+		{At: 50, Job: job("j00002")}, // out of order
+		{At: 200, Job: job("j00003")},
+	}}
+	p, _ := sched.New("fcfs")
+	res := RunSchedStream(Scenario{Nodes: 4}, src, p)
+	if res.Err != nil {
+		t.Fatalf("out-of-order stream failed: %v", res.Err)
+	}
+	if got := res.Records.Count(); got != 3 {
+		t.Fatalf("replayed %d jobs, want 3", got)
+	}
+}
+
+// anyMappedJob builds a small valid job for the streaming tests.
+func anyMappedJob(name string) (slurm.Job, bool) {
+	sub, ok := mapSWFJob(SWFJob{ID: 1, Submit: 0, Run: 30, Procs: 4, ReqTime: 60, Status: 1}, 0, 4, 16, swfSpec())
+	if !ok {
+		return slurm.Job{}, false
+	}
+	j := sub.Job
+	j.Name = name
+	return j, true
+}

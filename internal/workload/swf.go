@@ -42,14 +42,31 @@ type SWFJob struct {
 	Status int
 }
 
-// ParseSWF reads an SWF trace. Comment lines start with ';'. Every
-// record line must carry exactly 18 numeric fields; anything else is
-// rejected with the offending line number.
+// ParseSWF reads an SWF trace into memory. Comment lines start with
+// ';'. Every record line must carry exactly 18 numeric fields;
+// anything else is rejected with the offending line number. For
+// traces too large to materialize, use ParseSWFFunc.
 func ParseSWF(r io.Reader) ([]SWFJob, error) {
+	var jobs []SWFJob
+	err := ParseSWFFunc(r, func(j SWFJob) error {
+		jobs = append(jobs, j)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// ParseSWFFunc streams an SWF trace, calling fn once per record in
+// file order without retaining anything: the ingest path of the
+// million-job replays. A non-nil error from fn aborts the parse and
+// is returned as-is.
+func ParseSWFFunc(r io.Reader, fn func(SWFJob) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var jobs []SWFJob
 	line := 0
+	var vals [swfFields]float64
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -58,36 +75,37 @@ func ParseSWF(r io.Reader) ([]SWFJob, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) != swfFields {
-			return nil, fmt.Errorf("swf: line %d: %d fields, want %d", line, len(fields), swfFields)
+			return fmt.Errorf("swf: line %d: %d fields, want %d", line, len(fields), swfFields)
 		}
-		vals := make([]float64, swfFields)
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("swf: line %d field %d: %v", line, i+1, err)
+				return fmt.Errorf("swf: line %d field %d: %v", line, i+1, err)
 			}
 			vals[i] = v
 		}
 		if vals[1] < 0 {
-			return nil, fmt.Errorf("swf: line %d: negative submit time %v", line, vals[1])
+			return fmt.Errorf("swf: line %d: negative submit time %v", line, vals[1])
 		}
 		procs := int(vals[4])
 		if procs <= 0 {
 			procs = int(vals[7]) // requested processors
 		}
-		jobs = append(jobs, SWFJob{
+		if err := fn(SWFJob{
 			ID:      int(vals[0]),
 			Submit:  vals[1],
 			Run:     vals[3],
 			Procs:   procs,
 			ReqTime: vals[8],
 			Status:  int(vals[10]),
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("swf: %v", err)
+		return fmt.Errorf("swf: %v", err)
 	}
-	return jobs, nil
+	return nil
 }
 
 // FormatSWF renders records as SWF text (unused fields as -1), so
@@ -132,22 +150,66 @@ func swfSpec() apps.Spec {
 	}
 }
 
+// shape resolves the cluster dimensions of a trace mapping.
+func (o SWFOptions) shape() (nodes, cores int, machine hwmodel.Machine) {
+	nodes = o.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	machine = o.Machine
+	if machine.CoresPerNode() == 0 {
+		machine = hwmodel.MN3()
+	}
+	return nodes, machine.CoresPerNode(), machine
+}
+
+// mapSWFJob converts the idx-th trace record (0-based, counting
+// skipped records) into a submission on a cluster of the given shape.
+// ok is false when the record cannot run there (unknown runtime or
+// processor count, wider than the machine).
+func mapSWFJob(j SWFJob, idx, clusterNodes, cores int, spec apps.Spec) (Submission, bool) {
+	if j.Run <= 0 || j.Procs <= 0 {
+		return Submission{}, false
+	}
+	nodes := (j.Procs + cores - 1) / cores
+	if nodes > clusterNodes {
+		return Submission{}, false
+	}
+	threads := (j.Procs + nodes - 1) / nodes
+	if threads > cores {
+		threads = cores
+	}
+	iters := int(j.Run/spec.ChunkSeconds + 0.5)
+	if iters < 1 {
+		iters = 1
+	}
+	walltime := j.ReqTime
+	if walltime <= 0 {
+		walltime = 0
+	}
+	return Submission{
+		At: j.Submit,
+		Job: slurm.Job{
+			Name:      fmt.Sprintf("j%05d", idx+1),
+			Spec:      spec,
+			Cfg:       apps.Config{Ranks: nodes, Threads: threads},
+			Iters:     iters,
+			Nodes:     nodes,
+			Walltime:  walltime,
+			Malleable: true,
+		},
+	}, true
+}
+
 // SWFScenario converts trace records into a replayable scenario. Jobs
 // that cannot run on the configured cluster (unknown runtime or
 // processor count, wider than the machine) are skipped and counted.
 func SWFScenario(jobs []SWFJob, o SWFOptions) (Scenario, int, error) {
-	if o.Nodes <= 0 {
-		o.Nodes = 4
-	}
-	machine := o.Machine
-	if machine.CoresPerNode() == 0 {
-		machine = hwmodel.MN3()
-	}
-	cores := machine.CoresPerNode()
+	nodes, cores, machine := o.shape()
 	spec := swfSpec()
 	sc := Scenario{
 		Name:    fmt.Sprintf("swf/%d-jobs", len(jobs)),
-		Nodes:   o.Nodes,
+		Nodes:   nodes,
 		Machine: machine,
 	}
 	skipped := 0
@@ -155,39 +217,12 @@ func SWFScenario(jobs []SWFJob, o SWFOptions) (Scenario, int, error) {
 		if o.MaxJobs > 0 && len(sc.Subs) >= o.MaxJobs {
 			break
 		}
-		if j.Run <= 0 || j.Procs <= 0 {
+		sub, ok := mapSWFJob(j, i, nodes, cores, spec)
+		if !ok {
 			skipped++
 			continue
 		}
-		nodes := (j.Procs + cores - 1) / cores
-		if nodes > o.Nodes {
-			skipped++
-			continue
-		}
-		threads := (j.Procs + nodes - 1) / nodes
-		if threads > cores {
-			threads = cores
-		}
-		iters := int(j.Run/spec.ChunkSeconds + 0.5)
-		if iters < 1 {
-			iters = 1
-		}
-		walltime := j.ReqTime
-		if walltime <= 0 {
-			walltime = 0
-		}
-		sc.Subs = append(sc.Subs, Submission{
-			At: j.Submit,
-			Job: slurm.Job{
-				Name:      fmt.Sprintf("j%05d", i+1),
-				Spec:      spec,
-				Cfg:       apps.Config{Ranks: nodes, Threads: threads},
-				Iters:     iters,
-				Nodes:     nodes,
-				Walltime:  walltime,
-				Malleable: true,
-			},
-		})
+		sc.Subs = append(sc.Subs, sub)
 	}
 	if len(sc.Subs) == 0 {
 		return Scenario{}, skipped, fmt.Errorf("swf: no usable jobs in trace (%d skipped)", skipped)
@@ -220,6 +255,38 @@ func (p SyntheticSWF) withDefaults() SyntheticSWF {
 	return p
 }
 
+// genJob draws the i-th trace record from the generator's random
+// stream, advancing the arrival clock. Generate and the streaming
+// Source share it, so both produce bit-identical traces.
+func (p SyntheticSWF) genJob(r *rand.Rand, i int, at *float64, cores int) SWFJob {
+	*at += r.ExpFloat64() * p.MeanInterarrival
+	var procs int
+	switch x := r.Float64(); {
+	case x < 0.55: // narrow: a few CPUs on one node
+		procs = 1 + r.Intn(cores/2)
+	case x < 0.85 || p.Nodes < 2: // node-wide
+		procs = cores
+	default: // wide: 2..Nodes full nodes
+		procs = cores * (2 + r.Intn(p.Nodes-1))
+	}
+	// Log-normal-ish runtime clamped to [20 s, 600 s].
+	run := math.Exp(4.5 + 0.9*r.NormFloat64())
+	if run < 20 {
+		run = 20
+	}
+	if run > 600 {
+		run = 600
+	}
+	return SWFJob{
+		ID:      i + 1,
+		Submit:  math.Round(*at),
+		Run:     math.Round(run),
+		Procs:   procs,
+		ReqTime: math.Round(run * (1 + 2*r.Float64())),
+		Status:  1,
+	}
+}
+
 // Generate produces a reproducible SWF trace: Poisson arrivals, a mix
 // of narrow (sub-node), node-wide and multi-node jobs, log-normal-ish
 // runtimes, and the typical user walltime over-estimation (1–3×).
@@ -230,32 +297,7 @@ func (p SyntheticSWF) Generate() []SWFJob {
 	jobs := make([]SWFJob, 0, p.Jobs)
 	at := 0.0
 	for i := 0; i < p.Jobs; i++ {
-		at += r.ExpFloat64() * p.MeanInterarrival
-		var procs int
-		switch x := r.Float64(); {
-		case x < 0.55: // narrow: a few CPUs on one node
-			procs = 1 + r.Intn(cores/2)
-		case x < 0.85 || p.Nodes < 2: // node-wide
-			procs = cores
-		default: // wide: 2..Nodes full nodes
-			procs = cores * (2 + r.Intn(p.Nodes-1))
-		}
-		// Log-normal-ish runtime clamped to [20 s, 600 s].
-		run := math.Exp(4.5 + 0.9*r.NormFloat64())
-		if run < 20 {
-			run = 20
-		}
-		if run > 600 {
-			run = 600
-		}
-		jobs = append(jobs, SWFJob{
-			ID:      i + 1,
-			Submit:  math.Round(at),
-			Run:     math.Round(run),
-			Procs:   procs,
-			ReqTime: math.Round(run * (1 + 2*r.Float64())),
-			Status:  1,
-		})
+		jobs = append(jobs, p.genJob(r, i, &at, cores))
 	}
 	return jobs
 }

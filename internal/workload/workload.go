@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/hwmodel"
@@ -111,22 +112,55 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 	ctl.ServeEvolving = s.ServeEvolving
 	ctl.DebugInvariants = s.DebugInvariants
 	res := Result{Scenario: s.Name, Policy: policy, Tracer: tr}
+	// Submissions with At == 0 go to the controller synchronously before
+	// the simulation starts. The rest are *streamed*: each submission
+	// pre-allocates its event ID here — at the position the event used
+	// to be scheduled — but the event itself is pushed only when the
+	// previous submission fires. The (time, ID) execution order, and
+	// therefore every scheduling decision, is identical to scheduling
+	// all submissions up front, while the event queue stays small: a
+	// 100k-job replay used to keep 100k pending submission events in
+	// the heap, making every push/pop pay O(log 100k), and that
+	// dominated replay cost.
+	type pendingSub struct {
+		idx int
+		id  sim.EventID
+	}
+	stream := make([]pendingSub, 0, len(s.Subs))
 	for i := range s.Subs {
-		sub := s.Subs[i]
-		job := sub.Job // copy per run; controller mutates nothing but be safe
+		sub := &s.Subs[i]
 		if sub.At == 0 {
+			job := sub.Job // copy per run; controller mutates nothing but be safe
 			if err := ctl.Submit(&job); err != nil {
 				res.Err = err
 				return res
 			}
 			continue
 		}
-		eng.At(sub.At, func() {
+		stream = append(stream, pendingSub{idx: i, id: eng.AllocID()})
+	}
+	// Stable order by submit time (ties keep submission order): the
+	// exact order the pre-allocated IDs fire in, so the chain below can
+	// push one event at a time without ever scheduling in the past.
+	sort.SliceStable(stream, func(a, b int) bool {
+		return s.Subs[stream[a].idx].At < s.Subs[stream[b].idx].At
+	})
+	var streamNext func(k int)
+	streamNext = func(k int) {
+		if k >= len(stream) {
+			return
+		}
+		p := stream[k]
+		sub := &s.Subs[p.idx]
+		eng.AtID(p.id, sub.At, func() {
+			job := sub.Job
 			if err := ctl.Submit(&job); err != nil && res.Err == nil {
 				res.Err = err
 			}
+			streamNext(k + 1)
 		})
 	}
+	streamNext(0)
 	eng.Run()
 	if res.Err == nil {
 		res.Err = ctl.Err
