@@ -68,6 +68,28 @@ type Submission = workload.Submission
 // Scenario is a workload description.
 type Scenario = workload.Scenario
 
+// Partitioned heterogeneous clusters (hwmodel): Scenario.Cluster,
+// SWFOptions.Cluster and SyntheticSWF.Cluster accept a ClusterSpec;
+// jobs target a partition by name through Job.Partition.
+
+// ClusterSpec is a partitioned cluster layout: named partitions, each
+// a homogeneous pool of one machine type.
+type ClusterSpec = hwmodel.ClusterSpec
+
+// MachinePartition is one named homogeneous partition of a cluster.
+type MachinePartition = hwmodel.Partition
+
+// ParseCluster parses the compact cluster-spec grammar, e.g.
+// "batch:4xmn3,fat:2xfat" or the "hetero" preset shorthand.
+func ParseCluster(spec string) (ClusterSpec, error) { return hwmodel.ParseCluster(spec) }
+
+// HeteroMN3 returns the bundled 2-partition heterogeneous preset:
+// 4 MN3 nodes ("batch") plus 2 fat nodes ("fat").
+func HeteroMN3() ClusterSpec { return hwmodel.HeteroMN3() }
+
+// PartitionStat is one partition's slice of a run's metrics.
+type PartitionStat = metrics.PartitionStat
+
 // Result is one scenario execution: records and optional traces.
 type Result = workload.Result
 

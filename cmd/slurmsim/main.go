@@ -44,6 +44,10 @@ func main() {
 	schedNames := flag.String("sched", "", "scheduling policies to replay an SWF workload under: "+
 		"comma list of fcfs, easy, malleable-shrink, malleable-expand (alias malleable), or all")
 	swfPath := flag.String("swf", "", "SWF trace file to replay (default: seeded synthetic trace)")
+	clusterSpec := flag.String("cluster", "", "swf/sched: partitioned heterogeneous cluster, e.g. "+
+		"'batch:4xmn3,fat:2xfat' or the 'hetero' preset (overrides -nodes; see cluster.ParseCluster)")
+	cancelRate := flag.Float64("cancel", 0, "swf synthetic: per-job probability of a cancelled-while-queued record")
+	failRate := flag.Float64("fail", 0, "swf synthetic: per-job probability of a failed-mid-run record")
 	check := flag.Bool("check", false, "swf: cross-check the controller's incremental free-CPU "+
 		"accounting against a full shared-memory re-scan every cycle (slower)")
 	stream := flag.Bool("stream", false, "swf/sched: stream the trace instead of materializing it "+
@@ -95,6 +99,7 @@ func main() {
 		traced: *traced, metric: *metric, width: *width,
 		seed: *seed, jobs: *jobs, interarrival: *interarrival, nodes: *nodes,
 		schedNames: *schedNames, swfPath: *swfPath, check: *check, stream: *stream,
+		clusterSpec: *clusterSpec, cancelRate: *cancelRate, failRate: *failRate,
 		sweepSpec: *sweepSpec, sweepWorkers: *sweepWorkers, format: *format, out: *out,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
@@ -118,9 +123,24 @@ type runArgs struct {
 	nodes               int
 	schedNames, swfPath string
 	check, stream       bool
+	clusterSpec         string
+	cancelRate          float64
+	failRate            float64
 	sweepSpec           string
 	sweepWorkers        int
 	format, out         string
+}
+
+// schedArgs parameterizes the SWF replay modes.
+type schedArgs struct {
+	names, swfPath string
+	seed           int64
+	jobs           int
+	interarrival   float64
+	nodes          int
+	cluster        cluster.ClusterSpec
+	cancel, fail   float64
+	check          bool
 }
 
 func run(a runArgs) error {
@@ -131,21 +151,31 @@ func run(a runArgs) error {
 		// Only honor -interarrival/-jobs/-nodes when the user set them;
 		// the SWF mode's own defaults (a contended 1000-job trace on 4
 		// nodes) apply otherwise.
-		ia, nj, nn := 0.0, 0, 0
+		sa := schedArgs{
+			names: a.schedNames, swfPath: a.swfPath, seed: a.seed,
+			cancel: a.cancelRate, fail: a.failRate, check: a.check,
+		}
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "interarrival":
-				ia = a.interarrival
+				sa.interarrival = a.interarrival
 			case "jobs":
-				nj = a.jobs
+				sa.jobs = a.jobs
 			case "nodes":
-				nn = a.nodes
+				sa.nodes = a.nodes
 			}
 		})
-		if a.stream {
-			return runSchedStream(a.schedNames, a.swfPath, a.seed, nj, ia, nn, a.check)
+		if a.clusterSpec != "" {
+			cs, err := cluster.ParseCluster(a.clusterSpec)
+			if err != nil {
+				return err
+			}
+			sa.cluster = cs
 		}
-		return runSched(a.schedNames, a.swfPath, a.seed, nj, ia, nn, a.check)
+		if a.stream {
+			return runSchedStream(sa)
+		}
+		return runSched(sa)
 	}
 
 	if a.scenario == "djsb" {
@@ -210,41 +240,71 @@ func runSweep(spec string, workers int, format, out string) error {
 	return err
 }
 
+// shapeLabel renders the cluster part of a replay banner.
+func (a schedArgs) shapeLabel() string {
+	if len(a.cluster.Partitions) > 0 {
+		return fmt.Sprintf("cluster %s", a.cluster)
+	}
+	n := a.nodes
+	if n <= 0 {
+		n = 4
+	}
+	return fmt.Sprintf("%d nodes", n)
+}
+
+// printPartitions prints the per-partition metric lines of a
+// multi-partition run.
+func printPartitions(res cluster.Result, multi bool) {
+	if !multi {
+		return
+	}
+	for _, ps := range res.Records.PartitionStats() {
+		fmt.Printf("      %s\n", ps)
+	}
+}
+
 // runSchedStream replays an SWF workload through the bounded-memory
 // streaming path: the trace is never materialized and job records are
 // folded into aggregates as they complete, so million-job traces
 // replay in memory proportional to the scheduler backlog.
-func runSchedStream(names, swfPath string, seed int64, jobs int, interarrival float64, nodes int, check bool) error {
-	policies, err := parseSchedPolicies(names)
+func runSchedStream(a schedArgs) error {
+	policies, err := parseSchedPolicies(a.names)
 	if err != nil {
 		return err
 	}
-	if nodes <= 0 {
-		nodes = 4
+	if len(a.cluster.Partitions) == 0 && a.nodes <= 0 {
+		// The streaming scenario is built here (not by SWFScenario, which
+		// carries the mapper's cluster): normalize to the mapper's 4-node
+		// default so the cluster and the trace mapping always agree.
+		a.nodes = 4
 	}
-	if swfPath != "" {
-		// jobs stays 0 unless the user set -jobs: a file trace replays
+	if a.swfPath != "" {
+		// a.jobs stays 0 unless the user set -jobs: a file trace replays
 		// whole by default, exactly like the materialized path.
-		fmt.Printf("=== SWF stream replay: %s on %d nodes ===\n", swfPath, nodes)
+		fmt.Printf("=== SWF stream replay: %s on %s ===\n", a.swfPath, a.shapeLabel())
 	} else {
-		if jobs <= 0 {
-			jobs = 1000
+		if a.jobs <= 0 {
+			a.jobs = 1000
 		}
-		fmt.Printf("=== SWF stream replay: synthetic seed=%d jobs=%d nodes=%d ===\n", seed, jobs, nodes)
+		fmt.Printf("=== SWF stream replay: synthetic seed=%d jobs=%d on %s ===\n", a.seed, a.jobs, a.shapeLabel())
 	}
-	base := cluster.Scenario{Nodes: nodes, DebugInvariants: check}
+	base := cluster.Scenario{Nodes: a.nodes, Cluster: a.cluster, DebugInvariants: a.check}
+	multi := len(a.cluster.Partitions) > 1
 	for _, p := range policies {
 		var src cluster.SubmissionSource
-		if swfPath != "" {
-			f, err := os.Open(swfPath)
+		if a.swfPath != "" {
+			f, err := os.Open(a.swfPath)
 			if err != nil {
 				return err
 			}
 			// The source's parser goroutine closes f when it exits.
-			src = cluster.NewSWFReaderSource(f, cluster.SWFOptions{Nodes: nodes, MaxJobs: jobs})
+			src = cluster.NewSWFReaderSource(f, cluster.SWFOptions{
+				Nodes: a.nodes, Cluster: a.cluster, MaxJobs: a.jobs,
+			})
 		} else {
 			src = cluster.SyntheticSWF{
-				Seed: seed, Jobs: jobs, Nodes: nodes, MeanInterarrival: interarrival,
+				Seed: a.seed, Jobs: a.jobs, Nodes: a.nodes, MeanInterarrival: a.interarrival,
+				Cluster: a.cluster, CancelRate: a.cancel, FailRate: a.fail,
 			}.Source()
 		}
 		start := time.Now()
@@ -254,11 +314,12 @@ func runSchedStream(names, swfPath string, seed int64, jobs int, interarrival fl
 			return fmt.Errorf("%s: %w", p.Name(), res.Err)
 		}
 		skipped := ""
-		if sk, ok := src.(interface{ Skipped() int }); ok && sk.Skipped() > 0 {
-			skipped = fmt.Sprintf(", %d unusable records skipped", sk.Skipped())
+		if d := res.Records.Dropped; d.Total() > 0 {
+			skipped = fmt.Sprintf(", trace: %s", d)
 		}
 		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
 			p.Name(), cluster.SchedStatsOfStream(res), res.SchedCycles, res.Events, wall.Seconds(), skipped)
+		printPartitions(res, multi)
 	}
 	return nil
 }
@@ -268,17 +329,14 @@ func runSchedStream(names, swfPath string, seed int64, jobs int, interarrival fl
 // prints the scheduler-quality metrics of each. Zero-valued
 // parameters mean "unset": the defaults of the trace mapping apply
 // (4 nodes, 1000 synthetic jobs, contended inter-arrival).
-func runSched(names, swfPath string, seed int64, jobs int, interarrival float64, nodes int, check bool) error {
-	policies, err := parseSchedPolicies(names)
+func runSched(a schedArgs) error {
+	policies, err := parseSchedPolicies(a.names)
 	if err != nil {
 		return err
 	}
-	if nodes <= 0 {
-		nodes = 4
-	}
 	var sc cluster.Scenario
-	if swfPath != "" {
-		f, err := os.Open(swfPath)
+	if a.swfPath != "" {
+		f, err := os.Open(a.swfPath)
 		if err != nil {
 			return err
 		}
@@ -288,22 +346,29 @@ func runSched(names, swfPath string, seed int64, jobs int, interarrival float64,
 			return err
 		}
 		var skipped int
-		sc, skipped, err = cluster.SWFScenario(records, cluster.SWFOptions{Nodes: nodes, MaxJobs: jobs})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("=== SWF replay: %s (%d of %d jobs, %d skipped) on %d nodes ===\n",
-			swfPath, len(sc.Subs), len(records), skipped, nodes)
-	} else {
-		sc, err = cluster.SyntheticSWFScenario(cluster.SyntheticSWF{
-			Seed: seed, Jobs: jobs, Nodes: nodes, MeanInterarrival: interarrival,
+		sc, skipped, err = cluster.SWFScenario(records, cluster.SWFOptions{
+			Nodes: a.nodes, Cluster: a.cluster, MaxJobs: a.jobs,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("=== SWF replay: synthetic seed=%d jobs=%d nodes=%d ===\n", seed, jobs, nodes)
+		fmt.Printf("=== SWF replay: %s (%d of %d jobs, %d skipped) on %s ===\n",
+			a.swfPath, len(sc.Subs), len(records), skipped, a.shapeLabel())
+	} else {
+		if a.jobs <= 0 {
+			a.jobs = 1000
+		}
+		sc, err = cluster.SyntheticSWFScenario(cluster.SyntheticSWF{
+			Seed: a.seed, Jobs: a.jobs, Nodes: a.nodes, MeanInterarrival: a.interarrival,
+			Cluster: a.cluster, CancelRate: a.cancel, FailRate: a.fail,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== SWF replay: synthetic seed=%d jobs=%d on %s ===\n", a.seed, a.jobs, a.shapeLabel())
 	}
-	sc.DebugInvariants = check
+	sc.DebugInvariants = a.check
+	multi := len(a.cluster.Partitions) > 1
 	for _, p := range policies {
 		start := time.Now()
 		res := cluster.RunSched(sc, p)
@@ -311,8 +376,13 @@ func runSched(names, swfPath string, seed int64, jobs int, interarrival float64,
 		if res.Err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), res.Err)
 		}
-		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall]\n",
-			p.Name(), cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds())
+		dropped := ""
+		if d := res.Records.Dropped; d.Total() > 0 {
+			dropped = fmt.Sprintf(", trace: %s", d)
+		}
+		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
+			p.Name(), cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds(), dropped)
+		printPartitions(res, multi)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/cluster"
+)
 
 func TestBuildScenario(t *testing.T) {
 	if _, err := buildScenario("uc1", "nest", 1, "pils", 2, false); err != nil {
@@ -62,13 +66,34 @@ func TestParseSchedPolicies(t *testing.T) {
 }
 
 func TestRunSchedSmoke(t *testing.T) {
-	if err := runSched("easy,malleable", "", 1, 40, 30, 2, true); err != nil {
+	if err := runSched(schedArgs{
+		names: "easy,malleable", seed: 1, jobs: 40, interarrival: 30, nodes: 2, check: true,
+	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSched("bogus", "", 1, 10, 0, 2, false); err == nil {
+	if err := runSched(schedArgs{names: "bogus", seed: 1, jobs: 10, nodes: 2}); err == nil {
 		t.Fatal("bogus policy should fail")
 	}
-	if err := runSched("fcfs", "/nonexistent.swf", 1, 0, 0, 2, false); err == nil {
+	if err := runSched(schedArgs{names: "fcfs", swfPath: "/nonexistent.swf", seed: 1, nodes: 2}); err == nil {
 		t.Fatal("missing trace file should fail")
+	}
+}
+
+func TestRunSchedHeteroFaultSmoke(t *testing.T) {
+	cs, err := cluster.ParseCluster("hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSched(schedArgs{
+		names: "malleable", seed: 2, jobs: 60, interarrival: 20,
+		cluster: cs, cancel: 0.1, fail: 0.1, check: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSchedStream(schedArgs{
+		names: "fcfs", seed: 2, jobs: 60, interarrival: 20,
+		cluster: cs, cancel: 0.1, fail: 0.1,
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

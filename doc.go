@@ -31,6 +31,16 @@
 // order so the output is byte-identical at any worker count
 // (slurmsim -sweep 'policies=all;seeds=1-4;jobs=5000').
 //
+// The machine model is a partitioned, heterogeneous cluster
+// (hwmodel.ClusterSpec): named partitions with different node shapes,
+// jobs routed by partition and never placed across a boundary, one
+// policy pass per partition per cycle. Workloads are fault-aware —
+// the SWF partition and status columns replay as partition routing,
+// cancelled-while-queued events and mid-run failures that free CPUs
+// early; the synthetic generator has seeded cancel/fail rates and a
+// heterogeneous preset (slurmsim -cluster hetero -cancel .05 -fail
+// .05). See ARCHITECTURE.md for the package map and data flow.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the evaluation section; cmd/figures prints them.
 // BENCH_sched.json carries the committed scale-benchmark reference

@@ -22,6 +22,11 @@ type nodeDemand struct {
 	bwSum   float64
 	threads int
 	dirty   bool
+	// machine is the node's model, taken from the table's default at
+	// creation and overridden per node on heterogeneous clusters
+	// (SetNodeMachine). Capacity judgments and topology queries on
+	// this node go through it.
+	machine hwmodel.Machine
 }
 
 func (n *nodeDemand) refresh() {
@@ -43,18 +48,43 @@ func (n *nodeDemand) refresh() {
 // memory bus) and the CPU share (oversubscription, for the related-
 // work baseline where co-allocated jobs overlap instead of shrinking).
 // The workload engine owns one table per cluster; instances update
-// their entries whenever their masks change.
+// their entries whenever their masks change. On heterogeneous
+// clusters SetNodeMachine overrides a node's capacity figures, so
+// contention is judged against the node's own bandwidth and core
+// count rather than the table-wide default.
 type DemandTable struct {
 	machine hwmodel.Machine
 	nodes   map[string]*nodeDemand
 }
 
-// NewDemandTable creates a table for nodes of the given machine type.
+// NewDemandTable creates a table for nodes of the given (default)
+// machine type.
 func NewDemandTable(m hwmodel.Machine) *DemandTable {
 	return &DemandTable{
 		machine: m,
 		nodes:   make(map[string]*nodeDemand),
 	}
+}
+
+// ledger returns node's demand ledger, creating it with the table's
+// default capacity figures when absent.
+func (d *DemandTable) ledger(node string) *nodeDemand {
+	n := d.nodes[node]
+	if n == nil {
+		n = &nodeDemand{
+			idx:     make(map[shmem.PID]int),
+			machine: d.machine,
+		}
+		d.nodes[node] = n
+	}
+	return n
+}
+
+// SetNodeMachine pins node's machine model, overriding the table
+// default. Heterogeneous clusters call it once per node at
+// construction.
+func (d *DemandTable) SetNodeMachine(node string, m hwmodel.Machine) {
+	d.ledger(node).machine = m
 }
 
 // NodeHandle is a cached reference to one node's ledger. The
@@ -74,12 +104,7 @@ func (h NodeHandle) Valid() bool { return h.n != nil }
 // Handle returns a NodeHandle for node, creating the (empty) ledger
 // if needed.
 func (d *DemandTable) Handle(node string) NodeHandle {
-	n := d.nodes[node]
-	if n == nil {
-		n = &nodeDemand{idx: make(map[shmem.PID]int)}
-		d.nodes[node] = n
-	}
-	return NodeHandle{d: d, n: n}
+	return NodeHandle{d: d, n: d.ledger(node)}
 }
 
 // SetUsage records the demand of pid on the handle's node. Zero
@@ -94,7 +119,7 @@ func (h NodeHandle) Remove(pid shmem.PID) { h.n.setUsage(pid, 0, 0) }
 // Slowdown returns the bandwidth oversubscription factor of the node.
 func (h NodeHandle) Slowdown() float64 {
 	h.n.refresh()
-	return hwmodel.BWSlowdown(h.n.bwSum, h.d.machine.MemBWGBs)
+	return hwmodel.BWSlowdown(h.n.bwSum, h.n.machine.MemBWGBs)
 }
 
 // CPUShare returns the average fraction of a CPU each active thread
@@ -102,24 +127,23 @@ func (h NodeHandle) Slowdown() float64 {
 func (h NodeHandle) CPUShare() float64 {
 	h.n.refresh()
 	t := h.n.threads
-	cores := h.d.machine.CoresPerNode()
+	cores := h.n.machine.CoresPerNode()
 	if t <= cores {
 		return 1
 	}
 	return float64(cores) / float64(t)
 }
 
+// Machine returns the node's machine model (the table default unless
+// overridden with SetNodeMachine).
+func (h NodeHandle) Machine() hwmodel.Machine { return h.n.machine }
+
 // SetUsage records the demand of pid on node. Zero values remove it.
 func (d *DemandTable) SetUsage(node string, pid shmem.PID, threads int, bwGBs float64) {
-	n := d.nodes[node]
-	if n == nil {
-		if bwGBs == 0 && threads == 0 {
-			return
-		}
-		n = &nodeDemand{idx: make(map[shmem.PID]int)}
-		d.nodes[node] = n
+	if d.nodes[node] == nil && bwGBs == 0 && threads == 0 {
+		return
 	}
-	n.setUsage(pid, threads, bwGBs)
+	d.ledger(node).setUsage(pid, threads, bwGBs)
 }
 
 // setUsage is the ledger mutation shared by the table and handle
@@ -190,7 +214,11 @@ func (d *DemandTable) Threads(node string) int {
 
 // Slowdown returns the bandwidth oversubscription factor of node.
 func (d *DemandTable) Slowdown(node string) float64 {
-	return hwmodel.BWSlowdown(d.Total(node), d.machine.MemBWGBs)
+	cap := d.machine.MemBWGBs
+	if n := d.nodes[node]; n != nil {
+		cap = n.machine.MemBWGBs
+	}
+	return hwmodel.BWSlowdown(d.Total(node), cap)
 }
 
 // CPUShare returns the average fraction of a CPU each active thread on
@@ -201,6 +229,9 @@ func (d *DemandTable) Slowdown(node string) float64 {
 func (d *DemandTable) CPUShare(node string) float64 {
 	t := d.Threads(node)
 	cores := d.machine.CoresPerNode()
+	if n := d.nodes[node]; n != nil {
+		cores = n.machine.CoresPerNode()
+	}
 	if t <= cores {
 		return 1
 	}

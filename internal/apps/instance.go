@@ -130,14 +130,16 @@ func (inst *Instance) Start() error {
 	}
 	inst.started = true
 	inst.startTime = inst.eng.Now()
-	machine := inst.demand.Machine()
 	for _, r := range inst.ranks {
 		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
 		if code.IsError() {
 			return fmt.Errorf("apps: register rank of %s: %w", inst.JobName, code)
 		}
-		r.setMask(got, machine)
+		// Resolve the node handle first: the rank's topology judgments
+		// (socket spans, clock) use its node's machine, which can
+		// differ per partition on heterogeneous clusters.
 		r.dem = inst.demand.Handle(r.p.Node)
+		r.setMask(got, r.dem.Machine())
 		n := r.activeThreads(&inst.Spec)
 		r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 	}
@@ -198,15 +200,14 @@ func (inst *Instance) Resume(placements []Placement, restartCost float64) error 
 		return fmt.Errorf("apps: Resume with %d placements for %d ranks", len(placements), len(inst.ranks))
 	}
 	inst.stopped = false
-	machine := inst.demand.Machine()
 	for i, r := range inst.ranks {
 		r.p = placements[i]
 		got, code := r.p.Sys.Register(r.p.PID, r.p.InitialMask)
 		if code.IsError() {
 			return fmt.Errorf("apps: re-register rank of %s: %w", inst.JobName, code)
 		}
-		r.setMask(got, machine)
 		r.dem = inst.demand.Handle(r.p.Node)
+		r.setMask(got, r.dem.Machine())
 		n := r.activeThreads(&inst.Spec)
 		r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 	}
@@ -238,11 +239,10 @@ func (inst *Instance) iterate() {
 		return
 	}
 	inst.haveEvent = false
-	machine := inst.demand.Machine()
 	// Malleability point: every rank polls DROM (DLB_PollDROM).
 	for _, r := range inst.ranks {
 		if m, code := r.p.Sys.Poll(r.p.PID); code == derr.Success {
-			r.setMask(m, machine)
+			r.setMask(m, r.dem.Machine())
 			n := r.activeThreads(&inst.Spec)
 			r.dem.SetUsage(r.p.PID, n, inst.Spec.BWDemand(n))
 		}
@@ -289,7 +289,7 @@ func (inst *Instance) recordTrace(iterDur float64, envs []RankEnv) {
 		env := envs[i]
 		cpus := r.mask.List()
 		ipc := inst.Spec.EffIPC(env)
-		cpus1e3 := inst.demand.Machine().CyclesPerMicrosecond()
+		cpus1e3 := r.dem.Machine().CyclesPerMicrosecond()
 		rows := r.chunks
 		if len(cpus) > rows {
 			rows = len(cpus)

@@ -11,12 +11,43 @@ import (
 	"strings"
 )
 
+// Outcome classifies how a job left the system.
+type Outcome int
+
+const (
+	// OutcomeCompleted is a normal termination (the zero value).
+	OutcomeCompleted Outcome = iota
+	// OutcomeFailed is a premature end: the job died mid-runtime and
+	// its CPUs were freed early.
+	OutcomeFailed
+	// OutcomeCancelled is a user cancellation (scancel): a queued job
+	// that never started, or a running job killed on request.
+	OutcomeCancelled
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeCancelled:
+		return "cancelled"
+	}
+	return "?"
+}
+
 // JobRecord captures one job's lifecycle timestamps (virtual seconds).
 type JobRecord struct {
 	Name   string
 	Submit float64
 	Start  float64
 	End    float64
+	// Partition names the cluster partition the job ran in ("" on
+	// runs that predate the partition model).
+	Partition string
+	// Outcome records how the job ended (completed when untouched).
+	Outcome Outcome
 }
 
 // WaitTime is the time spent in the scheduler queue.
@@ -35,22 +66,73 @@ func (j JobRecord) BoundedSlowdown() float64 {
 	return math.Max(1, j.ResponseTime()/math.Max(j.RunTime(), BoundedSlowdownThreshold))
 }
 
+// NeverRan reports a cancelled-while-queued record: the job left the
+// queue without executing. Such records count toward job and
+// cancellation totals but are excluded from the wait/response/
+// slowdown statistics — a job cancelled after an hour in the queue
+// would otherwise dominate the bounded slowdown (3600/10 = 360) and
+// make fault-aware replays incomparable with clean baselines.
+func (j JobRecord) NeverRan() bool {
+	return j.Outcome == OutcomeCancelled && j.RunTime() <= 0
+}
+
+// DropStats counts trace records that never became submissions: the
+// parse-level coverage of an SWF replay. Before these counters the
+// mapping silently skipped such records, so "replayed the trace"
+// could quietly mean "replayed the 80% of it that parsed cleanly".
+type DropStats struct {
+	// Unusable records lacked a usable runtime/width or exceeded the
+	// target partition's capacity.
+	Unusable int
+	// Cancelled / Failed count records with those SWF status codes
+	// that could not be replayed (e.g. an unmappable shape).
+	Cancelled int
+	Failed    int
+}
+
+// Total returns the summed drop count.
+func (d DropStats) Total() int { return d.Unusable + d.Cancelled + d.Failed }
+
+func (d DropStats) String() string {
+	return fmt.Sprintf("%d dropped (%d unusable, %d cancelled, %d failed)",
+		d.Total(), d.Unusable, d.Cancelled, d.Failed)
+}
+
 // Workload aggregates the jobs of one scenario run. In the default
 // mode every record is retained (Jobs); SetAggregate switches to
 // streaming aggregation, where Add folds each record into running
-// sums and retains nothing — the mode million-job replays use to stay
-// in bounded memory.
+// sums and retains nothing per job — the mode million-job replays use
+// to stay in bounded memory. Outcome and partition tallies are kept
+// in both modes.
 type Workload struct {
 	Jobs []JobRecord
+
+	// Dropped counts the trace records the replay's mapping layer
+	// discarded before submission (set by the workload runner; zero
+	// for programmatic scenarios).
+	Dropped DropStats
 
 	aggregate   bool
 	n           int
 	firstSubmit float64
 	lastEnd     float64
-	sumWait     float64
-	sumResp     float64
-	sumSlow     float64
-	maxSlow     float64
+	// statsN counts the records folded into the wait/response/
+	// slowdown sums: everything except NeverRan cancellations.
+	statsN  int
+	sumWait float64
+	sumResp float64
+	sumSlow float64
+	maxSlow float64
+
+	nFailed    int
+	nCancelled int
+	perPart    map[string]*partAgg
+}
+
+// partAgg is the per-partition slice of the workload's tallies.
+type partAgg struct {
+	n, statsN, failed, cancelled int
+	sumWait, sumResp             float64
 }
 
 // SetAggregate switches the workload to streaming aggregation. It
@@ -67,6 +149,34 @@ func (w *Workload) Aggregated() bool { return w.aggregate }
 
 // Add appends a job record (or folds it into the aggregates).
 func (w *Workload) Add(j JobRecord) {
+	switch j.Outcome {
+	case OutcomeFailed:
+		w.nFailed++
+	case OutcomeCancelled:
+		w.nCancelled++
+	}
+	if j.Partition != "" {
+		if w.perPart == nil {
+			w.perPart = make(map[string]*partAgg)
+		}
+		pa := w.perPart[j.Partition]
+		if pa == nil {
+			pa = &partAgg{}
+			w.perPart[j.Partition] = pa
+		}
+		pa.n++
+		if !j.NeverRan() {
+			pa.statsN++
+			pa.sumWait += j.WaitTime()
+			pa.sumResp += j.ResponseTime()
+		}
+		switch j.Outcome {
+		case OutcomeFailed:
+			pa.failed++
+		case OutcomeCancelled:
+			pa.cancelled++
+		}
+	}
 	if !w.aggregate {
 		w.Jobs = append(w.Jobs, j)
 		return
@@ -79,6 +189,10 @@ func (w *Workload) Add(j JobRecord) {
 		w.lastEnd = math.Max(w.lastEnd, j.End)
 	}
 	w.n++
+	if j.NeverRan() {
+		return
+	}
+	w.statsN++
 	w.sumWait += j.WaitTime()
 	w.sumResp += j.ResponseTime()
 	s := j.BoundedSlowdown()
@@ -92,6 +206,53 @@ func (w *Workload) Count() int {
 		return w.n
 	}
 	return len(w.Jobs)
+}
+
+// Failed returns the number of jobs recorded with OutcomeFailed.
+func (w *Workload) Failed() int { return w.nFailed }
+
+// Cancelled returns the number of jobs recorded with OutcomeCancelled.
+func (w *Workload) Cancelled() int { return w.nCancelled }
+
+// PartitionStat is one partition's slice of a workload run.
+type PartitionStat struct {
+	Partition    string  `json:"partition"`
+	Jobs         int     `json:"jobs"`
+	Failed       int     `json:"failed,omitempty"`
+	Cancelled    int     `json:"cancelled,omitempty"`
+	MeanWait     float64 `json:"mean_wait_s"`
+	MeanResponse float64 `json:"mean_resp_s"`
+}
+
+func (p PartitionStat) String() string {
+	return fmt.Sprintf("partition=%s jobs=%d failed=%d cancelled=%d mean_wait=%.1fs mean_resp=%.1fs",
+		p.Partition, p.Jobs, p.Failed, p.Cancelled, p.MeanWait, p.MeanResponse)
+}
+
+// PartitionStats returns the per-partition tallies, sorted by
+// partition name. It is empty when no record named a partition.
+func (w *Workload) PartitionStats() []PartitionStat {
+	if len(w.perPart) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(w.perPart))
+	for name := range w.perPart {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]PartitionStat, 0, len(names))
+	for _, name := range names {
+		pa := w.perPart[name]
+		st := PartitionStat{
+			Partition: name, Jobs: pa.n, Failed: pa.failed, Cancelled: pa.cancelled,
+		}
+		if pa.statsN > 0 {
+			st.MeanWait = pa.sumWait / float64(pa.statsN)
+			st.MeanResponse = pa.sumResp / float64(pa.statsN)
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // Job returns the record with the given name, or false. Aggregated
@@ -145,22 +306,28 @@ func (w *Workload) Utilization(cpusOf func(name string) int, totalCores int) flo
 	return u
 }
 
-// AvgResponseTime is the arithmetic mean of the jobs' response times.
+// AvgResponseTime is the arithmetic mean of the jobs' response times
+// (NeverRan cancellations excluded).
 func (w *Workload) AvgResponseTime() float64 {
 	if w.aggregate {
-		if w.n == 0 {
+		if w.statsN == 0 {
 			return 0
 		}
-		return w.sumResp / float64(w.n)
-	}
-	if len(w.Jobs) == 0 {
-		return 0
+		return w.sumResp / float64(w.statsN)
 	}
 	var sum float64
+	n := 0
 	for _, j := range w.Jobs {
+		if j.NeverRan() {
+			continue
+		}
 		sum += j.ResponseTime()
+		n++
 	}
-	return sum / float64(len(w.Jobs))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // String renders a compact table of the workload.

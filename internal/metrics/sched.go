@@ -28,6 +28,10 @@ type SchedStats struct {
 	// CPUs really did. Exact utilization needs the per-thread traces.
 	// 0 when no width information is supplied.
 	Demand float64
+	// Failed / Cancelled count jobs that ended with those outcomes
+	// (fault-aware replays; zero on clean workloads).
+	Failed    int `json:"failed,omitempty"`
+	Cancelled int `json:"cancelled,omitempty"`
 }
 
 // NewSchedStats computes the stats from a finished workload. cpusOf
@@ -35,27 +39,37 @@ type SchedStats struct {
 // pass nil (or totalCores <= 0) to skip it. An aggregated workload
 // (streaming replay) yields the mean/max statistics; the percentile
 // fields, which need the full distribution, stay zero, and so does
-// Demand.
+// Demand. Cancelled-while-queued records are excluded from the
+// wait/response/slowdown statistics in both modes (see
+// JobRecord.NeverRan) while still counting toward Jobs and
+// Cancelled.
 func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) SchedStats {
 	if w.Aggregated() {
-		st := SchedStats{Jobs: w.n}
-		if st.Jobs == 0 {
+		st := SchedStats{Jobs: w.n, Failed: w.nFailed, Cancelled: w.nCancelled}
+		if st.Jobs == 0 || w.statsN == 0 {
+			st.Makespan = w.TotalRunTime()
 			return st
 		}
 		st.Makespan = w.TotalRunTime()
-		st.MeanWait = w.sumWait / float64(w.n)
-		st.MeanResponse = w.sumResp / float64(w.n)
-		st.MeanSlowdown = w.sumSlow / float64(w.n)
+		st.MeanWait = w.sumWait / float64(w.statsN)
+		st.MeanResponse = w.sumResp / float64(w.statsN)
+		st.MeanSlowdown = w.sumSlow / float64(w.statsN)
 		st.MaxSlowdown = w.maxSlow
 		return st
 	}
-	st := SchedStats{Jobs: len(w.Jobs)}
+	st := SchedStats{Jobs: len(w.Jobs), Failed: w.nFailed, Cancelled: w.nCancelled}
 	if st.Jobs == 0 {
 		return st
 	}
+	// Cancelled-while-queued records (JobRecord.NeverRan) count toward
+	// Jobs/Cancelled but not toward the wait/response/slowdown
+	// statistics, matching the aggregate path.
 	var waits, resps Summary
 	var slow float64
 	for _, j := range w.Jobs {
+		if j.NeverRan() {
+			continue
+		}
 		waits.Observe(j.WaitTime())
 		resps.Observe(j.ResponseTime())
 		s := j.BoundedSlowdown()
@@ -63,11 +77,13 @@ func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) Sch
 		st.MaxSlowdown = math.Max(st.MaxSlowdown, s)
 	}
 	st.Makespan = w.TotalRunTime()
-	st.MeanWait = waits.Mean()
-	st.P95Wait = waits.Percentile(95)
-	st.MeanResponse = resps.Mean()
-	st.P95Response = resps.Percentile(95)
-	st.MeanSlowdown = slow / float64(st.Jobs)
+	if waits.Count() > 0 {
+		st.MeanWait = waits.Mean()
+		st.P95Wait = waits.Percentile(95)
+		st.MeanResponse = resps.Mean()
+		st.P95Response = resps.Percentile(95)
+		st.MeanSlowdown = slow / float64(waits.Count())
+	}
 	if cpusOf != nil && totalCores > 0 {
 		st.Demand = w.Utilization(cpusOf, totalCores)
 	}
@@ -75,8 +91,12 @@ func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) Sch
 }
 
 func (s SchedStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"jobs=%d makespan=%.0fs mean_wait=%.1fs p95_wait=%.1fs mean_resp=%.1fs p95_resp=%.1fs mean_bsld=%.2f max_bsld=%.2f demand=%.1f%%",
 		s.Jobs, s.Makespan, s.MeanWait, s.P95Wait, s.MeanResponse, s.P95Response,
 		s.MeanSlowdown, s.MaxSlowdown, 100*s.Demand)
+	if s.Failed > 0 || s.Cancelled > 0 {
+		out += fmt.Sprintf(" failed=%d cancelled=%d", s.Failed, s.Cancelled)
+	}
+	return out
 }

@@ -98,7 +98,14 @@ func (r Running) EndEstimate() float64 {
 type State struct {
 	// Now is the current virtual time.
 	Now float64
-	// CoresPerNode is the node capacity.
+	// Partition names the partition this snapshot covers. Partitions
+	// are independent homogeneous capacity domains: the executor
+	// invokes the policy once per partition per cycle, and all node
+	// indices in Free, Running.Nodes and the returned Action.Nodes are
+	// local to the named partition — a policy never sees two node
+	// shapes in one State and never places a job across partitions.
+	Partition string
+	// CoresPerNode is the node capacity (of this partition's machine).
 	CoresPerNode int
 	// Free holds the currently free CPUs per node (effective masks: a
 	// staged-but-unapplied shrink already counts as freed, a staged

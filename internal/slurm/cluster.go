@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/hwmodel"
+	"repro/internal/metrics"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -62,10 +63,19 @@ func (p Policy) String() string {
 }
 
 // Cluster is the simulated machine: nodes with DROM shared memory,
-// the demand table coupling co-runners, and the event engine.
+// the demand table coupling co-runners, and the event engine. A
+// cluster is a sequence of named partitions (hwmodel.ClusterSpec),
+// each a homogeneous pool of one machine type; nodes are numbered
+// globally and contiguously in partition order, so partition p owns
+// the index range [Spec.NodeOffset(p), Spec.NodeOffset(p)+Nodes).
 type Cluster struct {
+	// Machine is the node model of the first partition — the whole
+	// cluster's model in the homogeneous case every paper scenario
+	// uses. Heterogeneous code paths must go through MachineOfNode.
 	Machine hwmodel.Machine
-	Nodes   []string
+	// Spec is the partition layout.
+	Spec  hwmodel.ClusterSpec
+	Nodes []string
 
 	Engine *sim.Engine
 	Demand *apps.DemandTable
@@ -78,30 +88,77 @@ type Cluster struct {
 	Jitter     *rand.Rand
 	JitterFrac float64
 
-	reg *shmem.Registry
-	sys map[string]*core.System
+	reg      *shmem.Registry
+	sys      map[string]*core.System
+	machines []hwmodel.Machine // node index -> machine model
+	partOf   []int             // node index -> partition index
 }
 
-// NewCluster builds a cluster of n nodes of the given machine type.
+// DefaultPartition names the single partition of a homogeneous
+// cluster built through NewCluster.
+const DefaultPartition = "batch"
+
+// NewCluster builds a homogeneous cluster of n nodes of the given
+// machine type: one partition named DefaultPartition.
 func NewCluster(eng *sim.Engine, m hwmodel.Machine, n int, tracer *trace.Tracer) *Cluster {
-	c := &Cluster{
-		Machine: m,
-		Engine:  eng,
-		Demand:  apps.NewDemandTable(m),
-		Tracer:  tracer,
-		reg:     shmem.NewRegistry(),
-		sys:     make(map[string]*core.System),
-	}
-	for i := 0; i < n; i++ {
-		name := fmt.Sprintf("node%d", i)
-		c.Nodes = append(c.Nodes, name)
-		c.sys[name] = core.NewSystem(c.reg.Open(name, m.NodeMask(), 0))
+	c, err := NewClusterSpec(eng, hwmodel.Homogeneous(DefaultPartition, m, n), tracer)
+	if err != nil {
+		panic(err) // a positive node count cannot produce an invalid spec
 	}
 	return c
 }
 
+// NewClusterSpec builds a partitioned cluster from an explicit
+// layout. Each node opens its own DROM shared-memory segment sized to
+// its partition's machine.
+func NewClusterSpec(eng *sim.Engine, spec hwmodel.ClusterSpec, tracer *trace.Tracer) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Machine: spec.Partitions[0].Machine,
+		Spec:    spec,
+		Engine:  eng,
+		Demand:  apps.NewDemandTable(spec.Partitions[0].Machine),
+		Tracer:  tracer,
+		reg:     shmem.NewRegistry(),
+		sys:     make(map[string]*core.System),
+	}
+	hetero := len(spec.Partitions) > 1
+	i := 0
+	for pi, p := range spec.Partitions {
+		for k := 0; k < p.Nodes; k++ {
+			name := fmt.Sprintf("node%d", i)
+			c.Nodes = append(c.Nodes, name)
+			c.machines = append(c.machines, p.Machine)
+			c.partOf = append(c.partOf, pi)
+			c.sys[name] = core.NewSystem(c.reg.Open(name, p.Machine.NodeMask(), 0))
+			if hetero {
+				c.Demand.SetNodeMachine(name, p.Machine)
+			}
+			i++
+		}
+	}
+	return c, nil
+}
+
 // System returns the DROM system of a node.
 func (c *Cluster) System(node string) *core.System { return c.sys[node] }
+
+// MachineOfNode returns the machine model of the node at global
+// index i.
+func (c *Cluster) MachineOfNode(i int) hwmodel.Machine { return c.machines[i] }
+
+// PartitionOfNode returns the partition index of the node at global
+// index i.
+func (c *Cluster) PartitionOfNode(i int) int { return c.partOf[i] }
+
+// PartitionNodes returns the node names of partition p (a subslice of
+// Nodes; callers must not mutate it).
+func (c *Cluster) PartitionNodes(p int) []string {
+	lo := c.Spec.NodeOffset(p)
+	return c.Nodes[lo : lo+c.Spec.Partitions[p].Nodes]
+}
 
 // AllocPID returns a fresh virtual PID.
 func (c *Cluster) AllocPID() shmem.PID { return c.reg.AllocPID() }
@@ -124,12 +181,34 @@ type Job struct {
 	// Malleable marks the job as DROM-capable. Non-malleable jobs are
 	// never shrunk and never co-allocated onto.
 	Malleable bool
+	// Partition names the partition the job targets (sbatch
+	// --partition); empty selects the cluster's first partition. A job
+	// is placed entirely inside its partition — allocations never mix
+	// node shapes.
+	Partition string
+	// FailAfter, when > 0, ends the job prematurely that many virtual
+	// seconds after it is scheduled (a mid-run failure or scancel):
+	// its tasks are finalized and its CPUs freed exactly as on a
+	// normal termination, just earlier than the walltime promised the
+	// scheduler. Fault-aware SWF replays set it from the trace's
+	// actual-runtime field of failed/cancelled records.
+	FailAfter float64
+	// FailOutcome is the outcome recorded when FailAfter fires;
+	// leaving it zero records metrics.OutcomeFailed.
+	FailOutcome metrics.Outcome
 }
 
-// Validate checks the job shape.
+// Validate checks the job shape against its target partition.
 func (j *Job) Validate(cluster *Cluster) error {
-	if j.Nodes <= 0 || j.Nodes > len(cluster.Nodes) {
-		return fmt.Errorf("slurm: job %s wants %d nodes, cluster has %d", j.Name, j.Nodes, len(cluster.Nodes))
+	pi, ok := cluster.Spec.PartitionIndex(j.Partition)
+	if !ok {
+		return fmt.Errorf("slurm: job %s targets unknown partition %q (cluster is %s)",
+			j.Name, j.Partition, cluster.Spec)
+	}
+	part := cluster.Spec.Partitions[pi]
+	if j.Nodes <= 0 || j.Nodes > part.Nodes {
+		return fmt.Errorf("slurm: job %s wants %d nodes, partition %s has %d",
+			j.Name, j.Nodes, part.Name, part.Nodes)
 	}
 	if j.Cfg.Ranks%j.Nodes != 0 {
 		return fmt.Errorf("slurm: job %s has %d ranks over %d nodes (must divide)", j.Name, j.Cfg.Ranks, j.Nodes)
@@ -138,8 +217,9 @@ func (j *Job) Validate(cluster *Cluster) error {
 		return fmt.Errorf("slurm: job %s has invalid config %v", j.Name, j.Cfg)
 	}
 	perNode := (j.Cfg.Ranks / j.Nodes) * j.Cfg.Threads
-	if perNode > cluster.Machine.CoresPerNode() {
-		return fmt.Errorf("slurm: job %s wants %d CPUs/node, node has %d", j.Name, perNode, cluster.Machine.CoresPerNode())
+	if perNode > part.Machine.CoresPerNode() {
+		return fmt.Errorf("slurm: job %s wants %d CPUs/node, a %s node has %d",
+			j.Name, perNode, part.Name, part.Machine.CoresPerNode())
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuset"
 	"repro/internal/derr"
+	"repro/internal/hwmodel"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/shmem"
@@ -26,14 +27,17 @@ type taskRef struct {
 type runningJob struct {
 	job    *Job
 	seq    int // submission sequence, the scheduler's stable handle
+	pidx   int // partition index the job runs in
 	submit float64
 	start  float64
 	nodes  []string
 	tasks  []taskRef // rank order
 	inst   *apps.Instance
 
-	// nodeIdxs caches the sorted node indices for the scheduler
-	// snapshot (stable while the job runs; recomputed on resume).
+	// nodeIdxs caches the sorted partition-local node indices for the
+	// scheduler snapshot (stable while the job runs; recomputed on
+	// resume). Local = global − partition offset, so a one-partition
+	// cluster sees the global indices unchanged.
 	nodeIdxs []int
 	// curCPUs caches the job's effective per-node CPU allocation (the
 	// max over its nodes of the summed effective task masks). curOK is
@@ -80,6 +84,7 @@ type queuedJob struct {
 	job    *Job
 	submit float64
 	seq    int
+	pidx   int // resolved partition index of job.Partition
 	resume *runningJob
 }
 
@@ -144,7 +149,7 @@ type Controller struct {
 	// Incremental scheduling-cycle state: per-node cached effective-
 	// free masks (nodeFreeOK gates staleness), live seq→job indexes,
 	// and the reusable policy snapshot. See sched_driver.go.
-	nodeMask     cpuset.CPUSet
+	nodeMasks    []cpuset.CPUSet
 	nodeIdx      map[string]int
 	nodeFree     []cpuset.CPUSet
 	nodeFreeOK   []bool
@@ -218,7 +223,7 @@ func NewController(c *Cluster, policy Policy) *Controller {
 		CheckpointCost: 120,
 		RestartCost:    120,
 		admins:         make(map[string]*core.Admin),
-		nodeMask:       c.Machine.NodeMask(),
+		nodeMasks:      make([]cpuset.CPUSet, len(c.Nodes)),
 		nodeIdx:        make(map[string]int, len(c.Nodes)),
 		nodeFree:       make([]cpuset.CPUSet, len(c.Nodes)),
 		nodeFreeOK:     make([]bool, len(c.Nodes)),
@@ -234,6 +239,7 @@ func NewController(c *Cluster, policy Policy) *Controller {
 		}
 		ctl.admins[n] = admin
 		ctl.nodeIdx[n] = i
+		ctl.nodeMasks[i] = c.MachineOfNode(i).NodeMask()
 	}
 	return ctl
 }
@@ -253,10 +259,16 @@ func (ctl *Controller) Submit(j *Job) error {
 	if err := j.Validate(ctl.cluster); err != nil {
 		return err
 	}
+	pidx, _ := ctl.cluster.Spec.PartitionIndex(j.Partition) // Validate resolved it
 	ctl.seq++
-	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq})
+	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq, pidx: pidx})
 	ctl.trySchedule()
 	return nil
+}
+
+// machineOf returns the machine model of a node by name.
+func (ctl *Controller) machineOf(node string) hwmodel.Machine {
+	return ctl.cluster.MachineOfNode(ctl.nodeIdx[node])
 }
 
 // fail records the first internal error.
@@ -349,27 +361,33 @@ func (ctl *Controller) trySchedule() {
 		ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
 		return
 	}
-	// resv guards backfilling with the blocked head's EASY reservation:
-	// naive fit-based backfilling would let a stream of small jobs
-	// starve a wide head forever.
-	var resv *headReservation
+	// resv guards backfilling with each partition's blocked head's
+	// EASY reservation: naive fit-based backfilling would let a
+	// stream of small jobs starve a wide head forever. Partitions are
+	// independent capacity domains, so the first blocked job of every
+	// partition gets its own reservation — one shared reservation
+	// would leave the heads of the other partitions starvable.
+	var resv map[int]*headReservation
 	for i := 0; i < len(ctl.queue); {
 		q := ctl.queue[i]
-		nodes, plans := ctl.selectNodes(q.job)
+		nodes, plans := ctl.selectNodes(q.job, q.pidx)
 		if nodes == nil {
-			if i == 0 && ctl.policy == PolicyPreempt && ctl.tryPreempt(q.job) {
+			if i == 0 && ctl.policy == PolicyPreempt && ctl.tryPreempt(q.job, q.pidx) {
 				return // checkpoint in progress; retry scheduled
 			}
 			if !ctl.Backfill {
 				return // head-of-line blocks (FCFS)
 			}
-			if resv == nil {
-				resv = ctl.reservationFor(q.job)
+			if resv[q.pidx] == nil {
+				if resv == nil {
+					resv = make(map[int]*headReservation, 1)
+				}
+				resv[q.pidx] = ctl.reservationFor(q.job, q.pidx)
 			}
 			i++ // backfill: try the next queued job
 			continue
 		}
-		if resv != nil && !resv.allows(ctl.cluster.Engine.Now(), q.job, nodes) {
+		if rv := resv[q.pidx]; rv != nil && !rv.allows(ctl.cluster.Engine.Now(), q.job, nodes) {
 			i++ // starting now would delay the reserved head
 			continue
 		}
@@ -381,13 +399,14 @@ func (ctl *Controller) trySchedule() {
 	}
 }
 
-// tryPreempt checkpoints every running job with lower priority than j,
-// requeues them for later resumption, and schedules a re-try once the
-// checkpoint completes. Returns false when nothing can be preempted.
-func (ctl *Controller) tryPreempt(j *Job) bool {
+// tryPreempt checkpoints every running job in j's partition with
+// lower priority than j, requeues them for later resumption, and
+// schedules a re-try once the checkpoint completes. Returns false
+// when nothing can be preempted.
+func (ctl *Controller) tryPreempt(j *Job, pidx int) bool {
 	var victims []*runningJob
 	for _, r := range ctl.running {
-		if r.job.Priority < j.Priority {
+		if r.pidx == pidx && r.job.Priority < j.Priority {
 			victims = append(victims, r)
 		}
 	}
@@ -408,7 +427,7 @@ func (ctl *Controller) tryPreempt(j *Job) bool {
 		}
 		ctl.seq++
 		ctl.enqueue(&queuedJob{
-			job: v.job, submit: v.submit, seq: ctl.seq, resume: v,
+			job: v.job, submit: v.submit, seq: ctl.seq, pidx: v.pidx, resume: v,
 		})
 		ctl.logf(v.nodes[0], "preempt", "job %s checkpointed after %d iterations",
 			v.job.Name, v.inst.ItersDone())
@@ -447,27 +466,29 @@ func (ctl *Controller) jobsOn(node string) []JobOnNode {
 	return out
 }
 
-// selectNodes picks nodes for a job under the active policy and
-// returns the per-node launch plans. nil means the job must wait.
-func (ctl *Controller) selectNodes(j *Job) ([]string, map[string]LaunchPlan) {
+// selectNodes picks nodes for a job under the active policy — from
+// the job's partition only — and returns the per-node launch plans.
+// nil means the job must wait.
+func (ctl *Controller) selectNodes(j *Job, pidx int) ([]string, map[string]LaunchPlan) {
 	type cand struct {
 		node string
 		free int
 		plan LaunchPlan
 	}
 	var cands []cand
-	for _, node := range ctl.cluster.Nodes {
+	for _, node := range ctl.cluster.PartitionNodes(pidx) {
+		machine := ctl.machineOf(node)
 		occupants := ctl.jobsOn(node)
 		switch ctl.policy {
 		case PolicySerial, PolicyPreempt:
 			if len(occupants) > 0 {
 				continue
 			}
-			plan, err := PlanLaunch(ctl.cluster.Machine, nil, j)
+			plan, err := PlanLaunch(machine, nil, j)
 			if err != nil {
 				continue
 			}
-			cands = append(cands, cand{node, ctl.cluster.Machine.CoresPerNode(), plan})
+			cands = append(cands, cand{node, machine.CoresPerNode(), plan})
 		case PolicyDROM:
 			if !j.Malleable && len(occupants) > 0 {
 				continue // a rigid job needs free nodes
@@ -481,7 +502,7 @@ func (ctl *Controller) selectNodes(j *Job) ([]string, map[string]LaunchPlan) {
 			if !coAllocOK {
 				continue
 			}
-			plan, err := PlanLaunch(ctl.cluster.Machine, occupants, j)
+			plan, err := PlanLaunch(machine, occupants, j)
 			if err != nil {
 				continue
 			}
@@ -531,11 +552,13 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		r.nodes = nodes
 		r.tasks = nil
 	} else {
-		r = &runningJob{job: j, seq: q.seq, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
+		r = &runningJob{job: j, seq: q.seq, pidx: q.pidx, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
 	}
+	// Snapshot node indices are local to the job's partition.
+	offset := ctl.cluster.Spec.NodeOffset(r.pidx)
 	r.nodeIdxs = r.nodeIdxs[:0]
 	for _, node := range nodes {
-		r.nodeIdxs = append(r.nodeIdxs, ctl.nodeIdx[node])
+		r.nodeIdxs = append(r.nodeIdxs, ctl.nodeIdx[node]-offset)
 	}
 	sort.Ints(r.nodeIdxs)
 	// The launch-time allocation is exactly the planned masks; cache
@@ -630,10 +653,50 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 			ctl.fail(err)
 		}
 	})
+	// A fault-annotated job dies FailAfter seconds into its run: the
+	// interrupt fires whether or not the job was shrunk or expanded in
+	// the meantime — elongated iterations do not postpone a failure.
+	// (A job preempted before the interrupt is requeued under a new
+	// seq, so the stale interrupt is a no-op; the fault is not
+	// re-armed across a checkpoint restart.)
+	if j.FailAfter > 0 {
+		seq := r.seq
+		ctl.cluster.Engine.After(ctl.LaunchLatency+j.FailAfter, func() {
+			ctl.interruptRunning(seq)
+		})
+	}
 }
 
-// onJobEnd implements post_term + release_resources.
+// interruptRunning ends a running job prematurely (mid-run failure or
+// scancel from a fault-annotated trace): the instance stops at the
+// current virtual time, its tasks are finalized and its CPUs freed
+// through the normal termination path, and the job is recorded with
+// its FailOutcome. A seq that no longer names a running job — the job
+// completed first, or was preempted and requeued — is a no-op.
+func (ctl *Controller) interruptRunning(seq int) {
+	r, ok := ctl.rBySeq[seq]
+	if !ok {
+		return
+	}
+	outcome := r.job.FailOutcome
+	if outcome == metrics.OutcomeCompleted {
+		outcome = metrics.OutcomeFailed
+	}
+	r.inst.Stop()
+	ctl.logf(r.nodes[0], "interrupt", "job %s %s at %d/%d iterations",
+		r.job.Name, outcome, r.inst.ItersDone(), r.inst.Iters)
+	ctl.endJob(r, ctl.cluster.Engine.Now(), outcome)
+}
+
+// onJobEnd implements post_term + release_resources for a normal
+// completion.
 func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
+	ctl.endJob(r, end, metrics.OutcomeCompleted)
+}
+
+// endJob implements post_term + release_resources, recording the
+// given outcome.
+func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcome) {
 	// post_term: DROM_PostFinalize each task, returning stolen CPUs to
 	// their original owners when they still run.
 	for _, t := range r.tasks {
@@ -667,6 +730,7 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 	delete(ctl.rBySeq, r.seq)
 	ctl.Records.Add(metrics.JobRecord{
 		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
+		Partition: ctl.cluster.Spec.Partitions[r.pidx].Name, Outcome: outcome,
 	})
 	// release_resources: expand surviving jobs into the freed CPUs.
 	// With a sched.Policy installed, expansion is that policy's call
@@ -694,7 +758,12 @@ func (ctl *Controller) Cancel(name string) bool {
 			ctl.Records.Add(metrics.JobRecord{
 				Name: name, Submit: q.submit,
 				Start: ctl.cluster.Engine.Now(), End: ctl.cluster.Engine.Now(),
+				Partition: ctl.cluster.Spec.Partitions[q.pidx].Name,
+				Outcome:   metrics.OutcomeCancelled,
 			})
+			// The queue shortened: the head may have changed, and a
+			// policy reservation computed against the old head is moot.
+			ctl.trySchedule()
 			return true
 		}
 	}
@@ -703,7 +772,7 @@ func (ctl *Controller) Cancel(name string) bool {
 			r.inst.Stop()
 			ctl.logf(r.nodes[0], "scancel", "job %s killed at %d/%d iterations",
 				name, r.inst.ItersDone(), r.inst.Iters)
-			ctl.onJobEnd(r, ctl.cluster.Engine.Now())
+			ctl.endJob(r, ctl.cluster.Engine.Now(), metrics.OutcomeCancelled)
 			return true
 		}
 	}
@@ -731,12 +800,13 @@ func (ctl *Controller) ServeEvolvingRequests() {
 			if e.Dirty {
 				cur = e.FutureMask
 			}
+			machine := ctl.machineOf(node)
 			var next cpuset.CPUSet
 			if req.Want < req.Current {
-				next = ctl.cluster.Machine.SocketAwarePick(cur, req.Want)
+				next = machine.SocketAwarePick(cur, req.Want)
 			} else {
 				free := ctl.cluster.System(node).Segment().FreeMask()
-				extra := ctl.cluster.Machine.SocketAwarePick(free, req.Want-req.Current)
+				extra := machine.SocketAwarePick(free, req.Want-req.Current)
 				if extra.IsEmpty() {
 					continue // nothing to grant now
 				}
@@ -765,7 +835,7 @@ func (ctl *Controller) releaseResources(node string) {
 	if free.IsEmpty() {
 		return
 	}
-	grown := PlanExpand(ctl.cluster.Machine, ctl.jobsOn(node), free)
+	grown := PlanExpand(ctl.machineOf(node), ctl.jobsOn(node), free)
 	for pid, mask := range grown {
 		// Preserve any pending staged mask: grow from the future value.
 		if e, code := admin.Inspect(pid); !code.IsError() && e.Dirty {

@@ -67,7 +67,7 @@ func (ctl *Controller) effectiveFree(node string) cpuset.CPUSet {
 	}
 	if !ctl.nodeFreeOK[i] {
 		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
-		ctl.nodeFree[i] = ctl.nodeMask.AndNot(used)
+		ctl.nodeFree[i] = ctl.nodeMasks[i].AndNot(used)
 		ctl.nodeFreeOK[i] = true
 	}
 	return ctl.nodeFree[i]
@@ -147,21 +147,29 @@ func (ctl *Controller) runningCPUs(r *runningJob) int {
 	return cur
 }
 
-// snapshot refreshes the policy's view of the cluster. The returned
-// State and its slices are owned by the controller and reused across
-// cycles: policies must treat it as read-only and must not retain it
-// past the Schedule call (the sched.Policy contract).
-func (ctl *Controller) snapshot() *sched.State {
+// snapshotPartition refreshes the policy's view of one partition:
+// free counts over the partition's nodes (indices local to the
+// partition), the queued jobs targeting it and the running jobs
+// inside it. The returned State and its slices are owned by the
+// controller and reused across cycles and partitions: policies must
+// treat it as read-only and must not retain it past the Schedule call
+// (the sched.Policy contract).
+func (ctl *Controller) snapshotPartition(pi int) *sched.State {
+	part := ctl.cluster.Spec.Partitions[pi]
 	st := &ctl.snapState
 	st.Now = ctl.cluster.Engine.Now()
-	st.CoresPerNode = ctl.cluster.Machine.CoresPerNode()
+	st.Partition = part.Name
+	st.CoresPerNode = part.Machine.CoresPerNode()
 	st.Free = st.Free[:0]
 	st.Queue = st.Queue[:0]
 	st.Running = st.Running[:0]
-	for _, node := range ctl.cluster.Nodes {
+	for _, node := range ctl.cluster.PartitionNodes(pi) {
 		st.Free = append(st.Free, ctl.effectiveFree(node).Count())
 	}
 	for _, q := range ctl.queue {
+		if q.pidx != pi {
+			continue
+		}
 		st.Queue = append(st.Queue, sched.Job{
 			ID:             q.seq,
 			Name:           q.job.Name,
@@ -175,12 +183,15 @@ func (ctl *Controller) snapshot() *sched.State {
 		})
 	}
 	for _, r := range ctl.running {
+		if r.pidx != pi {
+			continue
+		}
 		st.Running = append(st.Running, sched.Running{
 			ID:             r.seq,
 			Name:           r.job.Name,
 			Start:          r.start,
 			Walltime:       r.job.Walltime,
-			Nodes:          r.nodeIdxs,
+			Nodes:          r.nodeIdxs, // partition-local indices
 			CPUsPerNode:    ctl.runningCPUs(r),
 			ReqCPUsPerNode: r.job.CPUsPerNode(),
 			MinCPUsPerNode: r.job.RanksPerNode(),
@@ -190,35 +201,43 @@ func (ctl *Controller) snapshot() *sched.State {
 	return st
 }
 
-// schedCycle runs one policy pass and executes its actions in order.
-// An action that no longer applies (the capacity model is coarser than
-// mask-level placement) is skipped and the job stays queued — but the
-// skip re-arms one follow-up cycle at the current timestamp, so
-// capacity freed by actions that did execute (say, a shrink paired
-// with a start that lost the race) is re-planned immediately instead
-// of idling until the next job event.
+// schedCycle runs one policy pass per partition and executes each
+// pass's actions in order before snapshotting the next partition.
+// Partitions are fully independent capacity domains: the policy never
+// sees two node shapes in one State, and actions carry
+// partition-local node indices. An action that no longer applies (the
+// capacity model is coarser than mask-level placement) is skipped and
+// the job stays queued — but the skip re-arms one follow-up cycle at
+// the current timestamp, so capacity freed by actions that did
+// execute (say, a shrink paired with a start that lost the race) is
+// re-planned immediately instead of idling until the next job event.
 func (ctl *Controller) schedCycle() {
-	ctl.Cycles++
-	st := ctl.snapshot()
 	skipped := false
-	for _, a := range ctl.sched.Schedule(st) {
-		switch a.Kind {
-		case sched.ActStart:
-			q, ok := ctl.qBySeq[a.ID]
-			if !ok || !ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes) {
-				skipped = true
-			}
-		case sched.ActShrink:
-			if r, ok := ctl.rBySeq[a.ID]; ok {
-				ctl.shrinkRunning(r, a.TargetCPUsPerNode)
-			} else {
-				skipped = true
-			}
-		case sched.ActExpand:
-			if r, ok := ctl.rBySeq[a.ID]; ok {
-				ctl.expandRunning(r, a.TargetCPUsPerNode)
-			} else {
-				skipped = true
+	for pi := range ctl.cluster.Spec.Partitions {
+		ctl.Cycles++
+		st := ctl.snapshotPartition(pi)
+		for _, a := range ctl.sched.Schedule(st) {
+			switch a.Kind {
+			case sched.ActStart:
+				q, ok := ctl.qBySeq[a.ID]
+				if !ok || q.pidx != pi || !ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes) {
+					skipped = true
+				}
+			case sched.ActShrink:
+				// r.pidx must match: a policy may only resize jobs of the
+				// partition it was invoked for (targets are computed
+				// against that partition's node shape).
+				if r, ok := ctl.rBySeq[a.ID]; ok && r.pidx == pi {
+					ctl.shrinkRunning(r, a.TargetCPUsPerNode)
+				} else {
+					skipped = true
+				}
+			case sched.ActExpand:
+				if r, ok := ctl.rBySeq[a.ID]; ok && r.pidx == pi {
+					ctl.expandRunning(r, a.TargetCPUsPerNode)
+				} else {
+					skipped = true
+				}
 			}
 		}
 	}
@@ -247,11 +266,11 @@ func (ctl *Controller) rearmAfterSkip() {
 // must match the rescan and stay within [0, CoresPerNode], and every
 // cached job width must match a fresh task-mask walk.
 func (ctl *Controller) checkFreeInvariant() {
-	cores := ctl.cluster.Machine.CoresPerNode()
-	for _, node := range ctl.cluster.Nodes {
+	for i, node := range ctl.cluster.Nodes {
+		cores := ctl.cluster.MachineOfNode(i).CoresPerNode()
 		got := ctl.effectiveFree(node)
 		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
-		want := ctl.nodeMask.AndNot(used)
+		want := ctl.nodeMasks[i].AndNot(used)
 		if !got.Equal(want) {
 			ctl.fail(fmt.Errorf("slurm: invariant: node %s cached effective-free %s, re-scan says %s", node, got, want))
 		}
@@ -278,14 +297,17 @@ type startCand struct {
 	n    int // cached free.Count()
 }
 
-// startQueued places q on effectively-free CPUs — target per-node CPUs
-// when the policy admits it shrunk (0 = full request), on the pinned
-// node indices when the policy budgeted specific nodes (an EASY
-// reservation is only starvation-safe on exactly those) — and
-// launches it through the Figure-2 protocol. Returns false when
-// placement fails.
+// startQueued places q on effectively-free CPUs of its partition —
+// target per-node CPUs when the policy admits it shrunk (0 = full
+// request), on the pinned partition-local node indices when the
+// policy budgeted specific nodes (an EASY reservation is only
+// starvation-safe on exactly those) — and launches it through the
+// Figure-2 protocol. Returns false when placement fails.
 func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool {
 	j := q.job
+	part := ctl.cluster.Spec.Partitions[q.pidx]
+	offset := ctl.cluster.Spec.NodeOffset(q.pidx)
+	machine := part.Machine
 	need := j.CPUsPerNode()
 	if target > 0 && target < need {
 		need = target
@@ -296,7 +318,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 	cands := ctl.startCands[:0]
 	if len(pinned) > 0 {
 		for k, idx := range pinned {
-			if idx < 0 || idx >= len(ctl.cluster.Nodes) {
+			if idx < 0 || idx >= part.Nodes {
 				return false
 			}
 			// A duplicated index would pass the width check below while
@@ -307,7 +329,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 					return false
 				}
 			}
-			node := ctl.cluster.Nodes[idx]
+			node := ctl.cluster.Nodes[offset+idx]
 			f := ctl.effectiveFree(node)
 			if f.Count() < need {
 				ctl.startCands = cands
@@ -320,7 +342,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 			return false
 		}
 	} else {
-		for _, node := range ctl.cluster.Nodes {
+		for _, node := range ctl.cluster.PartitionNodes(q.pidx) {
 			f := ctl.effectiveFree(node)
 			if n := f.Count(); n >= need {
 				cands = append(cands, startCand{node, f, n})
@@ -365,7 +387,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 		plan := LaunchPlan{}
 		ctl.splitBuf = splitEvenInto(ctl.splitBuf, need, j.RanksPerNode())
 		for _, want := range ctl.splitBuf {
-			mask := ctl.cluster.Machine.SocketAwarePick(avail, want)
+			mask := machine.SocketAwarePick(avail, want)
 			if mask.IsEmpty() {
 				return false
 			}
@@ -394,6 +416,7 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 		if t < len(refs) {
 			t = len(refs) // never below one CPU per task
 		}
+		machine := ctl.machineOf(node)
 		cur := ctl.effectiveMasks(node, refs)
 		total := 0
 		for _, m := range cur {
@@ -408,7 +431,7 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 			if cur[i].Count() <= per[i] {
 				continue
 			}
-			keep := ctl.cluster.Machine.SocketAwarePick(cur[i], per[i])
+			keep := machine.SocketAwarePick(cur[i], per[i])
 			if keep.IsEmpty() {
 				continue
 			}
@@ -435,6 +458,7 @@ func (ctl *Controller) expandRunning(r *runningJob, target int) {
 		if len(refs) == 0 {
 			continue
 		}
+		machine := ctl.machineOf(node)
 		free := ctl.effectiveFree(node)
 		cur := ctl.effectiveMasks(node, refs)
 		ctl.splitBuf = splitEvenInto(ctl.splitBuf, target, len(refs))
@@ -444,7 +468,7 @@ func (ctl *Controller) expandRunning(r *runningJob, target int) {
 			if want <= 0 {
 				continue
 			}
-			extra := ctl.cluster.Machine.SocketAwarePick(free, want)
+			extra := machine.SocketAwarePick(free, want)
 			if extra.IsEmpty() {
 				continue
 			}
@@ -496,15 +520,20 @@ type headReservation struct {
 	nodes  map[string]bool
 }
 
-// reservationFor projects, per node, when all current occupants have
-// ended, and reserves the j.Nodes earliest-free nodes for j.
-func (ctl *Controller) reservationFor(j *Job) *headReservation {
+// reservationFor projects, per node of j's partition, when all
+// current occupants have ended, and reserves the j.Nodes earliest-
+// free nodes for j.
+func (ctl *Controller) reservationFor(j *Job, pidx int) *headReservation {
 	now := ctl.cluster.Engine.Now()
-	freeAt := make(map[string]float64, len(ctl.cluster.Nodes))
-	for _, node := range ctl.cluster.Nodes {
+	partNodes := ctl.cluster.PartitionNodes(pidx)
+	freeAt := make(map[string]float64, len(partNodes))
+	for _, node := range partNodes {
 		freeAt[node] = now
 	}
 	for _, r := range ctl.running {
+		if r.pidx != pidx {
+			continue
+		}
 		end := r.start + walltimeEstimate(r.job)
 		if end < now {
 			end = now // overdue estimate: "ends any moment"
@@ -515,7 +544,7 @@ func (ctl *Controller) reservationFor(j *Job) *headReservation {
 			}
 		}
 	}
-	names := append([]string(nil), ctl.cluster.Nodes...)
+	names := append([]string(nil), partNodes...)
 	sort.SliceStable(names, func(a, b int) bool {
 		if freeAt[names[a]] != freeAt[names[b]] {
 			return freeAt[names[a]] < freeAt[names[b]]

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/hwmodel"
 	"repro/internal/workload"
 )
 
@@ -25,6 +26,11 @@ import (
 //	seeds     comma list and/or lo-hi ranges, e.g. "1,3,5-8" (default 1)
 //	jobs      synthetic trace length (default 1000)
 //	nodes     cluster size (default 4)
+//	cluster   partitioned heterogeneous cluster spec, e.g.
+//	          batch:4xmn3,fat:2xfat or the "hetero" preset
+//	          (hwmodel.ParseCluster grammar; overrides nodes)
+//	cancel    synthetic per-job cancellation probability (0..1)
+//	fail      synthetic per-job failure probability (0..1)
 //	ia        mean inter-arrival seconds (default 60)
 //	swf       SWF trace file to replay instead of the generator
 //	max       truncate an SWF trace to this many jobs
@@ -63,6 +69,24 @@ func ParseGrid(spec string) (Grid, error) {
 				return Grid{}, fmt.Errorf("sweep: nodes: %v", err)
 			}
 			g.Nodes = n
+		case "cluster":
+			cs, err := hwmodel.ParseCluster(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: cluster: %v", err)
+			}
+			g.Cluster = cs
+		case "cancel":
+			x, err := parseRate(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: cancel: %v", err)
+			}
+			g.CancelRate = x
+		case "fail":
+			x, err := parseRate(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: fail: %v", err)
+			}
+			g.FailRate = x
 		case "ia", "interarrival":
 			x, err := strconv.ParseFloat(v, 64)
 			if err != nil {
@@ -86,6 +110,18 @@ func ParseGrid(spec string) (Grid, error) {
 		}
 	}
 	return g, nil
+}
+
+// parseRate parses a probability in [0, 1].
+func parseRate(v string) (float64, error) {
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if x < 0 || x > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", x)
+	}
+	return x, nil
 }
 
 // parseSeeds accepts comma lists with lo-hi ranges: "1,3,5-8".
@@ -127,7 +163,8 @@ func (s Summary) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"index", "policy", "seed", "jobs", "wall_seconds", "sched_cycles", "sim_events",
-		"makespan_s", "mean_wait_s", "p95_wait_s", "mean_resp_s", "mean_bsld", "error",
+		"makespan_s", "mean_wait_s", "p95_wait_s", "mean_resp_s", "mean_bsld",
+		"failed", "cancelled", "dropped", "error",
 	}); err != nil {
 		return err
 	}
@@ -138,7 +175,9 @@ func (s Summary) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Jobs), f(r.WallSeconds),
 			strconv.FormatInt(r.Cycles, 10), strconv.FormatInt(r.Events, 10),
 			f(r.Stats.Makespan), f(r.Stats.MeanWait), f(r.Stats.P95Wait),
-			f(r.Stats.MeanResponse), f(r.Stats.MeanSlowdown), r.Err,
+			f(r.Stats.MeanResponse), f(r.Stats.MeanSlowdown),
+			strconv.Itoa(r.Stats.Failed), strconv.Itoa(r.Stats.Cancelled),
+			strconv.Itoa(r.Dropped.Total()), r.Err,
 		}); err != nil {
 			return err
 		}
@@ -161,6 +200,16 @@ func (s Summary) Table() string {
 		fmt.Fprintf(&sb, "%-5d %-17s %6d %8.2f %10d %12.0f %12.1f %12.1f %10.2f\n",
 			r.Seed, r.Policy, r.Jobs, r.WallSeconds, r.Cycles,
 			r.Stats.Makespan, r.Stats.MeanWait, r.Stats.MeanResponse, r.Stats.MeanSlowdown)
+		if r.Stats.Failed > 0 || r.Stats.Cancelled > 0 || r.Dropped.Total() > 0 {
+			line := fmt.Sprintf("failed=%d cancelled=%d", r.Stats.Failed, r.Stats.Cancelled)
+			if r.Dropped.Total() > 0 {
+				line += fmt.Sprintf(" trace: %s", r.Dropped)
+			}
+			fmt.Fprintf(&sb, "      %-17s %s\n", "", line)
+		}
+		for _, ps := range r.Partitions {
+			fmt.Fprintf(&sb, "      %-17s %s\n", "", ps)
+		}
 	}
 	fmt.Fprintf(&sb, "%d experiments on %d workers in %.2fs wall\n",
 		len(s.Results), s.Workers, s.WallSeconds)

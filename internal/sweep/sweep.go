@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/hwmodel"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -38,11 +39,20 @@ type Grid struct {
 	Seeds []int64
 	// Jobs per synthetic trace (default 1000).
 	Jobs int
-	// Nodes is the cluster size (default 4).
+	// Nodes is the cluster size (default 4). Ignored when Cluster is
+	// set.
 	Nodes int
+	// Cluster, when non-empty, runs every experiment on a partitioned
+	// heterogeneous cluster (hwmodel.ClusterSpec); the grid key is
+	// cluster=<spec> in the ParseCluster grammar.
+	Cluster hwmodel.ClusterSpec
 	// MeanInterarrival is the synthetic generator's inter-arrival mean
 	// in seconds (default 60).
 	MeanInterarrival float64
+	// CancelRate / FailRate are the synthetic generator's per-job
+	// fault probabilities (grid keys cancel= and fail=).
+	CancelRate float64
+	FailRate   float64
 	// SWFPath replays a Standard Workload Format file instead of the
 	// synthetic generator.
 	SWFPath string
@@ -99,7 +109,13 @@ type Result struct {
 	Cycles      int64              `json:"sched_cycles"`
 	Events      int64              `json:"sim_events"`
 	Stats       metrics.SchedStats `json:"stats"`
-	Err         string             `json:"error,omitempty"`
+	// Dropped counts trace records the mapping layer discarded before
+	// submission (omitted when the whole trace replayed).
+	Dropped metrics.DropStats `json:"dropped,omitzero"`
+	// Partitions carries the per-partition split on multi-partition
+	// clusters (nil on homogeneous runs).
+	Partitions []metrics.PartitionStat `json:"partitions,omitempty"`
+	Err        string                  `json:"error,omitempty"`
 	// Records holds the per-job records when Grid.KeepJobs is set.
 	Records []metrics.JobRecord `json:"-"`
 }
@@ -132,11 +148,28 @@ func (g Grid) Experiments() []Experiment {
 	return exps
 }
 
+// shapeName renders the cluster part of a trace label.
+func (g Grid) shapeName() string {
+	if len(g.Cluster.Partitions) > 0 {
+		return fmt.Sprintf("cluster=%s", g.Cluster)
+	}
+	return fmt.Sprintf("nodes=%d", g.Nodes)
+}
+
+// faultName renders the fault-rate part of a trace label ("" when the
+// generator is clean).
+func (g Grid) faultName() string {
+	if g.CancelRate <= 0 && g.FailRate <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" cancel=%g fail=%g", g.CancelRate, g.FailRate)
+}
+
 func (g Grid) traceName(seed int64) string {
 	if g.SWFPath != "" {
 		return fmt.Sprintf("swf:%s", g.SWFPath)
 	}
-	return fmt.Sprintf("synthetic seed=%d jobs=%d nodes=%d", seed, g.Jobs, g.Nodes)
+	return fmt.Sprintf("synthetic seed=%d jobs=%d %s%s", seed, g.Jobs, g.shapeName(), g.faultName())
 }
 
 // gridName describes the whole grid (the summary-level label; the
@@ -149,8 +182,8 @@ func (g Grid) gridName() string {
 	for i, s := range g.Seeds {
 		seeds[i] = strconv.FormatInt(s, 10)
 	}
-	return fmt.Sprintf("synthetic seeds=%s jobs=%d nodes=%d",
-		strings.Join(seeds, ","), g.Jobs, g.Nodes)
+	return fmt.Sprintf("synthetic seeds=%s jobs=%d %s%s",
+		strings.Join(seeds, ","), g.Jobs, g.shapeName(), g.faultName())
 }
 
 // Run executes the grid on the given number of workers (<= 0 means
@@ -222,11 +255,19 @@ func Run(g Grid, workers int) (Summary, error) {
 // scenario materializes the trace for one seed.
 func (g Grid) scenario(seed int64) (workload.Scenario, error) {
 	if g.SWFPath != "" {
-		return scenarioFromFile(g.SWFPath, workload.SWFOptions{Nodes: g.Nodes, MaxJobs: g.MaxJobs})
+		return scenarioFromFile(g.SWFPath, workload.SWFOptions{
+			Nodes: g.Nodes, Cluster: g.Cluster, MaxJobs: g.MaxJobs,
+		})
 	}
-	return workload.SyntheticSWFScenario(workload.SyntheticSWF{
+	return workload.SyntheticSWFScenario(g.synthetic(seed))
+}
+
+// synthetic parameterizes the generator for one seed.
+func (g Grid) synthetic(seed int64) workload.SyntheticSWF {
+	return workload.SyntheticSWF{
 		Seed: seed, Jobs: g.Jobs, Nodes: g.Nodes, MeanInterarrival: g.MeanInterarrival,
-	})
+		Cluster: g.Cluster, CancelRate: g.CancelRate, FailRate: g.FailRate,
+	}
 }
 
 // runOne executes one experiment in isolation.
@@ -246,7 +287,7 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 			out.Err = err.Error()
 			return out
 		}
-		base := workload.Scenario{Nodes: g.Nodes, DebugInvariants: g.DebugInvariants}
+		base := workload.Scenario{Nodes: g.Nodes, Cluster: g.Cluster, DebugInvariants: g.DebugInvariants}
 		res = workload.RunSchedStream(base, src, p)
 		stats = workload.SchedStatsOfStream(res)
 	} else {
@@ -264,6 +305,10 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 	out.Cycles = res.SchedCycles
 	out.Events = res.Events
 	out.Stats = stats
+	out.Dropped = res.Records.Dropped
+	if len(g.Cluster.Partitions) > 1 {
+		out.Partitions = res.Records.PartitionStats()
+	}
 	if g.KeepJobs {
 		out.Records = append([]metrics.JobRecord(nil), res.Records.Jobs...)
 	}
@@ -273,11 +318,11 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 // source builds a fresh streaming source for one experiment.
 func (g Grid) source(seed int64) (workload.SubmissionSource, error) {
 	if g.SWFPath != "" {
-		return sourceFromFile(g.SWFPath, workload.SWFOptions{Nodes: g.Nodes, MaxJobs: g.MaxJobs})
+		return sourceFromFile(g.SWFPath, workload.SWFOptions{
+			Nodes: g.Nodes, Cluster: g.Cluster, MaxJobs: g.MaxJobs,
+		})
 	}
-	return workload.SyntheticSWF{
-		Seed: seed, Jobs: g.Jobs, Nodes: g.Nodes, MeanInterarrival: g.MeanInterarrival,
-	}.Source(), nil
+	return g.synthetic(seed).Source(), nil
 }
 
 // StartsListing renders the per-job start times of every experiment

@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/hwmodel"
 )
 
 // stripWall zeroes the wall-clock fields, which legitimately vary
@@ -146,6 +148,50 @@ func TestParseGrid(t *testing.T) {
 	}
 	if g.Policies != nil || len(g.Seeds) != 1 || g.Seeds[0] != 2 || g.Jobs != 10 {
 		t.Errorf("ParseGrid whitespace form = %+v", g)
+	}
+	// Heterogeneous cluster + fault-rate keys.
+	g, err = ParseGrid("policies=fcfs;cluster=hetero;cancel=0.05;fail=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cluster.String() != hwmodel.HeteroMN3().String() {
+		t.Errorf("cluster = %q", g.Cluster)
+	}
+	if g.CancelRate != 0.05 || g.FailRate != 0.1 {
+		t.Errorf("rates = %g/%g", g.CancelRate, g.FailRate)
+	}
+	if _, err := ParseGrid("cluster=bogus:1"); err == nil {
+		t.Error("bad cluster spec should fail")
+	}
+	if _, err := ParseGrid("cancel=1.5"); err == nil {
+		t.Error("out-of-range rate should fail")
+	}
+}
+
+// TestSweepHeteroFaultGrid runs a small heterogeneous fault grid end
+// to end and checks the per-partition split reaches the results.
+func TestSweepHeteroFaultGrid(t *testing.T) {
+	sum, err := Run(Grid{
+		Policies: []string{"malleable-expand"}, Seeds: []int64{1}, Jobs: 120,
+		Cluster: hwmodel.HeteroMN3(), CancelRate: 0.1, FailRate: 0.1,
+		MeanInterarrival: 25,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[0]
+	if r.Stats.Cancelled == 0 && r.Stats.Failed == 0 {
+		t.Fatalf("fault grid produced no faults: %+v", r.Stats)
+	}
+	if len(r.Partitions) != 2 {
+		t.Fatalf("partitions = %v, want batch+fat", r.Partitions)
+	}
+	jobs := 0
+	for _, ps := range r.Partitions {
+		jobs += ps.Jobs
+	}
+	if jobs != r.Jobs {
+		t.Fatalf("partition split %d != %d jobs", jobs, r.Jobs)
 	}
 }
 

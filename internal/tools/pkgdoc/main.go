@@ -1,0 +1,99 @@
+// Command pkgdoc enforces the repository's documentation floor: every
+// Go package (any directory holding non-test .go files) must carry a
+// package comment. It prints the offending directories and exits
+// non-zero on drift; CI's docs job runs it next to gofmt and go vet.
+//
+// Usage:
+//
+//	go run ./internal/tools/pkgdoc [root]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pkgdoc: %v\n", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "pkgdoc: packages missing a package comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// check walks root and returns the package directories whose non-test
+// files carry no package comment. testdata and VCS directories are
+// skipped, as are directories containing only _test.go files (their
+// doc lives on the tested package).
+func check(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir := range dirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// hasPackageComment reports whether any non-test file of dir carries
+// a non-empty package doc comment.
+func hasPackageComment(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, fmt.Errorf("%s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepositoryHasNoUndocumentedPackages turns the CI docs rule into
+// a tier-1 test: every package in this module must carry a package
+// comment.
+func TestRepositoryHasNoUndocumentedPackages(t *testing.T) {
+	missing, err := check("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range missing {
+		t.Errorf("package without a package comment: %s", dir)
+	}
+}
+
+// TestCheckFlagsMissingComment verifies the checker actually fires on
+// an undocumented package.
+func TestCheckFlagsMissingComment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/x.go", []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want the temp package", missing)
+	}
+}

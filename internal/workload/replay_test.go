@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/hwmodel"
 	"repro/internal/sched"
 )
 
@@ -85,6 +86,85 @@ func TestSchedReplayDecisionGolden(t *testing.T) {
 		}
 	}
 	t.Fatalf("start-time listing length changed: got %d lines, want %d", len(gl), len(wl))
+}
+
+// heteroGoldenPath pins the decisions AND outcomes of a 2-partition
+// heterogeneous replay with cancellations and failures: per job the
+// start, end, outcome and partition under every policy. Regenerate
+// (only after an intentional behavior change) with:
+//
+//	UPDATE_SCHED_GOLDEN=1 go test ./internal/workload -run ReplayHeteroFaultGolden
+const heteroGoldenPath = "testdata/sched_starts_hetero_seed1_600.golden"
+
+// heteroFaultScenario is the golden's fixed workload: 600 seeded jobs
+// over batch(4×MN3)+fat(2×fat) with 6% cancel and 6% fail rates,
+// contended arrivals.
+func heteroFaultScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc, err := SyntheticSWFScenario(SyntheticSWF{
+		Seed: 1, Jobs: 600, MeanInterarrival: 20,
+		Cluster:    hwmodel.HeteroMN3(),
+		CancelRate: 0.06, FailRate: 0.06,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DebugInvariants = true
+	return sc
+}
+
+// TestSchedReplayHeteroFaultGolden replays the heterogeneous
+// fault-annotated trace under all four policies with invariant
+// checking on and compares every job's lifecycle against the
+// committed golden.
+func TestSchedReplayHeteroFaultGolden(t *testing.T) {
+	sc := heteroFaultScenario(t)
+	var got strings.Builder
+	for _, name := range sched.Names() {
+		p, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunSched(sc, p)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		rs := append(res.Records.Jobs[:0:0], res.Records.Jobs...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+		for _, j := range rs {
+			fmt.Fprintf(&got, "%s %s %s %s %s %s %s\n", name, j.Name,
+				strconv.FormatFloat(j.Submit, 'g', -1, 64),
+				strconv.FormatFloat(j.Start, 'g', -1, 64),
+				strconv.FormatFloat(j.End, 'g', -1, 64),
+				j.Outcome, j.Partition)
+		}
+	}
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(heteroGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(heteroGoldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", heteroGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(heteroGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() == string(want) {
+		return
+	}
+	gl := strings.Split(got.String(), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("hetero replay diverged from the golden at line %d:\n  got  %q\n  want %q",
+				i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("hetero listing length changed: got %d lines, want %d", len(gl), len(wl))
 }
 
 // TestSchedPropertyCapacityInvariant fuzzes seeded random traces

@@ -36,39 +36,37 @@ type SyntheticSource struct {
 	p     SyntheticSWF
 	r     *rand.Rand
 	genAt float64
-	cores int // generator's reference cores (MN3)
+	genCS hwmodel.ClusterSpec // generator's cluster (partition shapes)
 
-	clusterNodes int
-	clusterCores int
-	i            int
-	skipped      int
+	mapper swfMapper
+	i      int
 }
 
 // Source returns a streaming generator equivalent to Generate() +
-// SWFScenario mapping on p.Nodes nodes of the MN3 machine.
+// SWFScenario mapping on the generator's cluster (p.Nodes MN3 nodes,
+// or p.Cluster when set).
 func (p SyntheticSWF) Source() *SyntheticSource {
 	p = p.withDefaults()
-	nodes, cores, _ := SWFOptions{Nodes: p.Nodes}.shape()
 	return &SyntheticSource{
-		p:            p,
-		r:            rand.New(rand.NewSource(p.Seed)),
-		cores:        hwmodel.MN3().CoresPerNode(),
-		clusterNodes: nodes,
-		clusterCores: cores,
+		p:      p,
+		r:      rand.New(rand.NewSource(p.Seed)),
+		genCS:  p.clusterSpec(),
+		mapper: newSWFMapper(SWFOptions{Nodes: p.Nodes, Cluster: p.Cluster}),
 	}
 }
+
+// Cluster returns the layout the source maps onto.
+func (s *SyntheticSource) Cluster() hwmodel.ClusterSpec { return s.mapper.cluster }
 
 // Next implements SubmissionSource. Unusable records are skipped (the
 // synthetic generator produces none on its own defaults).
 func (s *SyntheticSource) Next() (Submission, bool, error) {
-	spec := swfSpec()
 	for s.i < s.p.Jobs {
-		j := s.p.genJob(s.r, s.i, &s.genAt, s.cores)
+		j := s.p.genJob(s.r, s.i, &s.genAt, s.genCS)
 		idx := s.i
 		s.i++
-		sub, ok := mapSWFJob(j, idx, s.clusterNodes, s.clusterCores, spec)
+		sub, ok := s.mapper.Map(j, idx)
 		if !ok {
-			s.skipped++
 			continue
 		}
 		return sub, true, nil
@@ -77,7 +75,10 @@ func (s *SyntheticSource) Next() (Submission, bool, error) {
 }
 
 // Skipped returns the number of unusable records seen so far.
-func (s *SyntheticSource) Skipped() int { return s.skipped }
+func (s *SyntheticSource) Skipped() int { return s.mapper.drops.Total() }
+
+// Dropped returns the per-status drop classification so far.
+func (s *SyntheticSource) Dropped() metrics.DropStats { return s.mapper.drops }
 
 // SWFReaderSource streams records from an SWF reader through the
 // trace→cluster mapping, skipping unusable records. Close stops the
@@ -85,15 +86,13 @@ func (s *SyntheticSource) Skipped() int { return s.skipped }
 // reader is an io.Closer the parser goroutine closes it when it
 // exits, so file-backed sources never leak descriptors.
 type SWFReaderSource struct {
-	records      chan swfRecordOrErr
-	done         chan struct{}
-	closeOnce    sync.Once
-	clusterNodes int
-	clusterCores int
-	maxJobs      int
-	emitted      int
-	idx          int
-	skipped      int
+	records   chan swfRecordOrErr
+	done      chan struct{}
+	closeOnce sync.Once
+	mapper    swfMapper
+	maxJobs   int
+	emitted   int
+	idx       int
 }
 
 type swfRecordOrErr struct {
@@ -110,13 +109,11 @@ var errStreamStopped = errors.New("workload: swf stream stopped")
 // helper goroutine; the source itself is pulled from a single
 // goroutine (the replay driver).
 func NewSWFReaderSource(r io.Reader, o SWFOptions) *SWFReaderSource {
-	nodes, cores, _ := o.shape()
 	src := &SWFReaderSource{
-		records:      make(chan swfRecordOrErr, 256),
-		done:         make(chan struct{}),
-		clusterNodes: nodes,
-		clusterCores: cores,
-		maxJobs:      o.MaxJobs,
+		records: make(chan swfRecordOrErr, 256),
+		done:    make(chan struct{}),
+		mapper:  newSWFMapper(o),
+		maxJobs: o.MaxJobs,
 	}
 	go func() {
 		if c, ok := r.(io.Closer); ok {
@@ -154,7 +151,6 @@ func (s *SWFReaderSource) Close() error {
 
 // Next implements SubmissionSource.
 func (s *SWFReaderSource) Next() (Submission, bool, error) {
-	spec := swfSpec()
 	for {
 		if s.maxJobs > 0 && s.emitted >= s.maxJobs {
 			// Stop the parser instead of draining it: the rest of the
@@ -171,9 +167,8 @@ func (s *SWFReaderSource) Next() (Submission, bool, error) {
 		}
 		idx := s.idx
 		s.idx++
-		sub, mapped := mapSWFJob(rec.job, idx, s.clusterNodes, s.clusterCores, spec)
+		sub, mapped := s.mapper.Map(rec.job, idx)
 		if !mapped {
-			s.skipped++
 			continue
 		}
 		s.emitted++
@@ -181,8 +176,14 @@ func (s *SWFReaderSource) Next() (Submission, bool, error) {
 	}
 }
 
+// Cluster returns the layout the source maps onto.
+func (s *SWFReaderSource) Cluster() hwmodel.ClusterSpec { return s.mapper.cluster }
+
 // Skipped returns the number of unusable records seen so far.
-func (s *SWFReaderSource) Skipped() int { return s.skipped }
+func (s *SWFReaderSource) Skipped() int { return s.mapper.drops.Total() }
+
+// Dropped returns the per-status drop classification so far.
+func (s *SWFReaderSource) Dropped() metrics.DropStats { return s.mapper.drops }
 
 // RunSchedStream replays a submission stream under a scheduling
 // policy on the cluster described by s (s.Subs is ignored). Job
@@ -197,8 +198,18 @@ func (s *SWFReaderSource) Skipped() int { return s.skipped }
 // its true place.
 func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
 	eng := sim.NewEngine()
-	nodes, machine := s.clusterShape()
-	cluster := slurm.NewCluster(eng, machine, nodes, nil)
+	if len(s.Cluster.Partitions) == 0 {
+		// A mapping source knows the cluster it shaped its submissions
+		// for; adopt it so the simulated cluster can never disagree with
+		// the trace mapping (callers may still override via s.Cluster).
+		if cs, ok := src.(interface{ Cluster() hwmodel.ClusterSpec }); ok {
+			s.Cluster = cs.Cluster()
+		}
+	}
+	cluster, err := slurm.NewClusterSpec(eng, s.clusterSpec(), nil)
+	if err != nil {
+		return Result{Scenario: s.Name, Policy: slurm.PolicyDROM, Err: err}
+	}
 	ctl := slurm.NewController(cluster, slurm.PolicyDROM)
 	ctl.UseSched(p)
 	ctl.DebugInvariants = s.DebugInvariants
@@ -209,7 +220,9 @@ func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
 		job := sub.Job
 		if err := ctl.Submit(&job); err != nil && res.Err == nil {
 			res.Err = err
+			return
 		}
+		armCancel(eng, ctl, &sub)
 	}
 	var pump func()
 	pump = func() {
@@ -250,6 +263,9 @@ func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
 		res.Err = ctl.Err
 	}
 	res.Records = ctl.Records
+	if dc, ok := src.(interface{ Dropped() metrics.DropStats }); ok {
+		res.Records.Dropped = dc.Dropped()
+	}
 	res.SchedCycles = ctl.Cycles
 	res.Events = eng.Processed()
 	return res

@@ -146,7 +146,8 @@ func TestStreamToleratesOutOfOrderRecords(t *testing.T) {
 
 // anyMappedJob builds a small valid job for the streaming tests.
 func anyMappedJob(name string) (slurm.Job, bool) {
-	sub, ok := mapSWFJob(SWFJob{ID: 1, Submit: 0, Run: 30, Procs: 4, ReqTime: 60, Status: 1}, 0, 4, 16, swfSpec())
+	m := newSWFMapper(SWFOptions{Nodes: 4})
+	sub, ok := m.Map(SWFJob{ID: 1, Submit: 0, Run: 30, Procs: 4, ReqTime: 60, Status: 1}, 0)
 	if !ok {
 		return slurm.Job{}, false
 	}

@@ -17,12 +17,25 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/hwmodel"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/slurm"
 )
 
 // swfFields is the fixed record width of the Standard Workload Format.
 const swfFields = 18
+
+// SWF completion-status codes (field 11).
+const (
+	// SWFFailed marks a job that died mid-run (status 0).
+	SWFFailed = 0
+	// SWFCompleted is a normal termination (status 1).
+	SWFCompleted = 1
+	// SWFCancelled marks a job cancelled by the user (status 5) —
+	// before it started when the runtime field is unknown, mid-run
+	// otherwise.
+	SWFCancelled = 5
+)
 
 // SWFJob is one trace record, reduced to the fields the replay uses.
 // Unknown values follow the SWF convention of -1.
@@ -31,6 +44,10 @@ type SWFJob struct {
 	ID int
 	// Submit is the submission time in seconds (field 2).
 	Submit float64
+	// Wait is the queue wait time in seconds (field 3). The replay
+	// uses it only for cancelled-while-queued records, as the delay
+	// between submission and cancellation.
+	Wait float64
 	// Run is the actual runtime in seconds (field 4).
 	Run float64
 	// Procs is the number of processors (field 5, falling back to the
@@ -38,8 +55,13 @@ type SWFJob struct {
 	Procs int
 	// ReqTime is the user's requested walltime in seconds (field 9).
 	ReqTime float64
-	// Status is the completion status (field 11; 1 = completed).
+	// Status is the completion status (field 11; see the SWF* codes).
 	Status int
+	// Partition is the partition number (field 16; -1 unknown).
+	// Routing: partition p ≥ 1 maps to cluster partition (p−1) mod
+	// NumPartitions; unknown or non-positive numbers go to the first
+	// partition.
+	Partition int
 }
 
 // ParseSWF reads an SWF trace into memory. Comment lines start with
@@ -92,12 +114,14 @@ func ParseSWFFunc(r io.Reader, fn func(SWFJob) error) error {
 			procs = int(vals[7]) // requested processors
 		}
 		if err := fn(SWFJob{
-			ID:      int(vals[0]),
-			Submit:  vals[1],
-			Run:     vals[3],
-			Procs:   procs,
-			ReqTime: vals[8],
-			Status:  int(vals[10]),
+			ID:        int(vals[0]),
+			Submit:    vals[1],
+			Wait:      vals[2],
+			Run:       vals[3],
+			Procs:     procs,
+			ReqTime:   vals[8],
+			Status:    int(vals[10]),
+			Partition: int(vals[15]),
 		}); err != nil {
 			return err
 		}
@@ -114,18 +138,24 @@ func FormatSWF(jobs []SWFJob) string {
 	var sb strings.Builder
 	sb.WriteString("; synthetic SWF trace\n")
 	for _, j := range jobs {
-		fmt.Fprintf(&sb, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 %d -1 -1 -1 -1 -1 -1 -1\n",
-			j.ID, j.Submit, j.Run, j.Procs, j.Procs, j.ReqTime, j.Status)
+		fmt.Fprintf(&sb, "%d %.0f %.0f %.0f %d -1 -1 %d %.0f -1 %d -1 -1 -1 -1 %d -1 -1\n",
+			j.ID, j.Submit, j.Wait, j.Run, j.Procs, j.Procs, j.ReqTime, j.Status, j.Partition)
 	}
 	return sb.String()
 }
 
 // SWFOptions maps a trace onto the simulated cluster.
 type SWFOptions struct {
-	// Nodes is the cluster size (default 4).
+	// Nodes is the cluster size (default 4). Ignored when Cluster is
+	// set.
 	Nodes int
-	// Machine is the node model (zero value = MN3, 16 cores).
+	// Machine is the node model (zero value = MN3, 16 cores). Ignored
+	// when Cluster is set.
 	Machine hwmodel.Machine
+	// Cluster, when non-empty, replays onto a partitioned
+	// heterogeneous cluster: the trace's partition numbers route jobs
+	// to its partitions ((p−1) mod NumPartitions).
+	Cluster hwmodel.ClusterSpec
 	// MaxJobs truncates the trace (0 = all).
 	MaxJobs int
 }
@@ -150,84 +180,214 @@ func swfSpec() apps.Spec {
 	}
 }
 
-// shape resolves the cluster dimensions of a trace mapping.
-func (o SWFOptions) shape() (nodes, cores int, machine hwmodel.Machine) {
-	nodes = o.Nodes
+// clusterSpec resolves the mapping target: the explicit partitioned
+// layout when given, otherwise a homogeneous single-partition cluster
+// of the configured (or default 4×MN3) shape.
+func (o SWFOptions) clusterSpec() hwmodel.ClusterSpec {
+	if len(o.Cluster.Partitions) > 0 {
+		return o.Cluster
+	}
+	nodes := o.Nodes
 	if nodes <= 0 {
 		nodes = 4
 	}
-	machine = o.Machine
+	machine := o.Machine
 	if machine.CoresPerNode() == 0 {
 		machine = hwmodel.MN3()
 	}
-	return nodes, machine.CoresPerNode(), machine
+	return hwmodel.Homogeneous(slurm.DefaultPartition, machine, nodes)
 }
 
-// mapSWFJob converts the idx-th trace record (0-based, counting
-// skipped records) into a submission on a cluster of the given shape.
-// ok is false when the record cannot run there (unknown runtime or
-// processor count, wider than the machine).
-func mapSWFJob(j SWFJob, idx, clusterNodes, cores int, spec apps.Spec) (Submission, bool) {
-	if j.Run <= 0 || j.Procs <= 0 {
-		return Submission{}, false
+// routePartition maps an SWF partition number onto a cluster
+// partition index: p ≥ 1 goes to (p−1) mod n, unknown (-1) and
+// non-positive numbers to the first partition.
+func routePartition(p, n int) int {
+	if n <= 1 || p <= 0 {
+		return 0
 	}
-	nodes := (j.Procs + cores - 1) / cores
-	if nodes > clusterNodes {
-		return Submission{}, false
+	return (p - 1) % n
+}
+
+// swfMapper converts trace records into submissions on a partitioned
+// cluster, counting every record it must drop so the replay's
+// coverage of the trace is honest (metrics.DropStats).
+type swfMapper struct {
+	cluster hwmodel.ClusterSpec
+	spec    apps.Spec
+	drops   metrics.DropStats
+}
+
+func newSWFMapper(o SWFOptions) swfMapper {
+	return swfMapper{cluster: o.clusterSpec(), spec: swfSpec()}
+}
+
+// drop counts an unmappable record under its status class.
+func (m *swfMapper) drop(status int) {
+	switch status {
+	case SWFFailed:
+		m.drops.Failed++
+	case SWFCancelled:
+		m.drops.Cancelled++
+	default:
+		m.drops.Unusable++
 	}
-	threads := (j.Procs + nodes - 1) / nodes
+}
+
+// jobShape fits procs CPUs onto the partition: number of nodes and
+// threads per rank. ok is false when the job is wider than the
+// partition.
+func jobShape(procs int, part hwmodel.Partition) (nodes, threads int, ok bool) {
+	cores := part.Machine.CoresPerNode()
+	nodes = (procs + cores - 1) / cores
+	if nodes > part.Nodes {
+		return 0, 0, false
+	}
+	threads = (procs + nodes - 1) / nodes
 	if threads > cores {
 		threads = cores
 	}
-	iters := int(j.Run/spec.ChunkSeconds + 0.5)
-	if iters < 1 {
-		iters = 1
+	return nodes, threads, true
+}
+
+// Map converts the idx-th trace record (0-based, counting dropped
+// records) into a submission. The SWF fields the replay honors beyond
+// the basic shape:
+//
+//   - partition (16) routes the job to a cluster partition;
+//   - status (11) 5 with unknown runtime replays as a cancellation
+//     Wait seconds after submission (the job occupies a queue slot,
+//     then leaves it — or is killed if it managed to start);
+//   - status 0 (failed) or 5 with a runtime replays as a job that
+//     promised its requested walltime but dies Run seconds into
+//     execution, freeing its CPUs mid-runtime.
+//
+// ok is false when the record cannot run on the cluster (unknown
+// runtime/processor count on a non-cancelled record, or wider than
+// its partition); such drops are classified in the mapper's stats.
+func (m *swfMapper) Map(j SWFJob, idx int) (Submission, bool) {
+	pidx := routePartition(j.Partition, len(m.cluster.Partitions))
+	part := m.cluster.Partitions[pidx]
+	if j.Status == SWFCancelled && j.Run <= 0 {
+		// Cancelled before it ever ran: replay the queue occupancy and
+		// the scancel. Should the simulated cluster start it before the
+		// cancellation arrives, the cancel kills it mid-run instead.
+		procs := j.Procs
+		if procs <= 0 {
+			procs = 1
+		}
+		nodes, threads, ok := jobShape(procs, part)
+		if !ok {
+			m.drop(j.Status)
+			return Submission{}, false
+		}
+		wait := j.Wait
+		if wait < 0 {
+			wait = 0
+		}
+		walltime := j.ReqTime
+		if walltime <= 0 {
+			walltime = 0
+		}
+		horizon := walltime
+		if horizon <= 0 {
+			horizon = sched.DefaultWalltime
+		}
+		return Submission{
+			At:       j.Submit,
+			Cancel:   true,
+			CancelAt: j.Submit + wait,
+			Job: slurm.Job{
+				Name:      fmt.Sprintf("j%05d", idx+1),
+				Spec:      m.spec,
+				Cfg:       apps.Config{Ranks: nodes, Threads: threads},
+				Iters:     itersFor(horizon, m.spec),
+				Nodes:     nodes,
+				Walltime:  walltime,
+				Malleable: true,
+				Partition: part.Name,
+			},
+		}, true
+	}
+	if j.Run <= 0 || j.Procs <= 0 {
+		m.drop(j.Status)
+		return Submission{}, false
+	}
+	nodes, threads, ok := jobShape(j.Procs, part)
+	if !ok {
+		m.drop(j.Status)
+		return Submission{}, false
 	}
 	walltime := j.ReqTime
 	if walltime <= 0 {
 		walltime = 0
 	}
-	return Submission{
-		At: j.Submit,
-		Job: slurm.Job{
-			Name:      fmt.Sprintf("j%05d", idx+1),
-			Spec:      spec,
-			Cfg:       apps.Config{Ranks: nodes, Threads: threads},
-			Iters:     iters,
-			Nodes:     nodes,
-			Walltime:  walltime,
-			Malleable: true,
-		},
-	}, true
+	job := slurm.Job{
+		Name:      fmt.Sprintf("j%05d", idx+1),
+		Spec:      m.spec,
+		Cfg:       apps.Config{Ranks: nodes, Threads: threads},
+		Iters:     itersFor(j.Run, m.spec),
+		Nodes:     nodes,
+		Walltime:  walltime,
+		Malleable: true,
+		Partition: part.Name,
+	}
+	if j.Status == SWFFailed || j.Status == SWFCancelled {
+		// The scheduler believed the job would run toward its walltime;
+		// in reality it died Run seconds in. Size the work to the
+		// promise and arm the interrupt at the recorded runtime, so the
+		// CPUs come back early relative to every reservation that was
+		// planned around the job.
+		horizon := j.ReqTime
+		if horizon < j.Run {
+			horizon = j.Run
+		}
+		job.Iters = itersFor(horizon, m.spec)
+		job.FailAfter = j.Run
+		if j.Status == SWFCancelled {
+			job.FailOutcome = metrics.OutcomeCancelled
+		} else {
+			job.FailOutcome = metrics.OutcomeFailed
+		}
+	}
+	return Submission{At: j.Submit, Job: job}, true
+}
+
+// itersFor sizes the synthetic application to ~seconds of full-width
+// compute.
+func itersFor(seconds float64, spec apps.Spec) int {
+	iters := int(seconds/spec.ChunkSeconds + 0.5)
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
 }
 
 // SWFScenario converts trace records into a replayable scenario. Jobs
 // that cannot run on the configured cluster (unknown runtime or
-// processor count, wider than the machine) are skipped and counted.
+// processor count, wider than their partition) are dropped; the count
+// is returned and the per-status classification recorded on
+// Scenario.Dropped (and from there on the run's metrics.Workload).
 func SWFScenario(jobs []SWFJob, o SWFOptions) (Scenario, int, error) {
-	nodes, cores, machine := o.shape()
-	spec := swfSpec()
+	m := newSWFMapper(o)
 	sc := Scenario{
 		Name:    fmt.Sprintf("swf/%d-jobs", len(jobs)),
-		Nodes:   nodes,
-		Machine: machine,
+		Cluster: m.cluster,
 	}
-	skipped := 0
 	for i, j := range jobs {
 		if o.MaxJobs > 0 && len(sc.Subs) >= o.MaxJobs {
 			break
 		}
-		sub, ok := mapSWFJob(j, i, nodes, cores, spec)
+		sub, ok := m.Map(j, i)
 		if !ok {
-			skipped++
 			continue
 		}
 		sc.Subs = append(sc.Subs, sub)
 	}
+	sc.Dropped = m.drops
 	if len(sc.Subs) == 0 {
-		return Scenario{}, skipped, fmt.Errorf("swf: no usable jobs in trace (%d skipped)", skipped)
+		return Scenario{}, m.drops.Total(), fmt.Errorf("swf: no usable jobs in trace (%d skipped)", m.drops.Total())
 	}
-	return sc, skipped, nil
+	return sc, m.drops.Total(), nil
 }
 
 // SyntheticSWF seeds the scale-oriented workload generator.
@@ -235,11 +395,22 @@ type SyntheticSWF struct {
 	Seed int64
 	// Jobs is the trace length (default 1000).
 	Jobs int
-	// Nodes is the cluster size (default 4).
+	// Nodes is the cluster size (default 4). Ignored when Cluster is
+	// set.
 	Nodes int
 	// MeanInterarrival is the exponential inter-arrival mean in
 	// seconds (default 60, ~80% offered load on the default shape).
 	MeanInterarrival float64
+	// Cluster, when non-empty, generates a heterogeneous trace: each
+	// job draws a partition uniformly and sizes itself against that
+	// partition's machine. hwmodel.HeteroMN3() is the bundled preset.
+	Cluster hwmodel.ClusterSpec
+	// CancelRate and FailRate are per-job probabilities of generating
+	// a cancelled (while queued) or failed (mid-run) record. Zero
+	// rates draw nothing from the random stream, so traces generated
+	// before these knobs existed are bit-identical.
+	CancelRate float64
+	FailRate   float64
 }
 
 func (p SyntheticSWF) withDefaults() SyntheticSWF {
@@ -255,19 +426,37 @@ func (p SyntheticSWF) withDefaults() SyntheticSWF {
 	return p
 }
 
+// clusterSpec resolves the generator's target cluster. Call on a
+// withDefaults() value.
+func (p SyntheticSWF) clusterSpec() hwmodel.ClusterSpec {
+	if len(p.Cluster.Partitions) > 0 {
+		return p.Cluster
+	}
+	return hwmodel.Homogeneous(slurm.DefaultPartition, hwmodel.MN3(), p.Nodes)
+}
+
 // genJob draws the i-th trace record from the generator's random
 // stream, advancing the arrival clock. Generate and the streaming
-// Source share it, so both produce bit-identical traces.
-func (p SyntheticSWF) genJob(r *rand.Rand, i int, at *float64, cores int) SWFJob {
+// Source share it, so both produce bit-identical traces. Optional
+// draws (partition choice, fault status) happen only when the
+// corresponding knob is active, keeping the default stream — and
+// every committed golden replay — unchanged.
+func (p SyntheticSWF) genJob(r *rand.Rand, i int, at *float64, cs hwmodel.ClusterSpec) SWFJob {
 	*at += r.ExpFloat64() * p.MeanInterarrival
+	pidx := 0
+	if len(cs.Partitions) > 1 {
+		pidx = r.Intn(len(cs.Partitions))
+	}
+	part := cs.Partitions[pidx]
+	cores := part.Machine.CoresPerNode()
 	var procs int
 	switch x := r.Float64(); {
 	case x < 0.55: // narrow: a few CPUs on one node
 		procs = 1 + r.Intn(cores/2)
-	case x < 0.85 || p.Nodes < 2: // node-wide
+	case x < 0.85 || part.Nodes < 2: // node-wide
 		procs = cores
 	default: // wide: 2..Nodes full nodes
-		procs = cores * (2 + r.Intn(p.Nodes-1))
+		procs = cores * (2 + r.Intn(part.Nodes-1))
 	}
 	// Log-normal-ish runtime clamped to [20 s, 600 s].
 	run := math.Exp(4.5 + 0.9*r.NormFloat64())
@@ -277,27 +466,47 @@ func (p SyntheticSWF) genJob(r *rand.Rand, i int, at *float64, cores int) SWFJob
 	if run > 600 {
 		run = 600
 	}
-	return SWFJob{
-		ID:      i + 1,
-		Submit:  math.Round(*at),
-		Run:     math.Round(run),
-		Procs:   procs,
-		ReqTime: math.Round(run * (1 + 2*r.Float64())),
-		Status:  1,
+	j := SWFJob{
+		ID:        i + 1,
+		Submit:    math.Round(*at),
+		Wait:      -1,
+		Run:       math.Round(run),
+		Procs:     procs,
+		ReqTime:   math.Round(run * (1 + 2*r.Float64())),
+		Status:    SWFCompleted,
+		Partition: -1,
 	}
+	if len(cs.Partitions) > 1 {
+		j.Partition = pidx + 1
+	}
+	if p.CancelRate > 0 || p.FailRate > 0 {
+		switch y := r.Float64(); {
+		case y < p.FailRate:
+			// Dies mid-run: the drawn runtime is the failure point.
+			j.Status = SWFFailed
+		case y < p.FailRate+p.CancelRate:
+			// Cancelled while queued: the drawn runtime becomes the
+			// wait until the user gave up; the job never ran.
+			j.Status = SWFCancelled
+			j.Wait = j.Run
+			j.Run = -1
+		}
+	}
+	return j
 }
 
 // Generate produces a reproducible SWF trace: Poisson arrivals, a mix
 // of narrow (sub-node), node-wide and multi-node jobs, log-normal-ish
-// runtimes, and the typical user walltime over-estimation (1–3×).
+// runtimes, the typical user walltime over-estimation (1–3×), and —
+// when the fault knobs are set — seeded cancelled/failed records.
 func (p SyntheticSWF) Generate() []SWFJob {
 	p = p.withDefaults()
 	r := rand.New(rand.NewSource(p.Seed))
-	cores := hwmodel.MN3().CoresPerNode()
+	cs := p.clusterSpec()
 	jobs := make([]SWFJob, 0, p.Jobs)
 	at := 0.0
 	for i := 0; i < p.Jobs; i++ {
-		jobs = append(jobs, p.genJob(r, i, &at, cores))
+		jobs = append(jobs, p.genJob(r, i, &at, cs))
 	}
 	return jobs
 }
@@ -306,7 +515,7 @@ func (p SyntheticSWF) Generate() []SWFJob {
 // step.
 func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
 	p = p.withDefaults()
-	sc, skipped, err := SWFScenario(p.Generate(), SWFOptions{Nodes: p.Nodes})
+	sc, skipped, err := SWFScenario(p.Generate(), SWFOptions{Nodes: p.Nodes, Cluster: p.Cluster})
 	if err != nil {
 		return Scenario{}, err
 	}
@@ -314,6 +523,9 @@ func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
 		return Scenario{}, fmt.Errorf("swf: synthetic generator produced %d unusable jobs", skipped)
 	}
 	sc.Name = fmt.Sprintf("swf/synthetic-seed%d-jobs%d", p.Seed, p.Jobs)
+	if len(p.Cluster.Partitions) > 0 {
+		sc.Name += "-cluster[" + p.Cluster.String() + "]"
+	}
 	return sc, nil
 }
 

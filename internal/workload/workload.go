@@ -23,6 +23,16 @@ import (
 type Submission struct {
 	Job slurm.Job
 	At  float64
+	// Cancel requests an scancel at CancelAt: a still-queued job
+	// leaves the queue without ever starting, a running job is
+	// killed. Fault-aware SWF replays set it for
+	// cancelled-while-queued trace records.
+	Cancel bool
+	// CancelAt is the absolute virtual time of the scancel (clamped
+	// to the submission instant; meaningful only when Cancel is set —
+	// an explicit flag rather than a >0 sentinel, because a trace can
+	// legitimately cancel a job submitted at t=0 with zero wait).
+	CancelAt float64
 }
 
 // Scenario is a reproducible workload description.
@@ -42,6 +52,14 @@ type Scenario struct {
 	ServeEvolving bool
 	// Machine overrides the node model (zero value = MareNostrum III).
 	Machine hwmodel.Machine
+	// Cluster, when non-empty, overrides Nodes/Machine with a
+	// partitioned heterogeneous layout (hwmodel.ParseCluster grammar;
+	// jobs target partitions by name via slurm.Job.Partition).
+	Cluster hwmodel.ClusterSpec
+	// Dropped carries the parse-level drop counts of the trace mapping
+	// that built the scenario; the runner copies them onto the
+	// result's metrics.Workload so trace coverage is reported.
+	Dropped metrics.DropStats
 	// JitterFrac adds seeded run-to-run variability to iteration
 	// durations (0 = deterministic); Seed selects the stream.
 	JitterFrac float64
@@ -52,9 +70,8 @@ type Scenario struct {
 	DebugInvariants bool
 }
 
-// clusterShape resolves the scenario's defaults: 2 nodes of the MN3
-// machine model. Every consumer of the cluster dimensions must go
-// through here so metrics and simulation can never disagree.
+// clusterShape resolves the scenario's homogeneous defaults: 2 nodes
+// of the MN3 machine model.
 func (s Scenario) clusterShape() (nodes int, machine hwmodel.Machine) {
 	nodes = s.Nodes
 	if nodes <= 0 {
@@ -65,6 +82,28 @@ func (s Scenario) clusterShape() (nodes int, machine hwmodel.Machine) {
 		machine = hwmodel.MN3()
 	}
 	return nodes, machine
+}
+
+// clusterSpec resolves the scenario's cluster layout: the explicit
+// partitioned spec when set, otherwise a single default-named
+// partition of the homogeneous shape. Every consumer of the cluster
+// dimensions must go through here so metrics and simulation can never
+// disagree.
+func (s Scenario) clusterSpec() hwmodel.ClusterSpec {
+	if len(s.Cluster.Partitions) > 0 {
+		return s.Cluster
+	}
+	nodes, machine := s.clusterShape()
+	return hwmodel.Homogeneous(slurm.DefaultPartition, machine, nodes)
+}
+
+// totalCores returns the CPU capacity summed over all partitions.
+func (s Scenario) totalCores() int {
+	total := 0
+	for _, p := range s.clusterSpec().Partitions {
+		total += p.Nodes * p.Machine.CoresPerNode()
+	}
+	return total
 }
 
 // Result is one scenario execution.
@@ -97,8 +136,10 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 	if s.Trace {
 		tr = trace.New()
 	}
-	nodes, machine := s.clusterShape()
-	cluster := slurm.NewCluster(eng, machine, nodes, tr)
+	cluster, err := slurm.NewClusterSpec(eng, s.clusterSpec(), tr)
+	if err != nil {
+		return Result{Scenario: s.Name, Policy: policy, Err: err}
+	}
 	if s.JitterFrac > 0 {
 		cluster.Jitter = rand.New(rand.NewSource(s.Seed))
 		cluster.JitterFrac = s.JitterFrac
@@ -126,12 +167,20 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 		idx int
 		id  sim.EventID
 	}
+	// submitSub submits one job copy and arms any scancel event.
+	submitSub := func(sub *Submission) error {
+		job := sub.Job // copy per run; controller mutates nothing but be safe
+		if err := ctl.Submit(&job); err != nil {
+			return err
+		}
+		armCancel(eng, ctl, sub)
+		return nil
+	}
 	stream := make([]pendingSub, 0, len(s.Subs))
 	for i := range s.Subs {
 		sub := &s.Subs[i]
 		if sub.At == 0 {
-			job := sub.Job // copy per run; controller mutates nothing but be safe
-			if err := ctl.Submit(&job); err != nil {
+			if err := submitSub(sub); err != nil {
 				res.Err = err
 				return res
 			}
@@ -153,8 +202,7 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 		p := stream[k]
 		sub := &s.Subs[p.idx]
 		eng.AtID(p.id, sub.At, func() {
-			job := sub.Job
-			if err := ctl.Submit(&job); err != nil && res.Err == nil {
+			if err := submitSub(sub); err != nil && res.Err == nil {
 				res.Err = err
 			}
 			streamNext(k + 1)
@@ -166,10 +214,27 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 		res.Err = ctl.Err
 	}
 	res.Records = ctl.Records
+	res.Records.Dropped = s.Dropped
 	res.Protocol = ctl.Log
 	res.SchedCycles = ctl.Cycles
 	res.Events = eng.Processed()
 	return res
+}
+
+// armCancel schedules the scancel event of a fault-annotated
+// submission, clamped to "now" so a cancellation recorded before the
+// stream position still fires. Shared by the materialized and
+// streaming runners so the two paths can never drift.
+func armCancel(eng *sim.Engine, ctl *slurm.Controller, sub *Submission) {
+	if !sub.Cancel {
+		return
+	}
+	at := sub.CancelAt
+	if at < eng.Now() {
+		at = eng.Now()
+	}
+	name := sub.Job.Name
+	eng.At(at, func() { ctl.Cancel(name) })
 }
 
 // SchedStatsOf computes the scheduler-quality metrics of a run,
@@ -180,9 +245,8 @@ func SchedStatsOf(s Scenario, res Result) metrics.SchedStats {
 	for _, sub := range s.Subs {
 		widths[sub.Job.Name] = sub.Job.Nodes * sub.Job.CPUsPerNode()
 	}
-	nodes, machine := s.clusterShape()
 	return metrics.NewSchedStats(res.Records,
-		func(name string) int { return widths[name] }, nodes*machine.CoresPerNode())
+		func(name string) int { return widths[name] }, s.totalCores())
 }
 
 // AnalyticsSubmitTime is when the UC1 analytics job enters the queue.
