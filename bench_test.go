@@ -661,6 +661,87 @@ func BenchmarkSchedReplay100k(b *testing.B) {
 	}
 }
 
+// spilloverBenchSpecs are the policy cells of the spillover sweep:
+// the two rigid single policies (whose queues back up enough to
+// spill) and the mixed per-partition set.
+var spilloverBenchSpecs = []string{"fcfs", "easy", "batch=easy,fat=malleable-shrink"}
+
+// BenchmarkSchedSpillover is the scale benchmark of per-partition
+// policies + cross-partition spillover: a seeded 20,000-job synthetic
+// trace on the 2-partition hetero preset with fault annotations,
+// replayed with the spillover pass on under each policy cell. The
+// spill count is a deterministic replay outcome: BENCH_sched.json
+// pins it (section sched_spillover) and cmd/benchdiff compares it
+// exactly. Regenerate with:
+//
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench SchedSpillover -benchtime 1x .
+func BenchmarkSchedSpillover(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{
+		Seed: 1, Jobs: 20000, MeanInterarrival: 20,
+		Cluster:    cluster.HeteroMN3(),
+		CancelRate: 0.05, FailRate: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Spill = true
+	bySpec := map[string]replayEntry{}
+	for _, spec := range spilloverBenchSpecs {
+		spec := spec
+		b.Run(strings.ReplaceAll(spec, "=", ":"), func(b *testing.B) {
+			ps, err := cluster.ParseSchedPolicySet(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var e replayEntry
+			for i := 0; i < b.N; i++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				t0 := time.Now()
+				res := cluster.RunSchedSet(sc, ps)
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&m1)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if res.Records.Spilled() == 0 {
+					b.Fatalf("%s: no spills on the contended hetero trace", spec)
+				}
+				st := cluster.SchedStatsOf(sc, res)
+				cycles := float64(res.SchedCycles)
+				e = replayEntry{
+					Policy:         spec,
+					Jobs:           res.Records.Count(),
+					WallSeconds:    wall.Seconds(),
+					Cycles:         res.SchedCycles,
+					Events:         res.Events,
+					CycleMicros:    wall.Seconds() * 1e6 / cycles,
+					AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / cycles,
+					BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / cycles,
+					MeanWaitS:      st.MeanWait,
+					MakespanS:      st.Makespan,
+					Spilled:        st.Spilled,
+				}
+			}
+			bySpec[spec] = e
+			b.ReportMetric(e.WallSeconds, "wall-s")
+			b.ReportMetric(e.CycleMicros, "us/cycle")
+			b.ReportMetric(float64(e.Spilled), "spilled")
+		})
+	}
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" && len(bySpec) == len(spilloverBenchSpecs) {
+		entries := make([]replayEntry, 0, len(bySpec))
+		for _, spec := range spilloverBenchSpecs {
+			entries = append(entries, bySpec[spec])
+		}
+		updateBenchJSON(b, path, "sched_spillover", map[string]interface{}{
+			"trace":    "synthetic SWF seed=1 jobs=20000 cluster=hetero cancel=0.05 fail=0.05 spill=1",
+			"policies": entries,
+		})
+	}
+}
+
 // BenchmarkSchedReplay1M replays a million-job synthetic SWF trace
 // through the streaming path: the trace is generated lazily, the
 // engine holds one pending submission event, and job records fold

@@ -176,9 +176,22 @@ func NewSchedPolicy(name string) (SchedPolicy, error) { return sched.New(name) }
 // SchedPolicyNames lists the canonical policy names.
 func SchedPolicyNames() []string { return sched.Names() }
 
+// SchedPolicySet assigns a policy to each partition, parsed from the
+// `-sched` grammar: a bare policy name ("easy", the set's default)
+// and/or partition=policy pairs ("batch=easy,fat=malleable-shrink").
+type SchedPolicySet = sched.PolicySet
+
+// ParseSchedPolicySet parses the policy-set grammar.
+func ParseSchedPolicySet(spec string) (SchedPolicySet, error) { return sched.ParsePolicySet(spec) }
+
 // RunSched executes a scenario under a SchedPolicy; every
 // malleability action flows through the real DROM protocol.
 func RunSched(s Scenario, p SchedPolicy) Result { return workload.RunSched(s, p) }
+
+// RunSchedSet executes a scenario under a per-partition policy set:
+// every partition gets a fresh instance of the policy the set assigns
+// it.
+func RunSchedSet(s Scenario, ps SchedPolicySet) Result { return workload.RunSchedSet(s, ps) }
 
 // SchedStats are the scheduler-quality metrics (makespan, waits,
 // bounded slowdown, utilization).
@@ -234,6 +247,12 @@ func ParseSWFFunc(r io.Reader, fn func(SWFJob) error) error {
 // submitted at the stream position instead of being sorted into place.
 func RunSchedStream(base Scenario, src SubmissionSource, p SchedPolicy) Result {
 	return workload.RunSchedStream(base, src, p)
+}
+
+// RunSchedStreamSet is RunSchedStream under a per-partition policy
+// set.
+func RunSchedStreamSet(base Scenario, src SubmissionSource, ps SchedPolicySet) Result {
+	return workload.RunSchedStreamSet(base, src, ps)
 }
 
 // SchedStatsOfStream computes the metrics of a streamed run.

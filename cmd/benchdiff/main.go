@@ -47,6 +47,9 @@ func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
 		if c.Jobs != b.Jobs {
 			add("%s: jobs %d, baseline %d", name, c.Jobs, b.Jobs)
 		}
+		if c.Spilled != b.Spilled {
+			add("%s: spilled %d, baseline %d (decisions changed)", name, c.Spilled, b.Spilled)
+		}
 		if c.Cycles != b.Cycles {
 			add("%s: sched_cycles %d, baseline %d (decisions changed)", name, c.Cycles, b.Cycles)
 		}
@@ -68,22 +71,28 @@ func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
 			add("%s: allocs_per_cycle %.1f exceeds baseline %.1f x 1.5", name, c.AllocsPerCycle, b.AllocsPerCycle)
 		}
 	}
-	if base.Replay100k != nil && cand.Replay100k != nil {
+	comparePolicies := func(section string, base, cand []replayEntry) {
 		byName := map[string]replayEntry{}
-		for _, e := range cand.Replay100k.Policies {
+		for _, e := range cand {
 			byName[e.Policy] = e
 		}
-		for _, b := range base.Replay100k.Policies {
+		for _, b := range base {
 			c, ok := byName[b.Policy]
 			if !ok {
-				add("sched_replay_100k: policy %q missing from candidate", b.Policy)
+				add("%s: policy %q missing from candidate", section, b.Policy)
 				continue
 			}
-			compare("sched_replay_100k/"+b.Policy, b, c)
+			compare(section+"/"+b.Policy, b, c)
 		}
+	}
+	if base.Replay100k != nil && cand.Replay100k != nil {
+		comparePolicies("sched_replay_100k", base.Replay100k.Policies, cand.Replay100k.Policies)
 	}
 	if base.Replay1M != nil && cand.Replay1M != nil {
 		compare("sched_replay_1m/"+base.Replay1M.Replay.Policy, base.Replay1M.Replay, cand.Replay1M.Replay)
+	}
+	if base.Spillover != nil && cand.Spillover != nil {
+		comparePolicies("sched_spillover", base.Spillover.Policies, cand.Spillover.Policies)
 	}
 	return findings, nil
 }

@@ -15,6 +15,13 @@ const baseDoc = `{
   "sched_replay_1m": {
     "replay": {"policy": "fcfs", "jobs": 1000, "sched_cycles": 2000, "sim_events": 9000,
        "us_per_cycle": 9.0, "allocs_per_cycle": 11.0, "mean_wait_s": 1.5, "makespan_s": 8000}
+  },
+  "sched_spillover": {
+    "policies": [
+      {"policy": "batch=easy,fat=malleable-shrink", "jobs": 500, "sched_cycles": 900,
+       "sim_events": 4000, "us_per_cycle": 8.0, "allocs_per_cycle": 10.0,
+       "mean_wait_s": 3.5, "makespan_s": 700, "spilled": 40}
+    ]
   }
 }`
 
@@ -94,5 +101,19 @@ func TestDiffMissingPolicyAndSections(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("partial candidate should compare cleanly: %v", findings)
+	}
+}
+
+func TestDiffCatchesSpillChange(t *testing.T) {
+	cand := strings.Replace(baseDoc, `"spilled": 40`, `"spilled": 41`, 1)
+	findings, err := diff([]byte(baseDoc), []byte(cand), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "spilled") {
+		t.Fatalf("spill-count change not flagged: %v", findings)
+	}
+	if !strings.Contains(findings[0], "sched_spillover") {
+		t.Fatalf("finding %q should name the spillover section", findings[0])
 	}
 }

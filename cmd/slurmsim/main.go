@@ -42,12 +42,19 @@ func main() {
 	interarrival := flag.Float64("interarrival", 150, "djsb/swf: mean inter-arrival time (s)")
 	nodes := flag.Int("nodes", 2, "djsb/swf: cluster size")
 	schedNames := flag.String("sched", "", "scheduling policies to replay an SWF workload under: "+
-		"comma list of fcfs, easy, malleable-shrink, malleable-expand (alias malleable), or all")
+		"comma list of fcfs, easy, malleable-shrink, malleable-expand (alias malleable), or all; "+
+		"a spec with '=' pairs is ONE per-partition policy set, e.g. 'batch=easy,fat=malleable-shrink' "+
+		"(optionally with a bare default: 'easy,fat=malleable-shrink')")
 	swfPath := flag.String("swf", "", "SWF trace file to replay (default: seeded synthetic trace)")
 	clusterSpec := flag.String("cluster", "", "swf/sched: partitioned heterogeneous cluster, e.g. "+
 		"'batch:4xmn3,fat:2xfat' or the 'hetero' preset (overrides -nodes; see cluster.ParseCluster)")
 	cancelRate := flag.Float64("cancel", 0, "swf synthetic: per-job probability of a cancelled-while-queued record")
 	failRate := flag.Float64("fail", 0, "swf synthetic: per-job probability of a failed-mid-run record")
+	spill := flag.Bool("spill", false, "swf/sched: enable the cross-partition spillover pass "+
+		"(re-route a queued job its home partition cannot host to another partition that fits it, "+
+		"guarded by the host's EASY head reservation)")
+	spillAfter := flag.Float64("spill-after", 0, "spillover: minimum queue wait in seconds before a job may spill")
+	spillDepth := flag.Int("spill-depth", 0, "spillover: minimum home-partition backlog before jobs may spill")
 	check := flag.Bool("check", false, "swf: cross-check the controller's incremental free-CPU "+
 		"accounting against a full shared-memory re-scan every cycle (slower)")
 	stream := flag.Bool("stream", false, "swf/sched: stream the trace instead of materializing it "+
@@ -100,6 +107,7 @@ func main() {
 		seed: *seed, jobs: *jobs, interarrival: *interarrival, nodes: *nodes,
 		schedNames: *schedNames, swfPath: *swfPath, check: *check, stream: *stream,
 		clusterSpec: *clusterSpec, cancelRate: *cancelRate, failRate: *failRate,
+		spill: *spill, spillAfter: *spillAfter, spillDepth: *spillDepth,
 		sweepSpec: *sweepSpec, sweepWorkers: *sweepWorkers, format: *format, out: *out,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
@@ -126,6 +134,9 @@ type runArgs struct {
 	clusterSpec         string
 	cancelRate          float64
 	failRate            float64
+	spill               bool
+	spillAfter          float64
+	spillDepth          int
 	sweepSpec           string
 	sweepWorkers        int
 	format, out         string
@@ -140,7 +151,17 @@ type schedArgs struct {
 	nodes          int
 	cluster        cluster.ClusterSpec
 	cancel, fail   float64
+	spill          bool
+	spillAfter     float64
+	spillDepth     int
 	check          bool
+}
+
+// spillInto copies the spillover knobs onto a scenario.
+func (a schedArgs) spillInto(sc *cluster.Scenario) {
+	sc.Spill = a.spill
+	sc.SpillAfter = a.spillAfter
+	sc.SpillDepth = a.spillDepth
 }
 
 func run(a runArgs) error {
@@ -154,6 +175,7 @@ func run(a runArgs) error {
 		sa := schedArgs{
 			names: a.schedNames, swfPath: a.swfPath, seed: a.seed,
 			cancel: a.cancelRate, fail: a.failRate, check: a.check,
+			spill: a.spill, spillAfter: a.spillAfter, spillDepth: a.spillDepth,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -289,8 +311,9 @@ func runSchedStream(a schedArgs) error {
 		fmt.Printf("=== SWF stream replay: synthetic seed=%d jobs=%d on %s ===\n", a.seed, a.jobs, a.shapeLabel())
 	}
 	base := cluster.Scenario{Nodes: a.nodes, Cluster: a.cluster, DebugInvariants: a.check}
+	a.spillInto(&base)
 	multi := len(a.cluster.Partitions) > 1
-	for _, p := range policies {
+	for _, ps := range policies {
 		var src cluster.SubmissionSource
 		if a.swfPath != "" {
 			f, err := os.Open(a.swfPath)
@@ -308,17 +331,17 @@ func runSchedStream(a schedArgs) error {
 			}.Source()
 		}
 		start := time.Now()
-		res := cluster.RunSchedStream(base, src, p)
+		res := cluster.RunSchedStreamSet(base, src, ps)
 		wall := time.Since(start)
 		if res.Err != nil {
-			return fmt.Errorf("%s: %w", p.Name(), res.Err)
+			return fmt.Errorf("%s: %w", ps, res.Err)
 		}
 		skipped := ""
 		if d := res.Records.Dropped; d.Total() > 0 {
 			skipped = fmt.Sprintf(", trace: %s", d)
 		}
 		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
-			p.Name(), cluster.SchedStatsOfStream(res), res.SchedCycles, res.Events, wall.Seconds(), skipped)
+			ps, cluster.SchedStatsOfStream(res), res.SchedCycles, res.Events, wall.Seconds(), skipped)
 		printPartitions(res, multi)
 	}
 	return nil
@@ -368,38 +391,50 @@ func runSched(a schedArgs) error {
 		fmt.Printf("=== SWF replay: synthetic seed=%d jobs=%d on %s ===\n", a.seed, a.jobs, a.shapeLabel())
 	}
 	sc.DebugInvariants = a.check
+	a.spillInto(&sc)
 	multi := len(a.cluster.Partitions) > 1
-	for _, p := range policies {
+	for _, ps := range policies {
 		start := time.Now()
-		res := cluster.RunSched(sc, p)
+		res := cluster.RunSchedSet(sc, ps)
 		wall := time.Since(start)
 		if res.Err != nil {
-			return fmt.Errorf("%s: %w", p.Name(), res.Err)
+			return fmt.Errorf("%s: %w", ps, res.Err)
 		}
 		dropped := ""
 		if d := res.Records.Dropped; d.Total() > 0 {
 			dropped = fmt.Sprintf(", trace: %s", d)
 		}
 		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
-			p.Name(), cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds(), dropped)
+			ps, cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds(), dropped)
 		printPartitions(res, multi)
 	}
 	return nil
 }
 
-// parseSchedPolicies resolves a comma-separated policy list ("" and
-// "all" mean every policy).
-func parseSchedPolicies(names string) ([]cluster.SchedPolicy, error) {
-	if names == "" || names == "all" {
-		names = strings.Join(cluster.SchedPolicyNames(), ",")
-	}
-	var out []cluster.SchedPolicy
-	for _, name := range strings.Split(names, ",") {
-		p, err := cluster.NewSchedPolicy(strings.TrimSpace(name))
+// parseSchedPolicies resolves the -sched value into one policy set
+// per replay. A spec containing '=' pairs is a single per-partition
+// policy set (the pairs and the optional bare default share its comma
+// list); otherwise the value is a comma-separated list of single
+// policies, each replayed separately ("" and "all" mean every
+// policy).
+func parseSchedPolicies(names string) ([]cluster.SchedPolicySet, error) {
+	if strings.Contains(names, "=") {
+		ps, err := cluster.ParseSchedPolicySet(names)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		return []cluster.SchedPolicySet{ps}, nil
+	}
+	if names == "" || names == "all" {
+		names = strings.Join(cluster.SchedPolicyNames(), ",")
+	}
+	var out []cluster.SchedPolicySet
+	for _, name := range strings.Split(names, ",") {
+		ps, err := cluster.ParseSchedPolicySet(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps)
 	}
 	return out, nil
 }

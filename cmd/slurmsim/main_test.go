@@ -63,6 +63,17 @@ func TestParseSchedPolicies(t *testing.T) {
 	if _, err := parseSchedPolicies("fcfs,bogus"); err == nil {
 		t.Error("bogus sched policy should fail")
 	}
+	// A spec with '=' pairs is a single per-partition policy set.
+	got, err := parseSchedPolicies("batch=easy,fat=shrink")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("parseSchedPolicies(set) = %v, %v", got, err)
+	}
+	if got[0].String() != "batch=easy,fat=malleable-shrink" {
+		t.Errorf("set = %q, want canonical names", got[0])
+	}
+	if _, err := parseSchedPolicies("batch=bogus"); err == nil {
+		t.Error("bogus set policy should fail")
+	}
 }
 
 func TestRunSchedSmoke(t *testing.T) {
@@ -93,6 +104,25 @@ func TestRunSchedHeteroFaultSmoke(t *testing.T) {
 	if err := runSchedStream(schedArgs{
 		names: "fcfs", seed: 2, jobs: 60, interarrival: 20,
 		cluster: cs, cancel: 0.1, fail: 0.1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedSpilloverSmoke(t *testing.T) {
+	cs, err := cluster.ParseCluster("hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSched(schedArgs{
+		names: "batch=easy,fat=malleable-shrink", seed: 1, jobs: 120, interarrival: 20,
+		cluster: cs, spill: true, check: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSchedStream(schedArgs{
+		names: "easy", seed: 1, jobs: 120, interarrival: 20,
+		cluster: cs, spill: true, spillAfter: 30, spillDepth: 2,
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,13 @@
 // path (cluster.RunSchedStream, slurmsim -stream): the trace is
 // parsed and generated lazily and job records fold into aggregate
 // statistics, with decisions identical to the materialized replay
-// for traces in submit order.
+// for traces in submit order. On partitioned clusters each partition
+// runs its own policy instance — possibly a different policy per
+// partition (cluster.SchedPolicySet, slurmsim -sched
+// 'batch=easy,fat=malleable-shrink') — and the opt-in spillover pass
+// (slurmsim -spill) re-routes queued jobs a congested partition
+// cannot host to one that can, without ever delaying the host's EASY
+// head reservation.
 //
 // internal/sweep fans whole experiment grids — policy × trace × seed,
 // the shape of the paper's evaluation — across GOMAXPROCS workers,

@@ -20,6 +20,10 @@ type ReplayEntry struct {
 	BytesPerCycle  float64 `json:"bytes_per_cycle"`
 	MeanWaitS      float64 `json:"mean_wait_s"`
 	MakespanS      float64 `json:"makespan_s"`
+	// Spilled counts cross-partition spillover re-routes — a
+	// deterministic replay outcome of the spillover benchmark (zero
+	// and omitted in the homogeneous sections).
+	Spilled int `json:"spilled,omitempty"`
 	// HeapMB is the heap in use right after the replay — the bounded-
 	// memory evidence for the streaming path. PeakRSSMB is the
 	// process-lifetime high-water mark: only meaningful when the
@@ -40,4 +44,12 @@ type Doc struct {
 		Trace  string      `json:"trace"`
 		Replay ReplayEntry `json:"replay"`
 	} `json:"sched_replay_1m"`
+	// Spillover is the heterogeneous spillover sweep: one entry per
+	// policy cell (single policies and per-partition policy sets), the
+	// Policy field holding the cell's spec. Spilled joins the exactly-
+	// compared deterministic outcomes.
+	Spillover *struct {
+		Trace    string        `json:"trace"`
+		Policies []ReplayEntry `json:"policies"`
+	} `json:"sched_spillover"`
 }

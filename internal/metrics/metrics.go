@@ -46,9 +46,17 @@ type JobRecord struct {
 	// Partition names the cluster partition the job ran in ("" on
 	// runs that predate the partition model).
 	Partition string
+	// Origin names the partition the job was submitted to when a
+	// cross-partition spillover re-routed it; "" when the job ran in
+	// its home partition (the common case).
+	Origin string
 	// Outcome records how the job ended (completed when untouched).
 	Outcome Outcome
 }
+
+// Spilled reports a job that ran in a different partition than it was
+// submitted to.
+func (j JobRecord) Spilled() bool { return j.Origin != "" && j.Origin != j.Partition }
 
 // WaitTime is the time spent in the scheduler queue.
 func (j JobRecord) WaitTime() float64 { return j.Start - j.Submit }
@@ -126,12 +134,14 @@ type Workload struct {
 
 	nFailed    int
 	nCancelled int
+	nSpilled   int
 	perPart    map[string]*partAgg
 }
 
 // partAgg is the per-partition slice of the workload's tallies.
 type partAgg struct {
 	n, statsN, failed, cancelled int
+	spilledIn, spilledOut        int
 	sumWait, sumResp             float64
 }
 
@@ -147,6 +157,20 @@ func (w *Workload) SetAggregate() {
 // Aggregated reports whether the workload retains only aggregates.
 func (w *Workload) Aggregated() bool { return w.aggregate }
 
+// part returns (creating on first use) the tally bucket of a
+// partition.
+func (w *Workload) part(name string) *partAgg {
+	if w.perPart == nil {
+		w.perPart = make(map[string]*partAgg)
+	}
+	pa := w.perPart[name]
+	if pa == nil {
+		pa = &partAgg{}
+		w.perPart[name] = pa
+	}
+	return pa
+}
+
 // Add appends a job record (or folds it into the aggregates).
 func (w *Workload) Add(j JobRecord) {
 	switch j.Outcome {
@@ -156,14 +180,7 @@ func (w *Workload) Add(j JobRecord) {
 		w.nCancelled++
 	}
 	if j.Partition != "" {
-		if w.perPart == nil {
-			w.perPart = make(map[string]*partAgg)
-		}
-		pa := w.perPart[j.Partition]
-		if pa == nil {
-			pa = &partAgg{}
-			w.perPart[j.Partition] = pa
-		}
+		pa := w.part(j.Partition)
 		pa.n++
 		if !j.NeverRan() {
 			pa.statsN++
@@ -175,6 +192,11 @@ func (w *Workload) Add(j JobRecord) {
 			pa.failed++
 		case OutcomeCancelled:
 			pa.cancelled++
+		}
+		if j.Spilled() {
+			w.nSpilled++
+			pa.spilledIn++
+			w.part(j.Origin).spilledOut++
 		}
 	}
 	if !w.aggregate {
@@ -214,19 +236,33 @@ func (w *Workload) Failed() int { return w.nFailed }
 // Cancelled returns the number of jobs recorded with OutcomeCancelled.
 func (w *Workload) Cancelled() int { return w.nCancelled }
 
+// Spilled returns the number of jobs that ran in a different
+// partition than they were submitted to (cross-partition spillover).
+func (w *Workload) Spilled() int { return w.nSpilled }
+
 // PartitionStat is one partition's slice of a workload run.
 type PartitionStat struct {
-	Partition    string  `json:"partition"`
-	Jobs         int     `json:"jobs"`
-	Failed       int     `json:"failed,omitempty"`
-	Cancelled    int     `json:"cancelled,omitempty"`
+	Partition string `json:"partition"`
+	Jobs      int    `json:"jobs"`
+	Failed    int    `json:"failed,omitempty"`
+	Cancelled int    `json:"cancelled,omitempty"`
+	// SpilledIn counts jobs that spilled into this partition from
+	// another; SpilledOut counts jobs submitted here that ran
+	// elsewhere (such jobs appear in their host partition's Jobs, not
+	// this one's).
+	SpilledIn    int     `json:"spilled_in,omitempty"`
+	SpilledOut   int     `json:"spilled_out,omitempty"`
 	MeanWait     float64 `json:"mean_wait_s"`
 	MeanResponse float64 `json:"mean_resp_s"`
 }
 
 func (p PartitionStat) String() string {
-	return fmt.Sprintf("partition=%s jobs=%d failed=%d cancelled=%d mean_wait=%.1fs mean_resp=%.1fs",
+	s := fmt.Sprintf("partition=%s jobs=%d failed=%d cancelled=%d mean_wait=%.1fs mean_resp=%.1fs",
 		p.Partition, p.Jobs, p.Failed, p.Cancelled, p.MeanWait, p.MeanResponse)
+	if p.SpilledIn > 0 || p.SpilledOut > 0 {
+		s += fmt.Sprintf(" spill_in=%d spill_out=%d", p.SpilledIn, p.SpilledOut)
+	}
+	return s
 }
 
 // PartitionStats returns the per-partition tallies, sorted by
@@ -245,6 +281,7 @@ func (w *Workload) PartitionStats() []PartitionStat {
 		pa := w.perPart[name]
 		st := PartitionStat{
 			Partition: name, Jobs: pa.n, Failed: pa.failed, Cancelled: pa.cancelled,
+			SpilledIn: pa.spilledIn, SpilledOut: pa.spilledOut,
 		}
 		if pa.statsN > 0 {
 			st.MeanWait = pa.sumWait / float64(pa.statsN)

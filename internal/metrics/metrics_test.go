@@ -124,3 +124,48 @@ func TestSummary(t *testing.T) {
 		t.Errorf("p0 = %v", p)
 	}
 }
+
+// TestSpillTallies: spilled records count once globally and once per
+// partition on each side of the move, in both retention modes.
+func TestSpillTallies(t *testing.T) {
+	build := func(aggregate bool) *Workload {
+		var w Workload
+		if aggregate {
+			w.SetAggregate()
+		}
+		w.Add(JobRecord{Name: "home", Submit: 0, Start: 0, End: 10, Partition: "batch"})
+		w.Add(JobRecord{Name: "moved", Submit: 0, Start: 5, End: 20, Partition: "fat", Origin: "batch"})
+		w.Add(JobRecord{Name: "stay", Submit: 0, Start: 0, End: 30, Partition: "fat"})
+		return &w
+	}
+	for _, aggregate := range []bool{false, true} {
+		w := build(aggregate)
+		if got := w.Spilled(); got != 1 {
+			t.Errorf("aggregate=%v: Spilled() = %d, want 1", aggregate, got)
+		}
+		stats := w.PartitionStats()
+		if len(stats) != 2 {
+			t.Fatalf("aggregate=%v: partitions = %v", aggregate, stats)
+		}
+		batch, fat := stats[0], stats[1]
+		if batch.SpilledOut != 1 || batch.SpilledIn != 0 {
+			t.Errorf("aggregate=%v: batch spill in/out = %d/%d", aggregate, batch.SpilledIn, batch.SpilledOut)
+		}
+		if fat.SpilledIn != 1 || fat.SpilledOut != 0 {
+			t.Errorf("aggregate=%v: fat spill in/out = %d/%d", aggregate, fat.SpilledIn, fat.SpilledOut)
+		}
+		if !strings.Contains(fat.String(), "spill_in=1") {
+			t.Errorf("aggregate=%v: PartitionStat misses spills: %s", aggregate, fat)
+		}
+		st := NewSchedStats(*w, nil, 0)
+		if st.Spilled != 1 {
+			t.Errorf("aggregate=%v: SchedStats.Spilled = %d", aggregate, st.Spilled)
+		}
+		if !strings.Contains(st.String(), "spilled=1") {
+			t.Errorf("aggregate=%v: SchedStats.String misses spills: %s", aggregate, st)
+		}
+	}
+	if (JobRecord{Partition: "batch", Origin: "batch"}).Spilled() {
+		t.Error("same-partition origin must not count as spilled")
+	}
+}

@@ -32,6 +32,9 @@ type SchedStats struct {
 	// (fault-aware replays; zero on clean workloads).
 	Failed    int `json:"failed,omitempty"`
 	Cancelled int `json:"cancelled,omitempty"`
+	// Spilled counts jobs re-routed to another partition by the
+	// cross-partition spillover pass (zero unless it is enabled).
+	Spilled int `json:"spilled,omitempty"`
 }
 
 // NewSchedStats computes the stats from a finished workload. cpusOf
@@ -45,7 +48,7 @@ type SchedStats struct {
 // Cancelled.
 func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) SchedStats {
 	if w.Aggregated() {
-		st := SchedStats{Jobs: w.n, Failed: w.nFailed, Cancelled: w.nCancelled}
+		st := SchedStats{Jobs: w.n, Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled}
 		if st.Jobs == 0 || w.statsN == 0 {
 			st.Makespan = w.TotalRunTime()
 			return st
@@ -57,7 +60,7 @@ func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) Sch
 		st.MaxSlowdown = w.maxSlow
 		return st
 	}
-	st := SchedStats{Jobs: len(w.Jobs), Failed: w.nFailed, Cancelled: w.nCancelled}
+	st := SchedStats{Jobs: len(w.Jobs), Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled}
 	if st.Jobs == 0 {
 		return st
 	}
@@ -97,6 +100,9 @@ func (s SchedStats) String() string {
 		s.MeanSlowdown, s.MaxSlowdown, 100*s.Demand)
 	if s.Failed > 0 || s.Cancelled > 0 {
 		out += fmt.Sprintf(" failed=%d cancelled=%d", s.Failed, s.Cancelled)
+	}
+	if s.Spilled > 0 {
+		out += fmt.Sprintf(" spilled=%d", s.Spilled)
 	}
 	return out
 }

@@ -62,3 +62,22 @@ func ExampleNew_malleable() {
 	// shrink(#1→8 cpus/node)
 	// start(#2→8 cpus/node)
 }
+
+// ExampleParsePolicySet shows the per-partition policy grammar: a
+// bare name is the default, partition=policy pairs override it, and
+// aliases canonicalize at parse time.
+func ExampleParsePolicySet() {
+	ps, err := sched.ParsePolicySet("easy,fat=shrink")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ps)
+	for _, part := range []string{"batch", "fat"} {
+		name, _ := ps.PolicyFor(part)
+		fmt.Printf("%s -> %s\n", part, name)
+	}
+	// Output:
+	// easy,fat=malleable-shrink
+	// batch -> easy
+	// fat -> malleable-shrink
+}

@@ -84,11 +84,7 @@ type Running struct {
 
 // EndEstimate returns the projected completion time.
 func (r Running) EndEstimate() float64 {
-	w := r.Walltime
-	if w <= 0 {
-		w = DefaultWalltime
-	}
-	return r.Start + w
+	return r.Start + EffectiveWalltime(r.Walltime)
 }
 
 // State is the read-only snapshot a policy schedules against. The
@@ -211,13 +207,21 @@ func Names() []string {
 // Capacity helpers shared by the policies
 // ---------------------------------------------------------------------
 
-// wallOf returns the effective walltime estimate of a queued job.
-func wallOf(j Job) float64 {
-	if j.Walltime > 0 {
-		return j.Walltime
+// EffectiveWalltime returns the runtime estimate to plan with: w
+// itself when positive, DefaultWalltime otherwise. Every consumer of
+// walltime estimates — the policies' reservations here and the
+// controller's backfill guard in internal/slurm — must use this one
+// helper, so the unknown-walltime fallback can never drift between
+// the planner and the executor.
+func EffectiveWalltime(w float64) float64 {
+	if w > 0 {
+		return w
 	}
 	return DefaultWalltime
 }
+
+// wallOf returns the effective walltime estimate of a queued job.
+func wallOf(j Job) float64 { return EffectiveWalltime(j.Walltime) }
 
 // scratch holds the reusable buffers of one policy instance. A cycle
 // runs tens of placements and a reservation projection; allocating

@@ -25,14 +25,15 @@ type taskRef struct {
 
 // runningJob tracks a launched job.
 type runningJob struct {
-	job    *Job
-	seq    int // submission sequence, the scheduler's stable handle
-	pidx   int // partition index the job runs in
-	submit float64
-	start  float64
-	nodes  []string
-	tasks  []taskRef // rank order
-	inst   *apps.Instance
+	job      *Job
+	seq      int // submission sequence, the scheduler's stable handle
+	pidx     int // partition index the job runs in
+	homePidx int // partition the job was submitted to (≠ pidx after a spill)
+	submit   float64
+	start    float64
+	nodes    []string
+	tasks    []taskRef // rank order
+	inst     *apps.Instance
 
 	// nodeIdxs caches the sorted partition-local node indices for the
 	// scheduler snapshot (stable while the job runs; recomputed on
@@ -84,8 +85,12 @@ type queuedJob struct {
 	job    *Job
 	submit float64
 	seq    int
-	pidx   int // resolved partition index of job.Partition
-	resume *runningJob
+	pidx   int // partition index the job currently targets
+	// homePidx is the partition the job was submitted to. The
+	// spillover pass may re-route pidx to another partition; homePidx
+	// never changes, so metrics can record the origin.
+	homePidx int
+	resume   *runningJob
 }
 
 // NodeSelection orders candidate nodes when a job can be placed on a
@@ -116,10 +121,28 @@ func (s NodeSelection) String() string {
 type Controller struct {
 	cluster *Cluster
 	policy  Policy
-	sched   sched.Policy
+	// scheds holds the installed scheduling policies, one instance per
+	// partition (nil when the built-in queue logic is active). See
+	// UseSched / UseSchedSet in sched_driver.go.
+	scheds []sched.Policy
 
 	// NodeSelection orders candidate nodes for placement.
 	NodeSelection NodeSelection
+
+	// Spillover enables the cross-partition spillover pass of
+	// sched-driven runs: a queued job whose home partition cannot host
+	// it right now may be re-routed to another partition whose node
+	// shape fits its request, provided the move cannot delay that
+	// partition's EASY head reservation. See spillover.go.
+	Spillover bool
+	// SpillAfter is the minimum time (virtual seconds) a job must have
+	// waited in its home partition's queue before it may spill
+	// (0 = immediately eligible).
+	SpillAfter float64
+	// SpillDepth is the minimum number of waiting jobs in the home
+	// partition (including the candidate) before spillover triggers
+	// (0 or 1 = any backlog qualifies).
+	SpillDepth int
 
 	// ServeEvolving makes the controller grant evolving-application
 	// resize requests whenever resources free up.
@@ -168,6 +191,22 @@ type Controller struct {
 	refsBuf    []taskRef
 	planBuf    map[string]LaunchPlan
 	placeBuf   []apps.Placement
+
+	// Reservation-projection scratch (reservationFor): per-node free
+	// times, the sort buffer, and one reusable headReservation per
+	// partition.
+	resvFreeAt []float64
+	resvOrder  []resvNode
+	resvSorter resvNodeSorter
+	resvBuf    map[int]*headReservation
+
+	// Spillover-pass scratch (spillPass).
+	spillQueue  []*queuedJob
+	spillDepth  []int
+	spillNodes  []int
+	spillNames  []string
+	spillResv   []*headReservation
+	spillResvOK []bool
 
 	// Cycles counts executed scheduling-policy passes (perf metric).
 	Cycles int64
@@ -261,7 +300,7 @@ func (ctl *Controller) Submit(j *Job) error {
 	}
 	pidx, _ := ctl.cluster.Spec.PartitionIndex(j.Partition) // Validate resolved it
 	ctl.seq++
-	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq, pidx: pidx})
+	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq, pidx: pidx, homePidx: pidx})
 	ctl.trySchedule()
 	return nil
 }
@@ -269,6 +308,17 @@ func (ctl *Controller) Submit(j *Job) error {
 // machineOf returns the machine model of a node by name.
 func (ctl *Controller) machineOf(node string) hwmodel.Machine {
 	return ctl.cluster.MachineOfNode(ctl.nodeIdx[node])
+}
+
+// originOf returns the origin-partition name of a job record: the
+// home partition's name when a spill re-routed the job, "" otherwise
+// (the common case — records only carry an origin when it differs
+// from where the job ran).
+func (ctl *Controller) originOf(pidx, homePidx int) string {
+	if pidx == homePidx {
+		return ""
+	}
+	return ctl.cluster.Spec.Partitions[homePidx].Name
 }
 
 // fail records the first internal error.
@@ -352,7 +402,7 @@ func (ctl *Controller) runCycle() {
 // policies untouched); an installed sched.Policy takes over queue
 // ordering and admission entirely (one coalesced cycle per timestamp).
 func (ctl *Controller) trySchedule() {
-	if ctl.sched != nil {
+	if ctl.scheds != nil {
 		ctl.kick()
 		return
 	}
@@ -427,7 +477,7 @@ func (ctl *Controller) tryPreempt(j *Job, pidx int) bool {
 		}
 		ctl.seq++
 		ctl.enqueue(&queuedJob{
-			job: v.job, submit: v.submit, seq: ctl.seq, pidx: v.pidx, resume: v,
+			job: v.job, submit: v.submit, seq: ctl.seq, pidx: v.pidx, homePidx: v.homePidx, resume: v,
 		})
 		ctl.logf(v.nodes[0], "preempt", "job %s checkpointed after %d iterations",
 			v.job.Name, v.inst.ItersDone())
@@ -552,7 +602,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		r.nodes = nodes
 		r.tasks = nil
 	} else {
-		r = &runningJob{job: j, seq: q.seq, pidx: q.pidx, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
+		r = &runningJob{job: j, seq: q.seq, pidx: q.pidx, homePidx: q.homePidx, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
 	}
 	// Snapshot node indices are local to the job's partition.
 	offset := ctl.cluster.Spec.NodeOffset(r.pidx)
@@ -730,12 +780,13 @@ func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcom
 	delete(ctl.rBySeq, r.seq)
 	ctl.Records.Add(metrics.JobRecord{
 		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
-		Partition: ctl.cluster.Spec.Partitions[r.pidx].Name, Outcome: outcome,
+		Partition: ctl.cluster.Spec.Partitions[r.pidx].Name,
+		Origin:    ctl.originOf(r.pidx, r.homePidx), Outcome: outcome,
 	})
 	// release_resources: expand surviving jobs into the freed CPUs.
 	// With a sched.Policy installed, expansion is that policy's call
 	// (malleable-expand emits explicit actions; EASY/FCFS stay rigid).
-	if ctl.policy == PolicyDROM && ctl.sched == nil {
+	if ctl.policy == PolicyDROM && ctl.scheds == nil {
 		for _, node := range r.nodes {
 			ctl.releaseResources(node)
 		}
@@ -759,6 +810,7 @@ func (ctl *Controller) Cancel(name string) bool {
 				Name: name, Submit: q.submit,
 				Start: ctl.cluster.Engine.Now(), End: ctl.cluster.Engine.Now(),
 				Partition: ctl.cluster.Spec.Partitions[q.pidx].Name,
+				Origin:    ctl.originOf(q.pidx, q.homePidx),
 				Outcome:   metrics.OutcomeCancelled,
 			})
 			// The queue shortened: the head may have changed, and a

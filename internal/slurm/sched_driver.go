@@ -24,30 +24,73 @@ import (
 // may land next to others, but only on CPUs no effective mask holds —
 // malleability happens exclusively through explicit policy actions.
 
-// UseSched installs a queue-ordering/admission policy. nil reverts to
-// the built-in FCFS(+Backfill) behavior. Sched-driven runs require
-// disjoint-mask placement, and the incremental free-CPU accounting
-// cannot see oversubscribed registrations (they attach outside the
-// controller, LaunchLatency after the launch): PolicyOversubscribe is
-// rejected.
+// UseSched installs a queue-ordering/admission policy, one instance
+// per partition: partitions have independent node shapes and policies
+// carry scratch buffers, so an instance must never serve two
+// partitions. The given instance drives the first partition; further
+// partitions get fresh instances of the same policy via sched.New
+// (a custom policy whose name sched.New does not know is shared as a
+// fallback — such a policy must then tolerate alternating partition
+// shapes). nil reverts to the built-in FCFS(+Backfill) behavior.
+//
+// Sched-driven runs require disjoint-mask placement, and the
+// incremental free-CPU accounting cannot see oversubscribed
+// registrations (they attach outside the controller, LaunchLatency
+// after the launch): PolicyOversubscribe is rejected.
 func (ctl *Controller) UseSched(p sched.Policy) {
-	if p != nil && ctl.policy == PolicyOversubscribe {
+	if p == nil {
+		ctl.scheds = nil
+		return
+	}
+	ctl.rejectOversubscribedSched()
+	ctl.scheds = ctl.scheds[:0]
+	ctl.scheds = append(ctl.scheds, p)
+	for range ctl.cluster.Spec.Partitions[1:] {
+		if q, err := sched.New(p.Name()); err == nil {
+			ctl.scheds = append(ctl.scheds, q)
+		} else {
+			ctl.scheds = append(ctl.scheds, p)
+		}
+	}
+}
+
+// UseSchedSet installs per-partition policies from a sched.PolicySet
+// (the `-sched batch=easy,fat=malleable-shrink` grammar): every
+// partition gets a fresh instance of the policy the set assigns it.
+// An error is returned when some partition has neither an entry nor a
+// default.
+func (ctl *Controller) UseSchedSet(ps sched.PolicySet) error {
+	ctl.rejectOversubscribedSched()
+	scheds := make([]sched.Policy, 0, len(ctl.cluster.Spec.Partitions))
+	for _, part := range ctl.cluster.Spec.Partitions {
+		p, err := ps.NewFor(part.Name)
+		if err != nil {
+			return err
+		}
+		scheds = append(scheds, p)
+	}
+	ctl.scheds = scheds
+	return nil
+}
+
+func (ctl *Controller) rejectOversubscribedSched() {
+	if ctl.policy == PolicyOversubscribe {
 		panic("slurm: sched policies require disjoint-mask placement; PolicyOversubscribe is unsupported")
 	}
-	ctl.sched = p
 }
 
-// Sched returns the installed scheduling policy (nil when the built-in
-// queue logic is active).
-func (ctl *Controller) Sched() sched.Policy { return ctl.sched }
-
-// walltimeEstimate returns the job's effective runtime estimate.
-func walltimeEstimate(j *Job) float64 {
-	if j.Walltime > 0 {
-		return j.Walltime
+// Sched returns the policy instance of the first partition (nil when
+// the built-in queue logic is active); SchedOf returns the instance
+// serving one partition.
+func (ctl *Controller) Sched() sched.Policy {
+	if len(ctl.scheds) == 0 {
+		return nil
 	}
-	return sched.DefaultWalltime
+	return ctl.scheds[0]
 }
+
+// SchedOf returns the policy instance of partition pi.
+func (ctl *Controller) SchedOf(pi int) sched.Policy { return ctl.scheds[pi] }
 
 // effectiveFree returns the node CPUs no process effectively holds: a
 // staged-but-unapplied mask change (dirty future) is already binding —
@@ -216,7 +259,7 @@ func (ctl *Controller) schedCycle() {
 	for pi := range ctl.cluster.Spec.Partitions {
 		ctl.Cycles++
 		st := ctl.snapshotPartition(pi)
-		for _, a := range ctl.sched.Schedule(st) {
+		for _, a := range ctl.scheds[pi].Schedule(st) {
 			switch a.Kind {
 			case sched.ActStart:
 				q, ok := ctl.qBySeq[a.ID]
@@ -240,6 +283,9 @@ func (ctl *Controller) schedCycle() {
 				}
 			}
 		}
+	}
+	if ctl.Spillover {
+		ctl.spillPass()
 	}
 	if ctl.DebugInvariants {
 		ctl.checkFreeInvariant()
@@ -297,6 +343,35 @@ type startCand struct {
 	n    int // cached free.Count()
 }
 
+// freeCandsSorted collects the nodes of partition pi with at least
+// need effectively-free CPUs into the startCands scratch and orders
+// them per the NodeSelection policy (stable insertion sort by free
+// count — candidate counts are node counts, and the reflect-based
+// sort allocated per call; ties keep partition order). Shared by
+// startQueued's unpinned path and the spillover placement so the two
+// can never disagree on node selection.
+func (ctl *Controller) freeCandsSorted(pi, need int) []startCand {
+	cands := ctl.startCands[:0]
+	for _, node := range ctl.cluster.PartitionNodes(pi) {
+		f := ctl.effectiveFree(node)
+		if n := f.Count(); n >= need {
+			cands = append(cands, startCand{node, f, n})
+		}
+	}
+	packed := ctl.NodeSelection == SelectPacked
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		k := i
+		for k > 0 && (packed && cands[k-1].n > c.n || !packed && cands[k-1].n < c.n) {
+			cands[k] = cands[k-1]
+			k--
+		}
+		cands[k] = c
+	}
+	ctl.startCands = cands
+	return cands
+}
+
 // startQueued places q on effectively-free CPUs of its partition —
 // target per-node CPUs when the policy admits it shrunk (0 = full
 // request), on the pinned partition-local node indices when the
@@ -315,10 +390,15 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 	if min := j.RanksPerNode(); need < min {
 		need = min
 	}
+	// cands is controller-owned scratch; every exit path below must
+	// store the (possibly re-allocated) slice back into ctl.startCands,
+	// or an early return after appends grew the backing array would
+	// silently drop the capacity and re-allocate on later cycles.
 	cands := ctl.startCands[:0]
 	if len(pinned) > 0 {
 		for k, idx := range pinned {
 			if idx < 0 || idx >= part.Nodes {
+				ctl.startCands = cands
 				return false
 			}
 			// A duplicated index would pass the width check below while
@@ -326,6 +406,7 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 			// reject the action instead of trusting the policy.
 			for _, prev := range pinned[:k] {
 				if prev == idx {
+					ctl.startCands = cands
 					return false
 				}
 			}
@@ -342,27 +423,9 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 			return false
 		}
 	} else {
-		for _, node := range ctl.cluster.PartitionNodes(q.pidx) {
-			f := ctl.effectiveFree(node)
-			if n := f.Count(); n >= need {
-				cands = append(cands, startCand{node, f, n})
-			}
-		}
-		ctl.startCands = cands
+		cands = ctl.freeCandsSorted(q.pidx, need)
 		if len(cands) < j.Nodes {
 			return false
-		}
-		// Stable insertion sort by free count (candidate counts are
-		// node counts; the reflect-based sort allocated per call).
-		packed := ctl.NodeSelection == SelectPacked
-		for i := 1; i < len(cands); i++ {
-			c := cands[i]
-			k := i
-			for k > 0 && (packed && cands[k-1].n > c.n || !packed && cands[k-1].n < c.n) {
-				cands[k] = cands[k-1]
-				k--
-			}
-			cands[k] = c
 		}
 		cands = cands[:j.Nodes]
 	}
@@ -514,52 +577,93 @@ func (ctl *Controller) effectiveMasks(node string, refs []taskRef) []cpuset.CPUS
 
 // headReservation is the blocked head's claim on the cluster: the
 // shadow time when its nodes are projected free (per the running
-// jobs' walltime estimates) and which nodes those are.
+// jobs' walltime estimates) and which nodes those are. Instances are
+// controller-owned scratch (one per partition, reused cycle to
+// cycle); a reservation is valid only until the next reservationFor
+// call for the same partition.
 type headReservation struct {
 	shadow float64
-	nodes  map[string]bool
+	nodes  []string
+}
+
+// resvNode pairs one node with its projected free time for the
+// reservation sort.
+type resvNode struct {
+	node string
+	at   float64
+}
+
+// resvNodeSorter orders by (free time, name) without the allocation
+// of a reflect-based sort. Names are unique, so the order is total
+// and matches the stable (freeAt, name) sort the map-based
+// implementation used.
+type resvNodeSorter struct{ r []resvNode }
+
+func (s *resvNodeSorter) Len() int      { return len(s.r) }
+func (s *resvNodeSorter) Swap(i, j int) { s.r[i], s.r[j] = s.r[j], s.r[i] }
+func (s *resvNodeSorter) Less(i, j int) bool {
+	if s.r[i].at != s.r[j].at {
+		return s.r[i].at < s.r[j].at
+	}
+	return s.r[i].node < s.r[j].node
 }
 
 // reservationFor projects, per node of j's partition, when all
 // current occupants have ended, and reserves the j.Nodes earliest-
-// free nodes for j.
+// free nodes for j. Every buffer it touches is controller-owned
+// scratch: the built-in backfill guard calls it on every blocked-head
+// cycle, and the per-call map and slice copies it used to make
+// dominated that path's allocation profile.
 func (ctl *Controller) reservationFor(j *Job, pidx int) *headReservation {
 	now := ctl.cluster.Engine.Now()
 	partNodes := ctl.cluster.PartitionNodes(pidx)
-	freeAt := make(map[string]float64, len(partNodes))
-	for _, node := range partNodes {
-		freeAt[node] = now
+	offset := ctl.cluster.Spec.NodeOffset(pidx)
+	if cap(ctl.resvFreeAt) < len(partNodes) {
+		ctl.resvFreeAt = make([]float64, len(partNodes))
+	}
+	freeAt := ctl.resvFreeAt[:len(partNodes)]
+	for i := range freeAt {
+		freeAt[i] = now
 	}
 	for _, r := range ctl.running {
 		if r.pidx != pidx {
 			continue
 		}
-		end := r.start + walltimeEstimate(r.job)
+		end := r.start + sched.EffectiveWalltime(r.job.Walltime)
 		if end < now {
 			end = now // overdue estimate: "ends any moment"
 		}
 		for _, node := range r.nodes {
-			if end > freeAt[node] {
-				freeAt[node] = end
+			if i := ctl.nodeIdx[node] - offset; end > freeAt[i] {
+				freeAt[i] = end
 			}
 		}
 	}
-	names := append([]string(nil), partNodes...)
-	sort.SliceStable(names, func(a, b int) bool {
-		if freeAt[names[a]] != freeAt[names[b]] {
-			return freeAt[names[a]] < freeAt[names[b]]
-		}
-		return names[a] < names[b]
-	})
-	n := j.Nodes
-	if n > len(names) {
-		n = len(names)
+	order := ctl.resvOrder[:0]
+	for i, node := range partNodes {
+		order = append(order, resvNode{node: node, at: freeAt[i]})
 	}
-	rv := &headReservation{nodes: make(map[string]bool, n)}
-	for _, node := range names[:n] {
-		rv.nodes[node] = true
-		if freeAt[node] > rv.shadow {
-			rv.shadow = freeAt[node]
+	ctl.resvOrder = order
+	ctl.resvSorter.r = order
+	sort.Sort(&ctl.resvSorter)
+	n := j.Nodes
+	if n > len(order) {
+		n = len(order)
+	}
+	if ctl.resvBuf == nil {
+		ctl.resvBuf = make(map[int]*headReservation, len(ctl.cluster.Spec.Partitions))
+	}
+	rv := ctl.resvBuf[pidx]
+	if rv == nil {
+		rv = &headReservation{}
+		ctl.resvBuf[pidx] = rv
+	}
+	rv.shadow = 0
+	rv.nodes = rv.nodes[:0]
+	for _, c := range order[:n] {
+		rv.nodes = append(rv.nodes, c.node)
+		if c.at > rv.shadow {
+			rv.shadow = c.at
 		}
 	}
 	return rv
@@ -569,12 +673,14 @@ func (ctl *Controller) reservationFor(j *Job, pidx int) *headReservation {
 // reserved head: a candidate is admitted when it is projected to end
 // by the shadow time, or when it touches none of the reserved nodes.
 func (rv *headReservation) allows(now float64, j *Job, nodes []string) bool {
-	if now+walltimeEstimate(j) <= rv.shadow {
+	if now+sched.EffectiveWalltime(j.Walltime) <= rv.shadow {
 		return true
 	}
 	for _, node := range nodes {
-		if rv.nodes[node] {
-			return false
+		for _, reserved := range rv.nodes {
+			if node == reserved {
+				return false
+			}
 		}
 	}
 	return true

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/hwmodel"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,10 @@ import (
 // Fields are key=value pairs separated by ';' (or whitespace). Keys:
 //
 //	policies  comma list of sched policy names, or "all" (default all)
+//	sched     one per-partition policy-set spec in the
+//	          sched.ParsePolicySet grammar, e.g.
+//	          sched=batch=easy,fat=malleable-shrink — repeatable; each
+//	          occurrence appends one policy cell to the grid
 //	seeds     comma list and/or lo-hi ranges, e.g. "1,3,5-8" (default 1)
 //	jobs      synthetic trace length (default 1000)
 //	nodes     cluster size (default 4)
@@ -31,6 +36,9 @@ import (
 //	          (hwmodel.ParseCluster grammar; overrides nodes)
 //	cancel    synthetic per-job cancellation probability (0..1)
 //	fail      synthetic per-job failure probability (0..1)
+//	spill     1/true: cross-partition spillover pass
+//	spillafter  spillover wait threshold in seconds
+//	spilldepth  spillover home-backlog depth threshold
 //	ia        mean inter-arrival seconds (default 60)
 //	swf       SWF trace file to replay instead of the generator
 //	max       truncate an SWF trace to this many jobs
@@ -48,9 +56,22 @@ func ParseGrid(spec string) (Grid, error) {
 		}
 		switch k {
 		case "policies", "policy":
-			if v != "all" {
-				g.Policies = strings.Split(v, ",")
+			// "all" expands eagerly: relying on the empty-Policies
+			// default would silently drop it when a sched= cell also
+			// populated the grid.
+			if v == "all" {
+				g.Policies = append(g.Policies, sched.Names()...)
+			} else {
+				g.Policies = append(g.Policies, strings.Split(v, ",")...)
 			}
+		case "sched":
+			// One policy-set spec per occurrence: the value itself
+			// contains "=" pairs and commas, so it cannot ride in the
+			// comma list of the policies key.
+			if _, err := sched.ParsePolicySet(v); err != nil {
+				return Grid{}, err
+			}
+			g.Policies = append(g.Policies, v)
 		case "seeds", "seed":
 			seeds, err := parseSeeds(v)
 			if err != nil {
@@ -101,6 +122,20 @@ func ParseGrid(spec string) (Grid, error) {
 				return Grid{}, fmt.Errorf("sweep: max: %v", err)
 			}
 			g.MaxJobs = n
+		case "spill":
+			g.Spill = v == "1" || v == "true"
+		case "spillafter":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil || x < 0 {
+				return Grid{}, fmt.Errorf("sweep: spillafter: bad threshold %q", v)
+			}
+			g.SpillAfter = x
+		case "spilldepth":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Grid{}, fmt.Errorf("sweep: spilldepth: bad depth %q", v)
+			}
+			g.SpillDepth = n
 		case "stream":
 			g.Stream = v == "1" || v == "true"
 		case "check":
@@ -164,7 +199,7 @@ func (s Summary) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"index", "policy", "seed", "jobs", "wall_seconds", "sched_cycles", "sim_events",
 		"makespan_s", "mean_wait_s", "p95_wait_s", "mean_resp_s", "mean_bsld",
-		"failed", "cancelled", "dropped", "error",
+		"failed", "cancelled", "spilled", "dropped", "error",
 	}); err != nil {
 		return err
 	}
@@ -177,7 +212,7 @@ func (s Summary) WriteCSV(w io.Writer) error {
 			f(r.Stats.Makespan), f(r.Stats.MeanWait), f(r.Stats.P95Wait),
 			f(r.Stats.MeanResponse), f(r.Stats.MeanSlowdown),
 			strconv.Itoa(r.Stats.Failed), strconv.Itoa(r.Stats.Cancelled),
-			strconv.Itoa(r.Dropped.Total()), r.Err,
+			strconv.Itoa(r.Stats.Spilled), strconv.Itoa(r.Dropped.Total()), r.Err,
 		}); err != nil {
 			return err
 		}
@@ -200,8 +235,11 @@ func (s Summary) Table() string {
 		fmt.Fprintf(&sb, "%-5d %-17s %6d %8.2f %10d %12.0f %12.1f %12.1f %10.2f\n",
 			r.Seed, r.Policy, r.Jobs, r.WallSeconds, r.Cycles,
 			r.Stats.Makespan, r.Stats.MeanWait, r.Stats.MeanResponse, r.Stats.MeanSlowdown)
-		if r.Stats.Failed > 0 || r.Stats.Cancelled > 0 || r.Dropped.Total() > 0 {
+		if r.Stats.Failed > 0 || r.Stats.Cancelled > 0 || r.Stats.Spilled > 0 || r.Dropped.Total() > 0 {
 			line := fmt.Sprintf("failed=%d cancelled=%d", r.Stats.Failed, r.Stats.Cancelled)
+			if r.Stats.Spilled > 0 {
+				line += fmt.Sprintf(" spilled=%d", r.Stats.Spilled)
+			}
 			if r.Dropped.Total() > 0 {
 				line += fmt.Sprintf(" trace: %s", r.Dropped)
 			}

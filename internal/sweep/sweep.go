@@ -31,7 +31,10 @@ import (
 // and Seeds defines the experiments; each replays the same trace
 // shape under one policy.
 type Grid struct {
-	// Policies are sched policy names (sched.Names() when empty).
+	// Policies are sched policy names (sched.Names() when empty) or
+	// per-partition policy-set specs in the sched.ParsePolicySet
+	// grammar ("batch=easy,fat=malleable-shrink"; the grid key for
+	// such specs is sched=, repeatable).
 	Policies []string
 	// Seeds selects the synthetic traces (default {1}). Ignored when
 	// SWFPath is set (a file is one trace; Seeds collapses to one
@@ -53,6 +56,12 @@ type Grid struct {
 	// fault probabilities (grid keys cancel= and fail=).
 	CancelRate float64
 	FailRate   float64
+	// Spill enables the cross-partition spillover pass on every
+	// experiment (grid key spill=1); SpillAfter / SpillDepth are its
+	// eligibility thresholds (spillafter= seconds, spilldepth= jobs).
+	Spill      bool
+	SpillAfter float64
+	SpillDepth int
 	// SWFPath replays a Standard Workload Format file instead of the
 	// synthetic generator.
 	SWFPath string
@@ -165,11 +174,27 @@ func (g Grid) faultName() string {
 	return fmt.Sprintf(" cancel=%g fail=%g", g.CancelRate, g.FailRate)
 }
 
+// spillName renders the spillover part of a trace label ("" when the
+// pass is off).
+func (g Grid) spillName() string {
+	if !g.Spill {
+		return ""
+	}
+	s := " spill=1"
+	if g.SpillAfter > 0 {
+		s += fmt.Sprintf(" spillafter=%g", g.SpillAfter)
+	}
+	if g.SpillDepth > 0 {
+		s += fmt.Sprintf(" spilldepth=%d", g.SpillDepth)
+	}
+	return s
+}
+
 func (g Grid) traceName(seed int64) string {
 	if g.SWFPath != "" {
 		return fmt.Sprintf("swf:%s", g.SWFPath)
 	}
-	return fmt.Sprintf("synthetic seed=%d jobs=%d %s%s", seed, g.Jobs, g.shapeName(), g.faultName())
+	return fmt.Sprintf("synthetic seed=%d jobs=%d %s%s%s", seed, g.Jobs, g.shapeName(), g.faultName(), g.spillName())
 }
 
 // gridName describes the whole grid (the summary-level label; the
@@ -182,8 +207,8 @@ func (g Grid) gridName() string {
 	for i, s := range g.Seeds {
 		seeds[i] = strconv.FormatInt(s, 10)
 	}
-	return fmt.Sprintf("synthetic seeds=%s jobs=%d %s%s",
-		strings.Join(seeds, ","), g.Jobs, g.shapeName(), g.faultName())
+	return fmt.Sprintf("synthetic seeds=%s jobs=%d %s%s%s",
+		strings.Join(seeds, ","), g.Jobs, g.shapeName(), g.faultName(), g.spillName())
 }
 
 // Run executes the grid on the given number of workers (<= 0 means
@@ -270,10 +295,19 @@ func (g Grid) synthetic(seed int64) workload.SyntheticSWF {
 	}
 }
 
-// runOne executes one experiment in isolation.
+// spillInto copies the grid's spillover knobs onto a scenario.
+func (g Grid) spillInto(sc *workload.Scenario) {
+	sc.Spill = g.Spill
+	sc.SpillAfter = g.SpillAfter
+	sc.SpillDepth = g.SpillDepth
+}
+
+// runOne executes one experiment in isolation. The policy cell may be
+// a bare policy name or a per-partition policy-set spec; either way
+// each experiment instantiates its own policy instances.
 func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result {
 	out := Result{Experiment: e}
-	p, err := sched.New(e.Policy)
+	ps, err := sched.ParsePolicySet(e.Policy)
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -288,12 +322,14 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 			return out
 		}
 		base := workload.Scenario{Nodes: g.Nodes, Cluster: g.Cluster, DebugInvariants: g.DebugInvariants}
-		res = workload.RunSchedStream(base, src, p)
+		g.spillInto(&base)
+		res = workload.RunSchedStreamSet(base, src, ps)
 		stats = workload.SchedStatsOfStream(res)
 	} else {
 		sc := scenarios[e.Seed]
 		sc.DebugInvariants = g.DebugInvariants
-		res = workload.RunSched(sc, p)
+		g.spillInto(&sc)
+		res = workload.RunSchedSet(sc, ps)
 		stats = workload.SchedStatsOf(sc, res)
 	}
 	out.WallSeconds = time.Since(t0).Seconds()

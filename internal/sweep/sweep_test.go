@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/hwmodel"
+	"repro/internal/sched"
 )
 
 // stripWall zeroes the wall-clock fields, which legitimately vary
@@ -141,13 +142,21 @@ func TestParseGrid(t *testing.T) {
 	if _, err := ParseGrid("seeds=9-1"); err == nil {
 		t.Error("inverted seed range should fail")
 	}
-	// Whitespace-separated fields and "all" policies.
+	// Whitespace-separated fields; "all" expands eagerly so it still
+	// counts when combined with sched= cells below.
 	g, err = ParseGrid("policies=all seeds=2 jobs=10")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Policies != nil || len(g.Seeds) != 1 || g.Seeds[0] != 2 || g.Jobs != 10 {
+	if !reflect.DeepEqual(g.Policies, sched.Names()) || len(g.Seeds) != 1 || g.Seeds[0] != 2 || g.Jobs != 10 {
 		t.Errorf("ParseGrid whitespace form = %+v", g)
+	}
+	g, err = ParseGrid("policies=all;sched=batch=easy,fat=fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := append(append([]string{}, sched.Names()...), "batch=easy,fat=fcfs"); !reflect.DeepEqual(g.Policies, want) {
+		t.Errorf("all + sched cell = %v, want %v", g.Policies, want)
 	}
 	// Heterogeneous cluster + fault-rate keys.
 	g, err = ParseGrid("policies=fcfs;cluster=hetero;cancel=0.05;fail=0.1")
@@ -165,6 +174,70 @@ func TestParseGrid(t *testing.T) {
 	}
 	if _, err := ParseGrid("cancel=1.5"); err == nil {
 		t.Error("out-of-range rate should fail")
+	}
+	// Policy-set cells (sched=, repeatable) and the spillover knobs.
+	g, err = ParseGrid("sched=batch=easy,fat=malleable-shrink;sched=easy;cluster=hetero;spill=1;spillafter=30;spilldepth=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := []string{"batch=easy,fat=malleable-shrink", "easy"}
+	if !reflect.DeepEqual(g.Policies, want2) {
+		t.Errorf("sched cells = %v, want %v", g.Policies, want2)
+	}
+	if !g.Spill || g.SpillAfter != 30 || g.SpillDepth != 2 {
+		t.Errorf("spill knobs = %v/%g/%d", g.Spill, g.SpillAfter, g.SpillDepth)
+	}
+	if _, err := ParseGrid("sched=batch=bogus"); err == nil {
+		t.Error("bad policy set should fail")
+	}
+	if _, err := ParseGrid("spillafter=-1"); err == nil {
+		t.Error("negative spillafter should fail")
+	}
+	if _, err := ParseGrid("spilldepth=x"); err == nil {
+		t.Error("non-numeric spilldepth should fail")
+	}
+}
+
+// TestSweepSpilloverDeterministicAcrossWorkerCounts: a heterogeneous
+// grid mixing per-partition policy sets with single policies, with
+// spillover on, must produce byte-identical summaries at any worker
+// count (this is the grid CI also runs under -race at -cpu 1,4,8).
+func TestSweepSpilloverDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Policies:         []string{"easy", "batch=easy,fat=malleable-shrink"},
+		Seeds:            []int64{1},
+		Jobs:             300,
+		Cluster:          hwmodel.HeteroMN3(),
+		MeanInterarrival: 20,
+		Spill:            true,
+		KeepJobs:         true,
+	}
+	var base Summary
+	var baseStarts string
+	for i, workers := range []int{1, 4, 8} {
+		sum, err := Run(grid, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, r := range sum.Results {
+			if r.Stats.Spilled == 0 {
+				t.Errorf("workers=%d %s: no spills on the contended hetero trace", workers, r.Policy)
+			}
+		}
+		starts := sum.StartsListing()
+		if i == 0 {
+			base, baseStarts = stripWall(sum), starts
+			continue
+		}
+		got := stripWall(sum)
+		a, _ := json.Marshal(base)
+		b, _ := json.Marshal(got)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d spillover summary differs from sequential:\n%s\nvs\n%s", workers, b, a)
+		}
+		if starts != baseStarts {
+			t.Errorf("workers=%d spillover per-job start times differ from sequential", workers)
+		}
 	}
 }
 

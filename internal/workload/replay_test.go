@@ -167,6 +167,165 @@ func TestSchedReplayHeteroFaultGolden(t *testing.T) {
 	t.Fatalf("hetero listing length changed: got %d lines, want %d", len(gl), len(wl))
 }
 
+// spillGoldenPath pins the decisions of the 2-partition fault trace
+// with cross-partition spillover enabled: per job the start, end,
+// outcome, partition and origin under every single policy plus one
+// mixed per-partition policy set. Regenerate (only after an
+// intentional behavior change) with:
+//
+//	UPDATE_SCHED_GOLDEN=1 go test ./internal/workload -run ReplaySpilloverGolden
+const spillGoldenPath = "testdata/sched_starts_spill_hetero_seed1_600.golden"
+
+// TestSchedReplaySpilloverGolden replays the heterogeneous
+// fault-annotated trace with the spillover pass on, under all four
+// policies and a mixed policy set, and compares every job's lifecycle
+// (including the origin partition of spilled jobs) against the
+// committed golden.
+func TestSchedReplaySpilloverGolden(t *testing.T) {
+	sc := heteroFaultScenario(t)
+	sc.Spill = true
+	var got strings.Builder
+	specs := append(append([]string{}, sched.Names()...), "batch=easy,fat=malleable-shrink")
+	for _, spec := range specs {
+		ps, err := sched.ParsePolicySet(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunSchedSet(sc, ps)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", spec, res.Err)
+		}
+		// The malleable policies shrink-admit almost everything, so
+		// their queues rarely back up enough to spill; the rigid
+		// policies and the mixed set must spill on this contended trace
+		// or the golden is vacuous.
+		if rigid := spec == "fcfs" || spec == "easy" || strings.Contains(spec, "="); rigid &&
+			res.Records.Spilled() == 0 {
+			t.Errorf("%s: no job spilled on the contended 2-partition trace", spec)
+		}
+		rs := append(res.Records.Jobs[:0:0], res.Records.Jobs...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+		for _, j := range rs {
+			origin := j.Origin
+			if origin == "" {
+				origin = "-"
+			}
+			fmt.Fprintf(&got, "%s %s %s %s %s %s %s %s\n", spec, j.Name,
+				strconv.FormatFloat(j.Submit, 'g', -1, 64),
+				strconv.FormatFloat(j.Start, 'g', -1, 64),
+				strconv.FormatFloat(j.End, 'g', -1, 64),
+				j.Outcome, j.Partition, origin)
+		}
+	}
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(spillGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(spillGoldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", spillGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(spillGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() == string(want) {
+		return
+	}
+	gl := strings.Split(got.String(), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("spillover replay diverged from the golden at line %d:\n  got  %q\n  want %q",
+				i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("spillover listing length changed: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestSpillStreamMatchesMaterialized: the streaming path must make
+// the same spillover decisions as the materialized path.
+func TestSpillStreamMatchesMaterialized(t *testing.T) {
+	gen := SyntheticSWF{
+		Seed: 2, Jobs: 300, MeanInterarrival: 20,
+		Cluster: hwmodel.HeteroMN3(), CancelRate: 0.05, FailRate: 0.05,
+	}
+	ps, err := sched.ParsePolicySet("batch=easy,fat=malleable-shrink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SyntheticSWFScenario(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Spill = true
+	mat := RunSchedSet(sc, ps)
+	if mat.Err != nil {
+		t.Fatal(mat.Err)
+	}
+	str := RunSchedStreamSet(Scenario{Cluster: gen.Cluster, Spill: true}, gen.Source(), ps)
+	if str.Err != nil {
+		t.Fatal(str.Err)
+	}
+	if mat.Records.Spilled() == 0 {
+		t.Fatal("no spills on the contended trace; the parity check is vacuous")
+	}
+	if m, s := mat.Records.Spilled(), str.Records.Spilled(); m != s {
+		t.Errorf("spilled: materialized %d, streamed %d", m, s)
+	}
+	if m, s := mat.SchedCycles, str.SchedCycles; m != s {
+		t.Errorf("cycles: materialized %d, streamed %d", m, s)
+	}
+	ms := SchedStatsOf(sc, mat)
+	ss := SchedStatsOfStream(str)
+	if ms.Makespan != ss.Makespan || ms.MeanWait != ss.MeanWait || ms.MeanResponse != ss.MeanResponse {
+		t.Errorf("stats diverge:\n  materialized %v\n  streamed     %v", ms, ss)
+	}
+}
+
+// TestSpilloverPropertyAllJobsComplete fuzzes seeded contended
+// 2-partition traces through every policy with spillover and the
+// controller's invariant checks on: every submission must complete
+// and the per-partition spill tallies must balance.
+func TestSpilloverPropertyAllJobsComplete(t *testing.T) {
+	for seed := int64(2); seed <= 4; seed++ {
+		for _, name := range sched.Names() {
+			p, err := sched.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := SyntheticSWFScenario(SyntheticSWF{
+				Seed: seed, Jobs: 200, MeanInterarrival: 15,
+				Cluster: hwmodel.HeteroMN3(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.DebugInvariants = true
+			sc.Spill = true
+			res := RunSched(sc, p)
+			if res.Err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, name, res.Err)
+			}
+			if len(res.Records.Jobs) != len(sc.Subs) {
+				t.Fatalf("seed %d policy %s: %d of %d jobs completed",
+					seed, name, len(res.Records.Jobs), len(sc.Subs))
+			}
+			var in, out int
+			for _, ps := range res.Records.PartitionStats() {
+				in += ps.SpilledIn
+				out += ps.SpilledOut
+			}
+			if in != out || in != res.Records.Spilled() {
+				t.Fatalf("seed %d policy %s: spill tallies in=%d out=%d total=%d",
+					seed, name, in, out, res.Records.Spilled())
+			}
+		}
+	}
+}
+
 // TestSchedPropertyCapacityInvariant fuzzes seeded random traces
 // through every policy with the controller's invariant checks on: the
 // node free counts derived from the executed actions must never go

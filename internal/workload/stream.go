@@ -197,6 +197,22 @@ func (s *SWFReaderSource) Dropped() metrics.DropStats { return s.mapper.drops }
 // stream position (now), whereas the materialized path sorts it into
 // its true place.
 func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
+	return runStream(s, src, func(ctl *slurm.Controller) error {
+		ctl.UseSched(p)
+		return nil
+	})
+}
+
+// RunSchedStreamSet is RunSchedStream under a per-partition policy
+// set (see RunSchedSet).
+func RunSchedStreamSet(s Scenario, src SubmissionSource, ps sched.PolicySet) Result {
+	return runStream(s, src, func(ctl *slurm.Controller) error {
+		return ctl.UseSchedSet(ps)
+	})
+}
+
+// runStream is the shared streaming executor.
+func runStream(s Scenario, src SubmissionSource, install func(*slurm.Controller) error) Result {
 	eng := sim.NewEngine()
 	if len(s.Cluster.Partitions) == 0 {
 		// A mapping source knows the cluster it shaped its submissions
@@ -211,7 +227,9 @@ func RunSchedStream(s Scenario, src SubmissionSource, p sched.Policy) Result {
 		return Result{Scenario: s.Name, Policy: slurm.PolicyDROM, Err: err}
 	}
 	ctl := slurm.NewController(cluster, slurm.PolicyDROM)
-	ctl.UseSched(p)
+	if err := installSched(ctl, s, install); err != nil {
+		return Result{Scenario: s.Name, Policy: slurm.PolicyDROM, Err: err}
+	}
 	ctl.DebugInvariants = s.DebugInvariants
 	ctl.Records.SetAggregate()
 	res := Result{Scenario: s.Name, Policy: slurm.PolicyDROM}

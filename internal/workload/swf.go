@@ -532,7 +532,21 @@ func SyntheticSWFScenario(p SyntheticSWF) (Scenario, error) {
 // RunSched executes a scenario under a queue/admission policy from
 // internal/sched. Placement is shared-node with disjoint masks; every
 // malleability action the policy emits goes through the real DROM
-// SetProcessMask/PreInit path.
+// SetProcessMask/PreInit path. The given instance drives the first
+// partition; further partitions get fresh instances of the same
+// policy (slurm.Controller.UseSched).
 func RunSched(s Scenario, p sched.Policy) Result {
-	return run(s, slurm.PolicyDROM, p)
+	return run(s, slurm.PolicyDROM, func(ctl *slurm.Controller) error {
+		ctl.UseSched(p)
+		return nil
+	})
+}
+
+// RunSchedSet executes a scenario under a per-partition policy set
+// (the `-sched batch=easy,fat=malleable-shrink` grammar): every
+// partition gets a fresh instance of the policy the set assigns it.
+func RunSchedSet(s Scenario, ps sched.PolicySet) Result {
+	return run(s, slurm.PolicyDROM, func(ctl *slurm.Controller) error {
+		return ctl.UseSchedSet(ps)
+	})
 }

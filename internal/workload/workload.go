@@ -13,7 +13,6 @@ import (
 	"repro/internal/apps"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/trace"
@@ -60,6 +59,16 @@ type Scenario struct {
 	// that built the scenario; the runner copies them onto the
 	// result's metrics.Workload so trace coverage is reported.
 	Dropped metrics.DropStats
+	// Spill enables the cross-partition spillover pass of sched-driven
+	// runs (slurm.Controller.Spillover): a queued job whose home
+	// partition cannot host it may be re-routed to another partition
+	// that fits its shape, guarded by the host's EASY head
+	// reservation. SpillAfter / SpillDepth are the eligibility
+	// thresholds (minimum queue wait in seconds; minimum home-backlog
+	// depth).
+	Spill      bool
+	SpillAfter float64
+	SpillDepth int
 	// JitterFrac adds seeded run-to-run variability to iteration
 	// durations (0 = deterministic); Seed selects the stream.
 	JitterFrac float64
@@ -127,10 +136,27 @@ func Run(s Scenario, policy slurm.Policy) Result {
 	return run(s, policy, nil)
 }
 
-// run is the shared scenario executor; schedPolicy, when non-nil, is
-// installed on the controller and takes over queue ordering and
-// admission (see RunSched).
-func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
+// installSched installs the scenario's scheduling configuration on a
+// controller: the sched policy or per-partition policy set (when
+// given) and the spillover knobs. Shared by the materialized and
+// streaming runners so the two paths can never drift.
+func installSched(ctl *slurm.Controller, s Scenario, install func(*slurm.Controller) error) error {
+	if install != nil {
+		if err := install(ctl); err != nil {
+			return err
+		}
+	}
+	ctl.Spillover = s.Spill
+	ctl.SpillAfter = s.SpillAfter
+	ctl.SpillDepth = s.SpillDepth
+	return nil
+}
+
+// run is the shared scenario executor; install, when non-nil, puts a
+// scheduling policy (or per-partition policy set) on the controller,
+// which then takes over queue ordering and admission (see RunSched /
+// RunSchedSet).
+func run(s Scenario, policy slurm.Policy, install func(*slurm.Controller) error) Result {
 	eng := sim.NewEngine()
 	var tr *trace.Tracer
 	if s.Trace {
@@ -145,8 +171,8 @@ func run(s Scenario, policy slurm.Policy, schedPolicy sched.Policy) Result {
 		cluster.JitterFrac = s.JitterFrac
 	}
 	ctl := slurm.NewController(cluster, policy)
-	if schedPolicy != nil {
-		ctl.UseSched(schedPolicy)
+	if err := installSched(ctl, s, install); err != nil {
+		return Result{Scenario: s.Name, Policy: policy, Err: err}
 	}
 	ctl.LogProtocol = s.LogProtocol
 	ctl.NodeSelection = s.NodeSelection
