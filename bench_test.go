@@ -14,8 +14,10 @@ package repro_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"repro/internal/benchfmt"
+	"repro/internal/obs"
 	"runtime"
 	"strconv"
 	"strings"
@@ -657,6 +659,79 @@ func BenchmarkSchedReplay100k(b *testing.B) {
 		updateBenchJSON(b, path, "sched_replay_100k", map[string]interface{}{
 			"trace":    "synthetic SWF seed=1 jobs=100000 nodes=4",
 			"policies": entries,
+		})
+	}
+}
+
+// BenchmarkSchedObs100k replays the same 100k trace as
+// BenchmarkSchedReplay100k under fcfs with EVERY observability
+// consumer attached: the JSONL decision trace and the virtual-time
+// sampler draining into io.Discard, a job explainer following j00042,
+// and the cycle-latency histograms. Its jobs/cycles/events are
+// committed to BENCH_sched.json (section sched_obs) where
+// cmd/benchdiff cross-checks them against the plain replay — the
+// probes must not perturb a single scheduling decision — and gates
+// the wall-time fields with -warn-pct. Regenerate together with the
+// plain sections:
+//
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench 'SchedReplay100k|SchedObs100k|Sweep100k' -benchtime 1x .
+func BenchmarkSchedObs100k(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{Seed: 1, Jobs: 100000, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := cluster.NewSchedPolicy("fcfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var e benchfmt.ObsEntry
+	for i := 0; i < b.N; i++ {
+		trace := obs.NewSchedTrace(io.Discard)
+		sampler := obs.NewSampler(3600, io.Discard, false)
+		explain := obs.NewExplain("j00042")
+		hist := &obs.CycleHist{}
+		sc.Probe = obs.Multi(trace, sampler, explain, hist)
+		t0 := time.Now()
+		res := cluster.RunSched(sc, p)
+		wall := time.Since(t0)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if err := trace.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sampler.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(explain.Story(), "started") {
+			b.Fatalf("explainer lost j00042:\n%s", explain.Story())
+		}
+		toUs := func(ns int64) float64 { return float64(ns) / 1e3 }
+		e = benchfmt.ObsEntry{
+			Policy:       "fcfs",
+			Jobs:         res.Records.Count(),
+			WallSeconds:  wall.Seconds(),
+			Cycles:       res.SchedCycles,
+			Events:       res.Events,
+			CycleMicros:  wall.Seconds() * 1e6 / float64(res.SchedCycles),
+			CycleSamples: hist.Cycle.Count(),
+			SchedSamples: hist.Sched.Count(),
+			CycleP50Us:   toUs(hist.Cycle.Quantile(0.50)),
+			CycleP99Us:   toUs(hist.Cycle.Quantile(0.99)),
+			CycleMaxUs:   toUs(hist.Cycle.Max()),
+			SchedP50Us:   toUs(hist.Sched.Quantile(0.50)),
+			SchedP99Us:   toUs(hist.Sched.Quantile(0.99)),
+		}
+	}
+	sc.Probe = nil
+	b.ReportMetric(e.WallSeconds, "wall-s")
+	b.ReportMetric(e.CycleMicros, "us/cycle")
+	b.ReportMetric(float64(e.CycleSamples), "cycle-samples")
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" {
+		updateBenchJSON(b, path, "sched_obs", map[string]interface{}{
+			"trace":  "synthetic SWF seed=1 jobs=100000 nodes=4, all probes attached",
+			"probed": e,
 		})
 	}
 }

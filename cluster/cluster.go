@@ -13,6 +13,7 @@ import (
 	"repro/internal/djsb"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/slurm"
 	"repro/internal/trace"
@@ -101,6 +102,14 @@ type Workload = metrics.Workload
 
 // Tracer records per-thread execution segments.
 type Tracer = trace.Tracer
+
+// Probe receives scheduler observability events (see internal/obs).
+// Attach one via Scenario.Probe; a nil probe costs one nil check per
+// instrumentation point.
+type Probe = obs.Probe
+
+// ObsEvent is one observability event delivered to a Probe.
+type ObsEvent = obs.Event
 
 // Machine describes a node type (sockets, cores, frequency, memory
 // bandwidth). The zero value in a Scenario selects MN3.

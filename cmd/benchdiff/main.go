@@ -10,13 +10,26 @@
 // candidate is slower than baseline × tolerance; allocation counts
 // per cycle are nearly deterministic and get a tight factor.
 //
+// A second, softer gate covers the timing fields that are expected to
+// move between machines and runs: -warn-pct emits a warning (exit
+// status unaffected) when wall_seconds or us_per_cycle deviates from
+// baseline by more than the given percentage in either direction —
+// loud enough to notice creeping drift, quiet enough not to flake CI.
+//
+// The sched_obs section (the probes-enabled replay) is compared like
+// the others: its deterministic outcomes — jobs, cycles, events,
+// histogram sample counts — diff exactly, and are additionally
+// cross-checked against the plain 100k replay of the same document,
+// proving the attached probes did not perturb a single decision.
+//
 // Usage:
 //
-//	benchdiff [-tolerance 3.0] baseline.json candidate.json
+//	benchdiff [-tolerance 3.0] [-warn-pct 25] baseline.json candidate.json
 package main
 
 import (
 	"repro/internal/benchfmt"
+	"repro/internal/version"
 
 	"encoding/json"
 	"flag"
@@ -30,18 +43,31 @@ type replayEntry = benchfmt.ReplayEntry
 
 type benchDoc = benchfmt.Doc
 
-// diff returns the regression findings between baseline and candidate.
-func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
+// diff returns the regression findings (hard failures) and warnings
+// (soft timing drift beyond warnPct, in percent; 0 disables) between
+// baseline and candidate.
+func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, warnings []string, err error) {
 	var base, cand benchDoc
 	if err := json.Unmarshal(baseline, &base); err != nil {
-		return nil, fmt.Errorf("baseline: %w", err)
+		return nil, nil, fmt.Errorf("baseline: %w", err)
 	}
 	if err := json.Unmarshal(candidate, &cand); err != nil {
-		return nil, fmt.Errorf("candidate: %w", err)
+		return nil, nil, fmt.Errorf("candidate: %w", err)
 	}
-	var findings []string
 	add := func(format string, args ...interface{}) {
 		findings = append(findings, fmt.Sprintf(format, args...))
+	}
+	// warn flags |candidate-baseline| > warnPct% of baseline, both
+	// directions: a surprise speed-up usually means the benchmark
+	// stopped measuring what it used to.
+	warn := func(name, field string, b, c float64) {
+		if warnPct <= 0 || b <= 0 {
+			return
+		}
+		if dev := (c - b) / b * 100; dev > warnPct || dev < -warnPct {
+			warnings = append(warnings, fmt.Sprintf("%s: %s %.3g deviates %+.1f%% from baseline %.3g (warn threshold %.0f%%)",
+				name, field, c, dev, b, warnPct))
+		}
 	}
 	compare := func(name string, b, c replayEntry) {
 		if c.Jobs != b.Jobs {
@@ -70,6 +96,49 @@ func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
 		if b.AllocsPerCycle > 0 && c.AllocsPerCycle > b.AllocsPerCycle*1.5+5 {
 			add("%s: allocs_per_cycle %.1f exceeds baseline %.1f x 1.5", name, c.AllocsPerCycle, b.AllocsPerCycle)
 		}
+		warn(name, "us_per_cycle", b.CycleMicros, c.CycleMicros)
+		warn(name, "wall_seconds", b.WallSeconds, c.WallSeconds)
+	}
+	compareObs := func(name string, b, c benchfmt.ObsEntry) {
+		if c.Jobs != b.Jobs {
+			add("%s: jobs %d, baseline %d", name, c.Jobs, b.Jobs)
+		}
+		if c.Cycles != b.Cycles {
+			add("%s: sched_cycles %d, baseline %d (decisions changed)", name, c.Cycles, b.Cycles)
+		}
+		if c.Events != b.Events {
+			add("%s: sim_events %d, baseline %d (decisions changed)", name, c.Events, b.Events)
+		}
+		if c.CycleSamples != b.CycleSamples {
+			add("%s: cycle_samples %d, baseline %d (probe coverage changed)", name, c.CycleSamples, b.CycleSamples)
+		}
+		if c.SchedSamples != b.SchedSamples {
+			add("%s: schedule_samples %d, baseline %d (probe coverage changed)", name, c.SchedSamples, b.SchedSamples)
+		}
+		if b.CycleMicros > 0 && c.CycleMicros > b.CycleMicros*tolerance {
+			add("%s: us_per_cycle %.2f exceeds baseline %.2f x %.1f", name, c.CycleMicros, b.CycleMicros, tolerance)
+		}
+		warn(name, "us_per_cycle", b.CycleMicros, c.CycleMicros)
+		warn(name, "wall_seconds", b.WallSeconds, c.WallSeconds)
+	}
+	// crossCheckObs proves the probes are decision-preserving inside a
+	// single document: the probed replay must reach the same outcomes
+	// as the plain replay of the same trace and policy.
+	crossCheckObs := func(who string, doc benchDoc) {
+		if doc.Obs == nil || doc.Replay100k == nil {
+			return
+		}
+		o := doc.Obs.Probed
+		for _, p := range doc.Replay100k.Policies {
+			if p.Policy != o.Policy {
+				continue
+			}
+			if o.Jobs != p.Jobs || o.Cycles != p.Cycles || o.Events != p.Events {
+				add("%s sched_obs: probed replay (jobs=%d cycles=%d events=%d) diverges from plain sched_replay_100k/%s (jobs=%d cycles=%d events=%d) — probes perturbed decisions",
+					who, o.Jobs, o.Cycles, o.Events, p.Policy, p.Jobs, p.Cycles, p.Events)
+			}
+			return
+		}
 	}
 	comparePolicies := func(section string, base, cand []replayEntry) {
 		byName := map[string]replayEntry{}
@@ -94,14 +163,25 @@ func diff(baseline, candidate []byte, tolerance float64) ([]string, error) {
 	if base.Spillover != nil && cand.Spillover != nil {
 		comparePolicies("sched_spillover", base.Spillover.Policies, cand.Spillover.Policies)
 	}
-	return findings, nil
+	if base.Obs != nil && cand.Obs != nil {
+		compareObs("sched_obs/"+base.Obs.Probed.Policy, base.Obs.Probed, cand.Obs.Probed)
+	}
+	crossCheckObs("baseline", base)
+	crossCheckObs("candidate", cand)
+	return findings, warnings, nil
 }
 
 func main() {
 	tolerance := flag.Float64("tolerance", 3.0, "allowed us_per_cycle slowdown factor vs baseline")
+	warnPct := flag.Float64("warn-pct", 0, "warn (exit 0) when wall_seconds/us_per_cycle deviate more than this percentage either way; 0 disables")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] baseline.json candidate.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] [-warn-pct P] baseline.json candidate.json")
 		os.Exit(2)
 	}
 	baseline, err := os.ReadFile(flag.Arg(0))
@@ -114,10 +194,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := diff(baseline, candidate, *tolerance)
+	findings, warnings, err := diff(baseline, candidate, *tolerance, *warnPct)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %s\n", w)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(findings), flag.Arg(0))

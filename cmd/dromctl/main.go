@@ -21,12 +21,18 @@ import (
 
 	"repro/dlb"
 	"repro/drom"
+	"repro/internal/version"
 )
 
 func main() {
 	procs := flag.Int("procs", 2, "number of demo DLB processes on the node")
 	cpus := flag.Int("cpus", 16, "CPUs of the demo node")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if err := run(*procs, *cpus); err != nil {
 		fmt.Fprintf(os.Stderr, "dromctl: %v\n", err)
 		os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/metrics"
 	"repro/internal/slurm"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -26,7 +27,12 @@ func main() {
 	id := flag.String("id", "", "artifact to regenerate (table1, fig2..fig15); empty = all")
 	out := flag.String("out", "", "directory to additionally write trace files (.csv and Paraver .prv) for fig5/fig13")
 	svg := flag.String("svg", "", "directory to additionally write SVG renderings of the figures")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	outDir = *out
 	svgDir = *svg
 	if err := run(*id); err != nil {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/metrics"
 	"repro/internal/slurm"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -35,7 +36,12 @@ type claim struct {
 
 func main() {
 	mdPath := flag.String("md", "", "write the report as Markdown to this file")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	claims, err := evaluate()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)

@@ -24,7 +24,9 @@ import (
 
 	"repro/cluster"
 	"repro/internal/djsb"
+	"repro/internal/obs"
 	"repro/internal/sweep"
+	"repro/internal/version"
 )
 
 func main() {
@@ -64,9 +66,26 @@ func main() {
 	sweepWorkers := flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "sweep output format: table, json, or csv")
 	out := flag.String("out", "", "sweep: write the summary to this file instead of stdout")
+	traceSched := flag.String("trace-sched", "", "sched: write a JSONL decision trace (one line per "+
+		"non-empty policy pass: virtual time, partition, queue depth, free CPUs, actions with reasons)")
+	explainJob := flag.String("explain", "", "sched: print the named job's lifecycle story after the replay "+
+		"(submission, queue-position evolution, wait reasons, placement, completion)")
+	sample := flag.Duration("sample", 0, "sched: emit a per-partition time series every given interval "+
+		"of VIRTUAL time (e.g. 60s): utilization, queue depth, running jobs, spill tallies")
+	sampleOut := flag.String("sample-out", "", "sched: time-series output file; '-' for stdout, "+
+		"a .json suffix selects JSONL over CSV (required with -sample)")
+	hist := flag.Bool("hist", false, "sched: report wall-time histograms per scheduling cycle and "+
+		"per Schedule() call at exit")
+	progress := flag.Bool("progress", false, "sweep: live progress (cells done/total, cells/s, ETA) to stderr")
+	showVersion := flag.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -109,6 +128,14 @@ func main() {
 		clusterSpec: *clusterSpec, cancelRate: *cancelRate, failRate: *failRate,
 		spill: *spill, spillAfter: *spillAfter, spillDepth: *spillDepth,
 		sweepSpec: *sweepSpec, sweepWorkers: *sweepWorkers, format: *format, out: *out,
+		progress: *progress,
+		obs: obsArgs{
+			tracePath:  *traceSched,
+			explainJob: *explainJob,
+			sample:     sample.Seconds(),
+			sampleOut:  *sampleOut,
+			hist:       *hist,
+		},
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
 		pprof.StopCPUProfile()
@@ -140,6 +167,130 @@ type runArgs struct {
 	sweepSpec           string
 	sweepWorkers        int
 	format, out         string
+	progress            bool
+	obs                 obsArgs
+}
+
+// obsArgs carries the observability-consumer flags of the sched
+// replay modes (see internal/obs).
+type obsArgs struct {
+	tracePath  string  // -trace-sched: JSONL decision trace
+	explainJob string  // -explain: per-job lifecycle story
+	sample     float64 // -sample: virtual-time sampling interval (s)
+	sampleOut  string  // -sample-out: time-series destination
+	hist       bool    // -hist: cycle/Schedule wall-time histograms
+}
+
+// active reports whether any consumer was requested.
+func (o obsArgs) active() bool {
+	return o.tracePath != "" || o.explainJob != "" || o.sample > 0 || o.hist
+}
+
+// obsRun is one replay's consumer wiring: the composed probe plus the
+// finishers that flush files and print reports once the replay ends.
+type obsRun struct {
+	probe   cluster.Probe
+	trace   *obs.SchedTrace
+	traceF  *os.File
+	explain *obs.Explain
+	sampler *obs.Sampler
+	sampleF *os.File
+	hist    *obs.CycleHist
+}
+
+// start opens the consumers' outputs and composes the probe.
+// A zero obsArgs yields a nil probe at no cost.
+func (o obsArgs) start() (*obsRun, error) {
+	r := &obsRun{}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("-trace-sched: %w", err)
+		}
+		r.traceF = f
+		r.trace = obs.NewSchedTrace(f)
+	}
+	if o.explainJob != "" {
+		r.explain = obs.NewExplain(o.explainJob)
+	}
+	if o.sample > 0 {
+		switch o.sampleOut {
+		case "":
+			r.close()
+			return nil, fmt.Errorf("-sample requires -sample-out (a file path, or '-' for stdout)")
+		case "-":
+			r.sampler = obs.NewSampler(o.sample, os.Stdout, false)
+		default:
+			f, err := os.Create(o.sampleOut)
+			if err != nil {
+				r.close()
+				return nil, fmt.Errorf("-sample-out: %w", err)
+			}
+			r.sampleF = f
+			r.sampler = obs.NewSampler(o.sample, f, strings.HasSuffix(o.sampleOut, ".json"))
+		}
+	}
+	if o.hist {
+		r.hist = &obs.CycleHist{}
+	}
+	// Append only the consumers that exist: a typed-nil *SchedTrace
+	// etc. would be a non-nil Probe interface and defeat Multi's nil
+	// dropping.
+	var ps []obs.Probe
+	if r.trace != nil {
+		ps = append(ps, r.trace)
+	}
+	if r.explain != nil {
+		ps = append(ps, r.explain)
+	}
+	if r.sampler != nil {
+		ps = append(ps, r.sampler)
+	}
+	if r.hist != nil {
+		ps = append(ps, r.hist)
+	}
+	r.probe = obs.Multi(ps...)
+	return r, nil
+}
+
+// close releases the output files (error path of start).
+func (r *obsRun) close() {
+	if r.traceF != nil {
+		r.traceF.Close()
+	}
+	if r.sampleF != nil {
+		r.sampleF.Close()
+	}
+}
+
+// finish flushes the file-backed consumers and prints the
+// explain/histogram reports.
+func (r *obsRun) finish() error {
+	if r.trace != nil {
+		if err := r.trace.Flush(); err != nil {
+			return fmt.Errorf("-trace-sched: %w", err)
+		}
+		if err := r.traceF.Close(); err != nil {
+			return fmt.Errorf("-trace-sched: %w", err)
+		}
+	}
+	if r.sampler != nil {
+		if err := r.sampler.Flush(); err != nil {
+			return fmt.Errorf("-sample-out: %w", err)
+		}
+		if r.sampleF != nil {
+			if err := r.sampleF.Close(); err != nil {
+				return fmt.Errorf("-sample-out: %w", err)
+			}
+		}
+	}
+	if r.explain != nil {
+		fmt.Print(r.explain.Story())
+	}
+	if r.hist != nil {
+		r.hist.Report(os.Stdout)
+	}
+	return nil
 }
 
 // schedArgs parameterizes the SWF replay modes.
@@ -155,6 +306,7 @@ type schedArgs struct {
 	spillAfter     float64
 	spillDepth     int
 	check          bool
+	obs            obsArgs
 }
 
 // spillInto copies the spillover knobs onto a scenario.
@@ -166,7 +318,10 @@ func (a schedArgs) spillInto(sc *cluster.Scenario) {
 
 func run(a runArgs) error {
 	if a.sweepSpec != "" {
-		return runSweep(a.sweepSpec, a.sweepWorkers, a.format, a.out)
+		return runSweep(a.sweepSpec, a.sweepWorkers, a.format, a.out, a.progress)
+	}
+	if a.obs.active() && a.schedNames == "" && a.swfPath == "" {
+		return fmt.Errorf("-trace-sched/-explain/-sample/-hist apply to the -sched replay modes")
 	}
 	if a.schedNames != "" || a.swfPath != "" {
 		// Only honor -interarrival/-jobs/-nodes when the user set them;
@@ -176,6 +331,7 @@ func run(a runArgs) error {
 			names: a.schedNames, swfPath: a.swfPath, seed: a.seed,
 			cancel: a.cancelRate, fail: a.failRate, check: a.check,
 			spill: a.spill, spillAfter: a.spillAfter, spillDepth: a.spillDepth,
+			obs: a.obs,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -231,10 +387,15 @@ func run(a runArgs) error {
 
 // runSweep parses the grid spec, fans the experiments across workers
 // and writes the summary in the requested format.
-func runSweep(spec string, workers int, format, out string) error {
+func runSweep(spec string, workers int, format, out string, progress bool) error {
 	grid, err := sweep.ParseGrid(spec)
 	if err != nil {
 		return err
+	}
+	if progress {
+		// Progress lines go to stderr: stdout keeps the byte-identical
+		// grid-order summary.
+		grid.Probe = obs.NewProgress(os.Stderr)
 	}
 	sum, err := sweep.Run(grid, workers)
 	if err != nil {
@@ -312,12 +473,21 @@ func runSchedStream(a schedArgs) error {
 	}
 	base := cluster.Scenario{Nodes: a.nodes, Cluster: a.cluster, DebugInvariants: a.check}
 	a.spillInto(&base)
+	if err := a.obs.checkSingle(policies); err != nil {
+		return err
+	}
 	multi := len(a.cluster.Partitions) > 1
 	for _, ps := range policies {
+		or, err := a.obs.start()
+		if err != nil {
+			return err
+		}
+		base.Probe = or.probe
 		var src cluster.SubmissionSource
 		if a.swfPath != "" {
 			f, err := os.Open(a.swfPath)
 			if err != nil {
+				or.close()
 				return err
 			}
 			// The source's parser goroutine closes f when it exits.
@@ -334,6 +504,7 @@ func runSchedStream(a schedArgs) error {
 		res := cluster.RunSchedStreamSet(base, src, ps)
 		wall := time.Since(start)
 		if res.Err != nil {
+			or.close()
 			return fmt.Errorf("%s: %w", ps, res.Err)
 		}
 		skipped := ""
@@ -343,6 +514,9 @@ func runSchedStream(a schedArgs) error {
 		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
 			ps, cluster.SchedStatsOfStream(res), res.SchedCycles, res.Events, wall.Seconds(), skipped)
 		printPartitions(res, multi)
+		if err := or.finish(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -392,12 +566,21 @@ func runSched(a schedArgs) error {
 	}
 	sc.DebugInvariants = a.check
 	a.spillInto(&sc)
+	if err := a.obs.checkSingle(policies); err != nil {
+		return err
+	}
 	multi := len(a.cluster.Partitions) > 1
 	for _, ps := range policies {
+		or, err := a.obs.start()
+		if err != nil {
+			return err
+		}
+		sc.Probe = or.probe
 		start := time.Now()
 		res := cluster.RunSchedSet(sc, ps)
 		wall := time.Since(start)
 		if res.Err != nil {
+			or.close()
 			return fmt.Errorf("%s: %w", ps, res.Err)
 		}
 		dropped := ""
@@ -407,6 +590,19 @@ func runSched(a schedArgs) error {
 		fmt.Printf("sched=%-17s %s [%d cycles, %d events, %.2fs wall%s]\n",
 			ps, cluster.SchedStatsOf(sc, res), res.SchedCycles, res.Events, wall.Seconds(), dropped)
 		printPartitions(res, multi)
+		if err := or.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSingle rejects multi-policy replays when a consumer is active:
+// the trace, story and time series describe ONE replay, and mixing
+// several policies' streams into one output would be misleading.
+func (o obsArgs) checkSingle(policies []cluster.SchedPolicySet) error {
+	if o.active() && len(policies) > 1 {
+		return fmt.Errorf("-trace-sched/-explain/-sample/-hist need a single policy; pick one with -sched (got %d)", len(policies))
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"repro/cluster"
@@ -106,6 +108,45 @@ func TestRunSchedHeteroFaultSmoke(t *testing.T) {
 		cluster: cs, cancel: 0.1, fail: 0.1,
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSchedObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	o := obsArgs{
+		tracePath:  dir + "/trace.jsonl",
+		explainJob: "j00005",
+		sample:     600,
+		sampleOut:  dir + "/ts.csv",
+		hist:       true,
+	}
+	if err := runSched(schedArgs{
+		names: "fcfs", seed: 1, jobs: 40, interarrival: 30, nodes: 2, obs: o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{o.tracePath, o.sampleOut} {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s: probed replay wrote nothing", f)
+		}
+	}
+	// The consumers are per-replay; multiple policies must be rejected
+	// up front rather than mingling streams.
+	err := runSched(schedArgs{
+		names: "easy,malleable", seed: 1, jobs: 40, interarrival: 30, nodes: 2, obs: o,
+	})
+	if err == nil || !strings.Contains(err.Error(), "single policy") {
+		t.Fatalf("multi-policy probed replay should fail, got %v", err)
+	}
+	if err := runSched(schedArgs{
+		names: "fcfs", seed: 1, jobs: 40, interarrival: 30, nodes: 2,
+		obs: obsArgs{sample: 600},
+	}); err == nil {
+		t.Fatal("-sample without -sample-out should fail")
 	}
 }
 

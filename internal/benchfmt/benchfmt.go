@@ -33,6 +33,30 @@ type ReplayEntry struct {
 	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
 }
 
+// ObsEntry is one fully-instrumented replay measurement: the 100k
+// replay with every observability consumer attached (decision trace,
+// explainer, sampler, histograms). Jobs/cycles/events/sample counts
+// are deterministic — cmd/benchdiff checks them exactly against the
+// plain replay, proving the probes are decision-preserving at scale.
+// The wall-time fields and histogram quantiles are machine-dependent:
+// wall_seconds and us_per_cycle fall under the -warn-pct soft gate,
+// the quantiles are recorded for the human reader only.
+type ObsEntry struct {
+	Policy       string  `json:"policy"`
+	Jobs         int     `json:"jobs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Cycles       int64   `json:"sched_cycles"`
+	Events       int64   `json:"sim_events"`
+	CycleMicros  float64 `json:"us_per_cycle"`
+	CycleSamples uint64  `json:"cycle_samples"`
+	SchedSamples uint64  `json:"schedule_samples"`
+	CycleP50Us   float64 `json:"cycle_p50_us"`
+	CycleP99Us   float64 `json:"cycle_p99_us"`
+	CycleMaxUs   float64 `json:"cycle_max_us"`
+	SchedP50Us   float64 `json:"sched_p50_us"`
+	SchedP99Us   float64 `json:"sched_p99_us"`
+}
+
 // Doc is the top-level shape of BENCH_sched.json (sections are
 // read-modify-written independently by the benchmarks).
 type Doc struct {
@@ -52,4 +76,9 @@ type Doc struct {
 		Trace    string        `json:"trace"`
 		Policies []ReplayEntry `json:"policies"`
 	} `json:"sched_spillover"`
+	// Obs is the probes-enabled replay (see ObsEntry).
+	Obs *struct {
+		Trace  string   `json:"trace"`
+		Probed ObsEntry `json:"probed"`
+	} `json:"sched_obs"`
 }

@@ -1,0 +1,28 @@
+package obs_test
+
+import (
+	"os"
+
+	"repro/internal/obs"
+)
+
+// ExampleSampler shows the virtual-time sampler on a hand-written
+// decision stream: two scheduler passes at t=30 and t=400 on a
+// 600-second grid produce one row per crossed boundary with the state
+// the scheduler last reported before it.
+func ExampleSampler() {
+	s := obs.NewSampler(600, os.Stdout, false)
+	s.Emit(obs.Event{Kind: obs.KindPass, Time: 30, Partition: "batch",
+		Queue: 5, Running: 2, Free: 16, Cores: 64})
+	s.Emit(obs.Event{Kind: obs.KindPass, Time: 400, Partition: "batch",
+		Queue: 1, Running: 4, Free: 0, Cores: 64})
+	s.Emit(obs.Event{Kind: obs.KindEngine, Time: 1300}) // heartbeat crosses t=600 and t=1200
+	if err := s.Flush(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// t,partition,util,queue_depth,running,spilled_in,spilled_out
+	// 600,batch,1,1,4,0,0
+	// 1200,batch,1,1,4,0,0
+	// 1800,batch,1,1,4,0,0
+}

@@ -1,0 +1,254 @@
+// Package obs is the scheduler observability bus: a flat event type
+// emitted from a handful of probe points (controller scheduling
+// cycles, policy passes, action outcomes, spillover verdicts, job
+// lifecycle transitions, engine progress, sweep cell completion) and
+// a set of consumers that reconstruct user-facing views from the
+// stream — a JSONL decision trace, a per-job lifecycle explainer, a
+// virtual-time sampler and zero-alloc latency histograms.
+//
+// Instrumented code holds a Probe interface value and emits only when
+// it is non-nil, so the disabled path pays a single nil check per
+// probe point and allocates nothing. Events are passed by value; a
+// consumer must copy what it wants to retain.
+package obs
+
+// Kind discriminates Event payloads.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindSubmit: a job entered the controller queue. Job, Seq,
+	// Partition, Priority, Nodes, CPUs.
+	KindSubmit Kind = iota + 1
+	// KindCycleStart opens one scheduling cycle (all partition passes
+	// coalesced at one timestamp). Queue/Running are controller-wide;
+	// Processed is the engine's event count.
+	KindCycleStart
+	// KindPass: one policy pass over one partition, emitted after
+	// Schedule returned and before its actions execute. Queue, Running,
+	// Free and Cores describe the partition snapshot the policy saw;
+	// WallNanos is the Schedule call's wall time.
+	KindPass
+	// KindAction: one executed (or rejected) scheduler action. Act
+	// says what was attempted, Reason how it ended.
+	KindAction
+	// KindCycleEnd closes the cycle; WallNanos is the whole cycle's
+	// wall time (snapshots, policy passes, action execution, spill).
+	KindCycleEnd
+	// KindJobStart: a job launched. Partition is where it runs, Origin
+	// its home partition when a spill re-routed it, Placement the
+	// comma-joined node names.
+	KindJobStart
+	// KindJobEnd: a job left the system. Outcome is the
+	// metrics.Outcome string (completed/cancelled/failed/timeout); a
+	// job cancelled while still queued has never started.
+	KindJobEnd
+	// KindEngine is the simulation engine's progress heartbeat:
+	// Processed events so far, every engineProbeEvery events.
+	KindEngine
+	// KindCell: one sweep grid cell finished. Cell/Cells are
+	// done-so-far and total.
+	KindCell
+)
+
+var kindNames = [...]string{
+	KindSubmit:     "submit",
+	KindCycleStart: "cycle-start",
+	KindPass:       "pass",
+	KindAction:     "action",
+	KindCycleEnd:   "cycle-end",
+	KindJobStart:   "job-start",
+	KindJobEnd:     "job-end",
+	KindEngine:     "engine",
+	KindCell:       "cell",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Act is the attempted operation of a KindAction event.
+type Act uint8
+
+// Action verbs.
+const (
+	ActNone Act = iota
+	ActStart
+	ActShrink
+	ActExpand
+	ActSpill
+	ActPreempt
+)
+
+var actNames = [...]string{
+	ActNone:    "none",
+	ActStart:   "start",
+	ActShrink:  "shrink",
+	ActExpand:  "expand",
+	ActSpill:   "spill",
+	ActPreempt: "preempt",
+}
+
+func (a Act) String() string {
+	if int(a) < len(actNames) {
+		return actNames[a]
+	}
+	return "unknown"
+}
+
+// Reason is the outcome of a KindAction event.
+type Reason uint8
+
+// Action outcomes.
+const (
+	ReasonNone Reason = iota
+	// ReasonStarted: the action executed (a start launched, a resize
+	// staged, a spill committed).
+	ReasonStarted
+	// ReasonBlockedByReservation: the spillover guard rejected the
+	// placement because it could delay the host partition's EASY head
+	// reservation (Shadow carries the reservation's shadow time).
+	ReasonBlockedByReservation
+	// ReasonSpilled: a spill committed; the job starts in Partition
+	// instead of its home Origin.
+	ReasonSpilled
+	// ReasonSkipped: the executor rejected a policy action (the
+	// capacity raced away, or the action named an unknown/foreign
+	// job); the job stays queued.
+	ReasonSkipped
+)
+
+var reasonNames = [...]string{
+	ReasonNone:                 "none",
+	ReasonStarted:              "started",
+	ReasonBlockedByReservation: "blocked-by-reservation",
+	ReasonSpilled:              "spilled",
+	ReasonSkipped:              "skipped",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "unknown"
+}
+
+// Event is one probe emission. It is a flat value: which fields are
+// meaningful depends on Kind (see the Kind constants). Probe points
+// fill only what they know; everything else is the zero value.
+type Event struct {
+	Kind   Kind
+	Act    Act
+	Reason Reason
+
+	// Time is the virtual time in seconds.
+	Time float64
+
+	// Job identity: name and submission sequence (the scheduler's
+	// stable handle; a preempted job requeues under a new Seq).
+	Job string
+	Seq int
+
+	// Partition names where the event happened; Origin is the home
+	// partition when it differs (spills).
+	Partition string
+	Origin    string
+
+	// Request/placement shape.
+	Priority  int
+	Nodes     int
+	CPUs      int
+	Target    int
+	Placement string
+
+	// Snapshot counters (pass/cycle events).
+	Queue   int
+	Running int
+	Free    int
+	Cores   int
+
+	// Shadow is the head reservation's shadow time on
+	// blocked-by-reservation verdicts.
+	Shadow float64
+
+	// Outcome is the job's recorded outcome on KindJobEnd.
+	Outcome string
+
+	// WallNanos is real wall-clock time (cycle and Schedule timing).
+	WallNanos int64
+
+	// Processed is the engine's executed-event count.
+	Processed int64
+
+	// Cell/Cells is sweep progress (cells done / total).
+	Cell  int
+	Cells int
+}
+
+// Probe receives events from instrumented code. Emit is called from
+// the simulation goroutine (or, for KindCell, under the sweep's
+// emission lock): implementations need no internal locking unless
+// they are shared across independently running probes.
+type Probe interface {
+	Emit(ev Event)
+}
+
+// Func adapts a function to the Probe interface.
+type Func func(Event)
+
+// Emit implements Probe.
+func (f Func) Emit(ev Event) { f(ev) }
+
+type multi []Probe
+
+func (m multi) Emit(ev Event) {
+	for _, p := range m {
+		p.Emit(ev)
+	}
+}
+
+// Multi fans one probe stream out to several consumers. Nil entries
+// are dropped; Multi() of nothing (or of only nils) returns nil, so
+// callers can compose optional consumers and hand the result straight
+// to the instrumented code.
+func Multi(ps ...Probe) Probe {
+	out := make(multi, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// Count is a trivial consumer counting events by kind (tests, and a
+// cheap way to assert probes fire without retaining the stream).
+type Count struct {
+	ByKind [len(kindNames)]int64
+	Total  int64
+}
+
+// Emit implements Probe.
+func (c *Count) Emit(ev Event) {
+	c.Total++
+	if int(ev.Kind) < len(c.ByKind) {
+		c.ByKind[ev.Kind]++
+	}
+}
+
+// Of returns the count of one kind.
+func (c *Count) Of(k Kind) int64 {
+	if int(k) >= len(c.ByKind) {
+		return 0
+	}
+	return c.ByKind[k]
+}

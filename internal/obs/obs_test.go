@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindActReasonStrings(t *testing.T) {
+	if KindPass.String() != "pass" || KindCell.String() != "cell" {
+		t.Fatalf("kind names wrong: %s %s", KindPass, KindCell)
+	}
+	if ActSpill.String() != "spill" || ActNone.String() != "none" {
+		t.Fatalf("act names wrong: %s %s", ActSpill, ActNone)
+	}
+	if ReasonBlockedByReservation.String() != "blocked-by-reservation" {
+		t.Fatalf("reason name wrong: %s", ReasonBlockedByReservation)
+	}
+	if Kind(99).String() == "" || Act(99).String() == "" || Reason(99).String() == "" {
+		t.Fatal("out-of-range enums must still render")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no probes must be nil")
+	}
+	var c Count
+	if p := Multi(nil, &c, nil); p != Probe(&c) {
+		t.Fatal("Multi of one live probe must return it directly")
+	}
+	var c2 Count
+	m := Multi(&c, &c2)
+	m.Emit(Event{Kind: KindPass})
+	m.Emit(Event{Kind: KindPass})
+	m.Emit(Event{Kind: KindAction})
+	if c.Of(KindPass) != 2 || c2.Of(KindPass) != 2 || c.Total != 3 {
+		t.Fatalf("fan-out miscounted: %d %d %d", c.Of(KindPass), c2.Of(KindPass), c.Total)
+	}
+	var got Kind
+	Func(func(ev Event) { got = ev.Kind }).Emit(Event{Kind: KindCell})
+	if got != KindCell {
+		t.Fatalf("Func adapter delivered %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.String() == "" {
+		t.Fatal("empty histogram accessors must be safe")
+	}
+	for _, v := range []int64{1, 2, 3, 100, 1000, -5, 0} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Sum() != 1106 { // negatives clamp to 0
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// Quantiles report a log-bucket upper edge, clamped by max: the
+	// true median is 3, and the bucket resolution guarantees the
+	// reported bound is within 2x of a neighbouring observation.
+	if q := h.Quantile(0.5); q < 1 || q > 7 {
+		t.Fatalf("p50 = %d, want a bucket edge near the median 3", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want clamped to max 1000", q)
+	}
+	// The overflow guard: huge observations stay positive.
+	var big Histogram
+	big.Observe(1 << 62)
+	if q := big.Quantile(0.99); q != 1<<62 {
+		t.Fatalf("overflow bucket quantile = %d", q)
+	}
+}
+
+func TestHistogramZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f/op", n)
+	}
+	var ch CycleHist
+	ev := Event{Kind: KindCycleEnd, WallNanos: 4096}
+	if n := testing.AllocsPerRun(1000, func() { ch.Emit(ev) }); n != 0 {
+		t.Fatalf("CycleHist.Emit allocates %.1f/op", n)
+	}
+}
+
+func TestCycleHistReport(t *testing.T) {
+	var ch CycleHist
+	ch.Emit(Event{Kind: KindCycleEnd, WallNanos: 1000})
+	ch.Emit(Event{Kind: KindPass, WallNanos: 300})
+	var buf bytes.Buffer
+	ch.Report(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "sched cycle wall") || !strings.Contains(out, "Schedule() wall") {
+		t.Fatalf("report missing sections:\n%s", out)
+	}
+	if ch.Cycle.Count() != 1 || ch.Sched.Count() != 1 {
+		t.Fatalf("counts: cycle=%d sched=%d", ch.Cycle.Count(), ch.Sched.Count())
+	}
+}
+
+// traceScript is a small synthetic decision stream: a busy pass with
+// two actions, a quiet pass, and a spillover verdict.
+func traceScript(p Probe) {
+	p.Emit(Event{Kind: KindCycleStart, Time: 10})
+	p.Emit(Event{Kind: KindPass, Time: 10, Partition: "batch", Queue: 2, Running: 1, Free: 16, Cores: 64})
+	p.Emit(Event{Kind: KindAction, Act: ActStart, Reason: ReasonStarted, Time: 10,
+		Partition: "batch", Job: "j00001", Seq: 1, Target: 4, Nodes: 2})
+	p.Emit(Event{Kind: KindAction, Act: ActStart, Reason: ReasonSkipped, Time: 10,
+		Partition: "batch", Job: "j00002", Seq: 2})
+	p.Emit(Event{Kind: KindPass, Time: 10, Partition: "fat", Queue: 0, Running: 0, Free: 32, Cores: 32})
+	p.Emit(Event{Kind: KindAction, Act: ActSpill, Reason: ReasonBlockedByReservation, Time: 10,
+		Partition: "fat", Origin: "batch", Job: "j00003", Seq: 3, Shadow: 99.5})
+	p.Emit(Event{Kind: KindCycleEnd, Time: 10})
+}
+
+func TestSchedTraceJSONAndDeterminism(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		tr := NewSchedTrace(&buf)
+		traceScript(tr)
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	if out != render() {
+		t.Fatal("trace output not deterministic across identical runs")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want busy pass + spill (quiet pass dropped):\n%s", len(lines), out)
+	}
+	// Every line must be a valid JSON object.
+	type action struct {
+		Job, Act, Reason, Origin string
+		Target, Nodes            int
+		Shadow                   float64
+	}
+	var first struct {
+		T                           float64
+		Partition, Pass             string
+		Queue, Running, Free, Cores int
+		Actions                     []action
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v\n%s", err, lines[0])
+	}
+	if first.Partition != "batch" || first.Queue != 2 || len(first.Actions) != 2 {
+		t.Fatalf("pass line wrong: %+v", first)
+	}
+	if first.Actions[0].Reason != "started" || first.Actions[1].Reason != "skipped" {
+		t.Fatalf("action reasons wrong: %+v", first.Actions)
+	}
+	var spill struct {
+		Pass    string
+		Actions []action
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &spill); err != nil {
+		t.Fatalf("line 2 is not JSON: %v\n%s", err, lines[1])
+	}
+	if spill.Pass != "spillover" || len(spill.Actions) != 1 ||
+		spill.Actions[0].Reason != "blocked-by-reservation" || spill.Actions[0].Shadow != 99.5 {
+		t.Fatalf("spill line wrong: %+v", spill)
+	}
+}
+
+func TestExplainStory(t *testing.T) {
+	e := NewExplain("j2")
+	if !strings.Contains(e.Story(), "never submitted") {
+		t.Fatalf("unknown job story: %s", e.Story())
+	}
+	// j1 ahead of j2 in the queue; j2 waits one pass, then starts.
+	e.Emit(Event{Kind: KindSubmit, Time: 0, Job: "j1", Seq: 1, Partition: "batch", Nodes: 1, CPUs: 4})
+	e.Emit(Event{Kind: KindSubmit, Time: 1, Job: "j2", Seq: 2, Partition: "batch", Nodes: 2, CPUs: 8})
+	e.Emit(Event{Kind: KindPass, Time: 1, Partition: "batch", Queue: 2, Free: 0, Cores: 64})
+	e.Emit(Event{Kind: KindJobStart, Time: 5, Job: "j1", Seq: 1})
+	e.Emit(Event{Kind: KindPass, Time: 5, Partition: "batch", Queue: 1, Free: 32, Cores: 64})
+	e.Emit(Event{Kind: KindJobStart, Time: 6, Job: "j2", Seq: 2, Partition: "batch", CPUs: 8, Placement: "node0,node1"})
+	e.Emit(Event{Kind: KindJobEnd, Time: 16, Job: "j2", Seq: 2, Outcome: "completed"})
+	story := e.Story()
+	for _, want := range []string{
+		"submitted to partition \"batch\"",
+		"position 2 of 2",
+		"position 1 of 1",
+		"started on node0,node1",
+		"after waiting 5.0s",
+		"completed after running 10.0s",
+		"response time 15.0s",
+	} {
+		if !strings.Contains(story, want) {
+			t.Errorf("story missing %q:\n%s", want, story)
+		}
+	}
+	if strings.Contains(story, "still") {
+		t.Errorf("finished job must have no pending footer:\n%s", story)
+	}
+}
+
+func TestExplainStillQueuedFooter(t *testing.T) {
+	e := NewExplain("j9")
+	e.Emit(Event{Kind: KindSubmit, Time: 0, Job: "j9", Seq: 9, Partition: "batch", Nodes: 1, CPUs: 1})
+	e.Emit(Event{Kind: KindPass, Time: 3, Partition: "batch", Queue: 1, Free: 0, Cores: 64})
+	if s := e.Story(); !strings.Contains(s, "still queued") {
+		t.Fatalf("want still-queued footer:\n%s", s)
+	}
+}
+
+func TestSamplerCSVAndJSON(t *testing.T) {
+	run := func(jsonFmt bool) string {
+		var buf bytes.Buffer
+		s := NewSampler(10, &buf, jsonFmt)
+		s.Emit(Event{Kind: KindPass, Time: 1, Partition: "batch", Queue: 3, Running: 2, Free: 16, Cores: 64})
+		s.Emit(Event{Kind: KindAction, Act: ActSpill, Reason: ReasonSpilled, Time: 2, Partition: "fat", Origin: "batch"})
+		s.Emit(Event{Kind: KindPass, Time: 12, Partition: "batch", Queue: 1, Running: 4, Free: 0, Cores: 64})
+		s.Emit(Event{Kind: KindEngine, Time: 25}) // heartbeat crosses t=20
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	csv := run(false)
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if lines[0] != "t,partition,util,queue_depth,running,spilled_in,spilled_out" {
+		t.Fatalf("csv header wrong: %q", lines[0])
+	}
+	// t=10 samples the t=1 pass state (util 48/64), t=20 the t=12 state,
+	// plus one final boundary row from Flush. The fat partition only
+	// appears after its spill at t=2, so t=10 has batch alone... the
+	// spill registered fat before the t=10 boundary, so rows come in
+	// first-seen order: batch then fat.
+	if want := "10,batch,0.75,3,2,0,1"; lines[1] != want {
+		t.Fatalf("row 1 = %q, want %q", lines[1], want)
+	}
+	found := false
+	for _, l := range lines {
+		if l == "20,batch,1,1,4,0,1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("t=20 batch row missing:\n%s", csv)
+	}
+	jsonOut := run(true)
+	for _, l := range strings.Split(strings.TrimSuffix(jsonOut, "\n"), "\n") {
+		var row struct {
+			T          float64
+			Partition  string
+			Util       float64
+			QueueDepth int `json:"queue_depth"`
+			SpilledIn  int `json:"spilled_in"`
+			SpilledOut int `json:"spilled_out"`
+		}
+		if err := json.Unmarshal([]byte(l), &row); err != nil {
+			t.Fatalf("bad JSONL row %q: %v", l, err)
+		}
+		if row.Partition == "fat" && row.SpilledIn != 1 {
+			t.Fatalf("fat spilled_in = %d, want 1: %s", row.SpilledIn, l)
+		}
+	}
+	if run(false) != csv {
+		t.Fatal("sampler output not deterministic")
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	tick := time.Unix(0, 0)
+	p.now = func() time.Time { tick = tick.Add(2 * time.Second); return tick }
+	p.Emit(Event{Kind: KindPass}) // ignored
+	p.Emit(Event{Kind: KindCell, Cell: 1, Cells: 4})
+	p.Emit(Event{Kind: KindCell, Cell: 4, Cells: 4})
+	out := buf.String()
+	if !strings.Contains(out, "1/4 cells") || !strings.Contains(out, "4/4 cells") {
+		t.Fatalf("progress lines missing:\n%q", out)
+	}
+	if !strings.Contains(out, "ETA") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("want ETA and a final newline:\n%q", out)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders sweep cell-completion events (KindCell) as a live
+// one-line status: cells done/total, completion rate and ETA. It
+// writes carriage-return-rewritten lines, so pointing it at stderr
+// keeps the machine-readable sweep output on stdout untouched. Safe
+// for concurrent Emit calls.
+type Progress struct {
+	w     io.Writer
+	mu    sync.Mutex
+	start time.Time
+	now   func() time.Time // test hook; time.Now when nil
+}
+
+// NewProgress reports progress to w (normally os.Stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+func (p *Progress) clock() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
+}
+
+// Emit implements Probe; events other than KindCell are ignored.
+func (p *Progress) Emit(ev Event) {
+	if ev.Kind != KindCell || ev.Cells <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = p.clock()
+	}
+	elapsed := p.clock().Sub(p.start).Seconds()
+	// The clock starts on the first cell, so its own elapsed time is
+	// near zero and the naive rate would be absurd; wait for a
+	// measurable baseline before quoting one.
+	rateStr, eta := "--", "--"
+	if elapsed > 10e-3 {
+		rate := float64(ev.Cell) / elapsed
+		rateStr = fmt.Sprintf("%.1f", rate)
+		left := time.Duration(float64(ev.Cells-ev.Cell) / rate * float64(time.Second))
+		eta = left.Round(time.Second).String()
+	}
+	fmt.Fprintf(p.w, "\rsweep: %d/%d cells (%s cells/s, ETA %s)   ", ev.Cell, ev.Cells, rateStr, eta)
+	if ev.Cell >= ev.Cells {
+		fmt.Fprintln(p.w)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// SchedTrace renders the decision stream as JSONL: one JSON object
+// per non-empty policy pass — the cycle's virtual time, partition,
+// queue depth, free CPUs and the actions the pass produced, each with
+// its outcome reason — plus one object per spillover verdict. Lines
+// carry no wall-clock values, so the trace of a deterministic replay
+// is itself byte-for-byte reproducible.
+//
+// A pass with an empty queue and no actions writes nothing: on large
+// traces most passes are quiet, and skipping them keeps file size
+// proportional to scheduling activity rather than cycle count.
+type SchedTrace struct {
+	w   *bufio.Writer
+	err error
+
+	// Current pass group: opened by KindPass, closed (written) by the
+	// next KindPass, a spill action, or the cycle boundary.
+	open  bool
+	pass  Event
+	acts  []Event
+	lineB []byte // reusable line buffer
+}
+
+// NewSchedTrace writes JSONL to w. Call Flush (and check its error)
+// when the run completes.
+func NewSchedTrace(w io.Writer) *SchedTrace {
+	return &SchedTrace{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Probe.
+func (t *SchedTrace) Emit(ev Event) {
+	switch ev.Kind {
+	case KindPass:
+		t.flushGroup()
+		t.open = true
+		t.pass = ev
+		t.acts = t.acts[:0]
+	case KindAction:
+		if ev.Act == ActSpill {
+			// Spillover verdicts happen after every partition pass; they
+			// get their own line against the host partition.
+			t.flushGroup()
+			t.writeSpill(ev)
+			return
+		}
+		if t.open {
+			t.acts = append(t.acts, ev)
+		}
+	case KindCycleStart, KindCycleEnd:
+		t.flushGroup()
+	}
+}
+
+// flushGroup writes the pending pass line, if any.
+func (t *SchedTrace) flushGroup() {
+	if !t.open {
+		return
+	}
+	t.open = false
+	if t.pass.Queue == 0 && len(t.acts) == 0 {
+		return // quiet pass
+	}
+	b := t.lineB[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, t.pass.Time, 'g', -1, 64)
+	b = append(b, `,"partition":`...)
+	b = strconv.AppendQuote(b, t.pass.Partition)
+	b = append(b, `,"queue":`...)
+	b = strconv.AppendInt(b, int64(t.pass.Queue), 10)
+	b = append(b, `,"running":`...)
+	b = strconv.AppendInt(b, int64(t.pass.Running), 10)
+	b = append(b, `,"free":`...)
+	b = strconv.AppendInt(b, int64(t.pass.Free), 10)
+	b = append(b, `,"cores":`...)
+	b = strconv.AppendInt(b, int64(t.pass.Cores), 10)
+	if len(t.acts) > 0 {
+		b = append(b, `,"actions":[`...)
+		for i, a := range t.acts {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendAction(b, a)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}', '\n')
+	t.lineB = b
+	t.write(b)
+}
+
+// writeSpill writes one spillover-verdict line.
+func (t *SchedTrace) writeSpill(ev Event) {
+	b := t.lineB[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.Time, 'g', -1, 64)
+	b = append(b, `,"partition":`...)
+	b = strconv.AppendQuote(b, ev.Partition)
+	b = append(b, `,"pass":"spillover","actions":[`...)
+	b = appendAction(b, ev)
+	b = append(b, ']', '}', '\n')
+	t.lineB = b
+	t.write(b)
+}
+
+// appendAction renders one action object.
+func appendAction(b []byte, a Event) []byte {
+	b = append(b, `{"job":`...)
+	b = strconv.AppendQuote(b, a.Job)
+	b = append(b, `,"act":`...)
+	b = strconv.AppendQuote(b, a.Act.String())
+	b = append(b, `,"reason":`...)
+	b = strconv.AppendQuote(b, a.Reason.String())
+	if a.Target > 0 {
+		b = append(b, `,"target":`...)
+		b = strconv.AppendInt(b, int64(a.Target), 10)
+	}
+	if a.Nodes > 0 {
+		b = append(b, `,"nodes":`...)
+		b = strconv.AppendInt(b, int64(a.Nodes), 10)
+	}
+	if a.Origin != "" {
+		b = append(b, `,"origin":`...)
+		b = strconv.AppendQuote(b, a.Origin)
+	}
+	if a.Reason == ReasonBlockedByReservation {
+		b = append(b, `,"shadow":`...)
+		b = strconv.AppendFloat(b, a.Shadow, 'g', -1, 64)
+	}
+	return append(b, '}')
+}
+
+func (t *SchedTrace) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// Flush writes the pending group and flushes the buffer, returning
+// the first write error.
+func (t *SchedTrace) Flush() error {
+	t.flushGroup()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}

@@ -54,6 +54,13 @@ type Engine struct {
 	nextFront int64
 	processed int64
 	stopped   bool
+
+	// Progress hook (EveryProcessed): called after every probeEvery-th
+	// executed event. Kept as a plain callback so sim stays free of
+	// observability dependencies; the disabled path pays one nil check
+	// per event.
+	probeFn    func(now float64, processed int64)
+	probeEvery int64
 }
 
 // NewEngine returns an engine at time 0.
@@ -70,6 +77,19 @@ func (e *Engine) Processed() int64 { return e.processed }
 // Pending returns the number of events still queued (including
 // cancelled ones not yet discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// EveryProcessed installs a progress hook: fn runs after every
+// every-th executed event, with the engine's current virtual time and
+// processed count. One hook is supported (nil uninstalls); fn must
+// not re-enter the engine. Drivers use it as a heartbeat for
+// observability consumers between scheduling cycles.
+func (e *Engine) EveryProcessed(every int64, fn func(now float64, processed int64)) {
+	if every <= 0 {
+		every = 1
+	}
+	e.probeEvery = every
+	e.probeFn = fn
+}
 
 // push appends ev and sifts it up (moving a hole instead of swapping
 // halves the copies on the hottest path of the simulation).
@@ -206,6 +226,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.t
 		e.processed++
 		ev.fn()
+		if e.probeFn != nil && e.processed%e.probeEvery == 0 {
+			e.probeFn(e.now, e.processed)
+		}
 		return true
 	}
 	return false

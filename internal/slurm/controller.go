@@ -3,6 +3,7 @@ package slurm
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/derr"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/shmem"
 )
@@ -219,6 +221,14 @@ type Controller struct {
 	// Records accumulates the per-job lifecycle metrics.
 	Records metrics.Workload
 
+	// Probe receives observability events (submissions, scheduling
+	// cycles, policy passes, action outcomes, spillover verdicts, job
+	// starts/ends). Nil — the default — disables instrumentation
+	// entirely: every probe point is guarded by one nil check and the
+	// disabled path allocates nothing. Probes observe; they must never
+	// call back into the controller.
+	Probe obs.Probe
+
 	// Log accumulates the DROM protocol events (Figure 2) when
 	// LogProtocol is set.
 	LogProtocol bool
@@ -301,6 +311,14 @@ func (ctl *Controller) Submit(j *Job) error {
 	pidx, _ := ctl.cluster.Spec.PartitionIndex(j.Partition) // Validate resolved it
 	ctl.seq++
 	ctl.enqueue(&queuedJob{job: j, submit: ctl.cluster.Engine.Now(), seq: ctl.seq, pidx: pidx, homePidx: pidx})
+	if ctl.Probe != nil {
+		ctl.Probe.Emit(obs.Event{
+			Kind: obs.KindSubmit, Time: ctl.cluster.Engine.Now(),
+			Job: j.Name, Seq: ctl.seq,
+			Partition: ctl.cluster.Spec.Partitions[pidx].Name,
+			Priority:  j.Priority, Nodes: j.Nodes, CPUs: j.CPUsPerNode(),
+		})
+	}
 	ctl.trySchedule()
 	return nil
 }
@@ -481,6 +499,14 @@ func (ctl *Controller) tryPreempt(j *Job, pidx int) bool {
 		})
 		ctl.logf(v.nodes[0], "preempt", "job %s checkpointed after %d iterations",
 			v.job.Name, v.inst.ItersDone())
+		if ctl.Probe != nil {
+			ctl.Probe.Emit(obs.Event{
+				Kind: obs.KindAction, Act: obs.ActPreempt, Reason: obs.ReasonStarted,
+				Time: ctl.cluster.Engine.Now(),
+				Job:  v.job.Name, Seq: ctl.seq, Priority: v.job.Priority,
+				Partition: ctl.cluster.Spec.Partitions[v.pidx].Name,
+			})
+		}
 	}
 	ctl.drainUntil = ctl.cluster.Engine.Now() + ctl.CheckpointCost
 	ctl.cluster.Engine.At(ctl.drainUntil, ctl.trySchedule)
@@ -622,6 +648,16 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		if n > r.curCPUs {
 			r.curCPUs = n
 		}
+	}
+	if ctl.Probe != nil {
+		ctl.Probe.Emit(obs.Event{
+			Kind: obs.KindJobStart, Time: ctl.cluster.Engine.Now(),
+			Job: j.Name, Seq: r.seq,
+			Partition: ctl.cluster.Spec.Partitions[r.pidx].Name,
+			Origin:    ctl.originOf(r.pidx, r.homePidx),
+			Nodes:     len(nodes), CPUs: r.curCPUs,
+			Placement: strings.Join(nodes, ","),
+		})
 	}
 
 	// placements is controller-owned scratch: NewInstance copies each
@@ -783,6 +819,15 @@ func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcom
 		Partition: ctl.cluster.Spec.Partitions[r.pidx].Name,
 		Origin:    ctl.originOf(r.pidx, r.homePidx), Outcome: outcome,
 	})
+	if ctl.Probe != nil {
+		ctl.Probe.Emit(obs.Event{
+			Kind: obs.KindJobEnd, Time: end,
+			Job: r.job.Name, Seq: r.seq,
+			Partition: ctl.cluster.Spec.Partitions[r.pidx].Name,
+			Origin:    ctl.originOf(r.pidx, r.homePidx),
+			Outcome:   outcome.String(),
+		})
+	}
 	// release_resources: expand surviving jobs into the freed CPUs.
 	// With a sched.Policy installed, expansion is that policy's call
 	// (malleable-expand emits explicit actions; EASY/FCFS stay rigid).
@@ -813,6 +858,15 @@ func (ctl *Controller) Cancel(name string) bool {
 				Origin:    ctl.originOf(q.pidx, q.homePidx),
 				Outcome:   metrics.OutcomeCancelled,
 			})
+			if ctl.Probe != nil {
+				ctl.Probe.Emit(obs.Event{
+					Kind: obs.KindJobEnd, Time: ctl.cluster.Engine.Now(),
+					Job: name, Seq: q.seq,
+					Partition: ctl.cluster.Spec.Partitions[q.pidx].Name,
+					Origin:    ctl.originOf(q.pidx, q.homePidx),
+					Outcome:   metrics.OutcomeCancelled.String(),
+				})
+			}
 			// The queue shortened: the head may have changed, and a
 			// policy reservation computed against the old head is moot.
 			ctl.trySchedule()

@@ -3,9 +3,11 @@ package slurm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpuset"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -255,31 +257,85 @@ func (ctl *Controller) snapshotPartition(pi int) *sched.State {
 // execute (say, a shrink paired with a start that lost the race) is
 // re-planned immediately instead of idling until the next job event.
 func (ctl *Controller) schedCycle() {
+	// probe != nil is the only cost the disabled path pays per probe
+	// point; wall clocks are read, snapshot totals summed and events
+	// built only when a probe is installed.
+	probe := ctl.Probe
+	var cycleT0 time.Time
+	if probe != nil {
+		cycleT0 = time.Now()
+		probe.Emit(obs.Event{
+			Kind: obs.KindCycleStart, Time: ctl.cluster.Engine.Now(),
+			Queue: len(ctl.queue), Running: len(ctl.running),
+			Processed: ctl.cluster.Engine.Processed(),
+		})
+	}
 	skipped := false
 	for pi := range ctl.cluster.Spec.Partitions {
 		ctl.Cycles++
 		st := ctl.snapshotPartition(pi)
-		for _, a := range ctl.scheds[pi].Schedule(st) {
+		var acts []sched.Action
+		if probe == nil {
+			acts = ctl.scheds[pi].Schedule(st)
+		} else {
+			passT0 := time.Now()
+			acts = ctl.scheds[pi].Schedule(st)
+			wall := time.Since(passT0).Nanoseconds()
+			free := 0
+			for _, f := range st.Free {
+				free += f
+			}
+			probe.Emit(obs.Event{
+				Kind: obs.KindPass, Time: st.Now, Partition: st.Partition,
+				Queue: len(st.Queue), Running: len(st.Running),
+				Free: free, Cores: st.CoresPerNode * len(st.Free),
+				WallNanos: wall,
+			})
+		}
+		for _, a := range acts {
 			switch a.Kind {
 			case sched.ActStart:
 				q, ok := ctl.qBySeq[a.ID]
-				if !ok || q.pidx != pi || !ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes) {
+				started := ok && q.pidx == pi && ctl.startQueued(q, a.TargetCPUsPerNode, a.Nodes)
+				if !started {
 					skipped = true
+				}
+				if probe != nil {
+					ev := obs.Event{
+						Kind: obs.KindAction, Act: obs.ActStart, Reason: obs.ReasonStarted,
+						Time: st.Now, Partition: st.Partition, Seq: a.ID,
+						Target: a.TargetCPUsPerNode, Nodes: len(a.Nodes),
+					}
+					if ok {
+						ev.Job = q.job.Name
+					}
+					if !started {
+						ev.Reason = obs.ReasonSkipped
+					}
+					probe.Emit(ev)
 				}
 			case sched.ActShrink:
 				// r.pidx must match: a policy may only resize jobs of the
 				// partition it was invoked for (targets are computed
 				// against that partition's node shape).
-				if r, ok := ctl.rBySeq[a.ID]; ok && r.pidx == pi {
+				r, ok := ctl.rBySeq[a.ID]
+				if ok && r.pidx == pi {
 					ctl.shrinkRunning(r, a.TargetCPUsPerNode)
 				} else {
 					skipped = true
 				}
+				if probe != nil {
+					ctl.emitResize(probe, obs.ActShrink, st, a, r, ok && r.pidx == pi)
+				}
 			case sched.ActExpand:
-				if r, ok := ctl.rBySeq[a.ID]; ok && r.pidx == pi {
+				r, ok := ctl.rBySeq[a.ID]
+				if ok && r.pidx == pi {
 					ctl.expandRunning(r, a.TargetCPUsPerNode)
 				} else {
 					skipped = true
+				}
+				if probe != nil {
+					ctl.emitResize(probe, obs.ActExpand, st, a, r, ok && r.pidx == pi)
 				}
 			}
 		}
@@ -290,9 +346,32 @@ func (ctl *Controller) schedCycle() {
 	if ctl.DebugInvariants {
 		ctl.checkFreeInvariant()
 	}
+	if probe != nil {
+		probe.Emit(obs.Event{
+			Kind: obs.KindCycleEnd, Time: ctl.cluster.Engine.Now(),
+			Queue: len(ctl.queue), Running: len(ctl.running),
+			WallNanos: time.Since(cycleT0).Nanoseconds(),
+		})
+	}
 	if skipped {
 		ctl.rearmAfterSkip()
 	}
+}
+
+// emitResize reports one shrink/expand action outcome.
+func (ctl *Controller) emitResize(probe obs.Probe, act obs.Act, st *sched.State, a sched.Action, r *runningJob, applied bool) {
+	ev := obs.Event{
+		Kind: obs.KindAction, Act: act, Reason: obs.ReasonStarted,
+		Time: st.Now, Partition: st.Partition, Seq: a.ID,
+		Target: a.TargetCPUsPerNode,
+	}
+	if r != nil {
+		ev.Job = r.job.Name
+	}
+	if !applied {
+		ev.Reason = obs.ReasonSkipped
+	}
+	probe.Emit(ev)
 }
 
 // rearmAfterSkip schedules one follow-up cycle at the current time. At

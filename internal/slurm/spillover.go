@@ -1,5 +1,7 @@
 package slurm
 
+import "repro/internal/obs"
+
 // Cross-partition spillover. Partitions are independent capacity
 // domains: a job targets exactly one, and PR 4's per-partition policy
 // passes never move work between them — a job submitted to a congested
@@ -99,6 +101,15 @@ func (ctl *Controller) spillPass() {
 			// Admit the spill only when it cannot delay the reserved
 			// head (shadow-time check, same guard as backfilling).
 			if rv := resv[host]; rv != nil && !ctl.spillAllowed(rv, q.job, host, nodes) {
+				if ctl.Probe != nil {
+					ctl.Probe.Emit(obs.Event{
+						Kind: obs.KindAction, Act: obs.ActSpill,
+						Reason: obs.ReasonBlockedByReservation,
+						Time:   now, Job: q.job.Name, Seq: q.seq,
+						Partition: parts[host].Name, Origin: parts[home].Name,
+						Shadow: rv.shadow,
+					})
+				}
 				continue
 			}
 			q.pidx = host
@@ -112,6 +123,14 @@ func (ctl *Controller) spillPass() {
 				ctl.logf(ctl.cluster.Nodes[ctl.cluster.Spec.NodeOffset(host)+nodes[0]],
 					"spillover", "job %s re-routed %s -> %s",
 					q.job.Name, parts[home].Name, parts[host].Name)
+				if ctl.Probe != nil {
+					ctl.Probe.Emit(obs.Event{
+						Kind: obs.KindAction, Act: obs.ActSpill, Reason: obs.ReasonSpilled,
+						Time: now, Job: q.job.Name, Seq: q.seq,
+						Partition: parts[host].Name, Origin: parts[home].Name,
+						Nodes: q.job.Nodes,
+					})
+				}
 				break
 			}
 			q.pidx = home // placement raced away; stay home

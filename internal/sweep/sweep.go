@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -77,6 +78,12 @@ type Grid struct {
 	// DebugInvariants enables the controller's per-cycle accounting
 	// cross-checks (slow).
 	DebugInvariants bool
+	// Probe receives one obs.KindCell event per finished experiment
+	// (Cell = done so far, Cells = total), serialized under the
+	// sweep's emission lock — the live-progress hook. It observes
+	// completion order only; result aggregation stays in grid order
+	// and byte-identical at any worker count. Not a grid key.
+	Probe obs.Probe `json:"-"`
 }
 
 func (g Grid) withDefaults() Grid {
@@ -247,6 +254,20 @@ func Run(g Grid, workers int) (Summary, error) {
 	results := make([]Result, len(exps))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
+	// Cell-completion probe state: done counts completions across
+	// workers, and emitMu serializes emissions so consumers see a
+	// monotonic done/total sequence without locking of their own.
+	var emitMu sync.Mutex
+	done := 0
+	cellDone := func() {
+		if g.Probe == nil {
+			return
+		}
+		emitMu.Lock()
+		done++
+		g.Probe.Emit(obs.Event{Kind: obs.KindCell, Cell: done, Cells: len(exps)})
+		emitMu.Unlock()
+	}
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -254,6 +275,7 @@ func Run(g Grid, workers int) (Summary, error) {
 			defer wg.Done()
 			for i := range idxCh {
 				results[i] = g.runOne(exps[i], scenarios)
+				cellDone()
 			}
 		}()
 	}

@@ -1,0 +1,118 @@
+package trace_test
+
+// Scenario-driven exporter tests: run a small traced workload end to
+// end and push its real Tracer through the CSV and Paraver exporters,
+// instead of the hand-built segments the unit tests use. The external
+// test package breaks the import cycle (workload imports trace).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/slurm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// smallTracedRun replays the traced UC1 schematic workload and
+// returns its tracer.
+func smallTracedRun(t *testing.T) *trace.Tracer {
+	t.Helper()
+	sc := workload.UC1("nest", apps.Config{Ranks: 2, Threads: 16},
+		"pils", apps.Config{Ranks: 2, Threads: 4}, true)
+	res := workload.Run(sc, slurm.PolicyDROM)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Tracer == nil || len(res.Tracer.Segments()) == 0 {
+		t.Fatal("traced run produced no segments")
+	}
+	return res.Tracer
+}
+
+func TestScenarioCSVRoundTrip(t *testing.T) {
+	tr := smallTracedRun(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Segments(), back.Segments()
+	if len(a) != len(b) {
+		t.Fatalf("round trip lost segments: %d -> %d", len(a), len(b))
+	}
+	// Floats are serialized at 9 significant digits, so the first pass
+	// may round; identity must hold on everything else and floats must
+	// agree to that precision.
+	near := func(x, y float64) bool {
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		m := x
+		if m < 0 {
+			m = -m
+		}
+		return d <= 1e-8*(m+1)
+	}
+	for i := range a {
+		s, r := a[i], b[i]
+		if s.Job != r.Job || s.Rank != r.Rank || s.Thread != r.Thread ||
+			s.CPU != r.CPU || s.State != r.State {
+			t.Fatalf("segment %d identity changed in round trip:\n  out %+v\n  in  %+v", i, s, r)
+		}
+		if !near(s.T0, r.T0) || !near(s.T1, r.T1) || !near(s.IPC, r.IPC) || !near(s.CyclesPerUs, r.CyclesPerUs) {
+			t.Fatalf("segment %d floats drifted beyond 9-digit precision:\n  out %+v\n  in  %+v", i, s, r)
+		}
+	}
+	// A second export of the re-read tracer must be byte-identical:
+	// the serialized precision is a fixed point of read-then-write.
+	var buf2 bytes.Buffer
+	if err := back.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("CSV export is not a fixed point of read-then-write")
+	}
+}
+
+func TestScenarioParaverOutputs(t *testing.T) {
+	tr := smallTracedRun(t)
+	var prv, pcf, row bytes.Buffer
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteROW(&row); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(prv.String(), "\n", 2)[0]
+	if !strings.HasPrefix(head, "#Paraver") {
+		t.Fatalf("PRV header wrong: %q", head)
+	}
+	// Every job of the tracer must appear as an application in the
+	// header and have at least one state record.
+	jobs := tr.Jobs()
+	if len(jobs) < 2 {
+		t.Fatalf("UC1 should trace 2 jobs, got %v", jobs)
+	}
+	records := strings.Count(prv.String(), "\n") - 1
+	if records <= 0 {
+		t.Fatalf("PRV has no records:\n%s", prv.String())
+	}
+	for _, want := range []string{"STATES", "Running"} {
+		if !strings.Contains(pcf.String(), want) {
+			t.Fatalf("PCF missing %q:\n%s", want, pcf.String())
+		}
+	}
+	if !strings.Contains(row.String(), "LEVEL") {
+		t.Fatalf("ROW missing level blocks:\n%s", row.String())
+	}
+}

@@ -1,0 +1,46 @@
+// Package version resolves the build's identity — module version and
+// VCS revision — from the information the Go toolchain embeds in
+// every binary, so all cmd/ binaries share one -version
+// implementation with zero build-time stamping machinery.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders "repro <version> (<revision>[, modified])" from
+// debug.ReadBuildInfo. Pieces the toolchain did not embed (module
+// version outside a module build, VCS data outside a git checkout)
+// degrade gracefully to "devel" / "unknown revision".
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "repro devel (unknown revision)"
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	rev, modified := "unknown revision", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "repro %s (%s", ver, rev)
+	if modified {
+		b.WriteString(", modified")
+	}
+	b.WriteString(")")
+	b.WriteString(" " + info.GoVersion)
+	return b.String()
+}

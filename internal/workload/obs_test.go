@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// TestSchedReplayDecisionGoldenWithProbes replays the golden trace
+// with EVERY observability consumer attached and asserts the start
+// times still match the committed golden byte for byte: the probes
+// observe decisions, they must never make them.
+func TestSchedReplayDecisionGoldenWithProbes(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DebugInvariants = true
+	var got strings.Builder
+	for _, name := range sched.Names() {
+		// Fresh consumers per policy: each replay is its own stream.
+		hist := &obs.CycleHist{}
+		explain := obs.NewExplain("j00042")
+		trace := obs.NewSchedTrace(io.Discard)
+		sampler := obs.NewSampler(600, io.Discard, false)
+		sc.Probe = obs.Multi(trace, explain, sampler, hist)
+		got.WriteString(replayStarts(t, sc, name))
+		if err := trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sampler.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if hist.Cycle.Count() == 0 || hist.Sched.Count() == 0 {
+			t.Fatalf("%s: histograms saw no cycles", name)
+		}
+	}
+	sc.Probe = nil
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Fatal("probed replay start times diverged from the golden: probes perturbed decisions")
+	}
+}
+
+// TestSchedReplaySpilloverGoldenWithProbes replays the spillover
+// golden's mixed-policy cell fully probed: the spill probe points sit
+// inside the spillover pass itself (shadow-time verdicts, re-route
+// starts), so this is where a perturbing emission would surface. The
+// per-job lifecycle (including origin) must match the committed
+// golden's lines for that cell exactly.
+func TestSchedReplaySpilloverGoldenWithProbes(t *testing.T) {
+	const spec = "batch=easy,fat=malleable-shrink"
+	sc := heteroFaultScenario(t)
+	sc.Spill = true
+	trace := obs.NewSchedTrace(io.Discard)
+	sampler := obs.NewSampler(600, io.Discard, true)
+	hist := &obs.CycleHist{}
+	sc.Probe = obs.Multi(trace, sampler, hist)
+	ps, err := sched.ParsePolicySet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSchedSet(sc, ps)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if err := trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampler.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	rs := append(res.Records.Jobs[:0:0], res.Records.Jobs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	for _, j := range rs {
+		origin := j.Origin
+		if origin == "" {
+			origin = "-"
+		}
+		fmt.Fprintf(&got, "%s %s %s %s %s %s %s %s\n", spec, j.Name,
+			strconv.FormatFloat(j.Submit, 'g', -1, 64),
+			strconv.FormatFloat(j.Start, 'g', -1, 64),
+			strconv.FormatFloat(j.End, 'g', -1, 64),
+			j.Outcome, j.Partition, origin)
+	}
+	want, err := os.ReadFile(spillGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(want), got.String()) {
+		t.Fatal("probed spillover replay diverged from the committed golden cell")
+	}
+}
+
+// TestExplainGoldenJobStory replays the golden trace under fcfs with
+// the explainer following one mid-trace job and checks the full
+// submit → wait → start → end story comes out.
+func TestExplainGoldenJobStory(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain := obs.NewExplain("j00042")
+	sc.Probe = explain
+	p, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := RunSched(sc, p); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	story := explain.Story()
+	for _, want := range []string{
+		"job j00042:",
+		"submitted to partition",
+		"enters the queue at position",
+		"queue position",
+		"started on",
+		"after waiting",
+		"completed after running",
+		"response time",
+	} {
+		if !strings.Contains(story, want) {
+			t.Errorf("story missing %q:\n%s", want, story)
+		}
+	}
+	if strings.Contains(story, "still") {
+		t.Errorf("the job finishes inside the trace; no pending footer expected:\n%s", story)
+	}
+}
+
+// TestDisabledProbeReplayAllocs pins the steady-state allocation cost
+// of a replay with NO probe installed: the observability layer's
+// disabled path must stay one nil check, not allocations. The bound is
+// loose enough for cross-machine noise but far below what building
+// obs.Events on the hot path would cost (each emission site would add
+// several allocs/cycle if unguarded).
+func TestDisabledProbeReplayAllocs(t *testing.T) {
+	sc, err := SyntheticSWFScenario(SyntheticSWF{Seed: 1, Jobs: 3000, Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := RunSched(sc, p)
+	runtime.ReadMemStats(&m1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	perCycle := float64(m1.Mallocs-m0.Mallocs) / float64(res.SchedCycles)
+	if perCycle > 30 {
+		t.Fatalf("disabled-probe replay allocates %.1f/cycle, want <= 30 (seed level ~13)", perCycle)
+	}
+}

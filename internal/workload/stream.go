@@ -231,6 +231,7 @@ func runStream(s Scenario, src SubmissionSource, install func(*slurm.Controller)
 		return Result{Scenario: s.Name, Policy: slurm.PolicyDROM, Err: err}
 	}
 	ctl.DebugInvariants = s.DebugInvariants
+	installProbe(eng, ctl, s)
 	ctl.Records.SetAggregate()
 	res := Result{Scenario: s.Name, Policy: slurm.PolicyDROM}
 

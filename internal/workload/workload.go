@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/hwmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/trace"
@@ -77,6 +78,30 @@ type Scenario struct {
 	// free-CPU accounting against a full shared-memory re-scan after
 	// every scheduling cycle (slow; for tests and -check runs).
 	DebugInvariants bool
+	// Probe receives observability events from the controller (and an
+	// engine heartbeat): scheduling cycles, policy passes, action
+	// outcomes, spillover verdicts, job lifecycle transitions. Nil
+	// disables instrumentation; probes must never affect decisions.
+	Probe obs.Probe
+}
+
+// engineProbeEvery is the engine-heartbeat period (executed events)
+// of probed runs: frequent enough to bound sampler staleness between
+// scheduling cycles, rare enough to be free.
+const engineProbeEvery = 1 << 16
+
+// installProbe hands the scenario's probe to the controller and arms
+// the engine heartbeat. Shared by the materialized and streaming
+// runners so the two paths emit identical streams.
+func installProbe(eng *sim.Engine, ctl *slurm.Controller, s Scenario) {
+	if s.Probe == nil {
+		return
+	}
+	ctl.Probe = s.Probe
+	p := s.Probe
+	eng.EveryProcessed(engineProbeEvery, func(now float64, processed int64) {
+		p.Emit(obs.Event{Kind: obs.KindEngine, Time: now, Processed: processed})
+	})
 }
 
 // clusterShape resolves the scenario's homogeneous defaults: 2 nodes
@@ -178,6 +203,7 @@ func run(s Scenario, policy slurm.Policy, install func(*slurm.Controller) error)
 	ctl.NodeSelection = s.NodeSelection
 	ctl.ServeEvolving = s.ServeEvolving
 	ctl.DebugInvariants = s.DebugInvariants
+	installProbe(eng, ctl, s)
 	res := Result{Scenario: s.Name, Policy: policy, Tracer: tr}
 	// Submissions with At == 0 go to the controller synchronously before
 	// the simulation starts. The rest are *streamed*: each submission
