@@ -1,0 +1,18 @@
+// Package gen is determinism-analyzer testdata for the scope rule:
+// cmd packages are outside the decision-path set, so identical
+// constructs produce no findings here.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock freely outside decision paths.
+func Stamp(tags map[string]string) int64 {
+	n := time.Now().Unix()
+	for range tags {
+		n += rand.Int63n(3)
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+// Package sched is determinism-analyzer testdata: its import path
+// ends in internal/sched, putting it in the decision-path set.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Job is a stand-in decision input.
+type Job struct{ ID int }
+
+// Decide trips every determinism finding.
+func Decide(jobs map[int]*Job) []int {
+	var order []int
+	for id := range jobs { // want `map iteration`
+		order = append(order, id)
+	}
+	if time.Now().Unix()%2 == 0 { // want `time\.Now`
+		order = append(order, rand.Intn(10)) // want `global math/rand\.Intn`
+	}
+	return order
+}
+
+// DecideSorted shows the sanctioned collect-then-sort idiom with the
+// ordered escape.
+func DecideSorted(jobs map[int]*Job) []int {
+	out := make([]int, 0, len(jobs))
+	for id := range jobs { //simvet:ordered keys collected then sorted below
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WallSeconds is probe-side wall time, escaped at the function level.
+//
+//simvet:wallclock progress meter only, never reaches decisions
+func WallSeconds(start time.Time) float64 {
+	return time.Now().Sub(start).Seconds()
+}
+
+// Seeded builds and uses an owned generator — constructors and
+// methods on *rand.Rand are the sanctioned alternative and produce no
+// finding.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	atest.Run(t, hotpath.Analyzer, "hp")
+}

@@ -1,0 +1,271 @@
+// Package probeguard enforces the observability layer's pay-only-if-
+// enabled contract: every emission through an obs.Probe interface
+// value must sit behind a nil check on that same probe expression,
+// and the obs.Event payload must be built inside the guard — a
+// payload assembled before the check costs field copies even when
+// probes are disabled.
+//
+// Two guard shapes are recognised:
+//
+//	if ctl.Probe != nil {
+//	        ctl.Probe.Emit(obs.Event{...})      // form A: enclosing if
+//	}
+//
+//	if g.Probe == nil {
+//	        return
+//	}
+//	...
+//	g.Probe.Emit(ev)                            // form B: early return
+//
+// Functions that take an already-checked probe (the caller owns the
+// guard) are annotated //simvet:guarded with a reason, which silences
+// the check for the emissions inside them.
+package probeguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the probe-emission guard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "probeguard",
+	Doc: "obs.Probe emissions must be nil-guarded and build their Event payload inside the guard " +
+		"(escape: //simvet:guarded)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		f := file
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv := probeEmission(pass, call)
+			if recv == nil {
+				return true
+			}
+			checkEmission(pass, f, call, recv, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// probeEmission reports whether call is `<expr>.Emit(...)` on a value
+// whose static type is the obs.Probe interface, returning the
+// receiver expression (nil otherwise).
+func probeEmission(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return nil
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || !isProbeInterface(t) {
+		return nil
+	}
+	return sel.X
+}
+
+// isProbeInterface matches the interface type named Probe declared in
+// an observability package (import path ending in internal/obs).
+func isProbeInterface(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, iface := named.Underlying().(*types.Interface); !iface {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Probe" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+func checkEmission(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, recv ast.Expr, stack []ast.Node) {
+	if pass.Annotated(file, stack, "guarded") {
+		return
+	}
+	guard := guardOf(pass, recv, stack)
+	if guard == nil {
+		pass.Reportf(call.Pos(),
+			"unguarded probe emission: wrap in `if %s != nil { ... }` or guard with an early return (//simvet:guarded if the caller checks)",
+			types.ExprString(recv))
+		return
+	}
+	checkPayload(pass, file, call, guard, stack)
+}
+
+// guardOf finds the statement that establishes recv != nil for this
+// emission: an enclosing `if recv != nil` (form A) or a preceding
+// `if recv == nil { return }` in the same block (form B). It returns
+// the guarding statement, or nil.
+func guardOf(pass *analysis.Pass, recv ast.Expr, stack []ast.Node) ast.Stmt {
+	want := types.ExprString(recv)
+	// Form A: any enclosing if whose condition implies recv != nil on
+	// the branch the emission sits in — the then-branch of `!= nil`,
+	// or the else-branch of `== nil`.
+	for i, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inElse := i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Else)
+		if !inElse && condImpliesNonNil(ifs.Cond, want) {
+			return ifs
+		}
+		if inElse && condImpliesNil(ifs.Cond, want) {
+			return ifs
+		}
+	}
+	// Form B: walk enclosing blocks; in each, look at statements before
+	// the one containing the emission for `if recv == nil { return }`.
+	for i := len(stack) - 1; i > 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		inner := stack[i+1] // the statement within block on our path
+		for _, st := range block.List {
+			if st == inner {
+				break
+			}
+			ifs, ok := st.(*ast.IfStmt)
+			if !ok || ifs.Else != nil {
+				continue
+			}
+			if !condImpliesNil(ifs.Cond, want) {
+				continue
+			}
+			if terminates(ifs.Body) {
+				return ifs
+			}
+		}
+	}
+	return nil
+}
+
+// condImpliesNonNil reports whether cond guarantees `want != nil`
+// when true: the comparison itself, or a conjunction containing it.
+func condImpliesNonNil(cond ast.Expr, want string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "!=":
+			return nilCompare(c, want)
+		case "&&":
+			return condImpliesNonNil(c.X, want) || condImpliesNonNil(c.Y, want)
+		}
+	}
+	return false
+}
+
+// condImpliesNil reports whether the fallthrough path (cond false)
+// guarantees `want != nil`: the bare `want == nil` comparison, or a
+// disjunction containing it — when the guard body terminates, code
+// after the if runs only with every disjunct false.
+func condImpliesNil(cond ast.Expr, want string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "==":
+			return nilCompare(c, want)
+		case "||":
+			// `if a == nil || b == nil { return }` guards both a and b.
+			return condImpliesNil(c.X, want) || condImpliesNil(c.Y, want)
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether the comparison is between the probe
+// expression (by printed form) and nil.
+func nilCompare(c *ast.BinaryExpr, want string) bool {
+	x, y := types.ExprString(ast.Unparen(c.X)), types.ExprString(ast.Unparen(c.Y))
+	return (x == want && y == "nil") || (y == want && x == "nil")
+}
+
+// terminates reports whether the block unconditionally leaves the
+// surrounding function or loop iteration.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// checkPayload flags Event payloads assembled before the guard: an
+// identifier argument whose variable is declared outside the guarding
+// statement's span (form A) or before the guard statement (form B).
+func checkPayload(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, guard ast.Stmt, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return // composite literal or call built in place
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Parent() == pass.Pkg.Scope() {
+		return // package state is paid for once, not per emission
+	}
+	// Parameters are the caller's problem (and the caller's guard).
+	if isParamOf(pass, stack, v) {
+		return
+	}
+	if v.Pos() < guard.Pos() {
+		pass.Reportf(id.Pos(),
+			"probe payload %s is built before the nil guard: construct the Event inside the guard so disabled probes pay nothing",
+			id.Name)
+	}
+}
+
+// isParamOf reports whether v is a parameter of the innermost
+// function enclosing the emission.
+func isParamOf(pass *analysis.Pass, stack []ast.Node, v *types.Var) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = f.Type
+		case *ast.FuncDecl:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, fl := range ft.Params.List {
+				for _, name := range fl.Names {
+					if pass.TypesInfo.Defs[name] == v {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package probeguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/probeguard"
+)
+
+func TestProbeGuard(t *testing.T) {
+	atest.Run(t, probeguard.Analyzer, "pg")
+}

@@ -1,0 +1,13 @@
+// Package obs is a stub of the repo's observability layer for
+// probeguard testdata: the analyzer matches the Probe interface by
+// name and import-path suffix.
+package obs
+
+// Event is the flat probe payload.
+type Event struct {
+	Kind int
+	Job  int
+}
+
+// Probe receives simulation events.
+type Probe interface{ Emit(ev Event) }

@@ -1,0 +1,78 @@
+// Package pg is probeguard-analyzer testdata: both guard forms, both
+// violations, and the caller-guarantees escape.
+package pg
+
+import obs "a/internal/obs"
+
+// Ctl carries an optional probe, like slurm.Controller.
+type Ctl struct{ Probe obs.Probe }
+
+// GoodA uses the enclosing-if guard with an inline payload.
+func (c *Ctl) GoodA(j int) {
+	if c.Probe != nil {
+		c.Probe.Emit(obs.Event{Kind: 1, Job: j})
+	}
+}
+
+// GoodB uses the early-return guard; the payload is built after it.
+func (c *Ctl) GoodB(j int) {
+	if c.Probe == nil {
+		return
+	}
+	ev := obs.Event{Kind: 2, Job: j}
+	c.Probe.Emit(ev)
+}
+
+// GoodConj guards inside a compound condition.
+func (c *Ctl) GoodConj(j int, loud bool) {
+	if loud && c.Probe != nil {
+		c.Probe.Emit(obs.Event{Kind: 3, Job: j})
+	}
+}
+
+// GoodElse emits in the else branch of the nil comparison.
+func (c *Ctl) GoodElse(j int) int {
+	if c.Probe == nil {
+		return 0
+	} else {
+		c.Probe.Emit(obs.Event{Kind: 8, Job: j})
+	}
+	return 1
+}
+
+// BadElseThen emits in the then branch of the nil comparison.
+func (c *Ctl) BadElseThen(j int) {
+	if c.Probe == nil {
+		c.Probe.Emit(obs.Event{Kind: 9, Job: j}) // want `unguarded probe emission`
+	}
+}
+
+// BadUnguarded emits without any nil check.
+func (c *Ctl) BadUnguarded(j int) {
+	c.Probe.Emit(obs.Event{Kind: 4, Job: j}) // want `unguarded probe emission`
+}
+
+// BadPayload pays for the Event even when the probe is disabled.
+func (c *Ctl) BadPayload(j int) {
+	ev := obs.Event{Kind: 5, Job: j}
+	if c.Probe != nil {
+		c.Probe.Emit(ev) // want `built before the nil guard`
+	}
+}
+
+// emit trusts its caller's guard — the documented escape.
+//
+//simvet:guarded every caller checks the probe before calling
+func emit(p obs.Probe, j int) {
+	p.Emit(obs.Event{Kind: 6, Job: j})
+}
+
+// Loop guards per iteration with continue.
+func (c *Ctl) Loop(js []int) {
+	for _, j := range js {
+		if c.Probe == nil {
+			continue
+		}
+		c.Probe.Emit(obs.Event{Kind: 7, Job: j})
+	}
+}

@@ -1,0 +1,271 @@
+// Package scratchcontract enforces the ownership rules around the
+// scheduler's scratch struct. Policies carry per-instance reusable
+// buffers (the `scratch` field) so the hot path allocates nothing in
+// steady state; that only holds if exactly one goroutine-free owner
+// mutates each scratch. Three rules follow:
+//
+//  1. every method on a scratch-carrying type uses a pointer
+//     receiver — a value receiver copies the buffers and warms the
+//     copy instead of the instance;
+//  2. scratch-carrying values are never passed, returned, or copied
+//     by value — only pointers travel;
+//  3. constructors (New, NewFor, and friends) return a fresh
+//     instance per call, never a stored one — sharing one instance
+//     across partitions aliases the buffers mid-cycle.
+//
+// The analyzer triggers only in packages that define a struct type
+// named scratch; everywhere else it is a no-op.
+package scratchcontract
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the scratch ownership check.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchcontract",
+	Doc: "scratch-carrying policy types must use pointer receivers, never be copied by value, " +
+		"and constructors must return fresh instances",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	scratch := findScratch(pass)
+	if scratch == nil {
+		return nil
+	}
+	carrying := carryingTypes(pass, scratch)
+	if len(carrying) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		f := file
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkReceiver(pass, carrying, n)
+				if isConstructorName(n.Name.Name) {
+					checkConstructor(pass, carrying, n)
+				}
+			case *ast.FuncType:
+				checkSignature(pass, f, carrying, n)
+			case *ast.AssignStmt:
+				checkCopies(pass, carrying, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findScratch locates the package's struct type named scratch.
+func findScratch(pass *analysis.Pass) *types.Named {
+	obj := pass.Pkg.Scope().Lookup("scratch")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// carryingTypes returns the named struct types with a field of type
+// scratch (directly or embedded by value).
+func carryingTypes(pass *analysis.Pass, scratch *types.Named) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named == scratch {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if types.Identical(st.Field(i).Type(), scratch) {
+				out[named] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isCarrying reports whether t is (a named alias of) a scratch-
+// carrying struct — the value type itself, not a pointer to it.
+func isCarrying(carrying map[*types.Named]bool, t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && carrying[named]
+}
+
+// checkReceiver enforces pointer receivers on carrying types.
+func checkReceiver(pass *analysis.Pass, carrying map[*types.Named]bool, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return
+	}
+	rt := pass.TypeOf(fd.Recv.List[0].Type)
+	if rt == nil {
+		return
+	}
+	if isCarrying(carrying, rt) {
+		pass.Reportf(fd.Recv.Pos(),
+			"method %s has a value receiver on scratch-carrying type %s: the receiver copy warms its own buffers — use a pointer receiver",
+			fd.Name.Name, typeName(rt))
+	}
+}
+
+// checkSignature flags carrying types passed or returned by value in
+// any function signature (declarations and literals alike).
+func checkSignature(pass *analysis.Pass, file *ast.File, carrying map[*types.Named]bool, ft *ast.FuncType) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t != nil && isCarrying(carrying, t) {
+				pass.Reportf(field.Pos(),
+					"scratch-carrying type %s %s by value: pass *%s so buffers are not copied",
+					typeName(t), what, typeName(t))
+			}
+		}
+	}
+	checkFieldList(ft.Params, "passed")
+	if ft.Results != nil {
+		checkFieldList(ft.Results, "returned")
+	}
+}
+
+// checkCopies flags value copies of carrying types: dereferencing a
+// policy pointer into a local, or assigning one policy value to
+// another.
+func checkCopies(pass *analysis.Pass, carrying map[*types.Named]bool, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		// Discarding to _ copies nothing.
+		if len(as.Lhs) == len(as.Rhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil || !isCarrying(carrying, t) {
+			continue
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			// Construction, not a copy. (Constructor rules police how
+			// the fresh value is then shared.)
+		case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			pass.Reportf(rhs.Pos(),
+				"copying scratch-carrying type %s by value: the copy aliases no buffers and warms its own — use a pointer",
+				typeName(t))
+		}
+	}
+}
+
+// isConstructorName matches the constructor naming convention the
+// contract binds: New, NewFor, NewFCFS, ...
+func isConstructorName(name string) bool {
+	return name == "New" || strings.HasPrefix(name, "New")
+}
+
+// checkConstructor enforces that New* functions returning a carrying
+// type (directly, by pointer, or behind an interface) never return a
+// stored instance: returning a field, a package-level variable, or a
+// parameter shares one scratch across callers.
+func checkConstructor(pass *analysis.Pass, carrying map[*types.Named]bool, fd *ast.FuncDecl) {
+	if fd.Type.Results == nil || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			t := pass.TypeOf(res)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if !isCarrying(carrying, t) {
+				continue
+			}
+			switch e := ast.Unparen(res).(type) {
+			case *ast.SelectorExpr:
+				pass.Reportf(res.Pos(),
+					"constructor %s returns a stored %s: each call must return a fresh instance, or partitions share scratch buffers",
+					fd.Name.Name, typeName(t))
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[e]
+				if obj == nil {
+					continue
+				}
+				v, ok := obj.(*types.Var)
+				if !ok {
+					continue
+				}
+				if v.Parent() == pass.Pkg.Scope() {
+					pass.Reportf(res.Pos(),
+						"constructor %s returns package-level %s: each call must return a fresh instance, or partitions share scratch buffers",
+						fd.Name.Name, e.Name)
+				} else if isParam(pass, fd, v) {
+					pass.Reportf(res.Pos(),
+						"constructor %s returns its parameter %s: the caller already owns that instance — allocate a fresh one",
+						fd.Name.Name, e.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isParam reports whether v is one of fd's parameters (including the
+// receiver).
+func isParam(pass *analysis.Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if pass.TypesInfo.Defs[name] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}
+
+func typeName(t types.Type) string {
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

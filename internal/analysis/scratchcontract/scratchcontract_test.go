@@ -1,0 +1,12 @@
+package scratchcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/scratchcontract"
+)
+
+func TestScratchContract(t *testing.T) {
+	atest.Run(t, scratchcontract.Analyzer, "sc")
+}

@@ -1,0 +1,64 @@
+// Package sc is scratchcontract-analyzer testdata: a scratch struct,
+// compliant and violating carriers, and constructors that leak stored
+// instances.
+package sc
+
+// scratch is the reusable-buffer struct the contract binds to.
+type scratch struct {
+	buf []int
+}
+
+// Good follows the contract: pointer receivers only.
+type Good struct{ sc scratch }
+
+// Schedule is fine on a pointer receiver.
+func (g *Good) Schedule() { g.sc.buf = g.sc.buf[:0] }
+
+// Bad demonstrates the value-receiver violation.
+type Bad struct{ sc scratch }
+
+func (b Bad) Schedule() { b.sc.buf = b.sc.buf[:0] } // want `value receiver`
+
+// ByValue passes a carrier by value.
+func ByValue(b Bad) {} // want `passed by value`
+
+// Produce returns a carrier by value.
+func Produce() Bad { // want `returned by value`
+	return Bad{} // construction itself is fine
+}
+
+var shared = &Good{}
+
+// New is a constructor; the "shared" arm returns a stored instance.
+func New(name string) *Good {
+	if name == "shared" {
+		return shared // want `package-level`
+	}
+	return &Good{} // fresh: fine
+}
+
+// Registry caches a policy and leaks it from a constructor method.
+type Registry struct{ g *Good }
+
+// NewFor must mint a fresh policy per partition.
+func (r *Registry) NewFor() *Good {
+	return r.g // want `stored`
+}
+
+// NewFrom hands back the caller's own instance.
+func NewFrom(g *Good) *Good {
+	return g // want `parameter`
+}
+
+// Clone copies the buffers by dereference.
+func Clone(p *Good) {
+	v := *p // want `copying`
+	_ = v
+}
+
+// NewLocal builds locally then returns the pointer — fine.
+func NewLocal() *Good {
+	g := &Good{}
+	g.sc.buf = make([]int, 0, 8)
+	return g
+}

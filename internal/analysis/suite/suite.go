@@ -1,0 +1,30 @@
+// Package suite registers the simvet analyzers in the order drivers
+// run them. New analyzers are added here and nowhere else; cmd/simvet
+// and the self-check test both consume this list.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/probeguard"
+	"repro/internal/analysis/scratchcontract"
+)
+
+// Analyzers is the full simvet suite.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hotpath.Analyzer,
+	scratchcontract.Analyzer,
+	probeguard.Analyzer,
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

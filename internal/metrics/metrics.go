@@ -272,7 +272,7 @@ func (w *Workload) PartitionStats() []PartitionStat {
 		return nil
 	}
 	names := make([]string, 0, len(w.perPart))
-	for name := range w.perPart {
+	for name := range w.perPart { //simvet:ordered keys collected and sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

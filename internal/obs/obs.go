@@ -204,6 +204,7 @@ func (f Func) Emit(ev Event) { f(ev) }
 
 type multi []Probe
 
+//simvet:guarded Multi drops nil consumers at construction
 func (m multi) Emit(ev Event) {
 	for _, p := range m {
 		p.Emit(ev)

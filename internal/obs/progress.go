@@ -28,7 +28,7 @@ func (p *Progress) clock() time.Time {
 	if p.now != nil {
 		return p.now()
 	}
-	return time.Now()
+	return time.Now() //simvet:wallclock ETA rendering only, never reaches decisions
 }
 
 // Emit implements Probe; events other than KindCell are ignored.

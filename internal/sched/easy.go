@@ -15,6 +15,8 @@ type EASY struct{ sc scratch }
 func (*EASY) Name() string { return "easy" }
 
 // Schedule implements Policy.
+//
+//simvet:hotpath
 func (p *EASY) Schedule(s *State) []Action {
 	sc := &p.sc
 	sc.reset(s)

@@ -10,6 +10,8 @@ func (*FCFS) Name() string { return "fcfs" }
 
 // Schedule starts queued jobs in order until one does not fit; nothing
 // behind the blocked head may run.
+//
+//simvet:hotpath
 func (p *FCFS) Schedule(s *State) []Action {
 	sc := &p.sc
 	sc.reset(s)

@@ -45,6 +45,8 @@ func (m *Malleable) Name() string {
 }
 
 // Schedule implements Policy.
+//
+//simvet:hotpath
 func (m *Malleable) Schedule(s *State) []Action {
 	sc := &m.sc
 	sc.reset(s)
@@ -159,7 +161,7 @@ func (m *Malleable) shrinkToFit(s *State, head Job) (int, []int) {
 	// chosen node must hold the head's share.
 	newFree := append(m.newFree[:0], sc.free...)
 	m.newFree = newFree
-	for id, t := range m.targets {
+	for id, t := range m.targets { //simvet:ordered commutative accumulation into per-node sums
 		if t >= m.allocs[id] {
 			continue
 		}
@@ -179,7 +181,7 @@ func (m *Malleable) shrinkToFit(s *State, head Job) (int, []int) {
 	// Commit: emit shrinks in ID order, update free and allocs, carve
 	// out the head's share.
 	ids := m.ids[:0]
-	for id := range m.targets {
+	for id := range m.targets { //simvet:ordered keys collected and sorted below
 		ids = append(ids, id)
 	}
 	m.ids = ids

@@ -135,7 +135,7 @@ func (ps PolicySet) String() string {
 		parts = append(parts, ps.Default)
 	}
 	names := make([]string, 0, len(ps.ByPartition))
-	for part := range ps.ByPartition {
+	for part := range ps.ByPartition { //simvet:ordered keys collected and sorted below
 		names = append(names, part)
 	}
 	sort.Strings(names)

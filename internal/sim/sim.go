@@ -214,6 +214,8 @@ func (e *Engine) Cancel(id EventID) {
 
 // Step executes the next event. It returns false when the queue is
 // empty or the engine was stopped.
+//
+//simvet:hotpath
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		if e.stopped {

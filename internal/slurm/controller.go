@@ -252,6 +252,8 @@ func (e ProtocolEvent) String() string {
 }
 
 // logf appends a protocol event when logging is on.
+//
+//simvet:coldpath body runs only when LogProtocol is on
 func (ctl *Controller) logf(node, step, format string, args ...interface{}) {
 	if !ctl.LogProtocol {
 		return
@@ -350,6 +352,8 @@ func (ctl *Controller) fail(err error) {
 // descending, submission sequence ascending within a level. Keeping
 // the order on insert removes the whole-queue sort the scheduler used
 // to pay on every event.
+//
+//simvet:coldpath per submission/preempt, not per cycle
 func (ctl *Controller) enqueue(q *queuedJob) {
 	i := sort.Search(len(ctl.queue), func(i int) bool {
 		if ctl.queue[i].job.Priority != q.job.Priority {
@@ -471,6 +475,8 @@ func (ctl *Controller) trySchedule() {
 // lower priority than j, requeues them for later resumption, and
 // schedules a re-try once the checkpoint completes. Returns false
 // when nothing can be preempted.
+//
+//simvet:coldpath per preempt action, not per cycle
 func (ctl *Controller) tryPreempt(j *Job, pidx int) bool {
 	var victims []*runningJob
 	for _, r := range ctl.running {
@@ -942,7 +948,16 @@ func (ctl *Controller) releaseResources(node string) {
 		return
 	}
 	grown := PlanExpand(ctl.machineOf(node), ctl.jobsOn(node), free)
-	for pid, mask := range grown {
+	// Apply in PID order: the protocol log and the first error
+	// surfaced through ctl.fail must not depend on map iteration.
+	pids := make([]int, 0, len(grown))
+	for pid := range grown { //simvet:ordered keys collected and sorted below
+		pids = append(pids, int(pid))
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		pid := shmem.PID(p)
+		mask := grown[pid]
 		// Preserve any pending staged mask: grow from the future value.
 		if e, code := admin.Inspect(pid); !code.IsError() && e.Dirty {
 			mask = e.FutureMask.Or(mask.AndNot(e.CurrentMask))

@@ -256,6 +256,8 @@ func (ctl *Controller) snapshotPartition(pi int) *sched.State {
 // the current timestamp, so capacity freed by actions that did
 // execute (say, a shrink paired with a start that lost the race) is
 // re-planned immediately instead of idling until the next job event.
+//
+//simvet:hotpath
 func (ctl *Controller) schedCycle() {
 	// probe != nil is the only cost the disabled path pays per probe
 	// point; wall clocks are read, snapshot totals summed and events
@@ -263,7 +265,7 @@ func (ctl *Controller) schedCycle() {
 	probe := ctl.Probe
 	var cycleT0 time.Time
 	if probe != nil {
-		cycleT0 = time.Now()
+		cycleT0 = time.Now() //simvet:wallclock probe-only cycle timing, never reaches decisions
 		probe.Emit(obs.Event{
 			Kind: obs.KindCycleStart, Time: ctl.cluster.Engine.Now(),
 			Queue: len(ctl.queue), Running: len(ctl.running),
@@ -278,7 +280,7 @@ func (ctl *Controller) schedCycle() {
 		if probe == nil {
 			acts = ctl.scheds[pi].Schedule(st)
 		} else {
-			passT0 := time.Now()
+			passT0 := time.Now() //simvet:wallclock probe-only pass timing, never reaches decisions
 			acts = ctl.scheds[pi].Schedule(st)
 			wall := time.Since(passT0).Nanoseconds()
 			free := 0
@@ -359,6 +361,8 @@ func (ctl *Controller) schedCycle() {
 }
 
 // emitResize reports one shrink/expand action outcome.
+//
+//simvet:guarded all call sites sit under the cycle's probe != nil check
 func (ctl *Controller) emitResize(probe obs.Probe, act obs.Act, st *sched.State, a sched.Action, r *runningJob, applied bool) {
 	ev := obs.Event{
 		Kind: obs.KindAction, Act: act, Reason: obs.ReasonStarted,
@@ -390,6 +394,8 @@ func (ctl *Controller) rearmAfterSkip() {
 // full shared-memory re-scan: every node's cached effective-free count
 // must match the rescan and stay within [0, CoresPerNode], and every
 // cached job width must match a fresh task-mask walk.
+//
+//simvet:coldpath debug-only cross-check behind DebugInvariants
 func (ctl *Controller) checkFreeInvariant() {
 	for i, node := range ctl.cluster.Nodes {
 		cores := ctl.cluster.MachineOfNode(i).CoresPerNode()
@@ -457,6 +463,8 @@ func (ctl *Controller) freeCandsSorted(pi, need int) []startCand {
 // policy budgeted specific nodes (an EASY reservation is only
 // starvation-safe on exactly those) — and launches it through the
 // Figure-2 protocol. Returns false when placement fails.
+//
+//simvet:coldpath per start action; steady-state cycles take no actions
 func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool {
 	j := q.job
 	part := ctl.cluster.Spec.Partitions[q.pidx]
@@ -547,6 +555,8 @@ func (ctl *Controller) startQueued(q *queuedJob, target int, pinned []int) bool 
 // shrinkRunning stages r down to target CPUs per node through
 // DROM_SetProcessMask; each task keeps a socket-compact subset of its
 // own mask and applies it at its next poll.
+//
+//simvet:coldpath per shrink action; steady-state cycles take no actions
 func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 	for _, node := range r.nodes {
 		refs := r.onNodeInto(ctl.refsBuf, node)
@@ -593,6 +603,8 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 
 // expandRunning grows r toward target CPUs per node from the node's
 // effectively-free CPUs.
+//
+//simvet:coldpath per expand action; steady-state cycles take no actions
 func (ctl *Controller) expandRunning(r *runningJob, target int) {
 	for _, node := range r.nodes {
 		refs := r.onNodeInto(ctl.refsBuf, node)

@@ -268,7 +268,7 @@ func Run(g Grid, workers int) (Summary, error) {
 		g.Probe.Emit(obs.Event{Kind: obs.KindCell, Cell: done, Cells: len(exps)})
 		emitMu.Unlock()
 	}
-	start := time.Now()
+	start := time.Now() //simvet:wallclock wall-time meta only; WallSeconds is documented nondeterministic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -334,7 +334,7 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 		out.Err = err.Error()
 		return out
 	}
-	t0 := time.Now()
+	t0 := time.Now() //simvet:wallclock wall-time meta only; WallSeconds is documented nondeterministic
 	var res workload.Result
 	var stats metrics.SchedStats
 	if g.Stream {

@@ -82,7 +82,7 @@ func TimelineGantt(tr *trace.Tracer, title string, buckets int) plot.Gantt {
 		}
 	}
 	keys := make([]key, 0, len(rows))
-	for k := range rows {
+	for k := range rows { //simvet:ordered keys collected and sorted below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

@@ -94,11 +94,11 @@ const engineProbeEvery = 1 << 16
 // the engine heartbeat. Shared by the materialized and streaming
 // runners so the two paths emit identical streams.
 func installProbe(eng *sim.Engine, ctl *slurm.Controller, s Scenario) {
-	if s.Probe == nil {
+	p := s.Probe
+	if p == nil {
 		return
 	}
-	ctl.Probe = s.Probe
-	p := s.Probe
+	ctl.Probe = p
 	eng.EveryProcessed(engineProbeEvery, func(now float64, processed int64) {
 		p.Emit(obs.Event{Kind: obs.KindEngine, Time: now, Processed: processed})
 	})
