@@ -817,6 +817,96 @@ func BenchmarkSchedSpillover(b *testing.B) {
 	}
 }
 
+// nodeFaultBenchPolicies are the policy cells of the failure-domain
+// benchmark: one rigid backfiller and one malleable policy, which
+// stress the degraded-capacity path differently (EASY re-anchors its
+// reservation on the shrunk partition, the malleable policy reshapes
+// survivors around the hole).
+var nodeFaultBenchPolicies = []string{"easy", "malleable-expand"}
+
+// BenchmarkSchedNodeFaults is the scale benchmark of node failure
+// domains: the seeded 20,000-job hetero trace replayed with scripted
+// outages, a seeded MTBF/MTTR background fault stream and a requeue
+// cap of 1. The requeue, node-failed and downtime tallies are
+// deterministic replay outcomes: BENCH_sched.json pins them (section
+// sched_nodefaults) and cmd/benchdiff compares them exactly.
+// Regenerate with:
+//
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench SchedNodeFaults -benchtime 1x .
+func BenchmarkSchedNodeFaults(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{
+		Seed: 1, Jobs: 20000, MeanInterarrival: 20,
+		Cluster:    cluster.HeteroMN3(),
+		CancelRate: 0.05, FailRate: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.NodeFaults = "node0:down@5000..8000+node4:down@20000..26000+node2:drain@40000..60000"
+	sc.MTBF = 20000
+	sc.MTTR = 1500
+	sc.MaxRequeues = 1
+	sc.FaultSeed = 1
+	byPolicy := map[string]replayEntry{}
+	for _, name := range nodeFaultBenchPolicies {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p, err := cluster.NewSchedPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var e replayEntry
+			for i := 0; i < b.N; i++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				t0 := time.Now()
+				res := cluster.RunSched(sc, p)
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&m1)
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if res.Records.Requeues() == 0 {
+					b.Fatalf("%s: no requeues on the faulted hetero trace", name)
+				}
+				st := cluster.SchedStatsOf(sc, res)
+				cycles := float64(res.SchedCycles)
+				e = replayEntry{
+					Policy:         name,
+					Jobs:           res.Records.Count(),
+					WallSeconds:    wall.Seconds(),
+					Cycles:         res.SchedCycles,
+					Events:         res.Events,
+					CycleMicros:    wall.Seconds() * 1e6 / cycles,
+					AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / cycles,
+					BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / cycles,
+					MeanWaitS:      st.MeanWait,
+					MakespanS:      st.Makespan,
+					Requeues:       res.Records.Requeues(),
+					NodeFailed:     res.Records.NodeFailed(),
+					DownNodeS:      res.Records.DownNodeSeconds(),
+				}
+			}
+			byPolicy[name] = e
+			b.ReportMetric(e.WallSeconds, "wall-s")
+			b.ReportMetric(e.CycleMicros, "us/cycle")
+			b.ReportMetric(float64(e.Requeues), "requeues")
+			b.ReportMetric(float64(e.NodeFailed), "node-failed")
+		})
+	}
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" && len(byPolicy) == len(nodeFaultBenchPolicies) {
+		entries := make([]replayEntry, 0, len(byPolicy))
+		for _, name := range nodeFaultBenchPolicies {
+			entries = append(entries, byPolicy[name])
+		}
+		updateBenchJSON(b, path, "sched_nodefaults", map[string]interface{}{
+			"trace":    "synthetic SWF seed=1 jobs=20000 cluster=hetero cancel=0.05 fail=0.05 nodefaults=scripted+mtbf=20000 mttr=1500 requeue=1 faultseed=1",
+			"policies": entries,
+		})
+	}
+}
+
 // BenchmarkSchedReplay1M replays a million-job synthetic SWF trace
 // through the streaming path: the trace is generated lazily, the
 // engine holds one pending submission event, and job records fold

@@ -3,7 +3,8 @@
 // when the candidate regresses.
 //
 // Replay outcomes that must not change at all (job counts, scheduling
-// cycles, simulation events, mean wait, makespan) are compared
+// cycles, simulation events, mean wait, makespan, spill, requeue and
+// node-failure tallies) are compared
 // exactly: they are deterministic, so any difference means the
 // scheduler's decisions changed. Wall-clock derived numbers
 // (us_per_cycle) are machine-dependent and only fail when the
@@ -75,6 +76,15 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 		}
 		if c.Spilled != b.Spilled {
 			add("%s: spilled %d, baseline %d (decisions changed)", name, c.Spilled, b.Spilled)
+		}
+		if c.Requeues != b.Requeues {
+			add("%s: requeues %d, baseline %d (decisions changed)", name, c.Requeues, b.Requeues)
+		}
+		if c.NodeFailed != b.NodeFailed {
+			add("%s: node_failed %d, baseline %d (decisions changed)", name, c.NodeFailed, b.NodeFailed)
+		}
+		if c.DownNodeS != b.DownNodeS {
+			add("%s: down_node_s %g, baseline %g (decisions changed)", name, c.DownNodeS, b.DownNodeS)
 		}
 		if c.Cycles != b.Cycles {
 			add("%s: sched_cycles %d, baseline %d (decisions changed)", name, c.Cycles, b.Cycles)
@@ -162,6 +172,9 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 	}
 	if base.Spillover != nil && cand.Spillover != nil {
 		comparePolicies("sched_spillover", base.Spillover.Policies, cand.Spillover.Policies)
+	}
+	if base.NodeFaults != nil && cand.NodeFaults != nil {
+		comparePolicies("sched_nodefaults", base.NodeFaults.Policies, cand.NodeFaults.Policies)
 	}
 	if base.Obs != nil && cand.Obs != nil {
 		compareObs("sched_obs/"+base.Obs.Probed.Policy, base.Obs.Probed, cand.Obs.Probed)

@@ -57,6 +57,15 @@ func main() {
 		"guarded by the host's EASY head reservation)")
 	spillAfter := flag.Float64("spill-after", 0, "spillover: minimum queue wait in seconds before a job may spill")
 	spillDepth := flag.Int("spill-depth", 0, "spillover: minimum home-partition backlog before jobs may spill")
+	nodeFaults := flag.String("node-faults", "", "swf/sched: deterministic node outage script, e.g. "+
+		"'node0:down@100..400+node5:drain@200..300' (entries joined with '+' or ';'; "+
+		"down kills and requeues residents, drain only blocks new launches)")
+	mtbf := flag.Float64("mtbf", 0, "swf/sched: mean time between seeded random node failures "+
+		"in VIRTUAL seconds (0 = off; the fault stream is seeded from -seed)")
+	mttr := flag.Float64("mttr", 0, "swf/sched: mean repair time of seeded node failures in "+
+		"virtual seconds (default 600)")
+	requeue := flag.Int("requeue", 0, "swf/sched: per-job requeue cap after node failures "+
+		"(0 = default 3, negative = no requeues: the first failure is terminal)")
 	check := flag.Bool("check", false, "swf: cross-check the controller's incremental free-CPU "+
 		"accounting against a full shared-memory re-scan every cycle (slower)")
 	stream := flag.Bool("stream", false, "swf/sched: stream the trace instead of materializing it "+
@@ -127,6 +136,7 @@ func main() {
 		schedNames: *schedNames, swfPath: *swfPath, check: *check, stream: *stream,
 		clusterSpec: *clusterSpec, cancelRate: *cancelRate, failRate: *failRate,
 		spill: *spill, spillAfter: *spillAfter, spillDepth: *spillDepth,
+		nodeFaults: *nodeFaults, mtbf: *mtbf, mttr: *mttr, requeue: *requeue,
 		sweepSpec: *sweepSpec, sweepWorkers: *sweepWorkers, format: *format, out: *out,
 		progress: *progress,
 		obs: obsArgs{
@@ -164,6 +174,9 @@ type runArgs struct {
 	spill               bool
 	spillAfter          float64
 	spillDepth          int
+	nodeFaults          string
+	mtbf, mttr          float64
+	requeue             int
 	sweepSpec           string
 	sweepWorkers        int
 	format, out         string
@@ -305,6 +318,9 @@ type schedArgs struct {
 	spill          bool
 	spillAfter     float64
 	spillDepth     int
+	nodeFaults     string
+	mtbf, mttr     float64
+	requeue        int
 	check          bool
 	obs            obsArgs
 }
@@ -314,6 +330,16 @@ func (a schedArgs) spillInto(sc *cluster.Scenario) {
 	sc.Spill = a.spill
 	sc.SpillAfter = a.spillAfter
 	sc.SpillDepth = a.spillDepth
+}
+
+// faultsInto copies the node fault-injection knobs onto a scenario.
+// The seeded fault stream uses the trace seed, like the sweep engine.
+func (a schedArgs) faultsInto(sc *cluster.Scenario) {
+	sc.NodeFaults = a.nodeFaults
+	sc.MTBF = a.mtbf
+	sc.MTTR = a.mttr
+	sc.MaxRequeues = a.requeue
+	sc.FaultSeed = a.seed
 }
 
 func run(a runArgs) error {
@@ -331,6 +357,7 @@ func run(a runArgs) error {
 			names: a.schedNames, swfPath: a.swfPath, seed: a.seed,
 			cancel: a.cancelRate, fail: a.failRate, check: a.check,
 			spill: a.spill, spillAfter: a.spillAfter, spillDepth: a.spillDepth,
+			nodeFaults: a.nodeFaults, mtbf: a.mtbf, mttr: a.mttr, requeue: a.requeue,
 			obs: a.obs,
 		}
 		flag.Visit(func(f *flag.Flag) {
@@ -473,6 +500,7 @@ func runSchedStream(a schedArgs) error {
 	}
 	base := cluster.Scenario{Nodes: a.nodes, Cluster: a.cluster, DebugInvariants: a.check}
 	a.spillInto(&base)
+	a.faultsInto(&base)
 	if err := a.obs.checkSingle(policies); err != nil {
 		return err
 	}
@@ -566,6 +594,7 @@ func runSched(a schedArgs) error {
 	}
 	sc.DebugInvariants = a.check
 	a.spillInto(&sc)
+	a.faultsInto(&sc)
 	if err := a.obs.checkSingle(policies); err != nil {
 		return err
 	}

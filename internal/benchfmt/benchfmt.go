@@ -24,6 +24,15 @@ type ReplayEntry struct {
 	// deterministic replay outcome of the spillover benchmark (zero
 	// and omitted in the homogeneous sections).
 	Spilled int `json:"spilled,omitempty"`
+	// Requeues, NodeFailed and DownNodeS are the failure-domain
+	// outcomes of the node-fault benchmark: jobs killed and requeued
+	// by node outages, jobs that exhausted the requeue cap, and the
+	// node-seconds of booked downtime. All three are deterministic
+	// replay outcomes and diff exactly (zero and omitted in the
+	// fault-free sections).
+	Requeues   int     `json:"requeues,omitempty"`
+	NodeFailed int     `json:"node_failed,omitempty"`
+	DownNodeS  float64 `json:"down_node_s,omitempty"`
 	// HeapMB is the heap in use right after the replay — the bounded-
 	// memory evidence for the streaming path. PeakRSSMB is the
 	// process-lifetime high-water mark: only meaningful when the
@@ -76,6 +85,14 @@ type Doc struct {
 		Trace    string        `json:"trace"`
 		Policies []ReplayEntry `json:"policies"`
 	} `json:"sched_spillover"`
+	// NodeFaults is the failure-domain replay: the heterogeneous
+	// trace with scripted node outages, a seeded MTBF/MTTR fault
+	// stream and a low requeue cap. Requeues/NodeFailed/DownNodeS
+	// join the exactly-compared deterministic outcomes.
+	NodeFaults *struct {
+		Trace    string        `json:"trace"`
+		Policies []ReplayEntry `json:"policies"`
+	} `json:"sched_nodefaults"`
 	// Obs is the probes-enabled replay (see ObsEntry).
 	Obs *struct {
 		Trace  string   `json:"trace"`

@@ -1,0 +1,30 @@
+package hwmodel
+
+// NodeState is the availability of one node in the failure-domain
+// model. The zero value is NodeUp so clusters without fault injection
+// need no initialization.
+type NodeState uint8
+
+const (
+	// NodeUp: the node is healthy and schedulable.
+	NodeUp NodeState = iota
+	// NodeDraining: the node accepts no new launches but resident
+	// jobs run to completion; it returns to NodeUp when the drain
+	// window ends.
+	NodeDraining
+	// NodeDown: the node is failed — resident jobs were killed and
+	// its CPUs left the schedulable capacity until repair.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDraining:
+		return "draining"
+	case NodeDown:
+		return "down"
+	}
+	return "?"
+}

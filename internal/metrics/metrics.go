@@ -23,6 +23,10 @@ const (
 	// OutcomeCancelled is a user cancellation (scancel): a queued job
 	// that never started, or a running job killed on request.
 	OutcomeCancelled
+	// OutcomeNodeFailed is a job lost to node failures: it was killed
+	// by a node going down and its requeue budget was already spent, so
+	// the scheduler gave up on it.
+	OutcomeNodeFailed
 )
 
 func (o Outcome) String() string {
@@ -33,6 +37,8 @@ func (o Outcome) String() string {
 		return "failed"
 	case OutcomeCancelled:
 		return "cancelled"
+	case OutcomeNodeFailed:
+		return "node-failed"
 	}
 	return "?"
 }
@@ -132,16 +138,26 @@ type Workload struct {
 	sumSlow float64
 	maxSlow float64
 
-	nFailed    int
-	nCancelled int
-	nSpilled   int
-	perPart    map[string]*partAgg
+	nFailed     int
+	nCancelled  int
+	nSpilled    int
+	nNodeFailed int
+	// Failure-domain tallies (injected by the controller's fault
+	// model, not derived from job records): requeue events, virtual
+	// seconds of job progress lost to node kills, and node-seconds of
+	// downtime booked at repair.
+	nRequeues int
+	lostWorkS float64
+	downS     float64
+	perPart   map[string]*partAgg
 }
 
 // partAgg is the per-partition slice of the workload's tallies.
 type partAgg struct {
 	n, statsN, failed, cancelled int
 	spilledIn, spilledOut        int
+	nodeFailed, requeues         int
+	lostWorkS, downS             float64
 	sumWait, sumResp             float64
 }
 
@@ -178,6 +194,8 @@ func (w *Workload) Add(j JobRecord) {
 		w.nFailed++
 	case OutcomeCancelled:
 		w.nCancelled++
+	case OutcomeNodeFailed:
+		w.nNodeFailed++
 	}
 	if j.Partition != "" {
 		pa := w.part(j.Partition)
@@ -192,6 +210,8 @@ func (w *Workload) Add(j JobRecord) {
 			pa.failed++
 		case OutcomeCancelled:
 			pa.cancelled++
+		case OutcomeNodeFailed:
+			pa.nodeFailed++
 		}
 		if j.Spilled() {
 			w.nSpilled++
@@ -240,6 +260,51 @@ func (w *Workload) Cancelled() int { return w.nCancelled }
 // partition than they were submitted to (cross-partition spillover).
 func (w *Workload) Spilled() int { return w.nSpilled }
 
+// NodeFailed returns the number of jobs recorded with
+// OutcomeNodeFailed (killed by a node fault after exhausting the
+// requeue budget).
+func (w *Workload) NodeFailed() int { return w.nNodeFailed }
+
+// AddRequeue tallies one requeue event against a partition: a job was
+// killed by a node fault and re-entered the queue. Called by the
+// controller's fault model; works in both retention modes.
+func (w *Workload) AddRequeue(part string) {
+	w.nRequeues++
+	if part != "" {
+		w.part(part).requeues++
+	}
+}
+
+// AddLostWork tallies virtual seconds of job progress destroyed by a
+// node kill (time from the job's start to the kill), attributed to the
+// partition the job was running in.
+func (w *Workload) AddLostWork(part string, s float64) {
+	w.lostWorkS += s
+	if part != "" {
+		w.part(part).lostWorkS += s
+	}
+}
+
+// AddDownTime tallies node-seconds of unavailability, booked when a
+// node is repaired, against the node's partition.
+func (w *Workload) AddDownTime(part string, s float64) {
+	w.downS += s
+	if part != "" {
+		w.part(part).downS += s
+	}
+}
+
+// Requeues returns the total number of fault-driven requeue events.
+func (w *Workload) Requeues() int { return w.nRequeues }
+
+// LostWork returns the virtual seconds of job progress destroyed by
+// node kills.
+func (w *Workload) LostWork() float64 { return w.lostWorkS }
+
+// DownNodeSeconds returns the node-seconds of downtime booked by
+// completed repair events (open outages at run end are not counted).
+func (w *Workload) DownNodeSeconds() float64 { return w.downS }
+
 // PartitionStat is one partition's slice of a workload run.
 type PartitionStat struct {
 	Partition string `json:"partition"`
@@ -250,8 +315,15 @@ type PartitionStat struct {
 	// another; SpilledOut counts jobs submitted here that ran
 	// elsewhere (such jobs appear in their host partition's Jobs, not
 	// this one's).
-	SpilledIn    int     `json:"spilled_in,omitempty"`
-	SpilledOut   int     `json:"spilled_out,omitempty"`
+	SpilledIn  int `json:"spilled_in,omitempty"`
+	SpilledOut int `json:"spilled_out,omitempty"`
+	// Failure-domain tallies: jobs lost to node faults after the
+	// requeue cap, requeue events, virtual seconds of progress
+	// destroyed by kills, and node-seconds of downtime.
+	NodeFailed   int     `json:"node_failed,omitempty"`
+	Requeues     int     `json:"requeues,omitempty"`
+	LostWorkS    float64 `json:"lost_work_s,omitempty"`
+	DownS        float64 `json:"down_node_s,omitempty"`
 	MeanWait     float64 `json:"mean_wait_s"`
 	MeanResponse float64 `json:"mean_resp_s"`
 }
@@ -261,6 +333,10 @@ func (p PartitionStat) String() string {
 		p.Partition, p.Jobs, p.Failed, p.Cancelled, p.MeanWait, p.MeanResponse)
 	if p.SpilledIn > 0 || p.SpilledOut > 0 {
 		s += fmt.Sprintf(" spill_in=%d spill_out=%d", p.SpilledIn, p.SpilledOut)
+	}
+	if p.Requeues > 0 || p.NodeFailed > 0 || p.DownS > 0 {
+		s += fmt.Sprintf(" requeued=%d node_failed=%d lost_work=%.0fs down_node=%.0fs",
+			p.Requeues, p.NodeFailed, p.LostWorkS, p.DownS)
 	}
 	return s
 }
@@ -282,6 +358,8 @@ func (w *Workload) PartitionStats() []PartitionStat {
 		st := PartitionStat{
 			Partition: name, Jobs: pa.n, Failed: pa.failed, Cancelled: pa.cancelled,
 			SpilledIn: pa.spilledIn, SpilledOut: pa.spilledOut,
+			NodeFailed: pa.nodeFailed, Requeues: pa.requeues,
+			LostWorkS: pa.lostWorkS, DownS: pa.downS,
 		}
 		if pa.statsN > 0 {
 			st.MeanWait = pa.sumWait / float64(pa.statsN)

@@ -35,6 +35,14 @@ type SchedStats struct {
 	// Spilled counts jobs re-routed to another partition by the
 	// cross-partition spillover pass (zero unless it is enabled).
 	Spilled int `json:"spilled,omitempty"`
+	// Failure-domain tallies (zero unless node faults are enabled):
+	// jobs that exhausted their requeue budget, fault-driven requeue
+	// events, virtual seconds of progress destroyed by node kills, and
+	// node-seconds of downtime booked by completed repairs.
+	NodeFailed int     `json:"node_failed,omitempty"`
+	Requeues   int     `json:"requeues,omitempty"`
+	LostWorkS  float64 `json:"lost_work_s,omitempty"`
+	DownNodeS  float64 `json:"down_node_s,omitempty"`
 }
 
 // NewSchedStats computes the stats from a finished workload. cpusOf
@@ -48,7 +56,11 @@ type SchedStats struct {
 // Cancelled.
 func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) SchedStats {
 	if w.Aggregated() {
-		st := SchedStats{Jobs: w.n, Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled}
+		st := SchedStats{
+			Jobs: w.n, Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled,
+			NodeFailed: w.nNodeFailed, Requeues: w.nRequeues,
+			LostWorkS: w.lostWorkS, DownNodeS: w.downS,
+		}
 		if st.Jobs == 0 || w.statsN == 0 {
 			st.Makespan = w.TotalRunTime()
 			return st
@@ -60,7 +72,11 @@ func NewSchedStats(w Workload, cpusOf func(name string) int, totalCores int) Sch
 		st.MaxSlowdown = w.maxSlow
 		return st
 	}
-	st := SchedStats{Jobs: len(w.Jobs), Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled}
+	st := SchedStats{
+		Jobs: len(w.Jobs), Failed: w.nFailed, Cancelled: w.nCancelled, Spilled: w.nSpilled,
+		NodeFailed: w.nNodeFailed, Requeues: w.nRequeues,
+		LostWorkS: w.lostWorkS, DownNodeS: w.downS,
+	}
 	if st.Jobs == 0 {
 		return st
 	}
@@ -103,6 +119,10 @@ func (s SchedStats) String() string {
 	}
 	if s.Spilled > 0 {
 		out += fmt.Sprintf(" spilled=%d", s.Spilled)
+	}
+	if s.Requeues > 0 || s.NodeFailed > 0 || s.DownNodeS > 0 {
+		out += fmt.Sprintf(" requeued=%d node_failed=%d lost_work=%.0fs down_node=%.0fs",
+			s.Requeues, s.NodeFailed, s.LostWorkS, s.DownNodeS)
 	}
 	return out
 }

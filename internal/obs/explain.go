@@ -148,6 +148,18 @@ func (e *Explain) Emit(ev Event) {
 			e.printf("t=%9.1fs  expanded to %d CPU(s)/node\n", ev.Time, ev.Target)
 		}
 
+	case KindRequeue:
+		if !e.found || ev.Job != e.target || e.done {
+			return
+		}
+		// Killed by a node fault; the job re-enters the queue (after a
+		// backoff) under a new sequence, like a preemption.
+		e.remove(e.seq)
+		e.seq = ev.Seq
+		e.started = false
+		e.printf("t=%9.1fs  node %s failed; job killed and requeued (attempt %d)\n",
+			ev.Time, ev.Placement, ev.Target)
+
 	case KindJobStart:
 		e.remove(ev.Seq)
 		if !e.found || ev.Seq != e.seq || e.started {

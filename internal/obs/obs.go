@@ -49,6 +49,19 @@ const (
 	// KindCell: one sweep grid cell finished. Cell/Cells are
 	// done-so-far and total.
 	KindCell
+	// KindNodeDown: a node left service (fault injection). Placement is
+	// the node name, Partition its partition, Outcome "down" for a hard
+	// failure or "drain" for a drain window.
+	KindNodeDown
+	// KindNodeUp: a node returned to service. Placement/Partition as in
+	// KindNodeDown; Outcome "up" after a repair, "drain-end" when a
+	// drain window closed.
+	KindNodeUp
+	// KindRequeue: a running job was killed by a node fault and
+	// requeued. Job is the job, Seq the NEW sequence it will re-enter
+	// the queue under, Target the requeue attempt number (1-based),
+	// Placement the failed node.
+	KindRequeue
 )
 
 var kindNames = [...]string{
@@ -61,6 +74,9 @@ var kindNames = [...]string{
 	KindJobEnd:     "job-end",
 	KindEngine:     "engine",
 	KindCell:       "cell",
+	KindNodeDown:   "node-down",
+	KindNodeUp:     "node-up",
+	KindRequeue:    "requeue",
 }
 
 func (k Kind) String() string {

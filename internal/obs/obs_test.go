@@ -23,6 +23,39 @@ func TestKindActReasonStrings(t *testing.T) {
 	}
 }
 
+// TestKindNamesSync: every declared Kind — including ones added after
+// the table was first written — has a distinct non-empty name and a
+// ByKind counting slot. Catches the classic "new enum value, stale
+// name table" drift.
+func TestKindNamesSync(t *testing.T) {
+	var c Count
+	seen := map[string]Kind{}
+	for k := Kind(1); int(k) < len(kindNames); k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Errorf("Kind(%d) has no name", int(k))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Kind(%d) and Kind(%d) share the name %q", int(k), int(prev), name)
+		}
+		seen[name] = k
+		c.Emit(Event{Kind: k})
+		if c.Of(k) != 1 {
+			t.Errorf("Kind(%d) %q has no ByKind slot", int(k), name)
+		}
+	}
+	if int(c.Total) != len(kindNames)-1 {
+		t.Errorf("Total = %d after %d emits", c.Total, len(kindNames)-1)
+	}
+	for kind, want := range map[Kind]string{
+		KindNodeDown: "node-down", KindNodeUp: "node-up", KindRequeue: "requeue",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+}
+
 func TestMulti(t *testing.T) {
 	if Multi() != nil || Multi(nil, nil) != nil {
 		t.Fatal("Multi of no probes must be nil")

@@ -55,6 +55,11 @@ func (t *SchedTrace) Emit(ev Event) {
 		}
 	case KindCycleStart, KindCycleEnd:
 		t.flushGroup()
+	case KindNodeDown, KindNodeUp, KindRequeue:
+		// Fault-injection events get their own line, like spill
+		// verdicts: they happen outside any policy pass.
+		t.flushGroup()
+		t.writeFault(ev)
 	}
 }
 
@@ -105,6 +110,32 @@ func (t *SchedTrace) writeSpill(ev Event) {
 	b = append(b, `,"pass":"spillover","actions":[`...)
 	b = appendAction(b, ev)
 	b = append(b, ']', '}', '\n')
+	t.lineB = b
+	t.write(b)
+}
+
+// writeFault writes one fault-injection line: a node state change or
+// a job requeue.
+func (t *SchedTrace) writeFault(ev Event) {
+	b := t.lineB[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.Time, 'g', -1, 64)
+	b = append(b, `,"partition":`...)
+	b = strconv.AppendQuote(b, ev.Partition)
+	b = append(b, `,"pass":"nodefault","event":`...)
+	b = strconv.AppendQuote(b, ev.Kind.String())
+	b = append(b, `,"node":`...)
+	b = strconv.AppendQuote(b, ev.Placement)
+	if ev.Kind == KindRequeue {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendQuote(b, ev.Job)
+		b = append(b, `,"attempt":`...)
+		b = strconv.AppendInt(b, int64(ev.Target), 10)
+	} else {
+		b = append(b, `,"state":`...)
+		b = strconv.AppendQuote(b, ev.Outcome)
+	}
+	b = append(b, '}', '\n')
 	t.lineB = b
 	t.write(b)
 }

@@ -107,7 +107,9 @@ func (m *Malleable) shrinkToFit(s *State, head Job) (int, []int) {
 		}
 		if d := m.allocs[r.ID] - r.MinCPUsPerNode; d > 0 {
 			for _, n := range r.Nodes {
-				capacity[n] += d
+				if capacity[n] >= 0 { // not on an unavailable (-1) node
+					capacity[n] += d
+				}
 			}
 		}
 	}

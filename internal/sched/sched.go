@@ -105,7 +105,11 @@ type State struct {
 	CoresPerNode int
 	// Free holds the currently free CPUs per node (effective masks: a
 	// staged-but-unapplied shrink already counts as freed, a staged
-	// grow as taken).
+	// grow as taken). A -1 entry marks an unavailable node (down or
+	// draining under the failure-domain model): it can host nothing,
+	// reclaims nothing, and its projected releases never materialize —
+	// every placement needs at least one CPU, so the sentinel falls out
+	// of range checks naturally.
 	Free []int
 	// Queue is the waiting jobs in strict priority order: priority
 	// descending, then submission sequence ascending. Policies must
@@ -396,9 +400,14 @@ func (sc *scratch) reservation(s *State, free []int, head Job, allocs map[int]in
 		}
 		shadow = rels[i].at
 		for i < len(rels) && rels[i].at <= shadow {
-			proj[rels[i].node] += rels[i].cpus
-			if proj[rels[i].node] > s.CoresPerNode {
-				proj[rels[i].node] = s.CoresPerNode
+			// An unavailable node (-1) stays out of the projection: a
+			// draining node's residents do release CPUs, but nothing may
+			// start there, so the reservation must not count them.
+			if n := rels[i].node; proj[n] >= 0 {
+				proj[n] += rels[i].cpus
+				if proj[n] > s.CoresPerNode {
+					proj[n] = s.CoresPerNode
+				}
 			}
 			i++
 		}

@@ -2,6 +2,7 @@ package slurm
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -48,6 +49,11 @@ type runningJob struct {
 	// changed; the next snapshot recomputes lazily.
 	curCPUs int
 	curOK   bool
+
+	// requeues counts how many node failures already sent this job
+	// back to the queue (see nodefault.go; the retry cap makes the
+	// next failure terminal).
+	requeues int
 }
 
 func (r *runningJob) hasNode(node string) bool {
@@ -93,6 +99,8 @@ type queuedJob struct {
 	// never changes, so metrics can record the origin.
 	homePidx int
 	resume   *runningJob
+	// requeues counts prior node-failure requeues (nodefault.go).
+	requeues int
 }
 
 // NodeSelection orders candidate nodes when a job can be placed on a
@@ -210,6 +218,19 @@ type Controller struct {
 	spillResv   []*headReservation
 	spillResvOK []bool
 
+	// Node fault-injection state (nodefault.go). nfState == nil — the
+	// default — means no fault plan is installed: every check in the
+	// scheduling hot paths short-circuits on that nil and replays are
+	// byte-identical to fault-free builds.
+	nfPlan       FaultPlan
+	nfState      []hwmodel.NodeState
+	nfDownUntil  []float64 // repair horizon per down node
+	nfDrainUntil []float64 // drain-end horizon per draining node
+	nfDownStart  []float64 // outage start, for availability accounting
+	nfArmed      []bool    // one pending seeded failure per node
+	nfRand       *rand.Rand
+	nfLimbo      int // requeued jobs waiting out their backoff
+
 	// Cycles counts executed scheduling-policy passes (perf metric).
 	Cycles int64
 
@@ -320,6 +341,9 @@ func (ctl *Controller) Submit(j *Job) error {
 			Partition: ctl.cluster.Spec.Partitions[pidx].Name,
 			Priority:  j.Priority, Nodes: j.Nodes, CPUs: j.CPUsPerNode(),
 		})
+	}
+	if ctl.nfRand != nil {
+		ctl.armSeededFaults()
 	}
 	ctl.trySchedule()
 	return nil
@@ -559,6 +583,10 @@ func (ctl *Controller) selectNodes(j *Job, pidx int) ([]string, map[string]Launc
 	}
 	var cands []cand
 	for _, node := range ctl.cluster.PartitionNodes(pidx) {
+		// A down or draining node hosts no new launches.
+		if ctl.nfState != nil && ctl.nfState[ctl.nodeIdx[node]] != hwmodel.NodeUp {
+			continue
+		}
 		machine := ctl.machineOf(node)
 		occupants := ctl.jobsOn(node)
 		switch ctl.policy {
@@ -634,7 +662,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		r.nodes = nodes
 		r.tasks = nil
 	} else {
-		r = &runningJob{job: j, seq: q.seq, pidx: q.pidx, homePidx: q.homePidx, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes}
+		r = &runningJob{job: j, seq: q.seq, pidx: q.pidx, homePidx: q.homePidx, submit: q.submit, start: ctl.cluster.Engine.Now(), nodes: nodes, requeues: q.requeues}
 	}
 	// Snapshot node indices are local to the job's partition.
 	offset := ctl.cluster.Spec.NodeOffset(r.pidx)
@@ -714,8 +742,15 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		ctl.running = append(ctl.running, r)
 		ctl.rBySeq[r.seq] = r
 		inst := r.inst
+		seq := r.seq
 		pls := append([]apps.Placement(nil), placements...)
 		ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
+			if ctl.rBySeq[seq] != r {
+				// A node failure killed the job inside the latency
+				// window; its reservations are already released and the
+				// job requeued — resuming would register ghost ranks.
+				return
+			}
 			if err := inst.Resume(pls, ctl.RestartCost); err != nil {
 				ctl.fail(err)
 			}
@@ -786,11 +821,16 @@ func (ctl *Controller) onJobEnd(r *runningJob, end float64) {
 	ctl.endJob(r, end, metrics.OutcomeCompleted)
 }
 
-// endJob implements post_term + release_resources, recording the
-// given outcome.
-func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcome) {
-	// post_term: DROM_PostFinalize each task, returning stolen CPUs to
-	// their original owners when they still run.
+// finalizeTasks implements post_term for every task of r:
+// DROM_PostFinalize returns stolen CPUs to their original owners when
+// they still run, and the incremental free accounting is maintained
+// (noteFreed for clean holdings, a lazy node re-scan after ambiguous
+// redistribution). Shared by normal termination and the node-failure
+// kill path; ErrNoProc is tolerated so it also cleans up tasks whose
+// instance already unregistered (checkpoint stop) or that never
+// registered (killed inside the launch-latency window — their PreInit
+// reservations are released here).
+func (ctl *Controller) finalizeTasks(r *runningJob) {
 	for _, t := range r.tasks {
 		admin := ctl.admins[t.node]
 		// Maintain the incremental free accounting: a task that held no
@@ -812,7 +852,10 @@ func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcom
 		}
 		ctl.logf(t.node, "post_term", "DROM_PostFinalize(pid=%d, RETURN_STOLEN)", t.pid)
 	}
-	// Drop the job from the running set.
+}
+
+// removeRunning drops r from the running set and its seq index.
+func (ctl *Controller) removeRunning(r *runningJob) {
 	for i, rr := range ctl.running {
 		if rr == r {
 			ctl.running = append(ctl.running[:i], ctl.running[i+1:]...)
@@ -820,6 +863,11 @@ func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcom
 		}
 	}
 	delete(ctl.rBySeq, r.seq)
+}
+
+// recordEnd books r's lifecycle record and emits the KindJobEnd probe
+// event.
+func (ctl *Controller) recordEnd(r *runningJob, end float64, outcome metrics.Outcome) {
 	ctl.Records.Add(metrics.JobRecord{
 		Name: r.job.Name, Submit: r.submit, Start: r.start, End: end,
 		Partition: ctl.cluster.Spec.Partitions[r.pidx].Name,
@@ -834,6 +882,14 @@ func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcom
 			Outcome:   outcome.String(),
 		})
 	}
+}
+
+// endJob implements post_term + release_resources, recording the
+// given outcome.
+func (ctl *Controller) endJob(r *runningJob, end float64, outcome metrics.Outcome) {
+	ctl.finalizeTasks(r)
+	ctl.removeRunning(r)
+	ctl.recordEnd(r, end, outcome)
 	// release_resources: expand surviving jobs into the freed CPUs.
 	// With a sched.Policy installed, expansion is that policy's call
 	// (malleable-expand emits explicit actions; EASY/FCFS stay rigid).
@@ -897,7 +953,12 @@ func (ctl *Controller) Cancel(name string) bool {
 // bounded by the node's free CPUs. Called automatically on job
 // completion when ServeEvolving is set, or explicitly by the operator.
 func (ctl *Controller) ServeEvolvingRequests() {
-	for _, node := range ctl.cluster.Nodes {
+	for ni, node := range ctl.cluster.Nodes {
+		// A down or draining node grants nothing: its free CPUs are out
+		// of service, and shrink requests keep until it returns.
+		if ctl.nfState != nil && ctl.nfState[ni] != hwmodel.NodeUp {
+			continue
+		}
 		admin := ctl.admins[node]
 		reqs, code := admin.ResizeRequests()
 		if code.IsError() {
@@ -942,6 +1003,9 @@ func (ctl *Controller) ServeEvolvingRequests() {
 // malleable jobs below their request (Figure 2 step 5, using
 // GetPidList/GetProcessMask/SetProcessMask).
 func (ctl *Controller) releaseResources(node string) {
+	if ctl.nfState != nil && ctl.nfState[ctl.nodeIdx[node]] != hwmodel.NodeUp {
+		return // an out-of-service node redistributes nothing
+	}
 	admin := ctl.admins[node]
 	free := ctl.cluster.System(node).Segment().FreeMask()
 	if free.IsEmpty() {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpuset"
+	"repro/internal/hwmodel"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -110,6 +111,14 @@ func (ctl *Controller) effectiveFree(node string) cpuset.CPUSet {
 	if !ok {
 		return cpuset.CPUSet{}
 	}
+	// Failure-domain overlay: a down or draining node exposes no free
+	// CPUs to any consumer (placement, spillover, reservations, the
+	// invariant check). The underlying cache keeps tracking the true
+	// shared-memory state — drain residents still noteFreed through it —
+	// and nodeRepair/drainEnd force a re-scan when the node returns.
+	if ctl.nfState != nil && ctl.nfState[i] != hwmodel.NodeUp {
+		return cpuset.CPUSet{}
+	}
 	if !ctl.nodeFreeOK[i] {
 		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
 		ctl.nodeFree[i] = ctl.nodeMasks[i].AndNot(used)
@@ -208,7 +217,15 @@ func (ctl *Controller) snapshotPartition(pi int) *sched.State {
 	st.Free = st.Free[:0]
 	st.Queue = st.Queue[:0]
 	st.Running = st.Running[:0]
-	for _, node := range ctl.cluster.PartitionNodes(pi) {
+	offset := ctl.cluster.Spec.NodeOffset(pi)
+	for k, node := range ctl.cluster.PartitionNodes(pi) {
+		if ctl.nfState != nil && ctl.nfState[offset+k] != hwmodel.NodeUp {
+			// Unavailable-node sentinel: every policy placement needs at
+			// least one CPU, so -1 excludes the node from starts,
+			// backfill projections and malleable reclaim alike.
+			st.Free = append(st.Free, -1)
+			continue
+		}
 		st.Free = append(st.Free, ctl.effectiveFree(node).Count())
 	}
 	for _, q := range ctl.queue {
@@ -285,7 +302,9 @@ func (ctl *Controller) schedCycle() {
 			wall := time.Since(passT0).Nanoseconds()
 			free := 0
 			for _, f := range st.Free {
-				free += f
+				if f > 0 { // skip the -1 unavailable-node sentinel
+					free += f
+				}
 			}
 			probe.Emit(obs.Event{
 				Kind: obs.KindPass, Time: st.Now, Partition: st.Partition,
@@ -402,6 +421,11 @@ func (ctl *Controller) checkFreeInvariant() {
 		got := ctl.effectiveFree(node)
 		used := ctl.cluster.System(node).Segment().EffectiveUsedMask()
 		want := ctl.nodeMasks[i].AndNot(used)
+		if ctl.nfState != nil && ctl.nfState[i] != hwmodel.NodeUp {
+			// The overlay hides out-of-service nodes from every consumer;
+			// the invariant is that they expose zero capacity.
+			want = cpuset.CPUSet{}
+		}
 		if !got.Equal(want) {
 			ctl.fail(fmt.Errorf("slurm: invariant: node %s cached effective-free %s, re-scan says %s", node, got, want))
 		}
@@ -715,6 +739,23 @@ func (ctl *Controller) reservationFor(j *Job, pidx int) *headReservation {
 	freeAt := ctl.resvFreeAt[:len(partNodes)]
 	for i := range freeAt {
 		freeAt[i] = now
+	}
+	if ctl.nfState != nil {
+		// An out-of-service node cannot host the head before its
+		// repair/drain horizon: clamp its projected free time so the
+		// reservation sees the shrunk partition.
+		for i := range freeAt {
+			switch ctl.nfState[offset+i] {
+			case hwmodel.NodeDown:
+				if u := ctl.nfDownUntil[offset+i]; u > freeAt[i] {
+					freeAt[i] = u
+				}
+			case hwmodel.NodeDraining:
+				if u := ctl.nfDrainUntil[offset+i]; u > freeAt[i] {
+					freeAt[i] = u
+				}
+			}
+		}
 	}
 	for _, r := range ctl.running {
 		if r.pidx != pidx {

@@ -39,6 +39,16 @@ import (
 //	spill     1/true: cross-partition spillover pass
 //	spillafter  spillover wait threshold in seconds
 //	spilldepth  spillover home-backlog depth threshold
+//	nodefaults  deterministic node outage script, entries joined with
+//	          '+', e.g. node0:down@100..400+node5:drain@200..300
+//	          (slurm.FaultPlan.Script grammar; ';' belongs to this
+//	          grid grammar and cannot appear inside the script)
+//	mtbf      mean time between seeded node failures in virtual
+//	          seconds (0 = off); the fault stream is seeded from each
+//	          experiment's trace seed
+//	mttr      mean repair time of seeded failures in virtual seconds
+//	requeue   per-job requeue cap after node failures (0 = default,
+//	          negative = none)
 //	ia        mean inter-arrival seconds (default 60)
 //	swf       SWF trace file to replay instead of the generator
 //	max       truncate an SWF trace to this many jobs
@@ -136,6 +146,26 @@ func ParseGrid(spec string) (Grid, error) {
 				return Grid{}, fmt.Errorf("sweep: spilldepth: bad depth %q", v)
 			}
 			g.SpillDepth = n
+		case "nodefaults":
+			g.NodeFaults = v
+		case "mtbf":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil || x < 0 {
+				return Grid{}, fmt.Errorf("sweep: mtbf: bad mean %q", v)
+			}
+			g.MTBF = x
+		case "mttr":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil || x < 0 {
+				return Grid{}, fmt.Errorf("sweep: mttr: bad mean %q", v)
+			}
+			g.MTTR = x
+		case "requeue":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Grid{}, fmt.Errorf("sweep: requeue: %v", err)
+			}
+			g.MaxRequeues = n
 		case "stream":
 			g.Stream = v == "1" || v == "true"
 		case "check":
@@ -199,7 +229,7 @@ func (s Summary) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"index", "policy", "seed", "jobs", "wall_seconds", "sched_cycles", "sim_events",
 		"makespan_s", "mean_wait_s", "p95_wait_s", "mean_resp_s", "mean_bsld",
-		"failed", "cancelled", "spilled", "dropped", "error",
+		"failed", "cancelled", "spilled", "requeues", "node_failed", "dropped", "error",
 	}); err != nil {
 		return err
 	}
@@ -212,7 +242,8 @@ func (s Summary) WriteCSV(w io.Writer) error {
 			f(r.Stats.Makespan), f(r.Stats.MeanWait), f(r.Stats.P95Wait),
 			f(r.Stats.MeanResponse), f(r.Stats.MeanSlowdown),
 			strconv.Itoa(r.Stats.Failed), strconv.Itoa(r.Stats.Cancelled),
-			strconv.Itoa(r.Stats.Spilled), strconv.Itoa(r.Dropped.Total()), r.Err,
+			strconv.Itoa(r.Stats.Spilled), strconv.Itoa(r.Stats.Requeues),
+			strconv.Itoa(r.Stats.NodeFailed), strconv.Itoa(r.Dropped.Total()), r.Err,
 		}); err != nil {
 			return err
 		}
@@ -235,10 +266,15 @@ func (s Summary) Table() string {
 		fmt.Fprintf(&sb, "%-5d %-17s %6d %8.2f %10d %12.0f %12.1f %12.1f %10.2f\n",
 			r.Seed, r.Policy, r.Jobs, r.WallSeconds, r.Cycles,
 			r.Stats.Makespan, r.Stats.MeanWait, r.Stats.MeanResponse, r.Stats.MeanSlowdown)
-		if r.Stats.Failed > 0 || r.Stats.Cancelled > 0 || r.Stats.Spilled > 0 || r.Dropped.Total() > 0 {
+		if r.Stats.Failed > 0 || r.Stats.Cancelled > 0 || r.Stats.Spilled > 0 ||
+			r.Stats.Requeues > 0 || r.Stats.NodeFailed > 0 || r.Dropped.Total() > 0 {
 			line := fmt.Sprintf("failed=%d cancelled=%d", r.Stats.Failed, r.Stats.Cancelled)
 			if r.Stats.Spilled > 0 {
 				line += fmt.Sprintf(" spilled=%d", r.Stats.Spilled)
+			}
+			if r.Stats.Requeues > 0 || r.Stats.NodeFailed > 0 {
+				line += fmt.Sprintf(" requeued=%d node_failed=%d down_node=%.0fs",
+					r.Stats.Requeues, r.Stats.NodeFailed, r.Stats.DownNodeS)
 			}
 			if r.Dropped.Total() > 0 {
 				line += fmt.Sprintf(" trace: %s", r.Dropped)

@@ -63,6 +63,18 @@ type Grid struct {
 	Spill      bool
 	SpillAfter float64
 	SpillDepth int
+	// NodeFaults is a deterministic node outage script applied to every
+	// experiment (grid key nodefaults=, entries joined with '+' — the
+	// grid grammar owns ';'; see slurm.FaultPlan.Script). MTBF/MTTR arm
+	// the seeded per-node failure process (grid keys mtbf= and mttr=,
+	// virtual seconds); the fault stream is seeded from each
+	// experiment's trace seed, so cells stay independent and
+	// reproducible. MaxRequeues is the per-job requeue cap (grid key
+	// requeue=; 0 = default, negative = none).
+	NodeFaults  string
+	MTBF        float64
+	MTTR        float64
+	MaxRequeues int
 	// SWFPath replays a Standard Workload Format file instead of the
 	// synthetic generator.
 	SWFPath string
@@ -197,11 +209,31 @@ func (g Grid) spillName() string {
 	return s
 }
 
+// nodeFaultName renders the node-fault part of a trace label ("" when
+// the fault model is off).
+func (g Grid) nodeFaultName() string {
+	if g.NodeFaults == "" && g.MTBF <= 0 {
+		return ""
+	}
+	var s string
+	if g.NodeFaults != "" {
+		s += fmt.Sprintf(" nodefaults=%s", g.NodeFaults)
+	}
+	if g.MTBF > 0 {
+		s += fmt.Sprintf(" mtbf=%g mttr=%g", g.MTBF, g.MTTR)
+	}
+	if g.MaxRequeues != 0 {
+		s += fmt.Sprintf(" requeue=%d", g.MaxRequeues)
+	}
+	return s
+}
+
 func (g Grid) traceName(seed int64) string {
 	if g.SWFPath != "" {
 		return fmt.Sprintf("swf:%s", g.SWFPath)
 	}
-	return fmt.Sprintf("synthetic seed=%d jobs=%d %s%s%s", seed, g.Jobs, g.shapeName(), g.faultName(), g.spillName())
+	return fmt.Sprintf("synthetic seed=%d jobs=%d %s%s%s%s",
+		seed, g.Jobs, g.shapeName(), g.faultName(), g.spillName(), g.nodeFaultName())
 }
 
 // gridName describes the whole grid (the summary-level label; the
@@ -214,8 +246,8 @@ func (g Grid) gridName() string {
 	for i, s := range g.Seeds {
 		seeds[i] = strconv.FormatInt(s, 10)
 	}
-	return fmt.Sprintf("synthetic seeds=%s jobs=%d %s%s%s",
-		strings.Join(seeds, ","), g.Jobs, g.shapeName(), g.faultName(), g.spillName())
+	return fmt.Sprintf("synthetic seeds=%s jobs=%d %s%s%s%s",
+		strings.Join(seeds, ","), g.Jobs, g.shapeName(), g.faultName(), g.spillName(), g.nodeFaultName())
 }
 
 // Run executes the grid on the given number of workers (<= 0 means
@@ -324,6 +356,17 @@ func (g Grid) spillInto(sc *workload.Scenario) {
 	sc.SpillDepth = g.SpillDepth
 }
 
+// faultsInto copies the grid's node-fault knobs onto a scenario. The
+// fault stream is seeded from the experiment's trace seed so each cell
+// is reproducible in isolation.
+func (g Grid) faultsInto(sc *workload.Scenario, seed int64) {
+	sc.NodeFaults = g.NodeFaults
+	sc.MTBF = g.MTBF
+	sc.MTTR = g.MTTR
+	sc.MaxRequeues = g.MaxRequeues
+	sc.FaultSeed = seed
+}
+
 // runOne executes one experiment in isolation. The policy cell may be
 // a bare policy name or a per-partition policy-set spec; either way
 // each experiment instantiates its own policy instances.
@@ -345,12 +388,14 @@ func (g Grid) runOne(e Experiment, scenarios map[int64]workload.Scenario) Result
 		}
 		base := workload.Scenario{Nodes: g.Nodes, Cluster: g.Cluster, DebugInvariants: g.DebugInvariants}
 		g.spillInto(&base)
+		g.faultsInto(&base, e.Seed)
 		res = workload.RunSchedStreamSet(base, src, ps)
 		stats = workload.SchedStatsOfStream(res)
 	} else {
 		sc := scenarios[e.Seed]
 		sc.DebugInvariants = g.DebugInvariants
 		g.spillInto(&sc)
+		g.faultsInto(&sc, e.Seed)
 		res = workload.RunSchedSet(sc, ps)
 		stats = workload.SchedStatsOf(sc, res)
 	}

@@ -196,6 +196,25 @@ func TestParseGrid(t *testing.T) {
 	if _, err := ParseGrid("spilldepth=x"); err == nil {
 		t.Error("non-numeric spilldepth should fail")
 	}
+	// Node fault-injection keys. The script value rides a single grid
+	// field, so its entries use '+' — ';' belongs to the grid grammar.
+	g, err = ParseGrid("nodefaults=node0:down@10..20+node1:drain@30..40;mtbf=5000;mttr=600;requeue=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeFaults != "node0:down@10..20+node1:drain@30..40" ||
+		g.MTBF != 5000 || g.MTTR != 600 || g.MaxRequeues != 2 {
+		t.Errorf("fault knobs = %q/%g/%g/%d", g.NodeFaults, g.MTBF, g.MTTR, g.MaxRequeues)
+	}
+	if _, err := ParseGrid("mtbf=-1"); err == nil {
+		t.Error("negative mtbf should fail")
+	}
+	if _, err := ParseGrid("mttr=x"); err == nil {
+		t.Error("non-numeric mttr should fail")
+	}
+	if _, err := ParseGrid("requeue=x"); err == nil {
+		t.Error("non-numeric requeue should fail")
+	}
 }
 
 // TestSweepSpilloverDeterministicAcrossWorkerCounts: a heterogeneous
@@ -237,6 +256,59 @@ func TestSweepSpilloverDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		if starts != baseStarts {
 			t.Errorf("workers=%d spillover per-job start times differ from sequential", workers)
+		}
+	}
+}
+
+// TestSweepNodeFaultDeterministicAcrossWorkerCounts: a heterogeneous
+// grid with scripted outages, a seeded background fault stream and the
+// controller's invariant checks on must produce byte-identical
+// summaries — including the requeue and node-failed tallies — at any
+// worker count. Each experiment's fault stream is seeded from its own
+// trace seed, so parallel workers share no RNG state. CI also runs
+// this under -race at -cpu 1,4,8: degraded-capacity accounting must
+// hold under every interleaving of the worker pool.
+func TestSweepNodeFaultDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Policies:         []string{"easy", "malleable-expand"},
+		Seeds:            []int64{1, 2},
+		Jobs:             250,
+		Cluster:          hwmodel.HeteroMN3(),
+		MeanInterarrival: 20,
+		NodeFaults:       "node0:down@1500..2300+node4:down@2000..3500+node2:drain@4000..6000",
+		MTBF:             4000,
+		MTTR:             700,
+		MaxRequeues:      1,
+		KeepJobs:         true,
+		DebugInvariants:  true,
+	}
+	var base Summary
+	var baseStarts string
+	for i, workers := range []int{1, 4, 8} {
+		sum, err := Run(grid, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requeues := 0
+		for _, r := range sum.Results {
+			requeues += r.Stats.Requeues
+		}
+		if requeues == 0 {
+			t.Errorf("workers=%d: no requeues on the faulted grid; the check is vacuous", workers)
+		}
+		starts := sum.StartsListing()
+		if i == 0 {
+			base, baseStarts = stripWall(sum), starts
+			continue
+		}
+		got := stripWall(sum)
+		a, _ := json.Marshal(base)
+		b, _ := json.Marshal(got)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d node-fault summary differs from sequential:\n%s\nvs\n%s", workers, b, a)
+		}
+		if starts != baseStarts {
+			t.Errorf("workers=%d node-fault per-job start times differ from sequential", workers)
 		}
 	}
 }

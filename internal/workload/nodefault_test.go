@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hwmodel"
+	"repro/internal/sched"
+)
+
+// nodeFaultGoldenPath pins the decisions AND outcomes of the
+// heterogeneous replay with node failure domains active: scripted
+// outages and drains plus a seeded MTBF/MTTR fault stream, with the
+// requeue cap low enough that some jobs exhaust it. Per job the
+// submit, start, end, outcome and partition under every policy, plus
+// one per-policy tally line for the fault counters. Regenerate (only
+// after an intentional behavior change) with:
+//
+//	UPDATE_SCHED_GOLDEN=1 go test ./internal/workload -run ReplayNodeFaultGolden
+const nodeFaultGoldenPath = "testdata/sched_starts_nodefault_hetero_seed1_600.golden"
+
+// nodeFaultScenario is the hetero fault workload with node failure
+// domains on top: two scripted outages on node0 close enough together
+// to drive requeued jobs into the retry cap, an outage in the fat
+// partition, a long drain, and a seeded background fault stream.
+func nodeFaultScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc := heteroFaultScenario(t)
+	sc.NodeFaults = "node0:down@2000..2600+node0:down@2700..3400+node4:down@3000..5000+node2:drain@6000..9000"
+	sc.MTBF = 5000
+	sc.MTTR = 800
+	sc.MaxRequeues = 1
+	sc.FaultSeed = 1
+	return sc
+}
+
+// TestSchedReplayNodeFaultGolden replays the heterogeneous trace with
+// node faults injected under all four policies with invariant checking
+// on and compares every job's lifecycle against the committed golden.
+// The non-vacuousness guards insist each policy actually requeued work
+// and that the retry cap was exercised somewhere.
+func TestSchedReplayNodeFaultGolden(t *testing.T) {
+	sc := nodeFaultScenario(t)
+	var got strings.Builder
+	capHits := 0
+	for _, name := range sched.Names() {
+		p, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunSched(sc, p)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if res.Records.Requeues() == 0 {
+			t.Errorf("%s: no job was requeued; the fault golden is vacuous", name)
+		}
+		capHits += res.Records.NodeFailed()
+		rs := append(res.Records.Jobs[:0:0], res.Records.Jobs...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+		for _, j := range rs {
+			fmt.Fprintf(&got, "%s %s %s %s %s %s %s\n", name, j.Name,
+				strconv.FormatFloat(j.Submit, 'g', -1, 64),
+				strconv.FormatFloat(j.Start, 'g', -1, 64),
+				strconv.FormatFloat(j.End, 'g', -1, 64),
+				j.Outcome, j.Partition)
+		}
+		fmt.Fprintf(&got, "%s # requeues=%d node_failed=%d lost_work=%s down_node=%s\n",
+			name, res.Records.Requeues(), res.Records.NodeFailed(),
+			strconv.FormatFloat(res.Records.LostWork(), 'g', -1, 64),
+			strconv.FormatFloat(res.Records.DownNodeSeconds(), 'g', -1, 64))
+	}
+	if capHits == 0 {
+		t.Error("no policy drove a job past the requeue cap; OutcomeNodeFailed is untested")
+	}
+	if os.Getenv("UPDATE_SCHED_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(nodeFaultGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(nodeFaultGoldenPath, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", nodeFaultGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(nodeFaultGoldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() == string(want) {
+		return
+	}
+	gl := strings.Split(got.String(), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("node-fault replay diverged from the golden at line %d:\n  got  %q\n  want %q",
+				i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("node-fault listing length changed: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestNodeFaultStreamMatchesMaterialized: the streaming path installs
+// the same fault plan as the materialized path and must reach the same
+// outcomes, requeue tallies and aggregates.
+func TestNodeFaultStreamMatchesMaterialized(t *testing.T) {
+	gen := SyntheticSWF{
+		Seed: 2, Jobs: 300, MeanInterarrival: 20,
+		Cluster: hwmodel.HeteroMN3(), CancelRate: 0.05, FailRate: 0.05,
+	}
+	base := Scenario{
+		Cluster:    gen.Cluster,
+		NodeFaults: "node1:down@1500..2200+node5:down@2500..4000",
+		MTBF:       4000, MTTR: 700, MaxRequeues: 1, FaultSeed: 2,
+	}
+	for _, name := range sched.Names() {
+		pm, _ := sched.New(name)
+		sc, err := SyntheticSWFScenario(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.NodeFaults, sc.MTBF, sc.MTTR = base.NodeFaults, base.MTBF, base.MTTR
+		sc.MaxRequeues, sc.FaultSeed = base.MaxRequeues, base.FaultSeed
+		mat := RunSched(sc, pm)
+		if mat.Err != nil {
+			t.Fatalf("%s materialized: %v", name, mat.Err)
+		}
+		ps, _ := sched.New(name)
+		str := RunSchedStream(base, gen.Source(), ps)
+		if str.Err != nil {
+			t.Fatalf("%s streamed: %v", name, str.Err)
+		}
+		if mat.Records.Requeues() == 0 {
+			t.Fatalf("%s: no requeues on the faulted trace; the parity check is vacuous", name)
+		}
+		if m, s := mat.Records.Requeues(), str.Records.Requeues(); m != s {
+			t.Errorf("%s: requeues diverge: materialized %d, streamed %d", name, m, s)
+		}
+		if m, s := mat.Records.NodeFailed(), str.Records.NodeFailed(); m != s {
+			t.Errorf("%s: node-failed diverge: materialized %d, streamed %d", name, m, s)
+		}
+		if m, s := mat.Records.DownNodeSeconds(), str.Records.DownNodeSeconds(); m != s {
+			t.Errorf("%s: down node-seconds diverge: materialized %g, streamed %g", name, m, s)
+		}
+		ms := SchedStatsOf(sc, mat)
+		ss := SchedStatsOfStream(str)
+		if ms.Makespan != ss.Makespan || ms.MeanWait != ss.MeanWait || ms.MeanResponse != ss.MeanResponse {
+			t.Errorf("%s: aggregates diverge:\n  materialized %v\n  streamed     %v", name, ms, ss)
+		}
+	}
+}

@@ -74,6 +74,19 @@ type Scenario struct {
 	// durations (0 = deterministic); Seed selects the stream.
 	JitterFrac float64
 	Seed       int64
+	// NodeFaults is a deterministic fault script ("node3:down@100..400"
+	// entries joined with '+' or ';'; see slurm.FaultPlan). MTBF > 0
+	// additionally arms a seeded random per-node failure process with
+	// repair time MTTR; FaultSeed selects its stream. MaxRequeues
+	// bounds how often a fault-killed job is requeued before it is
+	// recorded OutcomeNodeFailed (0 = slurm.DefaultMaxRequeues,
+	// negative = no requeues). All zero values leave the fault model
+	// uninstalled and the run byte-identical to a fault-free one.
+	NodeFaults  string
+	MTBF        float64
+	MTTR        float64
+	MaxRequeues int
+	FaultSeed   int64
 	// DebugInvariants makes the controller cross-check its incremental
 	// free-CPU accounting against a full shared-memory re-scan after
 	// every scheduling cycle (slow; for tests and -check runs).
@@ -174,7 +187,13 @@ func installSched(ctl *slurm.Controller, s Scenario, install func(*slurm.Control
 	ctl.Spillover = s.Spill
 	ctl.SpillAfter = s.SpillAfter
 	ctl.SpillDepth = s.SpillDepth
-	return nil
+	return ctl.InstallFaults(slurm.FaultPlan{
+		Script:      s.NodeFaults,
+		MTBF:        s.MTBF,
+		MTTR:        s.MTTR,
+		MaxRequeues: s.MaxRequeues,
+		Seed:        s.FaultSeed,
+	})
 }
 
 // run is the shared scenario executor; install, when non-nil, puts a
