@@ -1,0 +1,174 @@
+package repro_test
+
+// BenchmarkSchedDWhatIf measures the what-if service: a 10,000-job
+// synthetic replay advanced to its midpoint becomes the live cluster,
+// and a fixed batch of 1000 what-if queries (8 concurrent, over 200
+// upstream candidates) is answered through the HTTP API — each query
+// forking the whole simulation and running the fork to its
+// candidate's predicted start. The prediction aggregates are
+// deterministic (same trace, same fork point, same candidates) and
+// are committed to BENCH_sched.json (section sched_schedd), where
+// cmd/benchdiff checks them exactly — a drift means forking stopped
+// being decision-invisible — and gates p99_ms with the tolerance
+// factor.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/sched"
+	"repro/internal/schedd"
+	"repro/internal/workload"
+)
+
+const (
+	schedDJobs        = 10000
+	schedDQueries     = 1000
+	schedDCandidates  = 200
+	schedDConcurrency = 8
+	schedDPolicy      = "fcfs"
+)
+
+func schedDScenario(b *testing.B) workload.Scenario {
+	b.Helper()
+	sc, err := workload.SyntheticSWFScenario(workload.SyntheticSWF{Seed: 1, Jobs: schedDJobs, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// schedDBatch runs one full query batch and returns the per-query
+// predictions (index order) and latencies.
+func schedDBatch(b *testing.B, url string, names []string) ([]schedd.WhatIf, []time.Duration) {
+	b.Helper()
+	preds := make([]schedd.WhatIf, schedDQueries)
+	lats := make([]time.Duration, schedDQueries)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, schedDConcurrency)
+	client := &http.Client{}
+	for q := 0; q < schedDQueries; q++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(q int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Get(url + "/whatif?job=" + names[q%len(names)])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("whatif %s: status %d", names[q%len(names)], resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&preds[q]); err != nil {
+				b.Error(err)
+				return
+			}
+			lats[q] = time.Since(t0)
+		}(q)
+	}
+	wg.Wait()
+	return preds, lats
+}
+
+func BenchmarkSchedDWhatIf(b *testing.B) {
+	sc := schedDScenario(b)
+
+	// Uninterrupted baseline fixes the midpoint fork instant.
+	basePol, err := sched.New(schedDPolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := workload.RunSched(sc, basePol)
+	if base.Err != nil {
+		b.Fatal(base.Err)
+	}
+	forkAt := 0.5 * base.Records.TotalRunTime()
+
+	// Candidates: the next jobs upstream of the fork point — their
+	// submissions and starts both happen inside the forked lineages.
+	var names []string
+	for i := range sc.Subs {
+		if sc.Subs[i].At > forkAt {
+			names = append(names, sc.Subs[i].Job.Name)
+			if len(names) == schedDCandidates {
+				break
+			}
+		}
+	}
+	if len(names) < schedDCandidates {
+		b.Fatalf("only %d candidates upstream of t=%.0f", len(names), forkAt)
+	}
+
+	var e benchfmt.SchedDEntry
+	for i := 0; i < b.N; i++ {
+		p, err := sched.New(schedDPolicy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := workload.NewSchedSession(sc, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.RunUntil(forkAt)
+		srv := httptest.NewServer(schedd.NewServer(sess, schedDConcurrency).Handler())
+
+		t0 := time.Now()
+		preds, lats := schedDBatch(b, srv.URL, names)
+		wall := time.Since(t0)
+		srv.Close()
+
+		answered := 0
+		var sumStart, sumWait, sumLat float64
+		for q := range preds {
+			if preds[q].Start < 0 {
+				continue
+			}
+			answered++
+			sumStart += preds[q].Start
+			sumWait += preds[q].Wait
+			sumLat += lats[q].Seconds()
+		}
+		sorted := append(lats[:0:0], lats...)
+		sort.Slice(sorted, func(a, c int) bool { return sorted[a] < sorted[c] })
+		e = benchfmt.SchedDEntry{
+			Policy:      schedDPolicy,
+			Jobs:        schedDJobs,
+			Queries:     schedDQueries,
+			Concurrency: schedDConcurrency,
+			Answered:    answered,
+			ForkedAt:    forkAt,
+			MeanStartS:  sumStart / float64(answered),
+			MeanWaitS:   sumWait / float64(answered),
+			WallSeconds: wall.Seconds(),
+			QPS:         float64(schedDQueries) / wall.Seconds(),
+			MeanMs:      sumLat / float64(answered) * 1e3,
+			P50Ms:       sorted[len(sorted)/2].Seconds() * 1e3,
+			P99Ms:       sorted[len(sorted)*99/100].Seconds() * 1e3,
+		}
+		if answered != schedDQueries {
+			b.Fatalf("answered %d of %d what-ifs", answered, schedDQueries)
+		}
+	}
+	b.ReportMetric(e.QPS, "whatifs/s")
+	b.ReportMetric(e.MeanMs, "mean-ms")
+	b.ReportMetric(e.P50Ms, "p50-ms")
+	b.ReportMetric(e.P99Ms, "p99-ms")
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" {
+		updateBenchJSON(b, path, "sched_schedd", map[string]interface{}{
+			"trace":  "synthetic SWF seed=1 jobs=10000 nodes=4, forked at the replay midpoint",
+			"whatif": e,
+		})
+	}
+}

@@ -23,6 +23,13 @@
 // cross-checked against the plain 100k replay of the same document,
 // proving the attached probes did not perturb a single decision.
 //
+// The sched_schedd section (the what-if service benchmark) splits the
+// same way: the prediction aggregates (answered count, mean predicted
+// start/wait at a fixed fork point) are deterministic and diff
+// exactly — a drift means simulation forking stopped being
+// decision-invisible — while the query latency fields fall under the
+// tolerance factor (p99_ms) and the -warn-pct soft gate.
+//
 // Usage:
 //
 //	benchdiff [-tolerance 3.0] [-warn-pct 25] baseline.json candidate.json
@@ -131,6 +138,31 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 		warn(name, "us_per_cycle", b.CycleMicros, c.CycleMicros)
 		warn(name, "wall_seconds", b.WallSeconds, c.WallSeconds)
 	}
+	compareSchedD := func(name string, b, c benchfmt.SchedDEntry) {
+		if c.Jobs != b.Jobs {
+			add("%s: jobs %d, baseline %d", name, c.Jobs, b.Jobs)
+		}
+		if c.Queries != b.Queries {
+			add("%s: queries %d, baseline %d", name, c.Queries, b.Queries)
+		}
+		if c.Answered != b.Answered {
+			add("%s: answered %d, baseline %d (predictions changed)", name, c.Answered, b.Answered)
+		}
+		if c.ForkedAt != b.ForkedAt {
+			add("%s: forked_at %g, baseline %g (fork point moved)", name, c.ForkedAt, b.ForkedAt)
+		}
+		if c.MeanStartS != b.MeanStartS {
+			add("%s: mean_predicted_start_s %g, baseline %g (predictions changed)", name, c.MeanStartS, b.MeanStartS)
+		}
+		if c.MeanWaitS != b.MeanWaitS {
+			add("%s: mean_predicted_wait_s %g, baseline %g (predictions changed)", name, c.MeanWaitS, b.MeanWaitS)
+		}
+		if b.P99Ms > 0 && c.P99Ms > b.P99Ms*tolerance {
+			add("%s: p99_ms %.2f exceeds baseline %.2f x %.1f", name, c.P99Ms, b.P99Ms, tolerance)
+		}
+		warn(name, "mean_ms", b.MeanMs, c.MeanMs)
+		warn(name, "wall_seconds", b.WallSeconds, c.WallSeconds)
+	}
 	// crossCheckObs proves the probes are decision-preserving inside a
 	// single document: the probed replay must reach the same outcomes
 	// as the plain replay of the same trace and policy.
@@ -178,6 +210,9 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 	}
 	if base.Obs != nil && cand.Obs != nil {
 		compareObs("sched_obs/"+base.Obs.Probed.Policy, base.Obs.Probed, cand.Obs.Probed)
+	}
+	if base.SchedD != nil && cand.SchedD != nil {
+		compareSchedD("sched_schedd/"+base.SchedD.WhatIf.Policy, base.SchedD.WhatIf, cand.SchedD.WhatIf)
 	}
 	crossCheckObs("baseline", base)
 	crossCheckObs("candidate", cand)

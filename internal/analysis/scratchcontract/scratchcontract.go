@@ -11,7 +11,10 @@
 //     by value — only pointers travel;
 //  3. constructors (New, NewFor, and friends) return a fresh
 //     instance per call, never a stored one — sharing one instance
-//     across partitions aliases the buffers mid-cycle.
+//     across partitions aliases the buffers mid-cycle;
+//  4. ClonePolicy methods mint cold clones — they never return the
+//     receiver and never read the receiver's scratch field, or the
+//     forked lineage would share (and race on) the parent's buffers.
 //
 // The analyzer triggers only in packages that define a struct type
 // named scratch; everywhere else it is a no-op.
@@ -29,7 +32,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "scratchcontract",
 	Doc: "scratch-carrying policy types must use pointer receivers, never be copied by value, " +
-		"and constructors must return fresh instances",
+		"constructors must return fresh instances, and ClonePolicy must not alias receiver scratch",
 	Run: run,
 }
 
@@ -54,6 +57,7 @@ func run(pass *analysis.Pass) error {
 				if isConstructorName(n.Name.Name) {
 					checkConstructor(pass, carrying, n)
 				}
+				checkClonePolicy(pass, carrying, scratch, n)
 			case *ast.FuncType:
 				checkSignature(pass, f, carrying, n)
 			case *ast.AssignStmt:
@@ -238,6 +242,71 @@ func checkConstructor(pass *analysis.Pass, carrying map[*types.Named]bool, fd *a
 						"constructor %s returns its parameter %s: the caller already owns that instance — allocate a fresh one",
 						fd.Name.Name, e.Name)
 				}
+			}
+		}
+		return true
+	})
+}
+
+// checkClonePolicy enforces the fork contract on scratch carriers: a
+// ClonePolicy method must mint a cold clone. Returning the receiver
+// (or a dereferenced copy of it) shares one scratch between the two
+// lineages; reading the receiver's scratch field copies slice headers
+// whose backing arrays the parent keeps mutating. Warming a freshly
+// allocated clone's own scratch is fine.
+func checkClonePolicy(pass *analysis.Pass, carrying map[*types.Named]bool, scratch *types.Named, fd *ast.FuncDecl) {
+	if fd.Name.Name != "ClonePolicy" || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return
+	}
+	rt := pass.TypeOf(fd.Recv.List[0].Type)
+	if rt == nil {
+		return
+	}
+	if ptr, ok := rt.Underlying().(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	if !isCarrying(carrying, rt) {
+		return
+	}
+	var recv *types.Var
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recv, _ = pass.TypesInfo.Defs[names[0]].(*types.Var)
+	}
+	isRecv := func(e ast.Expr) bool {
+		if recv == nil {
+			return false
+		}
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				return pass.TypesInfo.Uses[x] == recv
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				e := ast.Unparen(res)
+				if star, ok := e.(*ast.StarExpr); ok {
+					e = star.X
+				}
+				if isRecv(e) {
+					pass.Reportf(res.Pos(),
+						"ClonePolicy on %s returns its receiver: both lineages would share one scratch — allocate a fresh instance",
+						typeName(rt))
+				}
+			}
+		case *ast.SelectorExpr:
+			t := pass.TypeOf(n)
+			if t != nil && types.Identical(types.Unalias(t), scratch) && isRecv(n.X) {
+				pass.Reportf(n.Pos(),
+					"ClonePolicy on %s reads the receiver's scratch: the clone would alias the parent's buffers — start the clone cold",
+					typeName(rt))
 			}
 		}
 		return true

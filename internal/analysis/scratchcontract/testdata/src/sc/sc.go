@@ -62,3 +62,42 @@ func NewLocal() *Good {
 	g.sc.buf = make([]int, 0, 8)
 	return g
 }
+
+// Policy is the cloneable-policy interface of the fork contract.
+type Policy interface{ ClonePolicy() Policy }
+
+// CloneGood mints a cold clone: configuration copied, scratch fresh.
+type CloneGood struct {
+	depth int
+	sc    scratch
+}
+
+// ClonePolicy is compliant: warming the clone's OWN scratch is fine.
+func (c *CloneGood) ClonePolicy() Policy {
+	f := &CloneGood{depth: c.depth}
+	f.sc.buf = make([]int, 0, 8)
+	return f
+}
+
+// CloneSelf hands the receiver to the forked lineage.
+type CloneSelf struct{ sc scratch }
+
+func (c *CloneSelf) ClonePolicy() Policy {
+	return c // want `returns its receiver`
+}
+
+// CloneAlias copies the receiver's scratch (slice headers) into the
+// clone.
+type CloneAlias struct{ sc scratch }
+
+func (c *CloneAlias) ClonePolicy() Policy {
+	return &CloneAlias{sc: c.sc} // want `reads the receiver's scratch`
+}
+
+// CloneDeref returns a dereferenced receiver copy.
+type CloneDeref struct{ sc scratch }
+
+func (c *CloneDeref) ClonePolicy() *CloneDeref {
+	d := *c // want `copying`
+	return &d
+}

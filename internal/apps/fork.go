@@ -1,0 +1,93 @@
+package apps
+
+// Fork support for the application layer: a demand table and a running
+// instance can be deep-copied so a forked simulation lineage advances
+// its own executions. Ownership rules:
+//
+//   - the demand ledgers are cloned entry-for-entry, preserving the
+//     entries' insertion order — setUsage swap-deletes, so the order
+//     determines future layouts and must match in both lineages;
+//   - rank placements are copied by value with Sys re-pointed at the
+//     fork's DROM systems and the demand handle re-resolved against
+//     the fork's table;
+//   - the instance's pending engine event is NOT rescheduled: the
+//     fork re-binds the original event ID (sim.Engine.Rebind), so the
+//     (time, ID) execution order is untouched;
+//   - Jitter, tracer and OnComplete do not carry over — forks are
+//     jitter-free by contract and the controller that forks the
+//     instance installs its own completion hook.
+
+import (
+	"repro/internal/core"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+)
+
+// Fork returns a deep copy of the demand table.
+func (d *DemandTable) Fork() *DemandTable {
+	f := &DemandTable{
+		machine: d.machine,
+		nodes:   make(map[string]*nodeDemand, len(d.nodes)),
+	}
+	for name, n := range d.nodes { //simvet:ordered deep copy into a fresh map; per-node entry order is preserved below
+		cp := &nodeDemand{
+			idx:     make(map[shmem.PID]int, len(n.idx)),
+			entries: append([]usage(nil), n.entries...),
+			bwSum:   n.bwSum,
+			threads: n.threads,
+			dirty:   n.dirty,
+			machine: n.machine,
+		}
+		for i, u := range cp.entries {
+			cp.idx[u.pid] = i
+		}
+		f.nodes[name] = cp
+	}
+	return f
+}
+
+// Fork returns a copy of the instance bound to the forked engine,
+// demand table and DROM systems (sysOf resolves a node name to the
+// fork's system). The pending event, if any, is carried as an unbound
+// ID — call RebindPending once the engine fork is open for rebinding.
+func (inst *Instance) Fork(eng *sim.Engine, demand *DemandTable, sysOf func(node string) *core.System) *Instance {
+	cp := &Instance{
+		Spec: inst.Spec, Cfg: inst.Cfg, Iters: inst.Iters, JobName: inst.JobName,
+		eng: eng, demand: demand,
+		FinalizeExternally: inst.FinalizeExternally,
+		itersDone:          inst.itersDone,
+		started:            inst.started,
+		completed:          inst.completed,
+		stopped:            inst.stopped,
+		startTime:          inst.startTime,
+		nextEvent:          inst.nextEvent,
+		haveEvent:          inst.haveEvent,
+		pendFinish:         inst.pendFinish,
+	}
+	cp.iterateFn = cp.iterate
+	cp.finishFn = cp.finish
+	live := inst.started && !inst.stopped && !inst.completed
+	for _, r := range inst.ranks {
+		nr := &rankRun{p: r.p, chunks: r.chunks, mask: r.mask, spans: r.spans}
+		nr.p.Sys = sysOf(r.p.Node)
+		if live {
+			nr.dem = demand.Handle(r.p.Node)
+		}
+		cp.ranks = append(cp.ranks, nr)
+	}
+	return cp
+}
+
+// RebindPending installs the forked instance's pending event closure
+// (iterate or finish, per the recorded kind). A no-op when no event is
+// pending (checkpoint-stopped or completed instances).
+func (inst *Instance) RebindPending() error {
+	if !inst.haveEvent {
+		return nil
+	}
+	fn := inst.iterateFn
+	if inst.pendFinish {
+		fn = inst.finishFn
+	}
+	return inst.eng.Rebind(inst.nextEvent, fn)
+}

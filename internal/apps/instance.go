@@ -59,6 +59,11 @@ type Instance struct {
 	startTime float64
 	nextEvent sim.EventID
 	haveEvent bool
+	// pendFinish records which closure the pending event carries
+	// (finishFn vs iterateFn) — the one piece of schedule state a fork
+	// cannot derive: Resume schedules iterateFn even when itersDone is
+	// already at Iters, so the iteration count alone is ambiguous.
+	pendFinish bool
 }
 
 // rankRun is the live state of one rank.
@@ -151,15 +156,17 @@ func (inst *Instance) Start() error {
 			initDur = d
 		}
 	}
-	inst.schedule(initDur, inst.iterateFn)
+	inst.schedule(initDur, inst.iterateFn, false)
 	return nil
 }
 
-// schedule books the instance's next event, remembering it so Stop can
-// cancel it.
-func (inst *Instance) schedule(delay float64, fn func()) {
+// schedule books the instance's next event, remembering it (and which
+// of the two pre-bound closures it carries) so Stop can cancel it and
+// Fork can re-bind it.
+func (inst *Instance) schedule(delay float64, fn func(), finish bool) {
 	inst.nextEvent = inst.eng.After(delay, fn)
 	inst.haveEvent = true
+	inst.pendFinish = finish
 }
 
 // Stop checkpoints the instance: the pending event is cancelled, the
@@ -214,7 +221,7 @@ func (inst *Instance) Resume(placements []Placement, restartCost float64) error 
 	if restartCost < 0 {
 		restartCost = 0
 	}
-	inst.schedule(restartCost, inst.iterateFn)
+	inst.schedule(restartCost, inst.iterateFn, false)
 	return nil
 }
 
@@ -275,10 +282,10 @@ func (inst *Instance) iterate() {
 	}
 	inst.itersDone++
 	if inst.itersDone >= inst.Iters {
-		inst.schedule(iterDur, inst.finishFn)
+		inst.schedule(iterDur, inst.finishFn, true)
 		return
 	}
-	inst.schedule(iterDur, inst.iterateFn)
+	inst.schedule(iterDur, inst.iterateFn, false)
 }
 
 // recordTrace emits per-thread segments for the current iteration.

@@ -66,6 +66,30 @@ type ObsEntry struct {
 	SchedP99Us   float64 `json:"sched_p99_us"`
 }
 
+// SchedDEntry is the what-if service measurement: a fixed batch of
+// concurrent what-if queries answered by forking one live mid-replay
+// session per query. The prediction aggregates (answered count, mean
+// predicted start/wait) are deterministic — same trace, same fork
+// point, same candidates — and cmd/benchdiff checks them exactly; a
+// drift means forking stopped being decision-invisible. The latency
+// fields are machine-dependent: p99_ms falls under the tolerance
+// factor, mean_ms/wall_seconds under the -warn-pct soft gate.
+type SchedDEntry struct {
+	Policy      string  `json:"policy"`
+	Jobs        int     `json:"jobs"`
+	Queries     int     `json:"queries"`
+	Concurrency int     `json:"concurrency"`
+	Answered    int     `json:"answered"`
+	ForkedAt    float64 `json:"forked_at"`
+	MeanStartS  float64 `json:"mean_predicted_start_s"`
+	MeanWaitS   float64 `json:"mean_predicted_wait_s"`
+	WallSeconds float64 `json:"wall_seconds"`
+	QPS         float64 `json:"queries_per_s"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
 // Doc is the top-level shape of BENCH_sched.json (sections are
 // read-modify-written independently by the benchmarks).
 type Doc struct {
@@ -98,4 +122,9 @@ type Doc struct {
 		Trace  string   `json:"trace"`
 		Probed ObsEntry `json:"probed"`
 	} `json:"sched_obs"`
+	// SchedD is the what-if service benchmark (see SchedDEntry).
+	SchedD *struct {
+		Trace  string      `json:"trace"`
+		WhatIf SchedDEntry `json:"whatif"`
+	} `json:"sched_schedd"`
 }

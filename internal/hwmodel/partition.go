@@ -12,6 +12,7 @@ package hwmodel
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -252,7 +253,10 @@ func parseShape(s string) (Machine, error) {
 	m := Machine{FreqGHz: defaultFreqGHz, MemBWGBs: defaultMemBWGBs, MemGB: defaultMemGB}
 	if bw, rest, ok := cutLast(s, "/"); ok {
 		v, err := strconv.ParseFloat(bw, 64)
-		if err != nil || v <= 0 {
+		// ParseFloat accepts "nan" and "inf" spellings without error, so
+		// the positivity check alone does not keep them out (NaN fails
+		// every comparison).
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 			return Machine{}, fmt.Errorf("bad bandwidth %q", bw)
 		}
 		m.MemBWGBs = v
@@ -260,7 +264,7 @@ func parseShape(s string) (Machine, error) {
 	}
 	if ghz, rest, ok := cutLast(s, "@"); ok {
 		v, err := strconv.ParseFloat(ghz, 64)
-		if err != nil || v <= 0 {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 			return Machine{}, fmt.Errorf("bad clock %q", ghz)
 		}
 		m.FreqGHz = v

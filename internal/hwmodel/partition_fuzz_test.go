@@ -1,0 +1,71 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseCluster: the cluster-spec grammar must never panic, every
+// accepted spec must validate and carry finite positive machine
+// parameters, and rendering must be a fixed point — the String() of a
+// parsed spec re-parses to a spec that renders identically.
+//
+// The seed corpus covers every grammar branch (presets, custom shapes,
+// optional clock/bandwidth, multi-partition) plus the rejections the
+// fuzzer found interesting historically (NaN/Inf spellings, empty
+// fields, missing separators). Plain `go test` replays the corpus;
+// `go test -fuzz=FuzzParseCluster` explores from it.
+func FuzzParseCluster(f *testing.F) {
+	for _, seed := range []string{
+		"hetero",
+		"batch:4xmn3",
+		"batch:4xmn3,fat:2xfat",
+		"small:8x2s4c",
+		"big:2x4s8c@2.1/80",
+		"a:1x1s1c@0.5",
+		"a:1x1s1c/120",
+		"a:3x2s8c,b:1x4s4c@3.0/90,c:2xmn3",
+		"a:1x1s1c@nan",
+		"a:1x1s1c/inf",
+		"a:0xmn3",
+		":4xmn3",
+		"batch4xmn3",
+		"batch:xmn3",
+		"batch:4x",
+		"a:1x1s0c",
+		"a:1x-1s1c",
+		",,,",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseCluster(spec)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", spec, verr)
+		}
+		for _, p := range c.Partitions {
+			m := p.Machine
+			if p.Nodes <= 0 || m.SocketsPerNode <= 0 || m.CoresPerSocket <= 0 {
+				t.Fatalf("accepted spec %q yields non-positive shape: %+v", spec, p)
+			}
+			for _, v := range []float64{m.FreqGHz, m.MemBWGBs} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Fatalf("accepted spec %q yields non-finite machine parameter %g: %+v", spec, v, m)
+				}
+			}
+		}
+		// Render → parse → render must be a fixed point.
+		s1 := c.String()
+		c2, err := ParseCluster(s1)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted spec %q does not re-parse: %v", s1, spec, err)
+		}
+		if s2 := c2.String(); s2 != s1 {
+			t.Fatalf("rendering is not a fixed point: %q -> %q -> %q", spec, s1, s2)
+		}
+	})
+}

@@ -161,6 +161,23 @@ type partAgg struct {
 	sumWait, sumResp             float64
 }
 
+// Clone returns a deep copy of the workload: the retained records,
+// the running aggregates and every per-partition tally bucket. A
+// forked simulation lineage records into its clone without the
+// original seeing a single count.
+func (w *Workload) Clone() *Workload {
+	cp := *w
+	cp.Jobs = append([]JobRecord(nil), w.Jobs...)
+	if w.perPart != nil {
+		cp.perPart = make(map[string]*partAgg, len(w.perPart))
+		for name, pa := range w.perPart { //simvet:ordered deep copy into a fresh map; no order-dependent output
+			v := *pa
+			cp.perPart[name] = &v
+		}
+	}
+	return &cp
+}
+
 // SetAggregate switches the workload to streaming aggregation. It
 // must be called before the first Add.
 func (w *Workload) SetAggregate() {

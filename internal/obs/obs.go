@@ -62,6 +62,10 @@ const (
 	// the queue under, Target the requeue attempt number (1-based),
 	// Placement the failed node.
 	KindRequeue
+	// KindFork: a simulation lineage was forked at Time (snapshot /
+	// what-if service). Queue/Running are the counts carried into the
+	// fork; Job names the what-if candidate when one drove the fork.
+	KindFork
 )
 
 var kindNames = [...]string{
@@ -77,6 +81,7 @@ var kindNames = [...]string{
 	KindNodeDown:   "node-down",
 	KindNodeUp:     "node-up",
 	KindRequeue:    "requeue",
+	KindFork:       "fork",
 }
 
 func (k Kind) String() string {

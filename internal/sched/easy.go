@@ -14,6 +14,10 @@ type EASY struct{ sc scratch }
 // Name implements Policy.
 func (*EASY) Name() string { return "easy" }
 
+// ClonePolicy implements Policy: EASY keeps no state beyond per-cycle
+// scratch, so a clone is simply a fresh instance.
+func (*EASY) ClonePolicy() Policy { return &EASY{} }
+
 // Schedule implements Policy.
 //
 //simvet:hotpath

@@ -8,6 +8,10 @@ type FCFS struct{ sc scratch }
 // Name implements Policy.
 func (*FCFS) Name() string { return "fcfs" }
 
+// ClonePolicy implements Policy: FCFS keeps no state beyond per-cycle
+// scratch, so a clone is simply a fresh instance.
+func (*FCFS) ClonePolicy() Policy { return &FCFS{} }
+
 // Schedule starts queued jobs in order until one does not fit; nothing
 // behind the blocked head may run.
 //

@@ -44,6 +44,11 @@ func (m *Malleable) Name() string {
 	return "malleable-shrink"
 }
 
+// ClonePolicy implements Policy: Expand is the only configuration;
+// everything else is per-cycle working state rebuilt at the top of
+// each Schedule, so the clone starts cold and plans identically.
+func (m *Malleable) ClonePolicy() Policy { return &Malleable{Expand: m.Expand} }
+
 // Schedule implements Policy.
 //
 //simvet:hotpath

@@ -183,6 +183,14 @@ func (a Action) String() string {
 type Policy interface {
 	Name() string
 	Schedule(s *State) []Action
+	// ClonePolicy returns a fresh instance of the same policy with the
+	// same configuration and cold, instance-private scratch buffers —
+	// nothing the clone's Schedule touches may alias the original's
+	// state. Forked simulation lineages clone every partition's policy
+	// so both lineages plan independently yet identically: all decision
+	// inputs must live in State or in cloned configuration, never in
+	// scratch carried across cycles.
+	ClonePolicy() Policy
 }
 
 // New returns a policy by name. Accepted names: "fcfs", "easy",

@@ -1,0 +1,56 @@
+package shmem
+
+// Fork support: a registry (and every segment under it) can be deep-
+// copied so a speculative simulation lineage mutates its own shared-
+// memory state. Ownership rules:
+//
+//   - process entries and the per-CPU ownership table are cloned —
+//     both lineages stage futures, steal CPUs and unregister
+//     independently;
+//   - watcher channels and the condition variable are NOT carried
+//     over: a fork starts with no synchronous waiters (the async DROM
+//     protocol the simulations use never blocks on them);
+//   - the PID allocator's counter is copied, so both lineages assign
+//     identical PIDs to identical logical launches after the fork —
+//     a precondition for byte-identical decision traces.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fork returns a deep copy of the segment with no watchers.
+func (s *Segment) fork() *Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := &Segment{
+		name:       s.name,
+		nodeCPUs:   s.nodeCPUs,
+		maxProcs:   s.maxProcs,
+		procs:      make(map[PID]*ProcEntry, len(s.procs)),
+		cpus:       append([]cpuState(nil), s.cpus...),
+		watchers:   make(map[PID][]chan struct{}),
+		generation: s.generation,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for pid, e := range s.procs { //simvet:ordered deep copy into a fresh map; no order-dependent output
+		f.procs[pid] = e.clone()
+	}
+	return f
+}
+
+// Fork returns a deep copy of the registry: every segment cloned, the
+// PID allocator's position preserved. The fork shares nothing mutable
+// with the original.
+func (r *Registry) Fork() *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := &Registry{
+		segments: make(map[string]*Segment, len(r.segments)),
+		nextPID:  atomic.LoadInt64(&r.nextPID),
+	}
+	for name, s := range r.segments { //simvet:ordered deep copy into a fresh map; no order-dependent output
+		f.segments[name] = s.fork()
+	}
+	return f
+}

@@ -61,6 +61,10 @@ type Engine struct {
 	// per event.
 	probeFn    func(now float64, processed int64)
 	probeEvery int64
+
+	// rebind maps event ID → queue index during a Fork/FinishFork
+	// window (nil otherwise); see fork.go.
+	rebind map[int64]int
 }
 
 // NewEngine returns an engine at time 0.

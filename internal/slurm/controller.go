@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/sim"
 )
 
 // DefaultLaunchLatency models srun + slurmstepd startup.
@@ -231,6 +232,22 @@ type Controller struct {
 	nfRand       *rand.Rand
 	nfLimbo      int // requeued jobs waiting out their backoff
 
+	// Fork-support state (fork.go). pend describes every controller-
+	// owned pending engine event (launch completion, fault-script
+	// timer, repair, seeded failure, requeue arrival) so Fork can
+	// re-bind each event ID to a closure over the forked state;
+	// entries are dropped as the events fire, bounding the map by the
+	// in-flight event count. cycleEv is the single coalesced-cycle
+	// event, meaningful only while cyclePending (at most one runCycle
+	// event is ever outstanding, so it needs no map entry). nfWins
+	// retains the parsed fault script and nfDraws counts fault-RNG
+	// draws so a fork can rebuild the window schedule and fast-forward
+	// a fresh RNG to the identical stream position.
+	pend    map[sim.EventID]pendEv
+	cycleEv sim.EventID
+	nfWins  []faultWindow
+	nfDraws int64
+
 	// Cycles counts executed scheduling-policy passes (perf metric).
 	Cycles int64
 
@@ -301,6 +318,7 @@ func NewController(c *Cluster, policy Policy) *Controller {
 		nodeFreeOK:     make([]bool, len(c.Nodes)),
 		qBySeq:         make(map[int]*queuedJob),
 		rBySeq:         make(map[int]*runningJob),
+		pend:           make(map[sim.EventID]pendEv),
 		lastCycleAt:    -1,
 		rearmedAt:      -1,
 	}
@@ -417,12 +435,12 @@ func (ctl *Controller) kick() {
 	if now < ctl.drainUntil {
 		// A checkpoint drain is in progress: hold the pass until it ends.
 		ctl.cyclePending = true
-		ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
+		ctl.cycleEv = ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
 		return
 	}
 	if ctl.lastCycleAt == now {
 		ctl.cyclePending = true
-		ctl.cluster.Engine.At(now, ctl.runCycle)
+		ctl.cycleEv = ctl.cluster.Engine.At(now, ctl.runCycle)
 		return
 	}
 	ctl.lastCycleAt = now
@@ -436,7 +454,7 @@ func (ctl *Controller) runCycle() {
 	now := ctl.cluster.Engine.Now()
 	if now < ctl.drainUntil {
 		ctl.cyclePending = true
-		ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
+		ctl.cycleEv = ctl.cluster.Engine.At(ctl.drainUntil, ctl.runCycle)
 		return
 	}
 	ctl.lastCycleAt = now
@@ -744,6 +762,9 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 		inst := r.inst
 		seq := r.seq
 		pls := append([]apps.Placement(nil), placements...)
+		// Untracked on purpose: resumptions only exist under the builtin
+		// PolicyPreempt path, where Fork is refused outright, so this
+		// event never needs a re-bind descriptor.
 		ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
 			if ctl.rBySeq[seq] != r {
 				// A node failure killed the job inside the latency
@@ -775,7 +796,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	ctl.rBySeq[r.seq] = r
 
 	// srun/slurmstepd latency, then the task starts (DLB_Init).
-	ctl.cluster.Engine.After(ctl.LaunchLatency, func() {
+	ctl.trackAfter(ctl.LaunchLatency, pendEv{kind: evStart, seq: r.seq}, func() {
 		if err := inst.Start(); err != nil {
 			ctl.fail(err)
 		}
@@ -788,7 +809,7 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 	// re-armed across a checkpoint restart.)
 	if j.FailAfter > 0 {
 		seq := r.seq
-		ctl.cluster.Engine.After(ctl.LaunchLatency+j.FailAfter, func() {
+		ctl.trackAfter(ctl.LaunchLatency+j.FailAfter, pendEv{kind: evInterrupt, seq: seq}, func() {
 			ctl.interruptRunning(seq)
 		})
 	}

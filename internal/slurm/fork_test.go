@@ -1,0 +1,269 @@
+package slurm_test
+
+// Fork/replay differential suite: forking a live simulation must be
+// decision-invisible. For every committed golden trace the remaining
+// decision trace of a forked lineage must be byte-identical to the
+// uninterrupted replay, the parent must be unperturbed by the act of
+// forking, and a mutation injected into a fork must never leak back.
+//
+// The suite drives the exact scenarios behind the four goldens
+// (internal/workload/testdata/sched_starts_*.golden) through
+// workload.Session, forking each at five virtual times spread over
+// the trace.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hwmodel"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/slurm"
+	"repro/internal/workload"
+)
+
+// forkCase is one golden trace with the policy (or policy set) that
+// replays it.
+type forkCase struct {
+	name   string
+	spec   string // sched.ParsePolicySet grammar
+	make   func(t *testing.T) workload.Scenario
+	faults bool // expect requeue tallies in the rendering
+}
+
+// goldenForkCases mirrors the four committed golden traces: the
+// single-partition 1000-job trace, the heterogeneous fault trace, the
+// same with spillover, and the node-fault variant. One policy each
+// (varied across cases so all four policies fork somewhere).
+func goldenForkCases() []forkCase {
+	hetero := func(t *testing.T) workload.Scenario {
+		sc, err := workload.SyntheticSWFScenario(workload.SyntheticSWF{
+			Seed: 1, Jobs: 600, MeanInterarrival: 20,
+			Cluster:    hwmodel.HeteroMN3(),
+			CancelRate: 0.06, FailRate: 0.06,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.DebugInvariants = true
+		return sc
+	}
+	return []forkCase{
+		{
+			name: "single-partition", spec: "malleable-expand",
+			make: func(t *testing.T) workload.Scenario {
+				sc, err := workload.SyntheticSWFScenario(workload.SyntheticSWF{Seed: 1, Jobs: 1000, Nodes: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.DebugInvariants = true
+				return sc
+			},
+		},
+		{name: "hetero-faults", spec: "easy", make: hetero},
+		{
+			name: "spillover", spec: "batch=easy,fat=malleable-shrink",
+			make: func(t *testing.T) workload.Scenario {
+				sc := hetero(t)
+				sc.Spill = true
+				return sc
+			},
+		},
+		{
+			name: "nodefault", spec: "malleable-shrink", faults: true,
+			make: func(t *testing.T) workload.Scenario {
+				sc := hetero(t)
+				sc.NodeFaults = "node0:down@2000..2600+node0:down@2700..3400+node4:down@3000..5000+node2:drain@6000..9000"
+				sc.MTBF = 5000
+				sc.MTTR = 800
+				sc.MaxRequeues = 1
+				sc.FaultSeed = 1
+				return sc
+			},
+		},
+	}
+}
+
+// openSession opens the case's scenario under its policy set.
+func openSession(t *testing.T, c forkCase, sc workload.Scenario) *workload.Session {
+	t.Helper()
+	ps, err := sched.ParsePolicySet(c.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := workload.NewSchedSetSession(sc, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// renderDecisions is the differential fingerprint: every job's full
+// lifecycle plus the fault tallies, in the goldens' number format.
+func renderDecisions(w metrics.Workload, faults bool) string {
+	rs := append(w.Jobs[:0:0], w.Jobs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	var sb strings.Builder
+	for _, j := range rs {
+		origin := j.Origin
+		if origin == "" {
+			origin = "-"
+		}
+		fmt.Fprintf(&sb, "%s %s %s %s %s %s %s\n", j.Name,
+			strconv.FormatFloat(j.Submit, 'g', -1, 64),
+			strconv.FormatFloat(j.Start, 'g', -1, 64),
+			strconv.FormatFloat(j.End, 'g', -1, 64),
+			j.Outcome, j.Partition, origin)
+	}
+	if faults {
+		fmt.Fprintf(&sb, "# requeues=%d node_failed=%d lost_work=%s down_node=%s\n",
+			w.Requeues(), w.NodeFailed(),
+			strconv.FormatFloat(w.LostWork(), 'g', -1, 64),
+			strconv.FormatFloat(w.DownNodeSeconds(), 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// forkTimes spreads five fork instants over the uninterrupted replay's
+// makespan.
+func forkTimes(makespan float64) []float64 {
+	fr := []float64{0.05, 0.25, 0.45, 0.65, 0.85}
+	out := make([]float64, len(fr))
+	for i, f := range fr {
+		out[i] = f * makespan
+	}
+	return out
+}
+
+// firstDiff fails the test at the first divergent line of two decision
+// renderings.
+func firstDiff(t *testing.T, label, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s: decisions diverged at line %d:\n  got  %q\n  want %q", label, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s: decision listing length changed: got %d lines, want %d", label, len(gl), len(wl))
+}
+
+// TestForkReplayDifferential forks every golden trace at five virtual
+// times; the fork and the forked-from parent must both finish with
+// the uninterrupted replay's exact decision trace.
+func TestForkReplayDifferential(t *testing.T) {
+	for _, c := range goldenForkCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sc := c.make(t)
+			base := openSession(t, c, sc).Run()
+			if base.Err != nil {
+				t.Fatal(base.Err)
+			}
+			want := renderDecisions(base.Records, c.faults)
+			makespan := base.Records.TotalRunTime()
+			if makespan <= 0 {
+				t.Fatal("empty baseline replay; the differential is vacuous")
+			}
+			for _, at := range forkTimes(makespan) {
+				sess := openSession(t, c, sc)
+				sess.RunUntil(at)
+				fork, err := sess.Fork()
+				if err != nil {
+					t.Fatalf("fork at t=%.1f: %v", at, err)
+				}
+				fres := fork.Run()
+				if fres.Err != nil {
+					t.Fatalf("fork at t=%.1f: %v", at, fres.Err)
+				}
+				firstDiff(t, fmt.Sprintf("fork at t=%.1f", at), renderDecisions(fres.Records, c.faults), want)
+				pres := sess.Run()
+				if pres.Err != nil {
+					t.Fatalf("parent after fork at t=%.1f: %v", at, pres.Err)
+				}
+				firstDiff(t, fmt.Sprintf("parent after fork at t=%.1f", at), renderDecisions(pres.Records, c.faults), want)
+				if fres.Events != pres.Events {
+					t.Errorf("fork at t=%.1f: event counts diverged: fork %d, parent %d", at, fres.Events, pres.Events)
+				}
+			}
+		})
+	}
+}
+
+// TestForkMutationIsolation injects a submission into a fork: the
+// fork's decision trace must change, the parent's must not.
+func TestForkMutationIsolation(t *testing.T) {
+	cases := goldenForkCases()
+	c := cases[1] // hetero-faults: contended, two partitions
+	sc := c.make(t)
+	base := openSession(t, c, sc).Run()
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	want := renderDecisions(base.Records, c.faults)
+	at := 0.4 * base.Records.TotalRunTime()
+
+	sess := openSession(t, c, sc)
+	sess.RunUntil(at)
+	fork, err := sess.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone an existing job into the fork under a fresh name: its spec
+	// and shape are known-valid for the cluster.
+	intruder := sc.Subs[0].Job
+	intruder.Name = "intruder-from-the-fork"
+	if err := fork.Controller().Submit(&intruder); err != nil {
+		t.Fatal(err)
+	}
+	fres := fork.Run()
+	if fres.Err != nil {
+		t.Fatal(fres.Err)
+	}
+	if got := len(fres.Records.Jobs); got != len(sc.Subs)+1 {
+		t.Errorf("fork recorded %d jobs, want %d (injected submission lost)", got, len(sc.Subs)+1)
+	}
+	if renderDecisions(fres.Records, c.faults) == want {
+		t.Error("fork's decisions unchanged despite the injected submission")
+	}
+	pres := sess.Run()
+	if pres.Err != nil {
+		t.Fatal(pres.Err)
+	}
+	firstDiff(t, "parent after mutated fork", renderDecisions(pres.Records, c.faults), want)
+}
+
+// TestForkRefusals: fork must refuse states it cannot clone
+// faithfully rather than fork wrong.
+func TestForkRefusals(t *testing.T) {
+	// Builtin-mode controller: no sched policy installed.
+	sc, err := workload.SyntheticSWFScenario(workload.SyntheticSWF{Seed: 5, Jobs: 10, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := workload.NewSession(sc, slurm.PolicyDROM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Fork(); err == nil {
+		t.Error("Fork of a builtin-mode controller succeeded; want refusal")
+	}
+	// Jittered cluster: the RNG stream cannot be split.
+	jsc := sc
+	jsc.JitterFrac = 0.03
+	jsc.Seed = 1
+	jsess, err := workload.NewSchedSession(jsc, &sched.FCFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jsess.Fork(); err == nil {
+		t.Error("Fork of a jittered cluster succeeded; want refusal")
+	}
+}

@@ -174,6 +174,7 @@ func (ctl *Controller) InstallFaults(fp FaultPlan) error {
 		ctl.nfRand = rand.New(rand.NewSource(fp.Seed))
 		ctl.nfArmed = make([]bool, n)
 	}
+	ctl.nfWins = wins
 	if len(wins) > 0 {
 		// Schedule the windows from a t=0 event rather than here: the
 		// materialized replay pre-allocates its submission event IDs
@@ -182,18 +183,28 @@ func (ctl *Controller) InstallFaults(fp FaultPlan) error {
 		// streaming replay (AtFront submissions) fires it after. Deferred
 		// IDs are allocated during the run, past every pre-allocated
 		// submission, so both paths agree: submissions first on a tie.
-		ctl.cluster.Engine.At(0, func() {
-			for _, w := range wins {
-				w := w
-				if w.drain {
-					ctl.cluster.Engine.At(w.from, func() { ctl.nodeDrain(w.node, w.to) })
-				} else {
-					ctl.cluster.Engine.At(w.from, func() { ctl.nodeDown(w.node, w.to) })
-				}
-			}
-		})
+		ctl.trackAt(0, pendEv{kind: evFaultScript}, ctl.scheduleFaultWindows)
 	}
 	return nil
+}
+
+// scheduleFaultWindows arms the parsed script's down/drain window
+// events; runs from the t=0 deferral event of InstallFaults, or from
+// its re-bound equivalent when a fork happens before the deferral
+// fires.
+//
+//simvet:coldpath once per run, gated on a fault script
+func (ctl *Controller) scheduleFaultWindows() {
+	for _, w := range ctl.nfWins {
+		w := w
+		if w.drain {
+			ctl.trackAt(w.from, pendEv{kind: evWinDrain, node: w.node, until: w.to},
+				func() { ctl.nodeDrain(w.node, w.to) })
+		} else {
+			ctl.trackAt(w.from, pendEv{kind: evWinDown, node: w.node, until: w.to},
+				func() { ctl.nodeDown(w.node, w.to) })
+		}
+	}
 }
 
 // FaultsEnabled reports whether a fault plan is installed.
@@ -217,10 +228,18 @@ func (ctl *Controller) faultIdle() bool {
 	return len(ctl.queue) == 0 && len(ctl.running) == 0 && ctl.nfLimbo == 0
 }
 
+// nfFloat64 draws from the fault RNG, counting the draw so a fork can
+// fast-forward a fresh RNG to the identical stream position. Every
+// consumer of ctl.nfRand must go through here.
+func (ctl *Controller) nfFloat64() float64 {
+	ctl.nfDraws++
+	return ctl.nfRand.Float64()
+}
+
 // expDraw draws an exponential variate with the given mean from the
 // fault RNG.
 func (ctl *Controller) expDraw(mean float64) float64 {
-	return -mean * math.Log(1-ctl.nfRand.Float64())
+	return -mean * math.Log(1-ctl.nfFloat64())
 }
 
 // armSeededFaults arms one pending seeded failure per up node; called
@@ -244,7 +263,8 @@ func (ctl *Controller) armSeededFault(i int) {
 		return
 	}
 	ctl.nfArmed[i] = true
-	ctl.cluster.Engine.After(ctl.expDraw(ctl.nfPlan.MTBF), func() { ctl.seededFault(i) })
+	ctl.trackAfter(ctl.expDraw(ctl.nfPlan.MTBF), pendEv{kind: evSeeded, node: i},
+		func() { ctl.seededFault(i) })
 }
 
 // seededFault is one armed MTBF failure firing. The repair time is
@@ -273,7 +293,7 @@ func (ctl *Controller) nodeDown(i int, until float64) {
 	if ctl.nfState[i] == hwmodel.NodeDown {
 		if until > ctl.nfDownUntil[i] {
 			ctl.nfDownUntil[i] = until
-			ctl.cluster.Engine.At(until, func() { ctl.nodeRepair(i) })
+			ctl.trackAt(until, pendEv{kind: evRepair, node: i}, func() { ctl.nodeRepair(i) })
 		}
 		return
 	}
@@ -291,7 +311,7 @@ func (ctl *Controller) nodeDown(i int, until float64) {
 	}
 	ctl.logf(node, "node_down", "node failed until t=%.1f", until)
 	ctl.killResidents(node)
-	ctl.cluster.Engine.At(until, func() { ctl.nodeRepair(i) })
+	ctl.trackAt(until, pendEv{kind: evRepair, node: i}, func() { ctl.nodeRepair(i) })
 	ctl.trySchedule()
 }
 
@@ -337,7 +357,7 @@ func (ctl *Controller) nodeDrain(i int, until float64) {
 	if ctl.nfState[i] != hwmodel.NodeUp {
 		if ctl.nfState[i] == hwmodel.NodeDraining && until > ctl.nfDrainUntil[i] {
 			ctl.nfDrainUntil[i] = until
-			ctl.cluster.Engine.At(until, func() { ctl.drainEnd(i) })
+			ctl.trackAt(until, pendEv{kind: evDrainEnd, node: i}, func() { ctl.drainEnd(i) })
 		}
 		return
 	}
@@ -353,7 +373,7 @@ func (ctl *Controller) nodeDrain(i int, until float64) {
 		})
 	}
 	ctl.logf(node, "node_drain", "node draining until t=%.1f", until)
-	ctl.cluster.Engine.At(until, func() { ctl.drainEnd(i) })
+	ctl.trackAt(until, pendEv{kind: evDrainEnd, node: i}, func() { ctl.drainEnd(i) })
 }
 
 // drainEnd returns a drained node to service (no-op when a failure
@@ -444,19 +464,28 @@ func (ctl *Controller) requeueAfterBackoff(v *runningJob, node string, attempt i
 		v.job.Name, attempt, ctl.nfPlan.maxRequeues(), delay)
 	ctl.nfLimbo++
 	job, submit, home := v.job, v.submit, v.homePidx
-	ctl.cluster.Engine.After(delay, func() {
-		ctl.nfLimbo--
-		ctl.enqueue(&queuedJob{job: job, submit: submit, seq: seq, pidx: home, homePidx: home, requeues: attempt})
-		if ctl.Probe != nil {
-			ctl.Probe.Emit(obs.Event{
-				Kind: obs.KindSubmit, Time: ctl.cluster.Engine.Now(),
-				Job: job.Name, Seq: seq,
-				Partition: ctl.cluster.Spec.Partitions[home].Name,
-				Priority:  job.Priority, Nodes: job.Nodes, CPUs: job.CPUsPerNode(),
-			})
-		}
-		ctl.trySchedule()
-	})
+	ctl.trackAfter(delay, pendEv{kind: evRequeue, job: job, submit: submit, seq: seq, home: home, attempt: attempt},
+		func() { ctl.requeueArrive(job, submit, seq, home, attempt) })
+}
+
+// requeueArrive is the deferred half of requeueAfterBackoff: the
+// backoff elapsed and the job re-enters its home partition's queue
+// under the fresh seq. Also the re-bind target when a fork happens
+// inside the backoff window.
+//
+//simvet:coldpath per node-down event
+func (ctl *Controller) requeueArrive(job *Job, submit float64, seq, home, attempt int) {
+	ctl.nfLimbo--
+	ctl.enqueue(&queuedJob{job: job, submit: submit, seq: seq, pidx: home, homePidx: home, requeues: attempt})
+	if ctl.Probe != nil {
+		ctl.Probe.Emit(obs.Event{
+			Kind: obs.KindSubmit, Time: ctl.cluster.Engine.Now(),
+			Job: job.Name, Seq: seq,
+			Partition: ctl.cluster.Spec.Partitions[home].Name,
+			Priority:  job.Priority, Nodes: job.Nodes, CPUs: job.CPUsPerNode(),
+		})
+	}
+	ctl.trySchedule()
 }
 
 // requeueBackoff returns attempt k's wait: base·2^(k-1), jittered
@@ -465,7 +494,7 @@ func (ctl *Controller) requeueAfterBackoff(v *runningJob, node string, attempt i
 func (ctl *Controller) requeueBackoff(attempt int) float64 {
 	d := ctl.nfPlan.BackoffBase * math.Pow(2, float64(attempt-1))
 	if ctl.nfRand != nil {
-		d *= 0.5 + ctl.nfRand.Float64()
+		d *= 0.5 + ctl.nfFloat64()
 	}
 	return d
 }

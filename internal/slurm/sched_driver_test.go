@@ -240,6 +240,8 @@ type rearmStubPolicy struct{}
 
 func (rearmStubPolicy) Name() string { return "rearm-stub" }
 
+func (p rearmStubPolicy) ClonePolicy() sched.Policy { return p }
+
 func (rearmStubPolicy) Schedule(s *sched.State) []sched.Action {
 	if len(s.Queue) == 0 {
 		return nil
@@ -298,6 +300,8 @@ type unsatisfiableStubPolicy struct{ cycles *int }
 
 func (unsatisfiableStubPolicy) Name() string { return "unsatisfiable-stub" }
 
+func (p unsatisfiableStubPolicy) ClonePolicy() sched.Policy { return p }
+
 func (p unsatisfiableStubPolicy) Schedule(s *sched.State) []sched.Action {
 	*p.cycles++
 	if len(s.Queue) == 0 {
@@ -334,6 +338,8 @@ func TestRearmBoundedPerTimestamp(t *testing.T) {
 type dupNodesStubPolicy struct{}
 
 func (dupNodesStubPolicy) Name() string { return "dup-nodes-stub" }
+
+func (p dupNodesStubPolicy) ClonePolicy() sched.Policy { return p }
 
 func (dupNodesStubPolicy) Schedule(s *sched.State) []sched.Action {
 	if len(s.Queue) == 0 {

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -120,8 +121,8 @@ func ParseGrid(spec string) (Grid, error) {
 			g.FailRate = x
 		case "ia", "interarrival":
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return Grid{}, fmt.Errorf("sweep: ia: %v", err)
+			if err != nil || x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return Grid{}, fmt.Errorf("sweep: ia: bad mean %q", v)
 			}
 			g.MeanInterarrival = x
 		case "swf":
@@ -136,7 +137,7 @@ func ParseGrid(spec string) (Grid, error) {
 			g.Spill = v == "1" || v == "true"
 		case "spillafter":
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil || x < 0 {
+			if err != nil || x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
 				return Grid{}, fmt.Errorf("sweep: spillafter: bad threshold %q", v)
 			}
 			g.SpillAfter = x
@@ -150,13 +151,13 @@ func ParseGrid(spec string) (Grid, error) {
 			g.NodeFaults = v
 		case "mtbf":
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil || x < 0 {
+			if err != nil || x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
 				return Grid{}, fmt.Errorf("sweep: mtbf: bad mean %q", v)
 			}
 			g.MTBF = x
 		case "mttr":
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil || x < 0 {
+			if err != nil || x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
 				return Grid{}, fmt.Errorf("sweep: mttr: bad mean %q", v)
 			}
 			g.MTTR = x
@@ -177,13 +178,15 @@ func ParseGrid(spec string) (Grid, error) {
 	return g, nil
 }
 
-// parseRate parses a probability in [0, 1].
+// parseRate parses a probability in [0, 1]. NaN needs its own check:
+// it fails both range comparisons, so the interval test alone would
+// let "nan" through (ParseFloat parses that spelling without error).
 func parseRate(v string) (float64, error) {
 	x, err := strconv.ParseFloat(v, 64)
 	if err != nil {
 		return 0, err
 	}
-	if x < 0 || x > 1 {
+	if x < 0 || x > 1 || math.IsNaN(x) {
 		return 0, fmt.Errorf("rate %v outside [0,1]", x)
 	}
 	return x, nil

@@ -1,0 +1,53 @@
+package sweep
+
+import "testing"
+
+// FuzzParseGrid: the experiment-grid grammar must never panic and
+// every accepted grid must be internally bounded — the seed-range cap
+// keeps expansion small, numbers land where their keys say. The seed
+// corpus covers every key of the grammar plus the separators and the
+// historically interesting rejections (bad ranges, oversized ranges,
+// dangling '='). Plain `go test` replays the corpus.
+func FuzzParseGrid(f *testing.F) {
+	for _, seed := range []string{
+		"policies=all;seeds=1-4;jobs=5000",
+		"policy=fcfs,easy;seed=7",
+		"sched=batch=easy,fat=malleable-shrink;seeds=1",
+		"seeds=1,3,5-8;jobs=100;nodes=8",
+		"cluster=batch:4xmn3,fat:2xfat;policies=all",
+		"cluster=hetero",
+		"cancel=0.06;fail=0.06;spill=1;spillafter=300;spilldepth=2",
+		"nodefaults=node0:down@100..400+node1:drain@200..300;mtbf=5000;mttr=800;requeue=2",
+		"ia=60;stream=1;check=true",
+		"swf=trace.swf;max=100",
+		"seeds=9999999999999999999",
+		"seeds=5-1",
+		"seeds=1-999999",
+		"jobs=",
+		"bogus=1",
+		"policies",
+		"; ;\t;",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := ParseGrid(spec)
+		if err != nil {
+			return
+		}
+		if len(g.Seeds) > 100000 {
+			t.Fatalf("accepted grid %q expands to %d seeds; the range cap leaks", spec, len(g.Seeds))
+		}
+		for _, v := range []float64{g.CancelRate, g.FailRate} {
+			if v < 0 || v > 1 || v != v {
+				t.Fatalf("accepted grid %q carries invalid probability %g", spec, v)
+			}
+		}
+		for _, v := range []float64{g.MeanInterarrival, g.MTBF, g.MTTR, g.SpillAfter} {
+			if v < 0 || v != v {
+				t.Fatalf("accepted grid %q carries invalid duration %g", spec, v)
+			}
+		}
+	})
+}

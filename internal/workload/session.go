@@ -1,0 +1,275 @@
+package workload
+
+// Session is the fork-capable scenario driver: the same submission
+// stream, cancel timers and controller wiring as the one-shot run(),
+// but held open so the caller can advance virtual time incrementally
+// (RunUntil), fork the whole simulation state at any instant, and
+// keep both lineages running independently with byte-identical
+// decisions. The schedd what-if service and the fork/replay test
+// suites are its consumers.
+//
+// The driver mirrors run() exactly — At==0 submissions synchronous at
+// construction, one pre-allocated event ID per later submission in
+// Subs index order, the stream stable-sorted by submit time, and one
+// pending submission event at a time — so a Session replay's decision
+// trace is identical to Run/RunSched on the same scenario.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/trace"
+)
+
+// sessSub is one not-yet-submitted stream entry: the Subs index and
+// the submission event's pre-allocated ID.
+type sessSub struct {
+	idx int
+	id  sim.EventID
+}
+
+// Session is an open scenario execution. Not safe for concurrent use;
+// serialize access externally (see internal/schedd).
+type Session struct {
+	scn Scenario
+	eng *sim.Engine
+	ctl *slurm.Controller
+	// stream is the sorted submission order (shared across forks; the
+	// cursor advances, the slice never mutates).
+	stream []sessSub
+	cursor int
+	// cancels tracks the pending scancel events so a fork can re-bind
+	// them; entries are dropped as the timers fire.
+	cancels map[sim.EventID]string
+	err     error
+}
+
+// NewSession opens a scenario under a policy with the given
+// scheduling installer (same contract as run(); use NewSchedSession
+// for the common case). At==0 submissions are delivered synchronously
+// before this returns, exactly as the one-shot runner does.
+func NewSession(s Scenario, policy slurm.Policy, install func(*slurm.Controller) error) (*Session, error) {
+	eng := sim.NewEngine()
+	var tr *trace.Tracer
+	if s.Trace {
+		tr = trace.New()
+	}
+	cluster, err := slurm.NewClusterSpec(eng, s.clusterSpec(), tr)
+	if err != nil {
+		return nil, err
+	}
+	if s.JitterFrac > 0 {
+		cluster.Jitter = rand.New(rand.NewSource(s.Seed))
+		cluster.JitterFrac = s.JitterFrac
+	}
+	ctl := slurm.NewController(cluster, policy)
+	if err := installSched(ctl, s, install); err != nil {
+		return nil, err
+	}
+	ctl.LogProtocol = s.LogProtocol
+	ctl.NodeSelection = s.NodeSelection
+	ctl.ServeEvolving = s.ServeEvolving
+	ctl.DebugInvariants = s.DebugInvariants
+	installProbe(eng, ctl, s)
+	sess := &Session{
+		scn:     s,
+		eng:     eng,
+		ctl:     ctl,
+		cancels: make(map[sim.EventID]string),
+	}
+	for i := range s.Subs {
+		sub := &sess.scn.Subs[i]
+		if sub.At == 0 {
+			if err := sess.submitSub(sub); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sess.stream = append(sess.stream, sessSub{idx: i, id: eng.AllocID()})
+	}
+	sort.SliceStable(sess.stream, func(a, b int) bool {
+		return sess.scn.Subs[sess.stream[a].idx].At < sess.scn.Subs[sess.stream[b].idx].At
+	})
+	sess.scheduleNext()
+	return sess, nil
+}
+
+// NewSchedSession opens a scenario under an internal/sched policy
+// (the Session counterpart of RunSched).
+func NewSchedSession(s Scenario, p sched.Policy) (*Session, error) {
+	return NewSession(s, slurm.PolicyDROM, func(ctl *slurm.Controller) error {
+		ctl.UseSched(p)
+		return nil
+	})
+}
+
+// NewSchedSetSession opens a scenario under a per-partition policy
+// set (the Session counterpart of RunSchedSet).
+func NewSchedSetSession(s Scenario, ps sched.PolicySet) (*Session, error) {
+	return NewSession(s, slurm.PolicyDROM, func(ctl *slurm.Controller) error {
+		return ctl.UseSchedSet(ps)
+	})
+}
+
+// submitSub delivers one submission and arms its scancel timer.
+func (s *Session) submitSub(sub *Submission) error {
+	job := sub.Job // copy per submission, as run() does
+	if err := s.ctl.Submit(&job); err != nil {
+		return err
+	}
+	s.armCancel(sub)
+	return nil
+}
+
+// armCancel mirrors the package-level armCancel, but tracks the
+// event so a fork can re-bind it.
+func (s *Session) armCancel(sub *Submission) {
+	if !sub.Cancel {
+		return
+	}
+	at := sub.CancelAt
+	if at < s.eng.Now() {
+		at = s.eng.Now()
+	}
+	name := sub.Job.Name
+	var id sim.EventID
+	id = s.eng.At(at, func() {
+		delete(s.cancels, id)
+		s.ctl.Cancel(name)
+	})
+	s.cancels[id] = name
+}
+
+// fireSub runs one pending submission event: deliver, advance the
+// cursor, chain the next (the same one-pending-event-at-a-time
+// streaming run() uses, so the event heap stays small).
+func (s *Session) fireSub() {
+	sub := &s.scn.Subs[s.stream[s.cursor].idx]
+	s.cursor++
+	if err := s.submitSub(sub); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.scheduleNext()
+}
+
+// scheduleNext arms the cursor's submission event under its
+// pre-allocated ID.
+func (s *Session) scheduleNext() {
+	if s.cursor >= len(s.stream) {
+		return
+	}
+	p := s.stream[s.cursor]
+	s.eng.AtID(p.id, s.scn.Subs[p.idx].At, s.fireSub)
+}
+
+// Scenario returns the scenario the session replays.
+func (s *Session) Scenario() Scenario { return s.scn }
+
+// Engine returns the session's simulation engine.
+func (s *Session) Engine() *sim.Engine { return s.eng }
+
+// Controller returns the session's controller.
+func (s *Session) Controller() *slurm.Controller { return s.ctl }
+
+// Now returns the current virtual time.
+func (s *Session) Now() float64 { return s.eng.Now() }
+
+// RunUntil advances the simulation through every event at time <= t.
+func (s *Session) RunUntil(t float64) { s.eng.RunUntil(t) }
+
+// Run drains the simulation to completion and returns the result.
+func (s *Session) Run() Result {
+	s.eng.Run()
+	return s.Result()
+}
+
+// Result assembles the scenario result from the state so far (valid
+// at any point; final once Run returned).
+func (s *Session) Result() Result {
+	res := Result{Scenario: s.scn.Name, Policy: s.ctl.Policy(), Tracer: s.ctl.Cluster().Tracer, Err: s.err}
+	if res.Err == nil {
+		res.Err = s.ctl.Err
+	}
+	res.Records = s.ctl.Records
+	res.Records.Dropped = s.scn.Dropped
+	res.Protocol = s.ctl.Log
+	res.SchedCycles = s.ctl.Cycles
+	res.Events = s.eng.Processed()
+	return res
+}
+
+// Fork clones the whole simulation — engine, controller, shared
+// memory, instances, pending submissions and cancel timers — at the
+// current virtual time. Both lineages then advance independently and
+// decide identically. Requires an installed sched policy and a
+// jitter-free scenario (slurm.Controller.Fork's contract).
+func (s *Session) Fork() (*Session, error) {
+	ctl2, eng2, err := s.ctl.Fork()
+	if err != nil {
+		return nil, err
+	}
+	if s.ctl.Probe != nil {
+		s.ctl.Probe.Emit(obs.Event{
+			Kind:    obs.KindFork,
+			Time:    s.eng.Now(),
+			Queue:   s.ctl.QueueLen(),
+			Running: s.ctl.RunningLen(),
+		})
+	}
+	f := &Session{
+		scn:     s.scn,
+		eng:     eng2,
+		ctl:     ctl2,
+		stream:  s.stream,
+		cursor:  s.cursor,
+		cancels: make(map[sim.EventID]string, len(s.cancels)),
+		err:     s.err,
+	}
+	if f.cursor < len(f.stream) {
+		// The pending submission event came over with the engine fork;
+		// bind it to the forked chain.
+		if err := eng2.Rebind(f.stream[f.cursor].id, f.fireSub); err != nil {
+			return nil, fmt.Errorf("workload: fork submission chain: %w", err)
+		}
+	}
+	for id, name := range s.cancels { //simvet:ordered independent per-ID re-binds
+		id, name := id, name
+		f.cancels[id] = name
+		if err := eng2.Rebind(id, func() {
+			delete(f.cancels, id)
+			f.ctl.Cancel(name)
+		}); err != nil {
+			return nil, fmt.Errorf("workload: fork scancel timer: %w", err)
+		}
+	}
+	if err := eng2.FinishFork(); err != nil {
+		return nil, fmt.Errorf("workload: fork: %w", err)
+	}
+	return f, nil
+}
+
+// SessionSnapshot is a frozen copy of a session. The snapshot itself
+// never advances; Restore forks it back into a runnable Session any
+// number of times.
+type SessionSnapshot struct {
+	s *Session
+}
+
+// Snapshot freezes the session's current state.
+func (s *Session) Snapshot() (*SessionSnapshot, error) {
+	f, err := s.Fork()
+	if err != nil {
+		return nil, err
+	}
+	return &SessionSnapshot{s: f}, nil
+}
+
+// Restore returns a runnable session resuming from the snapshot.
+func (sn *SessionSnapshot) Restore() (*Session, error) {
+	return sn.s.Fork()
+}

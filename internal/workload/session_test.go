@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// sessionScenario is the seeded synthetic trace of the snapshot
+// property tests: contended enough that every policy shrinks,
+// backfills and skips.
+func sessionScenario(t *testing.T, seed int64) Scenario {
+	t.Helper()
+	sc, err := SyntheticSWFScenario(SyntheticSWF{
+		Seed: seed, Jobs: 200, Nodes: 4, MeanInterarrival: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DebugInvariants = true
+	return sc
+}
+
+// TestSessionMatchesRunSched: a Session replay must reproduce the
+// one-shot runner exactly — records, cycles and event counts — so
+// every fork-equivalence result transfers to the goldens.
+func TestSessionMatchesRunSched(t *testing.T) {
+	sc := sessionScenario(t, 1)
+	for _, name := range sched.Names() {
+		p, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot := RunSched(sc, p)
+		if oneShot.Err != nil {
+			t.Fatalf("%s: %v", name, oneShot.Err)
+		}
+		p2, _ := sched.New(name)
+		sess, err := NewSchedSession(sc, p2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := sess.Run()
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if res.Events != oneShot.Events || res.SchedCycles != oneShot.SchedCycles {
+			t.Errorf("%s: session ran %d events / %d cycles, one-shot %d / %d",
+				name, res.Events, res.SchedCycles, oneShot.Events, oneShot.SchedCycles)
+		}
+		ss, os := SchedStatsOf(sc, res), SchedStatsOf(sc, oneShot)
+		if ss != os {
+			t.Errorf("%s: stats diverge:\n  session  %+v\n  one-shot %+v", name, ss, os)
+		}
+	}
+}
+
+// TestSessionSnapshotRestoreFixedPoint: Snapshot() → Restore() →
+// re-run must be a fixed point for metrics.SchedStats — restoring
+// twice from one snapshot, and the snapshotted parent itself, all
+// finish with the uninterrupted replay's exact statistics. Runs in
+// the CI race matrix at -cpu 1,4,8.
+func TestSessionSnapshotRestoreFixedPoint(t *testing.T) {
+	for _, seed := range []int64{1, 3} {
+		sc := sessionScenario(t, seed)
+		for _, name := range sched.Names() {
+			p, err := sched.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := NewSchedSession(sc, p)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			bres := base.Run()
+			if bres.Err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, bres.Err)
+			}
+			want := SchedStatsOf(sc, bres)
+
+			p2, _ := sched.New(name)
+			sess, err := NewSchedSession(sc, p2)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			sess.RunUntil(0.5 * bres.Records.TotalRunTime())
+			snap, err := sess.Snapshot()
+			if err != nil {
+				t.Fatalf("seed %d %s: snapshot: %v", seed, name, err)
+			}
+			for round := 0; round < 2; round++ {
+				restored, err := snap.Restore()
+				if err != nil {
+					t.Fatalf("seed %d %s: restore %d: %v", seed, name, round, err)
+				}
+				rres := restored.Run()
+				if rres.Err != nil {
+					t.Fatalf("seed %d %s: restore %d: %v", seed, name, round, rres.Err)
+				}
+				if got := SchedStatsOf(sc, rres); got != want {
+					t.Errorf("seed %d %s: restore %d stats diverge:\n  got  %+v\n  want %+v",
+						seed, name, round, got, want)
+				}
+			}
+			pres := sess.Run()
+			if pres.Err != nil {
+				t.Fatalf("seed %d %s: parent: %v", seed, name, pres.Err)
+			}
+			if got := SchedStatsOf(sc, pres); got != want {
+				t.Errorf("seed %d %s: snapshotted parent stats diverge:\n  got  %+v\n  want %+v",
+					seed, name, got, want)
+			}
+		}
+	}
+}
