@@ -52,7 +52,7 @@ func runPinnedPair(p maskPair) (float64, error) {
 	eng := sim.NewEngine()
 	m := hwmodel.MN3()
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", m.NodeMask(), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", m.NodeMask(), 0))
 	demand := apps.NewDemandTable(m)
 	spec := apps.NEST()
 	spec.InitSeconds = 0

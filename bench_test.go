@@ -25,7 +25,10 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/dlb"
+	"repro/drom"
 	"repro/internal/djsb"
+	"repro/internal/shmem"
 	"repro/internal/slurm"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -732,6 +735,136 @@ func BenchmarkSchedObs100k(b *testing.B) {
 		updateBenchJSON(b, path, "sched_obs", map[string]interface{}{
 			"trace":  "synthetic SWF seed=1 jobs=100000 nodes=4, all probes attached",
 			"probed": e,
+		})
+	}
+}
+
+// shmemOps drives a fixed count of complete DROM mask exchanges —
+// administrator SetProcessMask, application poll-and-apply — against
+// one registered process on a registry built over the given backend,
+// and returns the measured per-exchange cost. This is the raw op cost
+// of a backend, with no scheduler on top.
+func shmemOps(b *testing.B, backend string, reg *shmem.Registry, ops int) benchfmt.ShmemOpEntry {
+	b.Helper()
+	node, err := dlb.NewNodeReg("bench0", 16, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := dlb.Init(node, 0, dlb.CPURange(0, 15), "--drom")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Finalize()
+	admin, err := drom.Attach(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer admin.Detach()
+	narrow, wide := dlb.CPURange(0, 7), dlb.CPURange(0, 15)
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		mask := narrow
+		if i%2 == 1 {
+			mask = wide
+		}
+		if err := admin.SetProcessMask(p.PID(), mask, drom.None); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, ok, err := p.PollDROM(); err != nil || !ok {
+			b.Fatalf("poll %d: applied=%v err=%v", i, ok, err)
+		}
+	}
+	return benchfmt.ShmemOpEntry{
+		Backend:     backend,
+		Ops:         ops,
+		MicrosPerOp: time.Since(t0).Seconds() * 1e6 / float64(ops),
+	}
+}
+
+// BenchmarkSchedShmem pins the cost of the shmem.Backend interface
+// (section sched_shmem of BENCH_sched.json). Its replay sub-benchmark
+// re-runs the 100k fcfs trace of BenchmarkSchedReplay100k through the
+// in-memory backend every simulation binary defaults to — now behind
+// the Backend/Segment interface — and cmd/benchdiff cross-checks the
+// entry against the plain sched_replay_100k one inside each document:
+// identical deterministic outcomes, us_per_cycle within the tolerance
+// factor, allocs_per_cycle within the alloc gate. The ops
+// sub-benchmarks record the raw DROM exchange cost per backend: the
+// file backend pays flock + decode + canonical re-encode on every
+// operation, which is why it is the cross-process attach transport
+// and not a replay default. Regenerate with:
+//
+//	SCHED_BENCH_JSON=BENCH_sched.json \
+//	  go test -run '^$' -bench SchedShmem -benchtime 1x .
+func BenchmarkSchedShmem(b *testing.B) {
+	sc, err := cluster.SyntheticSWFScenario(cluster.SyntheticSWF{Seed: 1, Jobs: 100000, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var replay replayEntry
+	var backends []benchfmt.ShmemOpEntry
+	b.Run("replay-mem-fcfs", func(b *testing.B) {
+		p, err := cluster.NewSchedPolicy("fcfs")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			res := cluster.RunSched(sc, p)
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			st := cluster.SchedStatsOf(sc, res)
+			cycles := float64(res.SchedCycles)
+			replay = replayEntry{
+				Policy:         "fcfs",
+				Jobs:           res.Records.Count(),
+				WallSeconds:    wall.Seconds(),
+				Cycles:         res.SchedCycles,
+				Events:         res.Events,
+				CycleMicros:    wall.Seconds() * 1e6 / cycles,
+				AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / cycles,
+				BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / cycles,
+				MeanWaitS:      st.MeanWait,
+				MakespanS:      st.Makespan,
+			}
+		}
+		b.ReportMetric(replay.WallSeconds, "wall-s")
+		b.ReportMetric(replay.CycleMicros, "us/cycle")
+		b.ReportMetric(replay.AllocsPerCycle, "allocs/cycle")
+	})
+	b.Run("ops-mem", func(b *testing.B) {
+		var e benchfmt.ShmemOpEntry
+		for i := 0; i < b.N; i++ {
+			e = shmemOps(b, "mem", shmem.NewRegistryWith(shmem.NewMemBackend()), 100000)
+		}
+		backends = append(backends, e)
+		b.ReportMetric(e.MicrosPerOp, "us/op")
+	})
+	b.Run("ops-file", func(b *testing.B) {
+		var e benchfmt.ShmemOpEntry
+		for i := 0; i < b.N; i++ {
+			fb, err := shmem.NewFileBackend(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			e = shmemOps(b, "file", shmem.NewRegistryWith(fb), 2000)
+			if err := fb.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		backends = append(backends, e)
+		b.ReportMetric(e.MicrosPerOp, "us/op")
+	})
+	if path := os.Getenv("SCHED_BENCH_JSON"); path != "" && replay.Jobs > 0 && len(backends) == 2 {
+		updateBenchJSON(b, path, "sched_shmem", map[string]interface{}{
+			"trace":    "synthetic SWF seed=1 jobs=100000 nodes=4, in-memory backend + per-backend DROM op costs",
+			"replay":   replay,
+			"backends": backends,
 		})
 	}
 }

@@ -30,6 +30,15 @@
 // decision-invisible — while the query latency fields fall under the
 // tolerance factor (p99_ms) and the -warn-pct soft gate.
 //
+// The sched_shmem section pins the shmem.Backend interface: its
+// replay entry (the 100k fcfs replay through the in-memory backend)
+// is cross-checked against the plain sched_replay_100k entry of the
+// same document — identical deterministic outcomes, us_per_cycle
+// within the tolerance factor and allocs_per_cycle within the alloc
+// gate — so the interface indirection demonstrably costs nothing on
+// the replay hot path. Its per-backend DROM op micro-costs diff with
+// exact op counts and tolerance-gated us_per_op.
+//
 // Usage:
 //
 //	benchdiff [-tolerance 3.0] [-warn-pct 25] baseline.json candidate.json
@@ -182,6 +191,45 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 			return
 		}
 	}
+	// crossCheckShmem proves the backend interface is free inside a
+	// single document: the replay driven through the explicit backend
+	// must reach the same outcomes as the plain replay of the same
+	// trace and policy, at the same per-cycle cost and heap traffic.
+	crossCheckShmem := func(who string, doc benchDoc) {
+		if doc.Shmem == nil || doc.Replay100k == nil {
+			return
+		}
+		s := doc.Shmem.Replay
+		for _, p := range doc.Replay100k.Policies {
+			if p.Policy != s.Policy {
+				continue
+			}
+			if s.Jobs != p.Jobs || s.Cycles != p.Cycles || s.Events != p.Events ||
+				s.MeanWaitS != p.MeanWaitS || s.MakespanS != p.MakespanS {
+				add("%s sched_shmem: backend replay (jobs=%d cycles=%d events=%d wait=%g makespan=%g) diverges from plain sched_replay_100k/%s (jobs=%d cycles=%d events=%d wait=%g makespan=%g) — backend changed decisions",
+					who, s.Jobs, s.Cycles, s.Events, s.MeanWaitS, s.MakespanS,
+					p.Policy, p.Jobs, p.Cycles, p.Events, p.MeanWaitS, p.MakespanS)
+			}
+			if p.CycleMicros > 0 && s.CycleMicros > p.CycleMicros*tolerance {
+				add("%s sched_shmem: us_per_cycle %.2f exceeds plain replay %.2f x %.1f — backend indirection is not free",
+					who, s.CycleMicros, p.CycleMicros, tolerance)
+			}
+			if s.AllocsPerCycle > p.AllocsPerCycle*1.5+5 {
+				add("%s sched_shmem: allocs_per_cycle %.1f exceeds plain replay %.1f — backend indirection allocates on the hot path",
+					who, s.AllocsPerCycle, p.AllocsPerCycle)
+			}
+			return
+		}
+	}
+	compareShmemOps := func(name string, b, c benchfmt.ShmemOpEntry) {
+		if c.Ops != b.Ops {
+			add("%s: ops %d, baseline %d", name, c.Ops, b.Ops)
+		}
+		if b.MicrosPerOp > 0 && c.MicrosPerOp > b.MicrosPerOp*tolerance {
+			add("%s: us_per_op %.2f exceeds baseline %.2f x %.1f", name, c.MicrosPerOp, b.MicrosPerOp, tolerance)
+		}
+		warn(name, "us_per_op", b.MicrosPerOp, c.MicrosPerOp)
+	}
 	comparePolicies := func(section string, base, cand []replayEntry) {
 		byName := map[string]replayEntry{}
 		for _, e := range cand {
@@ -214,8 +262,25 @@ func diff(baseline, candidate []byte, tolerance, warnPct float64) (findings, war
 	if base.SchedD != nil && cand.SchedD != nil {
 		compareSchedD("sched_schedd/"+base.SchedD.WhatIf.Policy, base.SchedD.WhatIf, cand.SchedD.WhatIf)
 	}
+	if base.Shmem != nil && cand.Shmem != nil {
+		compare("sched_shmem/"+base.Shmem.Replay.Policy, base.Shmem.Replay, cand.Shmem.Replay)
+		byBackend := map[string]benchfmt.ShmemOpEntry{}
+		for _, e := range cand.Shmem.Backends {
+			byBackend[e.Backend] = e
+		}
+		for _, be := range base.Shmem.Backends {
+			ce, ok := byBackend[be.Backend]
+			if !ok {
+				add("sched_shmem: backend %q missing from candidate", be.Backend)
+				continue
+			}
+			compareShmemOps("sched_shmem/ops/"+be.Backend, be, ce)
+		}
+	}
 	crossCheckObs("baseline", base)
 	crossCheckObs("candidate", cand)
+	crossCheckShmem("baseline", base)
+	crossCheckShmem("candidate", cand)
 	return findings, warnings, nil
 }
 

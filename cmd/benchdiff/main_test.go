@@ -241,3 +241,91 @@ func TestDiffObsCrossCheck(t *testing.T) {
 		t.Fatalf("cross-check findings = %v, want 2 perturbation findings", findings)
 	}
 }
+
+// shmemDoc extends the plain replay with a sched_shmem section whose
+// backend-interface replay matches the plain fcfs 100k entry (so the
+// cross-check is clean) plus the per-backend op micro-costs.
+const shmemDoc = `{
+  "sched_replay_100k": {
+    "policies": [
+      {"policy": "fcfs", "jobs": 100, "sched_cycles": 200, "sim_events": 1000,
+       "us_per_cycle": 10.0, "allocs_per_cycle": 12.0, "mean_wait_s": 5.5, "makespan_s": 900}
+    ]
+  },
+  "sched_shmem": {
+    "replay": {"policy": "fcfs", "jobs": 100, "sched_cycles": 200, "sim_events": 1000,
+       "us_per_cycle": 11.0, "allocs_per_cycle": 13.0, "mean_wait_s": 5.5, "makespan_s": 900},
+    "backends": [
+      {"backend": "mem", "ops": 100000, "us_per_op": 0.3},
+      {"backend": "file", "ops": 2000, "us_per_op": 100.0}
+    ]
+  }
+}`
+
+func TestDiffShmemSection(t *testing.T) {
+	findings, warnings, err := diff([]byte(shmemDoc), []byte(shmemDoc), 3.0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 || len(warnings) != 0 {
+		t.Fatalf("identical shmem docs flagged: findings=%v warnings=%v", findings, warnings)
+	}
+	// A changed op count is a hard finding; a >tolerance op slowdown too.
+	cand := strings.Replace(shmemDoc, `"ops": 2000`, `"ops": 2001`, 1)
+	findings, _, _ = diff([]byte(shmemDoc), []byte(cand), 3.0, 0)
+	if len(findings) != 1 || !strings.Contains(findings[0], "sched_shmem/ops/file") {
+		t.Fatalf("op-count change not flagged: %v", findings)
+	}
+	cand = strings.Replace(shmemDoc, `"us_per_op": 0.3`, `"us_per_op": 1.2`, 1)
+	findings, _, _ = diff([]byte(shmemDoc), []byte(cand), 3.0, 0)
+	if len(findings) != 1 || !strings.Contains(findings[0], "us_per_op") {
+		t.Fatalf("4x op slowdown not flagged: %v", findings)
+	}
+	// A backend disappearing from the candidate is a hard finding.
+	cand = strings.Replace(shmemDoc, `"backend": "file"`, `"backend": "file2"`, 1)
+	findings, _, _ = diff([]byte(shmemDoc), []byte(cand), 3.0, 0)
+	found := false
+	for _, f := range findings {
+		found = found || strings.Contains(f, `backend "file" missing`)
+	}
+	if !found {
+		t.Fatalf("missing backend not flagged: %v", findings)
+	}
+}
+
+func TestDiffShmemCrossCheck(t *testing.T) {
+	// The backend-interface replay diverging from the plain replay of
+	// the SAME document means the interface changed decisions.
+	bad := strings.Replace(shmemDoc,
+		`"replay": {"policy": "fcfs", "jobs": 100, "sched_cycles": 200,`,
+		`"replay": {"policy": "fcfs", "jobs": 100, "sched_cycles": 209,`, 1)
+	if bad == shmemDoc {
+		t.Fatal("replacement did not apply")
+	}
+	findings, _, err := diff([]byte(bad), []byte(bad), 3.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for _, f := range findings {
+		if strings.Contains(f, "backend changed decisions") {
+			diverged++
+		}
+	}
+	if diverged != 2 { // baseline + candidate are the same bad doc
+		t.Fatalf("cross-check findings = %v, want 2 divergence findings", findings)
+	}
+	// An interface replay slower than tolerance x the plain replay, or
+	// allocating where the plain replay does not, fails even when both
+	// documents agree.
+	slow := strings.Replace(shmemDoc, `"us_per_cycle": 11.0`, `"us_per_cycle": 31.0`, 1)
+	findings, _, _ = diff([]byte(slow), []byte(slow), 3.0, 0)
+	if len(findings) != 2 || !strings.Contains(findings[0], "indirection is not free") {
+		t.Fatalf("indirection slowdown not flagged: %v", findings)
+	}
+	leaky := strings.Replace(shmemDoc, `"allocs_per_cycle": 13.0`, `"allocs_per_cycle": 50.0`, 1)
+	findings, _, _ = diff([]byte(leaky), []byte(leaky), 3.0, 0)
+	if len(findings) != 2 || !strings.Contains(findings[0], "indirection allocates") {
+		t.Fatalf("indirection alloc regression not flagged: %v", findings)
+	}
+}

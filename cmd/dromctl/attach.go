@@ -1,0 +1,97 @@
+package main
+
+// Attach mode: the administrator half of a two-OS-process DROM
+// exchange. dromctl opens the same file-backed registry directory as
+// the application process (slurmsim -drom-agent, or another dromctl),
+// waits for a registered process to appear in the segment, prints the
+// procinfo table, and — when -mask is given — stages the new mask with
+// the SYNC flag, returning only after the remote process has polled
+// and applied it.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/dlb"
+	"repro/drom"
+	"repro/internal/shmem"
+)
+
+// attachPollInterval paces the wait for a remote process to register.
+const attachPollInterval = 10 * time.Millisecond
+
+func runAttach(dir, node string, ncpus int, target dlb.PID, maskSpec string, wait time.Duration) error {
+	fb, err := shmem.NewFileBackend(dir)
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+	n, err := dlb.NewNodeReg(node, ncpus, shmem.NewRegistryWith(fb))
+	if err != nil {
+		return fmt.Errorf("open segment %s: %w", node, err)
+	}
+	admin, err := drom.Attach(n)
+	if err != nil {
+		return err
+	}
+	defer admin.Detach()
+	fmt.Printf("$ DROM_Attach(file:%s, node=%s) -> DLB_SUCCESS\n", dir, node)
+
+	// Wait for the other process: a fresh segment is empty until the
+	// application's DLB_Init lands.
+	pids, err := waitForProcs(admin, wait)
+	if err != nil {
+		return err
+	}
+	if err := printTable(admin, pids); err != nil {
+		return err
+	}
+	if maskSpec == "" {
+		return nil
+	}
+
+	mask, err := dlb.ParseCPUSet(maskSpec)
+	if err != nil {
+		return fmt.Errorf("-mask: %w", err)
+	}
+	if target == 0 {
+		target = pids[0]
+	}
+	fmt.Printf("$ DROM_SetProcessMask(%d, %s, SYNC)\n", target, mask)
+	if err := admin.SetProcessMask(target, mask, drom.Sync); err != nil {
+		return err
+	}
+	fmt.Println("  ... remote process polled and applied -> DLB_SUCCESS")
+	return printTable(admin, []dlb.PID{target})
+}
+
+// waitForProcs polls the segment until at least one process is
+// registered or the deadline passes.
+func waitForProcs(admin *drom.Admin, wait time.Duration) ([]dlb.PID, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		pids, err := admin.PIDList()
+		if err != nil {
+			return nil, err
+		}
+		if len(pids) > 0 {
+			return pids, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("no process registered within %s", wait)
+		}
+		time.Sleep(attachPollInterval)
+	}
+}
+
+func printTable(admin *drom.Admin, pids []dlb.PID) error {
+	fmt.Printf("$ DROM_GetPidList()           -> %v\n", pids)
+	for _, pid := range pids {
+		m, err := admin.ProcessMask(pid, drom.None)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("$ DROM_GetProcessMask(%d)   -> %s (%d CPUs)\n", pid, m, m.Count())
+	}
+	return nil
+}

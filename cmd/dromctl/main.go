@@ -6,16 +6,23 @@
 // polling DLB processes and executes a scripted admin session against
 // them, printing each DROM call and its effect.
 //
+// With -backend file:<dir> dromctl instead attaches to a file-backed
+// segment shared with OTHER OS processes (e.g. slurmsim -drom-agent)
+// and runs a register/query/setmask session against whatever is live
+// in the segment — real two-process DROM, like the C library.
+//
 // Usage:
 //
-//	dromctl                 # default session: list, shrink, expand
+//	dromctl                 # default in-process demo: list, shrink, expand
 //	dromctl -procs 3 -cpus 24
+//	dromctl -backend file:/tmp/drom -node node0 -mask 0-3   # attach mode
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,14 +33,31 @@ import (
 
 func main() {
 	procs := flag.Int("procs", 2, "number of demo DLB processes on the node")
-	cpus := flag.Int("cpus", 16, "CPUs of the demo node")
+	cpus := flag.Int("cpus", 16, "CPUs of the demo node (attach mode: CPU count if the segment must be created)")
+	backend := flag.String("backend", "mem", "shmem backend: mem (in-process demo) or file:<dir> "+
+		"(attach to a file-backed registry shared with other OS processes)")
+	node := flag.String("node", "node0", "attach mode: segment (node) name to attach to")
+	pid := flag.Int64("pid", 0, "attach mode: target PID for -mask (0 = first registered process)")
+	maskSpec := flag.String("mask", "", "attach mode: stage this cpulist (e.g. 0-3,8) on the target "+
+		"via DROM_SetProcessMask and wait for the target to apply it")
+	wait := flag.Duration("wait", 30*time.Second, "attach mode: how long to wait for a registered process")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return
 	}
-	if err := run(*procs, *cpus); err != nil {
+	var err error
+	switch {
+	case *backend == "mem":
+		err = run(*procs, *cpus)
+	case strings.HasPrefix(*backend, "file:"):
+		err = runAttach(strings.TrimPrefix(*backend, "file:"), *node, *cpus,
+			dlb.PID(*pid), *maskSpec, *wait)
+	default:
+		err = fmt.Errorf("unknown -backend %q (want mem or file:<dir>)", *backend)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dromctl: %v\n", err)
 		os.Exit(1)
 	}

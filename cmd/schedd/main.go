@@ -37,6 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic workload seed")
 	ia := flag.Float64("ia", 30, "synthetic workload mean inter-arrival time (s)")
 	forks := flag.Int("forks", 4, "maximum concurrently running what-if forks")
+	shmemDir := flag.String("shmem", "", "back the live cluster's DROM segments with the file-based "+
+		"shmem backend rooted at this directory, so external processes (e.g. dromctl -backend file:...) "+
+		"can inspect the live segments; what-if forks still run on private in-memory copies")
 	flag.Parse()
 
 	p, err := sched.New(*policy)
@@ -60,6 +63,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(2)
 	}
+	sc.ShmemDir = *shmemDir
 	sess, err := workload.NewSchedSession(sc, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)

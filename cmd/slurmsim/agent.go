@@ -1,0 +1,79 @@
+package main
+
+// DROM agent mode: slurmsim becomes one half of a real two-OS-process
+// DROM exchange. It opens (or creates) a file-backed segment, registers
+// itself with the full node mask, and polls DROM in wall-clock time
+// until an external administrator — dromctl attached to the same
+// directory from another process — stages a mask change. The applied
+// change is printed and the agent exits 0, which is exactly what the CI
+// cross-process smoke asserts.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/dlb"
+	"repro/internal/derr"
+	"repro/internal/shmem"
+)
+
+// agentPollInterval is the wall-clock DROM polling period of the agent
+// process (a real application polls at its safe points; 5ms keeps the
+// smoke test fast without spinning).
+const agentPollInterval = 5 * time.Millisecond
+
+// agentLinger is how long the agent stays registered after applying a
+// mask change, so a synchronous administrator in another process can
+// observe the applied entry before finalization removes it.
+const agentLinger = 500 * time.Millisecond
+
+func runDromAgent(dir, node string, ncpus int, timeout time.Duration) error {
+	fb, err := shmem.NewFileBackend(dir)
+	if err != nil {
+		return fmt.Errorf("drom-agent: %w", err)
+	}
+	defer fb.Close()
+	n, err := dlb.NewNodeReg(node, ncpus, shmem.NewRegistryWith(fb))
+	if err != nil {
+		return fmt.Errorf("drom-agent: open segment: %w", err)
+	}
+	p, err := dlb.Init(n, 0, n.AllCPUs(), "--drom")
+	if err != nil {
+		return fmt.Errorf("drom-agent: DLB_Init: %w", err)
+	}
+	defer p.Finalize()
+	fmt.Printf("drom-agent: registered pid %d on %s/%s.seg mask %s (%d CPUs)\n",
+		p.PID(), dir, node, p.Mask(), p.NumCPUs())
+
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ncpus, mask, ok, err := p.PollDROM()
+		if err != nil {
+			if errors.Is(err, derr.ErrNoProc) {
+				// Our own registration vanished from the segment. Nothing
+				// in-process can do that after a successful Init — it
+				// means an external actor unregistered this PID, most
+				// likely another agent that allocated the same virtual
+				// PID because the registry directory was deleted and
+				// recreated while processes were still attached (the
+				// file-backend analogue of shm_unlink under live users).
+				return fmt.Errorf("drom-agent: DLB_PollDROM: %w "+
+					"(segment entry vanished: was %s recreated, or pid %d unregistered by another process?)",
+					err, dir, p.PID())
+			}
+			return fmt.Errorf("drom-agent: DLB_PollDROM: %w", err)
+		}
+		if ok {
+			fmt.Printf("drom-agent: mask change applied -> %s (%d CPUs)\n", mask, ncpus)
+			// Keep the registration live briefly so a SYNC administrator
+			// in another process observes the clean (applied) entry
+			// before DLB_Finalize removes it — a real application keeps
+			// computing after a poll; exiting instantly is the artifact.
+			time.Sleep(agentLinger)
+			return nil
+		}
+		time.Sleep(agentPollInterval)
+	}
+	return fmt.Errorf("drom-agent: no mask change observed within %s", timeout)
+}

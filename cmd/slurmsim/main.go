@@ -86,6 +86,13 @@ func main() {
 	hist := flag.Bool("hist", false, "sched: report wall-time histograms per scheduling cycle and "+
 		"per Schedule() call at exit")
 	progress := flag.Bool("progress", false, "sweep: live progress (cells done/total, cells/s, ETA) to stderr")
+	dromAgent := flag.Bool("drom-agent", false, "run as a DROM agent process: register on a file-backed "+
+		"segment and poll until an external administrator (dromctl -backend file:...) changes the mask")
+	shmemDir := flag.String("shmem-dir", "", "drom-agent: directory of the file-backed shmem registry")
+	agentNode := flag.String("agent-node", "node0", "drom-agent: segment (node) name")
+	agentCPUs := flag.Int("agent-cpus", 16, "drom-agent: node CPU count when creating the segment")
+	agentTimeout := flag.Duration("agent-timeout", 30*time.Second, "drom-agent: give up after this long "+
+		"without observing a mask change")
 	showVersion := flag.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -93,6 +100,18 @@ func main() {
 
 	if *showVersion {
 		fmt.Println(version.String())
+		return
+	}
+
+	if *dromAgent {
+		if *shmemDir == "" {
+			fmt.Fprintln(os.Stderr, "slurmsim: -drom-agent requires -shmem-dir")
+			os.Exit(2)
+		}
+		if err := runDromAgent(*shmemDir, *agentNode, *agentCPUs, *agentTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "slurmsim: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

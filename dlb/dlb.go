@@ -60,9 +60,27 @@ func NewNode(name string, ncpus int) *Node {
 	if ncpus < 1 || ncpus > cpuset.MaxCPUs {
 		panic(fmt.Sprintf("dlb: invalid cpu count %d", ncpus))
 	}
-	reg := shmem.NewRegistry()
-	seg := reg.Open(name, cpuset.Range(0, ncpus-1), 0)
-	return &Node{name: name, reg: reg, sys: core.NewSystem(seg)}
+	n, err := NewNodeReg(name, ncpus, shmem.NewRegistry())
+	if err != nil {
+		panic(err) // in-memory Open cannot fail
+	}
+	return n
+}
+
+// NewNodeReg creates — or, for a segment another process already
+// created, adopts — a node on an explicit shmem registry. With a
+// file-backed registry this is how two real OS processes share one
+// DROM segment: each builds its own Node over the same directory and
+// the flock-protected segment file coordinates them.
+func NewNodeReg(name string, ncpus int, reg *shmem.Registry) (*Node, error) {
+	if ncpus < 1 || ncpus > cpuset.MaxCPUs {
+		return nil, fmt.Errorf("dlb: invalid cpu count %d", ncpus)
+	}
+	seg, err := reg.Open(name, cpuset.Range(0, ncpus-1), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{name: name, reg: reg, sys: core.NewSystem(seg)}, nil
 }
 
 // Name returns the node's name.

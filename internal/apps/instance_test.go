@@ -29,7 +29,7 @@ func newBed() *testBed {
 		sys:    map[string]*core.System{},
 	}
 	for _, n := range []string{"node0", "node1"} {
-		b.sys[n] = core.NewSystem(b.reg.Open(n, m.NodeMask(), 0))
+		b.sys[n] = core.NewSystem(b.reg.MustOpen(n, m.NodeMask(), 0))
 	}
 	return b
 }

@@ -66,6 +66,20 @@ type ObsEntry struct {
 	SchedP99Us   float64 `json:"sched_p99_us"`
 }
 
+// ShmemOpEntry is one shmem-backend micro-measurement: a fixed count
+// of complete DROM mask exchanges (administrator SetProcessMask plus
+// the application's poll-and-apply) driven through one backend. Ops
+// is deterministic; us_per_op is wall-clock and falls under the
+// tolerance factor. The in-memory and file-backed entries sit side by
+// side so the cost of the file transport (flock + decode + canonical
+// re-encode per operation) is on record next to the in-process path
+// it is NOT a replacement for.
+type ShmemOpEntry struct {
+	Backend     string  `json:"backend"`
+	Ops         int     `json:"ops"`
+	MicrosPerOp float64 `json:"us_per_op"`
+}
+
 // SchedDEntry is the what-if service measurement: a fixed batch of
 // concurrent what-if queries answered by forking one live mid-replay
 // session per query. The prediction aggregates (answered count, mean
@@ -127,4 +141,15 @@ type Doc struct {
 		Trace  string      `json:"trace"`
 		WhatIf SchedDEntry `json:"whatif"`
 	} `json:"sched_schedd"`
+	// Shmem is the backend-indirection pin: the 100k fcfs replay run
+	// through the shmem.Backend interface (the in-memory backend every
+	// simulation binary defaults to), cross-checked by cmd/benchdiff
+	// against the plain sched_replay_100k entry of the same document —
+	// same decisions, us_per_cycle and allocs within the plain replay's
+	// gates — plus the per-backend DROM op micro-costs (ShmemOpEntry).
+	Shmem *struct {
+		Trace    string         `json:"trace"`
+		Replay   ReplayEntry    `json:"replay"`
+		Backends []ShmemOpEntry `json:"backends"`
+	} `json:"sched_shmem"`
 }

@@ -58,19 +58,19 @@ const DefaultSyncTimeout = 2 * time.Second
 // administrators and processes of a node share one System (or,
 // equivalently, open Systems backed by the same segment).
 type System struct {
-	seg *shmem.Segment
+	seg shmem.Segment
 	// SyncTimeout bounds FlagSync waits. Zero means DefaultSyncTimeout.
 	SyncTimeout time.Duration
 }
 
 // NewSystem wraps a shared memory segment with the DROM protocol.
-func NewSystem(seg *shmem.Segment) *System {
+func NewSystem(seg shmem.Segment) *System {
 	return &System{seg: seg}
 }
 
 // Segment exposes the underlying shared memory, mainly for the DLB
 // framework and tests.
-func (s *System) Segment() *shmem.Segment { return s.seg }
+func (s *System) Segment() shmem.Segment { return s.seg }
 
 // NodeCPUs returns the CPU set of the node this System manages.
 func (s *System) NodeCPUs() cpuset.CPUSet { return s.seg.NodeCPUs() }

@@ -14,7 +14,7 @@ import (
 func newSys(t *testing.T) *System {
 	t.Helper()
 	reg := shmem.NewRegistry()
-	seg := reg.Open("node0", cpuset.Range(0, 15), 0)
+	seg := reg.MustOpen("node0", cpuset.Range(0, 15), 0)
 	return NewSystem(seg)
 }
 
@@ -371,7 +371,7 @@ func TestPropertyDisjointMasksUnderSteal(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		reg := shmem.NewRegistry()
-		seg := reg.Open("n", cpuset.Range(0, 15), 0)
+		seg := reg.MustOpen("n", cpuset.Range(0, 15), 0)
 		s := NewSystem(seg)
 		a, _ := s.Attach()
 		s.Register(1, cpuset.Range(0, 7))
@@ -411,7 +411,7 @@ func TestPropertyPreInitPostFinalizeRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		reg := shmem.NewRegistry()
-		seg := reg.Open("n", cpuset.Range(0, 15), 0)
+		seg := reg.MustOpen("n", cpuset.Range(0, 15), 0)
 		s := NewSystem(seg)
 		a, _ := s.Attach()
 		s.Register(1, cpuset.Range(0, 15))

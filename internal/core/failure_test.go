@@ -119,7 +119,7 @@ func TestSyncSetTargetDiesMidWait(t *testing.T) {
 // masks stay disjoint and in-range).
 func TestConflictingAdmins(t *testing.T) {
 	reg := shmem.NewRegistry()
-	seg := reg.Open("n", cpuset.Range(0, 15), 0)
+	seg := reg.MustOpen("n", cpuset.Range(0, 15), 0)
 	s := NewSystem(seg)
 	a1 := attach(t, s)
 	a2 := attach(t, s)

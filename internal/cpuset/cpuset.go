@@ -24,6 +24,14 @@ type CPUSet struct {
 	bits [numWords]uint64
 }
 
+// Words returns the raw bit words of the set, lowest CPUs in word 0.
+// Serializers (the shmem segment file codec) use this to emit the set
+// in a fixed binary width.
+func (s CPUSet) Words() [numWords]uint64 { return s.bits }
+
+// FromWords reconstructs a set from Words output.
+func FromWords(words [numWords]uint64) CPUSet { return CPUSet{bits: words} }
+
 // New returns a set containing the given CPUs.
 func New(cpus ...int) CPUSet {
 	var s CPUSet

@@ -14,7 +14,7 @@ import (
 func newSys(t *testing.T) *core.System {
 	t.Helper()
 	reg := shmem.NewRegistry()
-	return core.NewSystem(reg.Open("node0", cpuset.Range(0, 15), 0))
+	return core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 15), 0))
 }
 
 func TestParseArgs(t *testing.T) {

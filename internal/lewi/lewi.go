@@ -28,7 +28,7 @@ const (
 
 // Module is the per-process LeWI state.
 type Module struct {
-	seg    *shmem.Segment
+	seg    shmem.Segment
 	pid    shmem.PID
 	policy Policy
 	// ownedMask is the process's own allocation, the set reclaimed on
@@ -42,7 +42,7 @@ type Module struct {
 
 // New creates the LeWI module for a process and claims ownership of
 // its CPUs in the cpuinfo table.
-func New(seg *shmem.Segment, pid shmem.PID, owned cpuset.CPUSet, policy Policy) (*Module, derr.Code) {
+func New(seg shmem.Segment, pid shmem.PID, owned cpuset.CPUSet, policy Policy) (*Module, derr.Code) {
 	if code := seg.ClaimCPUs(pid, owned); code.IsError() {
 		return nil, code
 	}

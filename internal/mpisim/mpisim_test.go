@@ -206,7 +206,7 @@ func TestHooksFire(t *testing.T) {
 // synchronization points" integration.
 func TestDLBInterceptionPollsDROM(t *testing.T) {
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 15), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 15), 0))
 
 	w := NewWorld(2)
 	var ctxs [2]*dlbcore.Context
@@ -242,7 +242,7 @@ func TestDLBInterceptionPollsDROM(t *testing.T) {
 // are lent; the peer can borrow them, and they come back afterwards.
 func TestDLBLewiLendDuringBlocking(t *testing.T) {
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 7), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 7), 0))
 
 	w := NewWorld(2)
 	ctx0, _ := dlbcore.Init(sys, 100, cpuset.Range(0, 3), dlbcore.Options{DROM: true, LeWI: true})

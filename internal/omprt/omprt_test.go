@@ -255,7 +255,7 @@ func TestToolCanResizeRegion(t *testing.T) {
 // with the reduced, re-pinned team.
 func TestDLBIntegrationShrink(t *testing.T) {
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 15), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 15), 0))
 	ctx, code := dlbcore.Init(sys, 1, cpuset.Range(0, 15), dlbcore.Options{DROM: true})
 	if code.IsError() {
 		t.Fatal(code)
@@ -300,7 +300,7 @@ func TestDLBIntegrationShrink(t *testing.T) {
 // follows.
 func TestDLBIntegrationExpand(t *testing.T) {
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 15), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 15), 0))
 	ctx, _ := dlbcore.Init(sys, 1, cpuset.Range(0, 7), dlbcore.Options{DROM: true})
 	defer ctx.Finalize()
 	rt := NewBound(cpuset.Range(0, 7))
@@ -329,7 +329,7 @@ func BenchmarkPollingPointOverhead(b *testing.B) {
 	// polling mechanism: a parallel region with the DLB tool attached
 	// and no pending updates.
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 3), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 3), 0))
 	ctx, _ := dlbcore.Init(sys, 1, cpuset.Range(0, 3), dlbcore.Options{DROM: true})
 	defer ctx.Finalize()
 	rt := NewBound(cpuset.Range(0, 3))

@@ -326,7 +326,7 @@ func TestSubmitAfterShutdownPanics(t *testing.T) {
 // follows at a task boundary, not at the end of the whole task batch.
 func TestDLBTaskGranularityShrink(t *testing.T) {
 	reg := shmem.NewRegistry()
-	sys := core.NewSystem(reg.Open("node0", cpuset.Range(0, 7), 0))
+	sys := core.NewSystem(reg.MustOpen("node0", cpuset.Range(0, 7), 0))
 	ctx, code := dlbcore.Init(sys, 1, cpuset.Range(0, 7), dlbcore.Options{DROM: true})
 	if code.IsError() {
 		t.Fatal(code)

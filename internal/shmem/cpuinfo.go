@@ -20,14 +20,14 @@ type cpuState struct {
 }
 
 // CPUOwner returns the owner PID of a CPU (0 if unowned).
-func (s *Segment) CPUOwner(cpu int) PID {
+func (s *MemSegment) CPUOwner(cpu int) PID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cpus[cpu].owner
 }
 
 // CPUGuest returns the guest PID of a CPU (0 if idle).
-func (s *Segment) CPUGuest(cpu int) PID {
+func (s *MemSegment) CPUGuest(cpu int) PID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cpus[cpu].guest
@@ -35,7 +35,7 @@ func (s *Segment) CPUGuest(cpu int) PID {
 
 // ClaimCPUs records pid as owner and guest of every CPU in mask.
 // It fails with ErrPerm if any CPU is already owned by another process.
-func (s *Segment) ClaimCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) ClaimCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var bad bool
@@ -58,7 +58,7 @@ func (s *Segment) ClaimCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 }
 
 // ReleaseCPUs clears ownership of every CPU in mask owned by pid.
-func (s *Segment) ReleaseCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) ReleaseCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mask.ForEach(func(c int) bool {
@@ -74,7 +74,7 @@ func (s *Segment) ReleaseCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 // TransferCPUs moves ownership of mask from one pid to another,
 // preserving guest state when the guest was the old owner. Used by the
 // SLURM integration when a finished job's CPUs are redistributed.
-func (s *Segment) TransferCPUs(from, to PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) TransferCPUs(from, to PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var bad bool
@@ -106,7 +106,7 @@ func (s *Segment) TransferCPUs(from, to PID, mask cpuset.CPUSet) derr.Code {
 // stops running on them and they become available for borrowing.
 // CPUs in mask not owned by pid are ignored if currently guested by
 // pid as a borrower — lending a borrowed CPU returns it instead.
-func (s *Segment) LendCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) LendCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st := s.statsOf(pid); st != nil && !mask.IsEmpty() {
@@ -145,7 +145,7 @@ func (s *Segment) LendCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
 // guest and returns the acquired mask. max < 0 means "as many as
 // available". Prefers CPUs whose owner is 0 (free) first, then lent
 // CPUs, in ascending CPU order within the node set.
-func (s *Segment) BorrowCPUs(pid PID, max int) cpuset.CPUSet {
+func (s *MemSegment) BorrowCPUs(pid PID, max int) cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var got cpuset.CPUSet
@@ -188,7 +188,7 @@ func (s *Segment) BorrowCPUs(pid PID, max int) cpuset.CPUSet {
 // cleared) and included in the returned "recovered" mask. CPUs
 // currently guested by a borrower are flagged reclaimPending and
 // reported in the "pending" mask.
-func (s *Segment) ReclaimCPUs(pid PID, mask cpuset.CPUSet) (recovered, pending cpuset.CPUSet) {
+func (s *MemSegment) ReclaimCPUs(pid PID, mask cpuset.CPUSet) (recovered, pending cpuset.CPUSet) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mask.ForEach(func(c int) bool {
@@ -217,7 +217,7 @@ func (s *Segment) ReclaimCPUs(pid PID, mask cpuset.CPUSet) (recovered, pending c
 
 // PollReclaim returns the CPUs guested by pid whose owner wants them
 // back. The borrower is expected to call LendCPUs (return) on them.
-func (s *Segment) PollReclaim(pid PID) cpuset.CPUSet {
+func (s *MemSegment) PollReclaim(pid PID) cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m cpuset.CPUSet
@@ -231,7 +231,7 @@ func (s *Segment) PollReclaim(pid PID) cpuset.CPUSet {
 }
 
 // GuestMask returns all CPUs currently guested by pid (owned + borrowed).
-func (s *Segment) GuestMask(pid PID) cpuset.CPUSet {
+func (s *MemSegment) GuestMask(pid PID) cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m cpuset.CPUSet
@@ -244,7 +244,7 @@ func (s *Segment) GuestMask(pid PID) cpuset.CPUSet {
 }
 
 // OwnerMask returns all CPUs owned by pid.
-func (s *Segment) OwnerMask(pid PID) cpuset.CPUSet {
+func (s *MemSegment) OwnerMask(pid PID) cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m cpuset.CPUSet
@@ -257,7 +257,7 @@ func (s *Segment) OwnerMask(pid PID) cpuset.CPUSet {
 }
 
 // LentMask returns all CPUs currently marked lent (idle or borrowed).
-func (s *Segment) LentMask() cpuset.CPUSet {
+func (s *MemSegment) LentMask() cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m cpuset.CPUSet
@@ -270,7 +270,7 @@ func (s *Segment) LentMask() cpuset.CPUSet {
 }
 
 // IdleMask returns CPUs with no guest: lendable capacity on the node.
-func (s *Segment) IdleMask() cpuset.CPUSet {
+func (s *MemSegment) IdleMask() cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m cpuset.CPUSet

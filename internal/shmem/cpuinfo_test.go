@@ -92,7 +92,7 @@ func TestLendBorrowReturn(t *testing.T) {
 
 func TestBorrowPrefersFreeCPUs(t *testing.T) {
 	r := NewRegistry()
-	s := r.Open("n", cpuset.Range(0, 7), 0)
+	s := r.MustOpen("n", cpuset.Range(0, 7), 0)
 	s.ClaimCPUs(1, cpuset.Range(0, 3))
 	s.LendCPUs(1, cpuset.Range(0, 3))
 	// CPUs 4-7 are unowned; they must be taken before lent ones.
@@ -184,7 +184,7 @@ func TestPropertyLewiInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		reg := NewRegistry()
-		s := reg.Open("n", cpuset.Range(0, 15), 0)
+		s := reg.MustOpen("n", cpuset.Range(0, 15), 0)
 		s.ClaimCPUs(1, cpuset.Range(0, 7))
 		s.ClaimCPUs(2, cpuset.Range(8, 15))
 		pids := []PID{1, 2}

@@ -1,0 +1,419 @@
+package shmem
+
+// Fault-injecting backend: a seeded wrapper around any inner backend
+// that makes the registry unreliable in controlled, reproducible ways,
+// opening the registry-failure scenario class for the controller and
+// schedd (can the scheduler survive a flaky shared-memory segment with
+// degraded metrics rather than a panic?).
+//
+// Fault model — deliberately asymmetric, mirroring where a real DLB
+// deployment hurts:
+//
+//   - the administrative staging surface (RegisterPreInit, SetFuture,
+//     SetStolen, SetResizeRequest — the controller's writes) can fail
+//     loudly (derr.ErrNoShmem, a partitioned segment) or silently
+//     drop (reported Success, nothing written — a torn update);
+//   - the administrative read surface (Lookup, StatsOf) can fail with
+//     ErrNoShmem, and the table/mask reads can be served from a stale
+//     snapshot captured before the most recent write;
+//   - the application side (Register, ApplyFuture, the LeWI calls) is
+//     never faulted: the processes on the node keep running; it is the
+//     coordination layer that degrades.
+//
+// Every faultable call draws exactly one value from the seeded RNG
+// (even when all rates are zero), so a run's fault pattern is a pure
+// function of the seed and the operation sequence — which is also what
+// makes Fork deterministic: the child re-seeds from the parent's seed
+// and draw count without consuming parent randomness.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+// FaultConfig parameterizes a FaultBackend. Rates are probabilities in
+// [0, 1], drawn independently per call in the order listed here.
+type FaultConfig struct {
+	// Seed makes the fault pattern reproducible.
+	Seed int64
+	// WriteFailRate: admin staging writes return ErrNoShmem.
+	WriteFailRate float64
+	// WriteDropRate: admin staging writes report Success but write
+	// nothing (checked only when the write did not already fail).
+	WriteDropRate float64
+	// ReadFailRate: Lookup/StatsOf return ErrNoShmem / not-found.
+	ReadFailRate float64
+	// StaleReadRate: table and mask reads are served from a snapshot
+	// captured before the most recent successful admin write.
+	StaleReadRate float64
+}
+
+// FaultCounts reports how many faults a backend has injected, for
+// assertions and degraded-metrics plumbing.
+type FaultCounts struct {
+	WriteFails int64
+	WriteDrops int64
+	ReadFails  int64
+	StaleReads int64
+}
+
+// FaultBackend wraps an inner backend and injects seeded faults into
+// the administrative call surface of every segment opened through it.
+type FaultBackend struct {
+	inner Backend
+	cfg   FaultConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	draws  int64
+	counts FaultCounts
+	segs   map[string]*FaultSegment
+}
+
+// NewFaultBackend wraps inner with the given fault configuration.
+func NewFaultBackend(inner Backend, cfg FaultConfig) *FaultBackend {
+	return &FaultBackend{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		segs:  make(map[string]*FaultSegment),
+	}
+}
+
+// Kind identifies the backend, including what it wraps.
+func (b *FaultBackend) Kind() string { return "fault+" + b.inner.Kind() }
+
+// Config returns the fault configuration.
+func (b *FaultBackend) Config() FaultConfig { return b.cfg }
+
+// Counts returns the faults injected so far.
+func (b *FaultBackend) Counts() FaultCounts {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts
+}
+
+// draw consumes one RNG value and reports whether an event with
+// probability rate fires. Always consumes, so the draw count — and
+// with it Fork's re-seed — is independent of the configured rates.
+func (b *FaultBackend) draw(rate float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.draws++
+	return b.rng.Float64() < rate
+}
+
+// Open wraps the inner segment in the fault injector. Wrappers are
+// cached so the stale-read snapshot survives repeated opens.
+func (b *FaultBackend) Open(name string, nodeCPUs cpuset.CPUSet, maxProcs int) (Segment, error) {
+	inner, err := b.inner.Open(name, nodeCPUs, maxProcs)
+	if err != nil {
+		return nil, err
+	}
+	return b.wrap(name, inner), nil
+}
+
+// Get returns the wrapped named segment or nil.
+func (b *FaultBackend) Get(name string) Segment {
+	inner := b.inner.Get(name)
+	if inner == nil {
+		return nil
+	}
+	return b.wrap(name, inner)
+}
+
+func (b *FaultBackend) wrap(name string, inner Segment) *FaultSegment {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.segs[name]; ok && s.inner == inner {
+		return s
+	}
+	s := &FaultSegment{b: b, inner: inner}
+	b.segs[name] = s
+	return s
+}
+
+// Delete removes the named segment from the inner backend.
+func (b *FaultBackend) Delete(name string) {
+	b.mu.Lock()
+	delete(b.segs, name)
+	b.mu.Unlock()
+	b.inner.Delete(name)
+}
+
+// Names returns the inner backend's segment names.
+func (b *FaultBackend) Names() []string { return b.inner.Names() }
+
+// AllocPID delegates to the inner backend.
+func (b *FaultBackend) AllocPID() PID { return b.inner.AllocPID() }
+
+// Close closes the inner backend.
+func (b *FaultBackend) Close() error { return b.inner.Close() }
+
+// fork forwards to the inner backend's fork and re-seeds the child
+// deterministically from the configured seed and the parent's draw
+// count — the parent's RNG stream is not consumed, so forking is
+// invisible to the parent's fault pattern.
+func (b *FaultBackend) fork() Backend {
+	b.mu.Lock()
+	seed := b.cfg.Seed*1000003 + b.draws + 1
+	inner := b.inner
+	cfg := b.cfg
+	b.mu.Unlock()
+	nb := &FaultBackend{
+		inner: inner.fork(),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		segs:  make(map[string]*FaultSegment),
+	}
+	return nb
+}
+
+// FaultSegment injects faults into the administrative surface of one
+// segment; everything else forwards to the inner implementation.
+type FaultSegment struct {
+	b     *FaultBackend
+	inner Segment
+
+	mu sync.Mutex
+	// snap holds a private copy of the segment captured just before
+	// the most recent successful admin write; stale reads serve from
+	// it. Nil until the first write goes through.
+	snap Segment
+}
+
+// Inner exposes the wrapped segment (tests, diagnostics).
+func (s *FaultSegment) Inner() Segment { return s.inner }
+
+// failWrite draws the write-fault decision for one staging call:
+// fail (ErrNoShmem), drop (pretend Success), or pass. On pass it
+// refreshes the stale-read snapshot with the pre-write state.
+func (s *FaultSegment) failWrite() (code derr.Code, done bool) {
+	if s.b.draw(s.b.cfg.WriteFailRate) {
+		s.b.mu.Lock()
+		s.b.counts.WriteFails++
+		s.b.mu.Unlock()
+		return derr.ErrNoShmem, true
+	}
+	if s.b.draw(s.b.cfg.WriteDropRate) {
+		s.b.mu.Lock()
+		s.b.counts.WriteDrops++
+		s.b.mu.Unlock()
+		return derr.Success, true
+	}
+	s.mu.Lock()
+	s.snap = s.inner.fork()
+	s.mu.Unlock()
+	return derr.Success, false
+}
+
+// failRead draws the read-fault decision for Lookup/StatsOf.
+func (s *FaultSegment) failRead() bool {
+	if s.b.draw(s.b.cfg.ReadFailRate) {
+		s.b.mu.Lock()
+		s.b.counts.ReadFails++
+		s.b.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// staleSource returns the snapshot to serve a table read from, or the
+// live segment when no stale fault fires (or no snapshot exists yet).
+func (s *FaultSegment) staleSource() Segment {
+	if s.b.draw(s.b.cfg.StaleReadRate) {
+		s.mu.Lock()
+		snap := s.snap
+		s.mu.Unlock()
+		if snap != nil {
+			s.b.mu.Lock()
+			s.b.counts.StaleReads++
+			s.b.mu.Unlock()
+			return snap
+		}
+	}
+	return s.inner
+}
+
+// Name returns the segment's registry name.
+func (s *FaultSegment) Name() string { return s.inner.Name() }
+
+// NodeCPUs returns the full CPU set of the node this segment serves.
+func (s *FaultSegment) NodeCPUs() cpuset.CPUSet { return s.inner.NodeCPUs() }
+
+// MaxProcs returns the capacity of the procinfo table.
+func (s *FaultSegment) MaxProcs() int { return s.inner.MaxProcs() }
+
+// Register forwards unfaulted: the application side keeps working.
+func (s *FaultSegment) Register(pid PID, mask cpuset.CPUSet) derr.Code {
+	return s.inner.Register(pid, mask)
+}
+
+// RegisterPreInit is an admin staging write; faultable.
+func (s *FaultSegment) RegisterPreInit(pid PID, mask cpuset.CPUSet, stolen []Theft) derr.Code {
+	if code, done := s.failWrite(); done {
+		return code
+	}
+	return s.inner.RegisterPreInit(pid, mask, stolen)
+}
+
+// Unregister forwards unfaulted (process exit always lands).
+func (s *FaultSegment) Unregister(pid PID) derr.Code { return s.inner.Unregister(pid) }
+
+// Lookup is an admin read; faultable with ErrNoShmem.
+func (s *FaultSegment) Lookup(pid PID) (ProcEntry, derr.Code) {
+	if s.failRead() {
+		return ProcEntry{}, derr.ErrNoShmem
+	}
+	return s.staleSource().Lookup(pid)
+}
+
+// PIDList may serve a stale snapshot.
+func (s *FaultSegment) PIDList() []PID { return s.staleSource().PIDList() }
+
+// NumProcs may serve a stale snapshot.
+func (s *FaultSegment) NumProcs() int { return s.staleSource().NumProcs() }
+
+// UsedMask may serve a stale snapshot.
+func (s *FaultSegment) UsedMask() cpuset.CPUSet { return s.staleSource().UsedMask() }
+
+// FreeMask may serve a stale snapshot.
+func (s *FaultSegment) FreeMask() cpuset.CPUSet { return s.staleSource().FreeMask() }
+
+// EffectiveUsedMask may serve a stale snapshot — this is the read the
+// controller's effective-free cache rebuilds from, so staleness here
+// exercises the cache-invalidation contract.
+func (s *FaultSegment) EffectiveUsedMask() cpuset.CPUSet { return s.staleSource().EffectiveUsedMask() }
+
+// ResolveThefts is an admin staging write when steal is set; the
+// read-only planning call passes through.
+func (s *FaultSegment) ResolveThefts(pid PID, mask cpuset.CPUSet, steal bool) ([]Theft, derr.Code) {
+	if steal {
+		if code, done := s.failWrite(); done {
+			return nil, code
+		}
+	}
+	return s.inner.ResolveThefts(pid, mask, steal)
+}
+
+// SetFuture is an admin staging write; faultable.
+func (s *FaultSegment) SetFuture(pid PID, mask cpuset.CPUSet) derr.Code {
+	if code, done := s.failWrite(); done {
+		return code
+	}
+	return s.inner.SetFuture(pid, mask)
+}
+
+// ApplyFuture forwards unfaulted (the application's poll point).
+func (s *FaultSegment) ApplyFuture(pid PID) (cpuset.CPUSet, derr.Code) {
+	return s.inner.ApplyFuture(pid)
+}
+
+// SetResizeRequest is an admin staging write; faultable.
+func (s *FaultSegment) SetResizeRequest(pid PID, n int) derr.Code {
+	if code, done := s.failWrite(); done {
+		return code
+	}
+	return s.inner.SetResizeRequest(pid, n)
+}
+
+// SetStolen is an admin staging write; faultable.
+func (s *FaultSegment) SetStolen(pid PID, stolen []Theft) derr.Code {
+	if code, done := s.failWrite(); done {
+		return code
+	}
+	return s.inner.SetStolen(pid, stolen)
+}
+
+// StatsOf is an admin read; faultable as not-found.
+func (s *FaultSegment) StatsOf(pid PID) (Stats, bool) {
+	if s.failRead() {
+		return Stats{}, false
+	}
+	return s.staleSource().StatsOf(pid)
+}
+
+// Snapshot may serve a stale snapshot.
+func (s *FaultSegment) Snapshot() []ProcEntry { return s.staleSource().Snapshot() }
+
+// CPUOwner forwards unfaulted (LeWI belongs to the processes).
+func (s *FaultSegment) CPUOwner(cpu int) PID { return s.inner.CPUOwner(cpu) }
+
+// CPUGuest forwards unfaulted.
+func (s *FaultSegment) CPUGuest(cpu int) PID { return s.inner.CPUGuest(cpu) }
+
+// ClaimCPUs forwards unfaulted.
+func (s *FaultSegment) ClaimCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	return s.inner.ClaimCPUs(pid, mask)
+}
+
+// ReleaseCPUs forwards unfaulted.
+func (s *FaultSegment) ReleaseCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	return s.inner.ReleaseCPUs(pid, mask)
+}
+
+// TransferCPUs forwards unfaulted.
+func (s *FaultSegment) TransferCPUs(from, to PID, mask cpuset.CPUSet) derr.Code {
+	return s.inner.TransferCPUs(from, to, mask)
+}
+
+// LendCPUs forwards unfaulted.
+func (s *FaultSegment) LendCPUs(pid PID, mask cpuset.CPUSet) derr.Code {
+	return s.inner.LendCPUs(pid, mask)
+}
+
+// BorrowCPUs forwards unfaulted.
+func (s *FaultSegment) BorrowCPUs(pid PID, max int) cpuset.CPUSet {
+	return s.inner.BorrowCPUs(pid, max)
+}
+
+// ReclaimCPUs forwards unfaulted.
+func (s *FaultSegment) ReclaimCPUs(pid PID, mask cpuset.CPUSet) (recovered, pending cpuset.CPUSet) {
+	return s.inner.ReclaimCPUs(pid, mask)
+}
+
+// PollReclaim forwards unfaulted.
+func (s *FaultSegment) PollReclaim(pid PID) cpuset.CPUSet { return s.inner.PollReclaim(pid) }
+
+// GuestMask forwards unfaulted.
+func (s *FaultSegment) GuestMask(pid PID) cpuset.CPUSet { return s.inner.GuestMask(pid) }
+
+// OwnerMask forwards unfaulted.
+func (s *FaultSegment) OwnerMask(pid PID) cpuset.CPUSet { return s.inner.OwnerMask(pid) }
+
+// LentMask forwards unfaulted.
+func (s *FaultSegment) LentMask() cpuset.CPUSet { return s.inner.LentMask() }
+
+// IdleMask forwards unfaulted.
+func (s *FaultSegment) IdleMask() cpuset.CPUSet { return s.inner.IdleMask() }
+
+// Generation forwards unfaulted — the change detector must stay
+// truthful or waiters would spin forever.
+func (s *FaultSegment) Generation() uint64 { return s.inner.Generation() }
+
+// WaitClean forwards unfaulted.
+func (s *FaultSegment) WaitClean(pid PID, cancel <-chan struct{}) derr.Code {
+	return s.inner.WaitClean(pid, cancel)
+}
+
+// Watch forwards unfaulted.
+func (s *FaultSegment) Watch(pid PID) <-chan struct{} { return s.inner.Watch(pid) }
+
+// Unwatch forwards unfaulted.
+func (s *FaultSegment) Unwatch(pid PID, ch <-chan struct{}) { s.inner.Unwatch(pid, ch) }
+
+// WatcherCount forwards unfaulted.
+func (s *FaultSegment) WatcherCount(pid PID) int { return s.inner.WatcherCount(pid) }
+
+// fork forwards to the inner segment: a what-if fork gets a private,
+// fault-free copy of the state (the fault stream belongs to the
+// backend, and FaultBackend.fork re-seeds it there).
+func (s *FaultSegment) fork() Segment { return s.inner.fork() }
+
+var _ Backend = (*FaultBackend)(nil)
+var _ Segment = (*FaultSegment)(nil)
+var _ fmt.Stringer = (*Registry)(nil)

@@ -1,0 +1,173 @@
+package shmem
+
+// Fault-injection behaviors: loud write failures, silent write drops,
+// read failures, stale reads served from a pre-write snapshot, the
+// asymmetry that leaves the application side untouched, and the
+// determinism of the seeded stream.
+
+import (
+	"testing"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+func faultSeg(t *testing.T, cfg FaultConfig) (*FaultBackend, Segment) {
+	t.Helper()
+	b := NewFaultBackend(NewMemBackend(), cfg)
+	s, err := b.Open("n", cpuset.Range(0, 15), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, s
+}
+
+func TestFaultWriteFailAlwaysFires(t *testing.T) {
+	b, s := faultSeg(t, FaultConfig{Seed: 1, WriteFailRate: 1})
+	s.Register(1, cpuset.Range(0, 7)) // app side: unfaulted
+	if code := s.SetFuture(1, cpuset.Range(0, 3)); code != derr.ErrNoShmem {
+		t.Fatalf("SetFuture = %v, want ErrNoShmem", code)
+	}
+	if code := s.SetResizeRequest(1, 4); code != derr.ErrNoShmem {
+		t.Fatalf("SetResizeRequest = %v", code)
+	}
+	if code := s.SetStolen(1, nil); code != derr.ErrNoShmem {
+		t.Fatalf("SetStolen = %v", code)
+	}
+	if code := s.RegisterPreInit(2, cpuset.Range(8, 15), nil); code != derr.ErrNoShmem {
+		t.Fatalf("RegisterPreInit = %v", code)
+	}
+	if e, _ := s.Lookup(1); e.Dirty {
+		t.Fatal("failed write mutated the segment")
+	}
+	if c := b.Counts(); c.WriteFails != 4 || c.WriteDrops != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFaultWriteDropPretendsSuccess(t *testing.T) {
+	b, s := faultSeg(t, FaultConfig{Seed: 1, WriteDropRate: 1})
+	s.Register(1, cpuset.Range(0, 7))
+	if code := s.SetFuture(1, cpuset.Range(0, 3)); code != derr.Success {
+		t.Fatalf("dropped SetFuture = %v, want fake Success", code)
+	}
+	e, code := s.Lookup(1)
+	if code != derr.Success || e.Dirty {
+		t.Fatalf("dropped write landed: %+v/%v", e, code)
+	}
+	if c := b.Counts(); c.WriteDrops != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFaultReadFail(t *testing.T) {
+	b, s := faultSeg(t, FaultConfig{Seed: 1, ReadFailRate: 1})
+	s.Register(1, cpuset.Range(0, 7))
+	if _, code := s.Lookup(1); code != derr.ErrNoShmem {
+		t.Fatalf("Lookup = %v", code)
+	}
+	if _, ok := s.StatsOf(1); ok {
+		t.Fatal("StatsOf succeeded under read faults")
+	}
+	if c := b.Counts(); c.ReadFails != 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFaultStaleReadServesPreWriteState(t *testing.T) {
+	b, s := faultSeg(t, FaultConfig{Seed: 1, StaleReadRate: 1})
+	s.Register(1, cpuset.Range(0, 7))
+	// First successful write snapshots the pre-write state (pid 1
+	// registered, nothing staged).
+	if code := s.SetFuture(1, cpuset.Range(0, 3)); code != derr.Success {
+		t.Fatalf("SetFuture = %v", code)
+	}
+	// All table reads now serve the snapshot: the staged mask is
+	// invisible, like a reader hitting a torn page.
+	e, code := s.Lookup(1)
+	if code != derr.Success {
+		t.Fatalf("Lookup = %v", code)
+	}
+	if e.Dirty {
+		t.Fatal("stale read saw the post-write state")
+	}
+	if got := s.EffectiveUsedMask(); !got.Equal(cpuset.Range(0, 7)) {
+		t.Fatalf("stale EffectiveUsedMask = %v", got)
+	}
+	if c := b.Counts(); c.StaleReads < 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// The truth is still in the inner segment.
+	inner := s.(*FaultSegment).Inner()
+	if e, _ := inner.Lookup(1); !e.Dirty {
+		t.Fatal("inner segment lost the write")
+	}
+}
+
+func TestFaultAppSideNeverFaulted(t *testing.T) {
+	_, s := faultSeg(t, FaultConfig{Seed: 1, WriteFailRate: 1, ReadFailRate: 1, StaleReadRate: 1})
+	if code := s.Register(1, cpuset.Range(0, 7)); code != derr.Success {
+		t.Fatalf("Register = %v", code)
+	}
+	if code := s.ClaimCPUs(1, cpuset.Range(0, 7)); code != derr.Success {
+		t.Fatalf("ClaimCPUs = %v", code)
+	}
+	if code := s.LendCPUs(1, cpuset.Range(4, 7)); code != derr.Success {
+		t.Fatalf("LendCPUs = %v", code)
+	}
+	if _, code := s.ApplyFuture(1); code != derr.NoUpdate {
+		t.Fatalf("ApplyFuture = %v", code)
+	}
+	if code := s.Unregister(1); code != derr.Success {
+		t.Fatalf("Unregister = %v", code)
+	}
+}
+
+func TestFaultStreamDeterministic(t *testing.T) {
+	run := func() []derr.Code {
+		_, s := faultSeg(t, FaultConfig{Seed: 42, WriteFailRate: 0.3, WriteDropRate: 0.3})
+		s.Register(1, cpuset.Range(0, 7))
+		out := make([]derr.Code, 0, 64)
+		for i := 0; i < 64; i++ {
+			out = append(out, s.SetFuture(1, cpuset.Range(0, 3)))
+			s.ApplyFuture(1)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream differs at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// With these rates both fault classes must appear in 64 draws.
+	fails := 0
+	for _, c := range a {
+		if c == derr.ErrNoShmem {
+			fails++
+		}
+	}
+	if fails == 0 || fails == 64 {
+		t.Fatalf("implausible fault count %d/64", fails)
+	}
+}
+
+func TestFaultOverFileBackend(t *testing.T) {
+	inner := newFileBackend(t, t.TempDir())
+	b := NewFaultBackend(inner, FaultConfig{Seed: 3, WriteFailRate: 1})
+	if b.Kind() != "fault+file" {
+		t.Fatalf("kind = %q", b.Kind())
+	}
+	s, err := b.Open("n", cpuset.Range(0, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Register(1, cpuset.Range(0, 3))
+	if code := s.SetFuture(1, cpuset.Range(0, 1)); code != derr.ErrNoShmem {
+		t.Fatalf("SetFuture over file = %v", code)
+	}
+	// The file itself never saw the write.
+	if e, _ := inner.Get("n").Lookup(1); e.Dirty {
+		t.Fatal("faulted write reached the file")
+	}
+}

@@ -1,0 +1,135 @@
+package shmem
+
+// Per-backend Fork semantics: in-memory deep-clones, file-backed forks
+// to a private in-memory copy, fault-injecting forwards to the inner
+// fork and re-seeds deterministically. The registry-level fork/replay
+// differential guarantees are exercised end to end by PR 9's suite in
+// internal/slurm and internal/workload; these tests pin the backend
+// contracts directly.
+
+import (
+	"testing"
+
+	"repro/internal/cpuset"
+	"repro/internal/derr"
+)
+
+func TestForkMemDeepClones(t *testing.T) {
+	r := NewRegistry()
+	s := r.MustOpen("n", cpuset.Range(0, 15), 0)
+	s.Register(1, cpuset.Range(0, 7))
+	s.ClaimCPUs(1, cpuset.Range(0, 7))
+	gen := s.Generation()
+
+	f := r.Fork()
+	fs := f.Get("n")
+	if fs == nil {
+		t.Fatal("fork lost segment")
+	}
+	if fs.Generation() != gen {
+		t.Fatalf("fork generation = %d, want %d", fs.Generation(), gen)
+	}
+	// Divergence is two-way isolated.
+	fs.SetFuture(1, cpuset.Range(0, 3))
+	if e, _ := s.Lookup(1); e.Dirty {
+		t.Fatal("parent saw child's staged mask")
+	}
+	s.Register(2, cpuset.Range(8, 15))
+	if _, code := fs.Lookup(2); code != derr.ErrNoProc {
+		t.Fatal("child saw parent's new registration")
+	}
+	// PID allocation continues without collision in both lines.
+	if p, fp := r.AllocPID(), f.AllocPID(); p != fp {
+		t.Fatalf("fork PID sequences diverged at first draw: %d vs %d", p, fp)
+	}
+}
+
+func TestForkFileYieldsPrivateMemCopy(t *testing.T) {
+	dir := t.TempDir()
+	fb := newFileBackend(t, dir)
+	r := NewRegistryWith(fb)
+	s, err := r.Open("n", cpuset.Range(0, 15), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Register(1, cpuset.Range(0, 7))
+	fb.AllocPID() // seed the shared counter file
+
+	f := r.Fork()
+	if kind := f.Backend().Kind(); kind != "mem" {
+		t.Fatalf("file fork backend kind = %q, want mem", kind)
+	}
+	fs := f.Get("n")
+	if fs == nil {
+		t.Fatal("fork lost segment")
+	}
+	if e, code := fs.Lookup(1); code != derr.Success || !e.CurrentMask.Equal(cpuset.Range(0, 7)) {
+		t.Fatalf("forked entry = %+v/%v", e, code)
+	}
+	// Mutating the fork must not touch the live file.
+	fs.SetFuture(1, cpuset.Range(0, 3))
+	fs.Register(2, cpuset.Range(8, 15))
+	if e, _ := s.Lookup(1); e.Dirty {
+		t.Fatal("file segment saw fork's staged mask")
+	}
+	if n := s.NumProcs(); n != 1 {
+		t.Fatalf("file segment procs = %d after fork mutation", n)
+	}
+	// And the fork continues the shared PID sequence.
+	if p := f.AllocPID(); p <= 1000 {
+		t.Fatalf("fork AllocPID = %d", p)
+	}
+}
+
+func TestForkFaultReseedsDeterministically(t *testing.T) {
+	mk := func() *Registry {
+		fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 7, WriteFailRate: 0.5})
+		r := NewRegistryWith(fb)
+		s := r.MustOpen("n", cpuset.Range(0, 15), 0)
+		s.Register(1, cpuset.Range(0, 7))
+		// Burn a fixed number of fault draws.
+		for i := 0; i < 10; i++ {
+			s.SetFuture(1, cpuset.Range(0, 3))
+		}
+		return r
+	}
+	drive := func(r *Registry) []derr.Code {
+		s := r.Get("n")
+		out := make([]derr.Code, 0, 16)
+		for i := 0; i < 16; i++ {
+			out = append(out, s.SetFuture(1, cpuset.Range(0, 7)))
+		}
+		return out
+	}
+	// Two identical histories fork into identical fault streams.
+	a, b := mk().Fork(), mk().Fork()
+	if ka := a.Backend().Kind(); ka != "fault+mem" {
+		t.Fatalf("fault fork kind = %q", ka)
+	}
+	ca, cb := drive(a), drive(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("fork fault streams diverge at op %d: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+	// The fork's stream must include real faults (rate 0.5 over 16 ops
+	// failing to fault even once would be a re-seed bug).
+	saw := false
+	for _, c := range ca {
+		if c == derr.ErrNoShmem {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("forked fault backend never injected a fault")
+	}
+	// Forking does not perturb the parent's own fault stream.
+	p1, p2 := mk(), mk()
+	_ = p1.Fork()
+	s1, s2 := p1.Get("n"), p2.Get("n")
+	for i := 0; i < 16; i++ {
+		if c1, c2 := s1.SetFuture(1, cpuset.Range(0, 5)), s2.SetFuture(1, cpuset.Range(0, 5)); c1 != c2 {
+			t.Fatalf("parent stream perturbed by fork at op %d: %v vs %v", i, c1, c2)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package shmem
+
+// FuzzDecodeSegment: the file-backed segment decoder must never panic
+// and never accept structurally inconsistent input, because the file
+// is written by other OS processes we do not control (and "corrupt
+// segment" is an explicit fault class of the fault backend). Accepted
+// inputs must satisfy the round-trip fixed point
+// encode(decode(x)) == x — the sorted-PID encoder makes the encoding
+// canonical, so any accepted file IS the canonical encoding of its
+// state.
+//
+// The committed seed corpus (testdata/fuzz/FuzzDecodeSegment, written
+// by TestSegFuzzCorpusCommitted on first run) covers the structural
+// branches: empty segment, populated tables, theft lists, plus the
+// truncation/corruption rejections. Plain `go test` replays both the
+// f.Add seeds and the committed corpus; `go test -fuzz` explores.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cpuset"
+)
+
+// fuzzSeedSegments builds the canonical encodings used as seeds.
+func fuzzSeedSegments() [][]byte {
+	empty := newSegment("n0", cpuset.Range(0, 15), 8)
+
+	busy := newSegment("node-busy", cpuset.Range(0, 31), 16)
+	busy.Register(1001, cpuset.Range(0, 7))
+	busy.Register(1002, cpuset.Range(8, 15))
+	busy.ClaimCPUs(1001, cpuset.Range(0, 7))
+	busy.ClaimCPUs(1002, cpuset.Range(8, 15))
+	busy.LendCPUs(1001, cpuset.Range(4, 7))
+	busy.BorrowCPUs(1002, 2)
+	busy.SetFuture(1001, cpuset.Range(0, 3))
+	busy.SetResizeRequest(1002, 12)
+
+	theft := newSegment("node-theft", cpuset.Range(0, 15), 8)
+	theft.Register(2001, cpuset.Range(0, 15))
+	theft.RegisterPreInit(2002, cpuset.Range(8, 15),
+		[]Theft{{Victim: 2001, Mask: cpuset.Range(8, 15)}})
+
+	return [][]byte{
+		encodeSegment(empty),
+		encodeSegment(busy),
+		encodeSegment(theft),
+	}
+}
+
+func FuzzDecodeSegment(f *testing.F) {
+	for _, seed := range fuzzSeedSegments() {
+		f.Add(seed)
+		// Truncations and bit flips of valid encodings are the
+		// highest-value mutations; seed a few directly.
+		f.Add(seed[:len(seed)/2])
+		flipped := append([]byte{}, seed...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DROMSEG\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeSegment(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted input: must be the canonical encoding of its state.
+		enc := encodeSegment(m)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, enc)
+		}
+		m2, err := decodeSegment(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(encodeSegment(m2), enc) {
+			t.Fatal("encode/decode is not a fixed point")
+		}
+		// The decoded state must be usable without panicking.
+		m.Snapshot()
+		m.UsedMask()
+		m.EffectiveUsedMask()
+		m.PIDList()
+	})
+}
+
+// TestSegFuzzCorpusCommitted materializes the seed corpus under
+// testdata/fuzz/FuzzDecodeSegment (the directory `go test` replays
+// automatically) and verifies every committed entry still decodes the
+// way it did when written. Regenerate by deleting the directory.
+func TestSegFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSegment")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeedSegments() {
+		path := filepath.Join(dir, fmt.Sprintf("seed-valid-%d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := decodeSegment(seed); err != nil {
+			t.Errorf("committed seed %d no longer decodes: %v", i, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) < 3 {
+		t.Fatalf("corpus dir: %v entries, err=%v", len(ents), err)
+	}
+}

@@ -14,7 +14,6 @@
 package shmem
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,9 +72,13 @@ func (e *ProcEntry) clone() *ProcEntry {
 	return &c
 }
 
-// Segment is one node's shared memory: a procinfo table plus a cpuinfo
-// table, guarded by a single mutex like DLB's lock-protected segment.
-type Segment struct {
+// MemSegment is the in-memory segment implementation — one node's
+// shared memory: a procinfo table plus a cpuinfo table, guarded by a
+// single mutex like DLB's lock-protected segment. It is the default
+// backend's segment and the reference semantics every other backend
+// must match (the file backend literally runs these methods on a
+// decoded MemSegment under the file lock).
+type MemSegment struct {
 	name     string
 	nodeCPUs cpuset.CPUSet
 	maxProcs int
@@ -91,16 +94,16 @@ type Segment struct {
 }
 
 // Name returns the segment's registry name.
-func (s *Segment) Name() string { return s.name }
+func (s *MemSegment) Name() string { return s.name }
 
 // NodeCPUs returns the full CPU set of the node this segment serves.
-func (s *Segment) NodeCPUs() cpuset.CPUSet { return s.nodeCPUs }
+func (s *MemSegment) NodeCPUs() cpuset.CPUSet { return s.nodeCPUs }
 
 // MaxProcs returns the capacity of the procinfo table.
-func (s *Segment) MaxProcs() int { return s.maxProcs }
+func (s *MemSegment) MaxProcs() int { return s.maxProcs }
 
-func newSegment(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *Segment {
-	s := &Segment{
+func newSegment(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *MemSegment {
+	s := &MemSegment{
 		name:     name,
 		nodeCPUs: nodeCPUs,
 		maxProcs: maxProcs,
@@ -120,7 +123,7 @@ func newSegment(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *Segment {
 // Registering a pid that has a PreInit slot completes the two-phase
 // DROM_PreInit handshake: the process inherits the reserved mask and
 // the slot becomes a normal entry.
-func (s *Segment) Register(pid PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) Register(pid PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.procs[pid]; ok {
@@ -151,7 +154,7 @@ func (s *Segment) Register(pid PID, mask cpuset.CPUSet) derr.Code {
 // RegisterPreInit adds a PreInit slot on behalf of a process that will
 // attach later (the DROM_PreInit fork/exec window). The entry carries
 // the thefts used to build its mask so PostFinalize can undo them.
-func (s *Segment) RegisterPreInit(pid PID, mask cpuset.CPUSet, stolen []Theft) derr.Code {
+func (s *MemSegment) RegisterPreInit(pid PID, mask cpuset.CPUSet, stolen []Theft) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.procs[pid]; ok {
@@ -175,7 +178,7 @@ func (s *Segment) RegisterPreInit(pid PID, mask cpuset.CPUSet, stolen []Theft) d
 }
 
 // Unregister removes a process slot. It returns ErrNoProc if absent.
-func (s *Segment) Unregister(pid PID) derr.Code {
+func (s *MemSegment) Unregister(pid PID) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.procs[pid]; !ok {
@@ -196,7 +199,7 @@ func (s *Segment) Unregister(pid PID) derr.Code {
 }
 
 // Lookup returns a copy of the process entry.
-func (s *Segment) Lookup(pid PID) (ProcEntry, derr.Code) {
+func (s *MemSegment) Lookup(pid PID) (ProcEntry, derr.Code) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.procs[pid]
@@ -207,7 +210,7 @@ func (s *Segment) Lookup(pid PID) (ProcEntry, derr.Code) {
 }
 
 // PIDList returns the registered PIDs in ascending order.
-func (s *Segment) PIDList() []PID {
+func (s *MemSegment) PIDList() []PID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]PID, 0, len(s.procs))
@@ -219,7 +222,7 @@ func (s *Segment) PIDList() []PID {
 }
 
 // NumProcs returns the number of registered processes.
-func (s *Segment) NumProcs() int {
+func (s *MemSegment) NumProcs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.procs)
@@ -228,7 +231,7 @@ func (s *Segment) NumProcs() int {
 // UsedMask returns the union of the current masks of all registered
 // processes, including pending future masks of dirty entries (a CPU
 // promised to a process counts as used).
-func (s *Segment) UsedMask() cpuset.CPUSet {
+func (s *MemSegment) UsedMask() cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var u cpuset.CPUSet
@@ -242,7 +245,7 @@ func (s *Segment) UsedMask() cpuset.CPUSet {
 }
 
 // FreeMask returns the node CPUs not used by any registered process.
-func (s *Segment) FreeMask() cpuset.CPUSet {
+func (s *MemSegment) FreeMask() cpuset.CPUSet {
 	return s.nodeCPUs.AndNot(s.UsedMask())
 }
 
@@ -252,7 +255,7 @@ func (s *Segment) FreeMask() cpuset.CPUSet {
 // it gains are taken), the current mask otherwise. Unlike Snapshot,
 // this is a single allocation-free fold under the lock, cheap enough
 // for a resource manager to rescan one node on every cache miss.
-func (s *Segment) EffectiveUsedMask() cpuset.CPUSet {
+func (s *MemSegment) EffectiveUsedMask() cpuset.CPUSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var u cpuset.CPUSet
@@ -274,7 +277,7 @@ func (s *Segment) EffectiveUsedMask() cpuset.CPUSet {
 // Unlike walking Snapshot, this is a single pass under the lock with
 // no entry cloning: a resource manager that reserves only
 // effectively-free CPUs gets a nil slice back without allocating.
-func (s *Segment) ResolveThefts(pid PID, mask cpuset.CPUSet, steal bool) ([]Theft, derr.Code) {
+func (s *MemSegment) ResolveThefts(pid PID, mask cpuset.CPUSet, steal bool) ([]Theft, derr.Code) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var thefts []Theft
@@ -309,7 +312,7 @@ func (s *Segment) ResolveThefts(pid PID, mask cpuset.CPUSet, steal bool) ([]Thef
 // SetFuture stages a new mask for pid and marks the entry dirty. The
 // caller (DROM admin) is responsible for conflict checks; SetFuture
 // itself only validates the pid and mask.
-func (s *Segment) SetFuture(pid PID, mask cpuset.CPUSet) derr.Code {
+func (s *MemSegment) SetFuture(pid PID, mask cpuset.CPUSet) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.procs[pid]
@@ -329,7 +332,7 @@ func (s *Segment) SetFuture(pid PID, mask cpuset.CPUSet) derr.Code {
 // ApplyFuture is the target-process side of the protocol: if the entry
 // is dirty it promotes FutureMask to CurrentMask, clears the flag and
 // returns the new mask with Success; otherwise it returns NoUpdate.
-func (s *Segment) ApplyFuture(pid PID) (cpuset.CPUSet, derr.Code) {
+func (s *MemSegment) ApplyFuture(pid PID) (cpuset.CPUSet, derr.Code) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.procs[pid]
@@ -355,7 +358,7 @@ func (s *Segment) ApplyFuture(pid PID) (cpuset.CPUSet, derr.Code) {
 
 // SetResizeRequest records the process's own desired CPU count
 // (evolving-application request). n <= 0 clears the request.
-func (s *Segment) SetResizeRequest(pid PID, n int) derr.Code {
+func (s *MemSegment) SetResizeRequest(pid PID, n int) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.procs[pid]
@@ -372,7 +375,7 @@ func (s *Segment) SetResizeRequest(pid PID, n int) derr.Code {
 
 // SetStolen replaces the theft records of a pid (used when an admin
 // shrinks victims after the entry already exists).
-func (s *Segment) SetStolen(pid PID, stolen []Theft) derr.Code {
+func (s *MemSegment) SetStolen(pid PID, stolen []Theft) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.procs[pid]
@@ -385,7 +388,7 @@ func (s *Segment) SetStolen(pid PID, stolen []Theft) derr.Code {
 }
 
 // Generation returns the segment's mutation counter.
-func (s *Segment) Generation() uint64 {
+func (s *MemSegment) Generation() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.generation
@@ -396,7 +399,7 @@ func (s *Segment) Generation() uint64 {
 // mutations without the flag clearing (a coarse deadlock guard used to
 // implement synchronous-with-timeout semantics in virtual time). The
 // cancel channel aborts the wait.
-func (s *Segment) WaitClean(pid PID, cancel <-chan struct{}) derr.Code {
+func (s *MemSegment) WaitClean(pid PID, cancel <-chan struct{}) derr.Code {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -431,7 +434,7 @@ func (s *Segment) WaitClean(pid PID, cancel <-chan struct{}) derr.Code {
 // Watch subscribes to dirty-flag notifications for pid. The returned
 // channel receives a token whenever an administrator stages a mask for
 // pid. Used by the async helper-thread mode.
-func (s *Segment) Watch(pid PID) <-chan struct{} {
+func (s *MemSegment) Watch(pid PID) <-chan struct{} {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := make(chan struct{}, 1)
@@ -443,7 +446,7 @@ func (s *Segment) Watch(pid PID) <-chan struct{} {
 // watcher of a pid removes the pid's map entry entirely — long-lived
 // segments serving many short-lived watchers must not accumulate
 // empty slices. Unwatching an unknown channel or pid is a no-op.
-func (s *Segment) Unwatch(pid PID, ch <-chan struct{}) {
+func (s *MemSegment) Unwatch(pid PID, ch <-chan struct{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ws := s.watchers[pid]
@@ -461,7 +464,7 @@ func (s *Segment) Unwatch(pid PID, ch <-chan struct{}) {
 
 // WatcherCount returns the number of registered watcher channels for
 // pid (diagnostics and leak tests).
-func (s *Segment) WatcherCount(pid PID) int {
+func (s *MemSegment) WatcherCount(pid PID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.watchers[pid])
@@ -469,7 +472,7 @@ func (s *Segment) WatcherCount(pid PID) int {
 
 // watcherPIDs returns the pids with live watcher map entries,
 // including empty ones (leak tests).
-func (s *Segment) watcherPIDs() []PID {
+func (s *MemSegment) watcherPIDs() []PID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]PID, 0, len(s.watchers))
@@ -479,7 +482,7 @@ func (s *Segment) watcherPIDs() []PID {
 	return out
 }
 
-func (s *Segment) notifyLocked(pid PID) {
+func (s *MemSegment) notifyLocked(pid PID) {
 	for _, ch := range s.watchers[pid] {
 		select {
 		case ch <- struct{}{}:
@@ -489,13 +492,13 @@ func (s *Segment) notifyLocked(pid PID) {
 }
 
 // bump must be called with the lock held after any mutation.
-func (s *Segment) bump() {
+func (s *MemSegment) bump() {
 	s.generation++
 	s.cond.Broadcast()
 }
 
 // Snapshot returns copies of all entries, for tests and diagnostics.
-func (s *Segment) Snapshot() []ProcEntry {
+func (s *MemSegment) Snapshot() []ProcEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]ProcEntry, 0, len(s.procs))
@@ -506,52 +509,60 @@ func (s *Segment) Snapshot() []ProcEntry {
 	return out
 }
 
-// Registry maps segment names to segments, emulating the /dev/shm
-// namespace. The zero value is not usable; call NewRegistry.
-type Registry struct {
+// MemBackend is the default in-process backend: a map of MemSegments,
+// emulating the /dev/shm namespace. The zero value is not usable; call
+// NewMemBackend (or NewRegistry, which wraps one).
+type MemBackend struct {
 	mu       sync.Mutex
-	segments map[string]*Segment
+	segments map[string]*MemSegment
 	nextPID  int64
 }
 
-// NewRegistry returns an empty namespace.
-func NewRegistry() *Registry {
-	return &Registry{segments: make(map[string]*Segment), nextPID: 1000}
+// NewMemBackend returns an empty in-memory namespace.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{segments: make(map[string]*MemSegment), nextPID: 1000}
 }
+
+// Kind identifies the backend in diagnostics and CLI surfaces.
+func (r *MemBackend) Kind() string { return "mem" }
 
 // Open returns the segment with the given name, creating it with the
 // provided node CPU set and capacity if absent. Reopening an existing
 // segment ignores nodeCPUs/maxProcs, as a second shm_open would.
-func (r *Registry) Open(name string, nodeCPUs cpuset.CPUSet, maxProcs int) *Segment {
+// The in-memory backend cannot fail.
+func (r *MemBackend) Open(name string, nodeCPUs cpuset.CPUSet, maxProcs int) (Segment, error) {
 	if maxProcs <= 0 {
 		maxProcs = DefaultMaxProcs
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s, ok := r.segments[name]; ok {
-		return s
+		return s, nil
 	}
 	s := newSegment(name, nodeCPUs, maxProcs)
 	r.segments[name] = s
-	return s
+	return s, nil
 }
 
 // Get returns the named segment or nil if it does not exist.
-func (r *Registry) Get(name string) *Segment {
+func (r *MemBackend) Get(name string) Segment {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.segments[name]
+	if s, ok := r.segments[name]; ok {
+		return s
+	}
+	return nil
 }
 
 // Delete removes the named segment (shm_unlink).
-func (r *Registry) Delete(name string) {
+func (r *MemBackend) Delete(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.segments, name)
 }
 
 // Names returns all segment names in sorted order.
-func (r *Registry) Names() []string {
+func (r *MemBackend) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.segments))
@@ -562,11 +573,10 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// AllocPID returns a fresh virtual PID, unique within the registry.
-func (r *Registry) AllocPID() PID {
+// AllocPID returns a fresh virtual PID, unique within the backend.
+func (r *MemBackend) AllocPID() PID {
 	return PID(atomic.AddInt64(&r.nextPID, 1))
 }
 
-func (r *Registry) String() string {
-	return fmt.Sprintf("shmem.Registry(%d segments)", len(r.Names()))
-}
+// Close releases nothing: in-memory segments are garbage-collected.
+func (r *MemBackend) Close() error { return nil }

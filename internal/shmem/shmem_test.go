@@ -11,16 +11,16 @@ import (
 	"repro/internal/derr"
 )
 
-func newTestSegment(t *testing.T) *Segment {
+func newTestSegment(t *testing.T) *MemSegment {
 	t.Helper()
 	r := NewRegistry()
-	return r.Open("node0", cpuset.Range(0, 15), 0)
+	return r.MustOpen("node0", cpuset.Range(0, 15), 0).(*MemSegment)
 }
 
 func TestRegistryOpenIdempotent(t *testing.T) {
 	r := NewRegistry()
-	a := r.Open("n", cpuset.Range(0, 15), 8)
-	b := r.Open("n", cpuset.Range(0, 3), 2) // params ignored on reopen
+	a := r.MustOpen("n", cpuset.Range(0, 15), 8)
+	b := r.MustOpen("n", cpuset.Range(0, 3), 2) // params ignored on reopen
 	if a != b {
 		t.Fatal("Open should return the same segment for the same name")
 	}
@@ -103,7 +103,7 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestRegisterTableFull(t *testing.T) {
 	r := NewRegistry()
-	s := r.Open("tiny", cpuset.Range(0, 15), 2)
+	s := r.MustOpen("tiny", cpuset.Range(0, 15), 2)
 	if code := s.Register(1, cpuset.New(0)); code != derr.Success {
 		t.Fatal(code)
 	}
@@ -352,7 +352,7 @@ func TestPropertyUsedMaskIsUnion(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		reg := NewRegistry()
-		s := reg.Open("n", cpuset.Range(0, 31), 0)
+		s := reg.MustOpen("n", cpuset.Range(0, 31), 0)
 		var want cpuset.CPUSet
 		for pid := PID(1); pid <= 8; pid++ {
 			var m cpuset.CPUSet

@@ -27,7 +27,7 @@ type Stats struct {
 
 // statsOf returns the live stats struct for pid, creating nothing.
 // Caller holds s.mu.
-func (s *Segment) statsOf(pid PID) *Stats {
+func (s *MemSegment) statsOf(pid PID) *Stats {
 	if e, ok := s.procs[pid]; ok {
 		return &e.Stats
 	}
@@ -35,7 +35,7 @@ func (s *Segment) statsOf(pid PID) *Stats {
 }
 
 // StatsOf returns a copy of the process's counters.
-func (s *Segment) StatsOf(pid PID) (Stats, bool) {
+func (s *MemSegment) StatsOf(pid PID) (Stats, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.procs[pid]; ok {

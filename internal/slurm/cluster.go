@@ -109,11 +109,23 @@ func NewCluster(eng *sim.Engine, m hwmodel.Machine, n int, tracer *trace.Tracer)
 }
 
 // NewClusterSpec builds a partitioned cluster from an explicit
-// layout. Each node opens its own DROM shared-memory segment sized to
-// its partition's machine.
+// layout over the default in-memory shmem backend. Each node opens
+// its own DROM shared-memory segment sized to its partition's machine.
 func NewClusterSpec(eng *sim.Engine, spec hwmodel.ClusterSpec, tracer *trace.Tracer) (*Cluster, error) {
+	return NewClusterSpecReg(eng, spec, tracer, nil)
+}
+
+// NewClusterSpecReg is NewClusterSpec over an explicit shmem registry
+// (nil selects a fresh in-memory one). A file-backed registry makes
+// the cluster's segments visible to other OS processes — slurmsim's
+// agent mode and schedd's -shmem flag use this; the replay hot path
+// stays on the in-memory default.
+func NewClusterSpecReg(eng *sim.Engine, spec hwmodel.ClusterSpec, tracer *trace.Tracer, reg *shmem.Registry) (*Cluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if reg == nil {
+		reg = shmem.NewRegistry()
 	}
 	c := &Cluster{
 		Machine: spec.Partitions[0].Machine,
@@ -121,7 +133,7 @@ func NewClusterSpec(eng *sim.Engine, spec hwmodel.ClusterSpec, tracer *trace.Tra
 		Engine:  eng,
 		Demand:  apps.NewDemandTable(spec.Partitions[0].Machine),
 		Tracer:  tracer,
-		reg:     shmem.NewRegistry(),
+		reg:     reg,
 		sys:     make(map[string]*core.System),
 	}
 	hetero := len(spec.Partitions) > 1
@@ -129,10 +141,14 @@ func NewClusterSpec(eng *sim.Engine, spec hwmodel.ClusterSpec, tracer *trace.Tra
 	for pi, p := range spec.Partitions {
 		for k := 0; k < p.Nodes; k++ {
 			name := fmt.Sprintf("node%d", i)
+			seg, err := c.reg.Open(name, p.Machine.NodeMask(), 0)
+			if err != nil {
+				return nil, fmt.Errorf("slurm: open segment for %s: %w", name, err)
+			}
 			c.Nodes = append(c.Nodes, name)
 			c.machines = append(c.machines, p.Machine)
 			c.partOf = append(c.partOf, pi)
-			c.sys[name] = core.NewSystem(c.reg.Open(name, p.Machine.NodeMask(), 0))
+			c.sys[name] = core.NewSystem(seg)
 			if hetero {
 				c.Demand.SetNodeMachine(name, p.Machine)
 			}

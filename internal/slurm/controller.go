@@ -21,6 +21,15 @@ import (
 // DefaultLaunchLatency models srun + slurmstepd startup.
 const DefaultLaunchLatency = 1.0 // seconds
 
+// preInitRetries bounds how many times a launch re-attempts its DROM
+// reservation against a registry reporting ErrNoShmem before the
+// controller gives up. One attempt is a composite of several
+// registry writes (the entry plus one shrink per victim), so its
+// failure probability is well above the per-write fault rate; the
+// budget is sized so that even a registry failing half its composite
+// attempts loses a committed launch with probability under 2^-24.
+const preInitRetries = 24
+
 // taskRef is one launched task.
 type taskRef struct {
 	pid  shmem.PID
@@ -274,6 +283,14 @@ type Controller struct {
 
 	// Err holds the first internal error (model bugs surface loudly).
 	Err error
+
+	// ShmemFaults counts DROM admin calls that failed with ErrNoShmem —
+	// a flaky or partitioned registry backend. Such failures degrade
+	// (the call is skipped and the node's effective-free cache is
+	// invalidated so the next cycle re-reads the segment) instead of
+	// poisoning Err: an unreachable segment is an environment fault,
+	// not a model bug.
+	ShmemFaults int
 }
 
 // ProtocolEvent is one step of the Figure-2 launch/termination
@@ -388,6 +405,21 @@ func (ctl *Controller) fail(err error) {
 	if ctl.Err == nil {
 		ctl.Err = err
 	}
+}
+
+// shmemFault reports whether code is the registry-unreachable signal
+// and, if so, absorbs it: the fault counter advances, the node's
+// cached free mask is dropped (the segment may or may not have taken
+// the write), and the caller skips the failed step instead of failing
+// the run. Any other error class still belongs to ctl.fail.
+func (ctl *Controller) shmemFault(node string, code derr.Code) bool {
+	if code != derr.ErrNoShmem {
+		return false
+	}
+	ctl.ShmemFaults++
+	ctl.invalidateNode(node)
+	ctl.invalidateJobsOn(node)
+	return true
 }
 
 // enqueue inserts q keeping the queue priority-ordered: priority
@@ -739,14 +771,38 @@ func (ctl *Controller) launch(q *queuedJob, nodes []string, plans map[string]Lau
 				if free, ok := ctl.cachedFree(node); !ok || !mask.IsSubsetOf(free) {
 					ctl.invalidateJobsOn(node)
 				}
-				if code := admin.PreInit(pid, mask, core.FlagSteal); code.IsError() {
-					ctl.fail(fmt.Errorf("slurm: PreInit pid %d on %s: %w", pid, node, code))
+				// A lost reservation cannot simply be absorbed the way
+				// other registry faults are: the launch is committed, so
+				// the task WILL register in LaunchLatency, and without
+				// the PreInit entry (and its victim shrinks) its mask
+				// overlaps whatever the scheduler grants meanwhile —
+				// poisoning every later SetProcessMask with ErrPerm.
+				// Retry until the reservation is durable. If an earlier
+				// attempt landed the entry but lost the victim shrinks
+				// (partial staging inside PreInit), the retry reports
+				// ErrAlreadyInit; SetProcessMask with steal finishes
+				// exactly the missing staging on the existing entry.
+				code := admin.PreInit(pid, mask, core.FlagSteal)
+				for try := 0; try < preInitRetries && ctl.shmemFault(node, code); try++ {
+					ctl.logf(node, "pre_launch_retry", "DROM_PreInit(pid=%d) retry %d after registry fault", pid, try+1)
+					code = admin.PreInit(pid, mask, core.FlagSteal)
+					if code == derr.ErrAlreadyInit {
+						code = admin.SetProcessMask(pid, mask, core.FlagSteal)
+					}
 				}
-				// The reserved CPUs leave the node's effective-free set
-				// now (a steal shrinks the victims by exactly this mask,
-				// so the delta holds either way).
-				ctl.noteUsed(node, mask)
-				ctl.logf(node, "pre_launch", "DROM_PreInit(pid=%d, mask=%s, STEAL)", pid, mask)
+				switch {
+				case code == derr.ErrNoShmem:
+					ctl.fail(fmt.Errorf("slurm: PreInit pid %d on %s: reservation lost after %d retries: %w",
+						pid, node, preInitRetries, code))
+				case code.IsError():
+					ctl.fail(fmt.Errorf("slurm: PreInit pid %d on %s: %w", pid, node, code))
+				default:
+					// The reserved CPUs leave the node's effective-free
+					// set now (a steal shrinks the victims by exactly
+					// this mask, so the delta holds either way).
+					ctl.noteUsed(node, mask)
+					ctl.logf(node, "pre_launch", "DROM_PreInit(pid=%d, mask=%s, STEAL)", pid, mask)
+				}
 			}
 			placements = append(placements, apps.Placement{
 				Node: node, Sys: ctl.cluster.System(node), PID: pid, InitialMask: mask,
@@ -860,7 +916,9 @@ func (ctl *Controller) finalizeTasks(r *runningJob) {
 		// re-scanned lazily instead.
 		e, icode := admin.Inspect(t.pid)
 		if code := admin.PostFinalize(t.pid, core.FlagReturnStolen); code.IsError() && code != derr.ErrNoProc {
-			ctl.fail(fmt.Errorf("slurm: PostFinalize pid %d: %w", t.pid, code))
+			if !ctl.shmemFault(t.node, code) {
+				ctl.fail(fmt.Errorf("slurm: PostFinalize pid %d: %w", t.pid, code))
+			}
 		}
 		if icode.IsError() || len(e.Stolen) > 0 {
 			ctl.invalidateNode(t.node)
@@ -1010,7 +1068,9 @@ func (ctl *Controller) ServeEvolvingRequests() {
 				continue
 			}
 			if code := admin.SetProcessMask(req.PID, next, core.FlagNone); code.IsError() {
-				ctl.fail(fmt.Errorf("slurm: evolving grant pid %d on %s: %w", req.PID, node, code))
+				if !ctl.shmemFault(node, code) {
+					ctl.fail(fmt.Errorf("slurm: evolving grant pid %d on %s: %w", req.PID, node, code))
+				}
 				continue
 			}
 			ctl.invalidateNode(node)
@@ -1048,7 +1108,10 @@ func (ctl *Controller) releaseResources(node string) {
 			mask = e.FutureMask.Or(mask.AndNot(e.CurrentMask))
 		}
 		if code := admin.SetProcessMask(pid, mask, core.FlagNone); code.IsError() {
-			ctl.fail(fmt.Errorf("slurm: expand pid %d to %s on %s: %w", pid, mask, node, code))
+			if !ctl.shmemFault(node, code) {
+				ctl.fail(fmt.Errorf("slurm: expand pid %d to %s on %s: %w", pid, mask, node, code))
+			}
+			continue
 		}
 		ctl.logf(node, "release_resources", "DROM_SetProcessMask(pid=%d, mask=%s) [expand]", pid, mask)
 	}

@@ -612,7 +612,9 @@ func (ctl *Controller) shrinkRunning(r *runningJob, target int) {
 				continue
 			}
 			if code := ctl.admins[node].SetProcessMask(ref.pid, keep, core.FlagNone); code.IsError() {
-				ctl.fail(fmt.Errorf("slurm: sched shrink pid %d to %s on %s: %w", ref.pid, keep, node, code))
+				if !ctl.shmemFault(node, code) {
+					ctl.fail(fmt.Errorf("slurm: sched shrink pid %d to %s on %s: %w", ref.pid, keep, node, code))
+				}
 				continue
 			}
 			// The dropped CPUs join the node's effective-free set the
@@ -653,7 +655,9 @@ func (ctl *Controller) expandRunning(r *runningJob, target int) {
 			free = free.AndNot(extra)
 			mask := cur[i].Or(extra)
 			if code := ctl.admins[node].SetProcessMask(ref.pid, mask, core.FlagNone); code.IsError() {
-				ctl.fail(fmt.Errorf("slurm: sched expand pid %d to %s on %s: %w", ref.pid, mask, node, code))
+				if !ctl.shmemFault(node, code) {
+					ctl.fail(fmt.Errorf("slurm: sched expand pid %d to %s on %s: %w", ref.pid, mask, node, code))
+				}
 				continue
 			}
 			ctl.noteUsed(node, extra)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/trace"
@@ -59,7 +60,15 @@ func NewSession(s Scenario, policy slurm.Policy, install func(*slurm.Controller)
 	if s.Trace {
 		tr = trace.New()
 	}
-	cluster, err := slurm.NewClusterSpec(eng, s.clusterSpec(), tr)
+	var reg *shmem.Registry
+	if s.ShmemDir != "" {
+		fb, err := shmem.NewFileBackend(s.ShmemDir)
+		if err != nil {
+			return nil, fmt.Errorf("workload: shmem dir: %w", err)
+		}
+		reg = shmem.NewRegistryWith(fb)
+	}
+	cluster, err := slurm.NewClusterSpecReg(eng, s.clusterSpec(), tr, reg)
 	if err != nil {
 		return nil, err
 	}

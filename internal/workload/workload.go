@@ -96,6 +96,13 @@ type Scenario struct {
 	// outcomes, spillover verdicts, job lifecycle transitions. Nil
 	// disables instrumentation; probes must never affect decisions.
 	Probe obs.Probe
+	// ShmemDir, when non-empty, backs the cluster's DROM segments with
+	// the file-based shmem backend rooted at this directory instead of
+	// the in-process one, so external OS processes (dromctl -backend
+	// file:..., other tools) can inspect and mutate the live segments
+	// while the run executes. Forks of a file-backed session snapshot
+	// into private in-memory copies, leaving the live files alone.
+	ShmemDir string
 }
 
 // engineProbeEvery is the engine-heartbeat period (executed events)
